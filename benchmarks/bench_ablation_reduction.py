@@ -1,0 +1,53 @@
+"""Ablation — data reduction merge threshold (Section III-B).
+
+The paper experimented with different merge thresholds and chose one second.
+This bench sweeps the threshold on a bursty workload and reports the
+reduction ratio per threshold, and benchmarks the reduction pass itself.
+"""
+
+from repro.audit import (AuditCollector, CollectorConfig,
+                         generate_benign_noise, reduce_events,
+                         sweep_thresholds)
+from repro.benchmark import format_table
+
+from .conftest import write_result_table
+
+
+def _bursty_events():
+    """File-manipulation / transfer style bursts plus background noise."""
+    collector = AuditCollector(CollectorConfig(seed=3, burst_gap=0.2))
+    worker = collector.spawn_process("/usr/bin/rsync")
+    for index in range(30):
+        collector.read_file(worker, f"/data/in_{index % 5}.bin", burst=12)
+        collector.write_file(worker, f"/backup/out_{index % 5}.bin",
+                             burst=12)
+    return collector.events() + generate_benign_noise(num_sessions=30,
+                                                      seed=4)
+
+
+def test_ablation_reduction_threshold_sweep(benchmark):
+    """Sweep thresholds 0 / 0.1 / 0.5 / 1 / 2 / 5 seconds."""
+    events = _bursty_events()
+    thresholds = [0.0, 0.1, 0.5, 1.0, 2.0, 5.0]
+    results = benchmark(lambda: sweep_thresholds(events, thresholds))
+    rows = [{"threshold_s": threshold,
+             "input_events": stats.input_events,
+             "output_events": stats.output_events,
+             "reduction_ratio": stats.reduction_ratio}
+            for threshold, stats in sorted(results.items())]
+    table = format_table(rows, floatfmt="{:.2f}")
+    write_result_table("ablation_reduction", table)
+    ratios = [row["reduction_ratio"] for row in rows]
+    # Larger thresholds can only merge more; the paper picked 1s because the
+    # curve flattens around there for file-transfer style bursts.
+    assert ratios == sorted(ratios)
+    one_second = next(row for row in rows if row["threshold_s"] == 1.0)
+    assert one_second["reduction_ratio"] > 2.0
+
+
+def test_ablation_reduction_pass_speed(benchmark):
+    """Benchmark one reduction pass at the paper's chosen threshold."""
+    events = _bursty_events()
+    reduced, stats = benchmark(lambda: reduce_events(events, 1.0))
+    assert stats.reduction_ratio >= 1.0
+    assert len(reduced) <= len(events)

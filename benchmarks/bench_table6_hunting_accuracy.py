@@ -1,0 +1,52 @@
+"""Table VI — accuracy of threat hunting (RQ2).
+
+Regenerates the per-case precision/recall of the malicious system events
+found by the synthesized TBQL queries, and benchmarks the end-to-end hunt
+(extract -> synthesize -> execute) on the paper's running example.
+"""
+
+from repro.benchmark import ALL_CASES, format_table, run_hunting_accuracy
+from repro.hunting import ThreatRaptor
+
+from .conftest import write_result_table
+
+_COLUMNS = ["case", "tp", "fp", "fn", "precision", "recall", "f1"]
+
+#: Smaller noise level for the full 18-case accuracy sweep so the bench stays
+#: fast; accuracy is insensitive to the noise volume (precision stays 100%).
+_SWEEP_NOISE_SESSIONS = 10
+
+
+def test_table6_hunting_accuracy_sweep(benchmark):
+    """Regenerate Table VI over all 18 cases (benchmarks the full sweep)."""
+    rows = benchmark.pedantic(
+        run_hunting_accuracy,
+        kwargs={"cases": ALL_CASES, "benign_sessions": _SWEEP_NOISE_SESSIONS},
+        iterations=1, rounds=1)
+    table = format_table(rows, _COLUMNS)
+    write_result_table("table6_hunting_accuracy", table)
+    total = rows[-1]
+    assert total["case"] == "Total"
+    # The paper reports 100% precision and 96.7% recall; the scripted cases
+    # preserve the shape: perfect precision, recall losses only where the
+    # case encodes a known synthesis ambiguity or IOC deviation.
+    assert total["precision"] == 1.0
+    assert total["recall"] > 0.75
+    by_case = {row["case"]: row for row in rows}
+    assert by_case["tc_fivedirections_3"]["tp"] == 0      # deviated IOCs
+    assert by_case["tc_trace_1"]["fn"] >= 1                # "run" ambiguity
+    assert by_case["data_leak"]["precision"] == 1.0
+
+
+def test_table6_single_hunt(benchmark, bench_case_stores):
+    """Benchmark one end-to-end OSCTI-driven hunt (the data-leak case)."""
+    case, store, ground_truth = bench_case_stores["data_leak"]
+    raptor = ThreatRaptor(store=store)
+
+    def hunt():
+        return raptor.hunt(case.description)
+
+    report = benchmark(hunt)
+    found = report.result.matched_event_signatures
+    assert found
+    assert found <= ground_truth

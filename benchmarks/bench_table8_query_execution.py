@@ -1,0 +1,88 @@
+"""Table VIII — efficiency of TBQL query execution, exact mode (RQ4).
+
+For each representative case the bench times the four semantically
+equivalent queries of the paper's comparison:
+
+(a) scheduled TBQL (event patterns, relational backend),
+(b) one giant SQL statement,
+(c) scheduled TBQL with length-1 event path patterns (graph backend),
+(d) one giant Cypher statement.
+"""
+
+import pytest
+
+from repro.benchmark import format_table
+from repro.benchmark.evaluation import run_query_execution
+from repro.benchmark import get_case
+from repro.tbql.executor import TBQLExecutor
+
+from .conftest import BENCH_CASE_IDS, write_result_table
+
+_COLUMNS = ["case", "tbql_mean", "sql_mean", "tbql_path_mean", "cypher_mean"]
+
+
+@pytest.mark.parametrize("case_id", BENCH_CASE_IDS)
+def test_table8_tbql_scheduled(benchmark, bench_case_stores,
+                               bench_case_queries, case_id):
+    """(a) scheduled TBQL query on the relational backend."""
+    _case, store, _truth = bench_case_stores[case_id]
+    queries = bench_case_queries[case_id]
+    executor = TBQLExecutor(store)
+    result = benchmark(lambda: executor.execute(queries.tbql))
+    assert result is not None
+
+
+@pytest.mark.parametrize("case_id", BENCH_CASE_IDS)
+def test_table8_giant_sql(benchmark, bench_case_stores, bench_case_queries,
+                          case_id):
+    """(b) the single giant SQL statement."""
+    _case, store, _truth = bench_case_stores[case_id]
+    queries = bench_case_queries[case_id]
+    benchmark(lambda: store.execute_sql(queries.sql))
+
+
+@pytest.mark.parametrize("case_id", BENCH_CASE_IDS)
+def test_table8_tbql_length1_path(benchmark, bench_case_stores,
+                                  bench_case_queries, case_id):
+    """(c) scheduled TBQL with length-1 path patterns (graph backend)."""
+    _case, store, _truth = bench_case_stores[case_id]
+    queries = bench_case_queries[case_id]
+    executor = TBQLExecutor(store)
+    benchmark(lambda: executor.execute(queries.tbql_path))
+
+
+@pytest.mark.parametrize("case_id", BENCH_CASE_IDS)
+def test_table8_giant_cypher(benchmark, bench_case_stores,
+                             bench_case_queries, case_id):
+    """(d) the single giant Cypher statement."""
+    _case, store, _truth = bench_case_stores[case_id]
+    queries = bench_case_queries[case_id]
+    benchmark(lambda: store.execute_cypher(queries.cypher))
+
+
+def test_table8_regenerate_rows(benchmark):
+    """Regenerate the Table VIII rows (mean/std over rounds) for the
+    representative cases and persist them."""
+
+    def regenerate():
+        return [run_query_execution(get_case(case_id), rounds=3,
+                                    benign_sessions=60)
+                for case_id in BENCH_CASE_IDS]
+
+    rows = benchmark.pedantic(regenerate, iterations=1, rounds=1)
+    table = format_table(rows, _COLUMNS, floatfmt="{:.4f}")
+    write_result_table("table8_query_execution", table)
+    # Note on shape vs. the paper: at laptop scale, with synthesized queries
+    # whose every pattern carries a highly selective IOC filter, the giant
+    # SQL/Cypher statements stay competitive with scheduled execution (the
+    # engines prune on the selective filters immediately).  The paper's
+    # giant-query penalty appears when patterns are unselective or data is
+    # orders of magnitude larger; bench_ablation_scheduler reproduces that
+    # mechanism explicitly.  Here we only sanity-check the measurements.
+    for row in rows:
+        for key in ("tbql_mean", "sql_mean", "tbql_path_mean",
+                    "cypher_mean"):
+            assert row[key] > 0.0
+    # Execution cost grows with the number of patterns in the query.
+    ordered = {row["case"]: row["tbql_mean"] for row in rows}
+    assert ordered["data_leak"] > ordered["tc_clearscope_3"]

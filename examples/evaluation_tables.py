@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation tables from the command line.
+
+Runs the same experiment drivers the benchmark harness uses and prints the
+rows of Tables V, VI, VII, and X (the fast experiments) for all 18 cases.
+Useful for a quick look without going through pytest-benchmark.
+
+Run with:  python examples/evaluation_tables.py [--noise N]
+"""
+
+import argparse
+
+from repro.benchmark import (ALL_CASES, format_table, run_conciseness,
+                             run_extraction_accuracy, run_extraction_timing,
+                             run_hunting_accuracy)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--noise", type=int, default=10,
+                        help="benign sessions per case for Table VI "
+                             "(default: 10)")
+    args = parser.parse_args()
+
+    print("=" * 70)
+    print("Table V — accuracy of threat behavior extraction (RQ1)")
+    print("=" * 70)
+    rows = run_extraction_accuracy(ALL_CASES)
+    print(format_table(rows, ["approach", "entity_precision",
+                              "entity_recall", "entity_f1",
+                              "relation_precision", "relation_recall",
+                              "relation_f1"]))
+
+    print()
+    print("=" * 70)
+    print("Table VI — accuracy of threat hunting (RQ2)")
+    print("=" * 70)
+    rows = run_hunting_accuracy(ALL_CASES, benign_sessions=args.noise)
+    print(format_table(rows, ["case", "tp", "fp", "fn", "precision",
+                              "recall"]))
+
+    print()
+    print("=" * 70)
+    print("Table VII — efficiency of threat behavior extraction (RQ3)")
+    print("=" * 70)
+    rows = run_extraction_timing(ALL_CASES)
+    print(format_table(rows, ["case", "text_to_entities_relations",
+                              "entities_relations_to_graph", "graph_to_tbql",
+                              "stanford_openie", "openie5"],
+                       floatfmt="{:.4f}"))
+
+    print()
+    print("=" * 70)
+    print("Table X — conciseness of TBQL vs SQL vs Cypher (RQ5)")
+    print("=" * 70)
+    rows = run_conciseness(ALL_CASES)
+    print(format_table(rows, ["case", "patterns", "tbql_chars", "tbql_words",
+                              "sql_chars", "sql_words", "cypher_chars",
+                              "cypher_words"], floatfmt="{:.0f}"))
+
+
+if __name__ == "__main__":
+    main()

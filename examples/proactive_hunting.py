@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Proactive threat hunting with hand-written TBQL queries.
+
+When no OSCTI report is available, ThreatRaptor is used as a proactive
+hunting tool: the analyst writes TBQL directly (Section II).  This example
+loads a mixed benign + malicious audit log and walks through a typical
+iterative hunting session:
+
+* a broad query over sensitive files,
+* narrowing down with operation filters and temporal constraints,
+* a variable-length event path pattern to find indirect exfiltration flows,
+* comparing the TBQL text against the equivalent SQL the analyst would
+  otherwise have to write.
+
+Run with:  python examples/proactive_hunting.py
+"""
+
+from repro.benchmark import get_case
+from repro.benchmark.case import CaseBuilder
+from repro.hunting import ThreatRaptor
+from repro.tbql import compile_giant_sql, measure_conciseness, parse_tbql, \
+    resolve_query
+
+
+def run_query(raptor: ThreatRaptor, title: str, query: str) -> None:
+    print(f"\n=== {title} ===")
+    print(query.strip())
+    result = raptor.execute_tbql(query)
+    print(f"--> {len(result.rows)} result row(s), "
+          f"{len(result.matched_events)} matched event(s), "
+          f"plan {result.plan}")
+    for row in result.rows[:5]:
+        print("   ", row)
+
+
+def main() -> None:
+    # The password-cracking case: Shellshock penetration, C2 download, and
+    # shadow-file access, hidden in benign developer activity.
+    case = get_case("password_crack")
+    built = CaseBuilder().build(case, benign_sessions=80)
+    raptor = ThreatRaptor()
+    raptor.ingest_events(built.events)
+    print(f"Hunting over {raptor.store.statistics()['relational_events']} "
+          "stored events")
+
+    # Step 1: who touched the shadow file?
+    run_query(raptor, "Step 1: any access to /etc/shadow",
+              'proc p read || write file f["%/etc/shadow%"] '
+              'return distinct p, f')
+
+    # Step 2: suspicious downloads followed by execution within 10 minutes.
+    run_query(raptor, "Step 2: download-then-execute chains",
+              'proc d receive ip i as dl\n'
+              'proc b execute file x["%/tmp/%"] as ex\n'
+              'with dl before[0-10 min] ex\n'
+              'return distinct d, i, b, x')
+
+    # Step 3: variable-length path — does anything flow from the CGI
+    # endpoint to the C2 address, possibly through intermediate steps?
+    run_query(raptor, "Step 3: flows from the CGI handler (path pattern)",
+              'proc p["%default.cgi%"] ~>(1~4) ip i return distinct p, '
+              'i.dstip')
+
+    # Step 4: conciseness — what would Step 2 look like in SQL?
+    tbql_text = ('proc d receive ip i as dl '
+                 'proc b execute file x["%/tmp/%"] as ex '
+                 'with dl before[0-10 min] ex '
+                 'return distinct d, i, b, x')
+    sql = compile_giant_sql(resolve_query(parse_tbql(tbql_text)))
+    tbql_metrics = measure_conciseness(tbql_text)
+    sql_metrics = measure_conciseness(sql.sql)
+    print("\n=== Conciseness (RQ5 in miniature) ===")
+    print(f"TBQL : {tbql_metrics.characters} chars / "
+          f"{tbql_metrics.words} words")
+    print(f"SQL  : {sql_metrics.characters} chars / {sql_metrics.words} "
+          f"words  ({tbql_metrics.ratio_to(sql_metrics):.1f}x less concise)")
+
+    raptor.store.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""ThreatRaptor reproduction: cyber threat hunting with OSCTI.
+
+Public API highlights:
+
+* :class:`repro.hunting.ThreatRaptor` — end-to-end facade (ingest audit logs,
+  extract threat behaviors from OSCTI text, synthesize and execute TBQL).
+* :mod:`repro.extraction` — unsupervised NLP pipeline for threat behavior
+  extraction (Algorithm 1).
+* :mod:`repro.tbql` — the TBQL language: parser, synthesis, compilers,
+  scheduler, exact and fuzzy execution.
+* :mod:`repro.audit` / :mod:`repro.storage` — system auditing and database
+  substrates.
+* :mod:`repro.benchmark` — the 18-case evaluation benchmark and metrics.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,203 @@
+"""Synthetic system auditing collector.
+
+The paper deploys monitoring agents (Sysdig / Linux Audit / ETW) on live
+hosts.  This module provides the synthetic equivalent: an
+:class:`AuditCollector` that behaves like a kernel auditing agent.  Scripted
+activities (attack steps or benign workload actions) are recorded through the
+collector, which:
+
+* maintains a monotonically advancing virtual clock,
+* assigns PIDs to processes and tracks live process identity,
+* splits large read/write activities into *bursts* of syscall-level events,
+  mimicking how the OS distributes one logical file transfer over many
+  ``read``/``write`` calls (the behaviour that motivates the data reduction
+  of Section III-B),
+* serializes everything into auditd-style log text via
+  :mod:`repro.audit.logfmt`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .entities import (EntityType, FileEntity, NetworkEntity, Operation,
+                       ProcessEntity, SystemEntity, SystemEvent)
+from .logfmt import format_log
+
+
+@dataclass
+class CollectorConfig:
+    """Tunables for the synthetic collector."""
+
+    host: str = "host-0"
+    start_time: float = 1_523_400_000.0
+    #: Default number of syscall-level records one logical read/write becomes.
+    default_burst: int = 3
+    #: Gap between consecutive syscalls within a burst, in seconds.
+    burst_gap: float = 0.05
+    #: Duration of a single syscall-level record, in seconds.
+    syscall_duration: float = 0.002
+    #: Bytes moved per syscall-level record.
+    bytes_per_call: int = 4096
+    seed: int = 7
+
+
+class AuditCollector:
+    """Records scripted system activities as kernel-style audit events."""
+
+    def __init__(self, config: CollectorConfig | None = None) -> None:
+        self.config = config or CollectorConfig()
+        self._clock = self.config.start_time
+        self._rng = random.Random(self.config.seed)
+        self._next_pid = 1000 + self._rng.randrange(0, 500)
+        self._events: list[SystemEvent] = []
+        self._processes: dict[tuple[str, int], ProcessEntity] = {}
+
+    # ------------------------------------------------------------------
+    # clock management
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time of the collector."""
+        return self._clock
+
+    def advance(self, seconds: float) -> float:
+        """Advance the virtual clock and return the new time."""
+        if seconds < 0:
+            raise ValueError("cannot move the collector clock backwards")
+        self._clock += seconds
+        return self._clock
+
+    # ------------------------------------------------------------------
+    # entity factories
+    # ------------------------------------------------------------------
+    def spawn_process(self, exename: str, user: str = "root",
+                      cmdline: str = "", pid: int | None = None
+                      ) -> ProcessEntity:
+        """Create (or reuse) a process entity with a fresh PID."""
+        if pid is None:
+            self._next_pid += self._rng.randrange(1, 7)
+            pid = self._next_pid
+        key = (exename, pid)
+        if key not in self._processes:
+            self._processes[key] = ProcessEntity(
+                exename=exename, pid=pid, user=user,
+                cmdline=cmdline or exename)
+        return self._processes[key]
+
+    def file(self, path: str, user: str = "root") -> FileEntity:
+        """Create a file entity for an absolute path.
+
+        The ``name`` attribute is the full path: TBQL's default file filter
+        attribute is ``name`` and OSCTI reports reference files by path, so
+        keeping the path there lets ``%/etc/passwd%`` style filters match.
+        """
+        return FileEntity(path=path, name=path, user=user)
+
+    def connection(self, dstip: str, dstport: int = 443,
+                   srcip: str = "10.0.0.5", srcport: int | None = None,
+                   protocol: str = "tcp") -> NetworkEntity:
+        """Create a network connection entity (5-tuple identity)."""
+        if srcport is None:
+            srcport = self._rng.randrange(30000, 60000)
+        return NetworkEntity(srcip=srcip, srcport=srcport, dstip=dstip,
+                             dstport=dstport, protocol=protocol)
+
+    # ------------------------------------------------------------------
+    # event recording
+    # ------------------------------------------------------------------
+    def record(self, subject: ProcessEntity, operation: Operation,
+               obj: SystemEntity, burst: int | None = None,
+               data_amount: int | None = None, gap_after: float = 0.2
+               ) -> list[SystemEvent]:
+        """Record one logical activity as one or more syscall-level events.
+
+        Read/write style operations are split into ``burst`` syscall-level
+        records separated by ``burst_gap`` seconds; control operations
+        (start, end, execute, connect, ...) always produce a single record.
+        Returns the list of recorded events, in time order.
+        """
+        config = self.config
+        splittable = operation in (Operation.READ, Operation.WRITE,
+                                   Operation.SEND, Operation.RECEIVE)
+        if burst is None:
+            burst = config.default_burst if splittable else 1
+        if not splittable:
+            burst = 1
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        per_call_bytes = config.bytes_per_call
+        if data_amount is not None:
+            per_call_bytes = max(1, data_amount // burst)
+        recorded: list[SystemEvent] = []
+        for _ in range(burst):
+            start = self._clock
+            end = start + config.syscall_duration
+            event = SystemEvent(
+                subject=subject, operation=operation, obj=obj,
+                start_time=start, end_time=end,
+                data_amount=per_call_bytes if splittable else 0,
+                host=config.host)
+            self._events.append(event)
+            recorded.append(event)
+            self._clock = end + config.burst_gap
+        self._clock += gap_after
+        return recorded
+
+    # Convenience wrappers used heavily by the benchmark attack scripts.
+    def read_file(self, subject: ProcessEntity, path: str, **kwargs
+                  ) -> list[SystemEvent]:
+        return self.record(subject, Operation.READ, self.file(path), **kwargs)
+
+    def write_file(self, subject: ProcessEntity, path: str, **kwargs
+                   ) -> list[SystemEvent]:
+        return self.record(subject, Operation.WRITE, self.file(path), **kwargs)
+
+    def execute_file(self, subject: ProcessEntity, path: str, **kwargs
+                     ) -> list[SystemEvent]:
+        return self.record(subject, Operation.EXECUTE, self.file(path),
+                           **kwargs)
+
+    def start_process(self, subject: ProcessEntity, exename: str,
+                      **kwargs) -> tuple[ProcessEntity, list[SystemEvent]]:
+        child = self.spawn_process(exename)
+        events = self.record(subject, Operation.START, child, **kwargs)
+        return child, events
+
+    def connect_ip(self, subject: ProcessEntity, dstip: str,
+                   dstport: int = 443, **kwargs) -> list[SystemEvent]:
+        return self.record(subject, Operation.CONNECT,
+                           self.connection(dstip, dstport), **kwargs)
+
+    def send_to(self, subject: ProcessEntity, dstip: str, dstport: int = 443,
+                **kwargs) -> list[SystemEvent]:
+        return self.record(subject, Operation.SEND,
+                           self.connection(dstip, dstport), **kwargs)
+
+    def receive_from(self, subject: ProcessEntity, dstip: str,
+                     dstport: int = 443, **kwargs) -> list[SystemEvent]:
+        return self.record(subject, Operation.RECEIVE,
+                           self.connection(dstip, dstport), **kwargs)
+
+    # ------------------------------------------------------------------
+    # output
+    # ------------------------------------------------------------------
+    def events(self) -> list[SystemEvent]:
+        """Return all recorded events sorted by start time."""
+        return sorted(self._events,
+                      key=lambda event: (event.start_time, event.event_id))
+
+    def to_log(self) -> str:
+        """Serialize the recorded events into auditd-style log text."""
+        return format_log(self.events())
+
+    def clear(self) -> None:
+        """Drop all recorded events while keeping the clock and PID state."""
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+__all__ = ["CollectorConfig", "AuditCollector"]

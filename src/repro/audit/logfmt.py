@@ -1,0 +1,179 @@
+"""Auditd-style textual log format.
+
+The physical testbed in the paper runs Sysdig / Linux Audit and stores raw
+kernel audit records.  This module defines the textual record format used by
+our synthetic collector, which intentionally follows the ``key=value`` style
+of auditd so the parser exercises a realistic parsing path (quoting, escaped
+values, per-object-type attribute sets, malformed record handling).
+
+A record looks like::
+
+    type=SYSCALL ts=1523451123.201 te=1523451123.204 host=host-0 \
+        syscall=read pid=4021 exe="/bin/tar" user=root group=root \
+        cmdline="tar cf /tmp/upload.tar /etc/passwd" obj=file \
+        path="/etc/passwd" name="passwd" bytes=4096 exit=0
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+
+from ..errors import AuditError
+from .entities import (EntityType, FileEntity, NetworkEntity, ProcessEntity,
+                       SystemEntity, SystemEvent)
+from .syscalls import lookup_syscall, syscall_for
+
+_KV_RE = re.compile(r'(\w+)=("(?:[^"\\]|\\.)*"|\S+)')
+
+
+def _quote(value: object) -> str:
+    text = str(value)
+    if text == "" or re.search(r"\s", text) or '"' in text:
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return text
+
+
+def _unquote(value: str) -> str:
+    if value.startswith('"') and value.endswith('"') and len(value) >= 2:
+        inner = value[1:-1]
+        return inner.replace('\\"', '"').replace("\\\\", "\\")
+    return value
+
+
+def format_record(event: SystemEvent) -> str:
+    """Serialize one :class:`SystemEvent` into an auditd-style record line."""
+    subject = event.subject
+    fields: list[tuple[str, object]] = [
+        ("type", "SYSCALL"),
+        ("ts", f"{event.start_time:.6f}"),
+        ("te", f"{event.end_time:.6f}"),
+        ("host", event.host),
+        ("syscall", syscall_for(event.operation, event.obj.entity_type)),
+        ("pid", subject.pid),
+        ("exe", subject.exename),
+        ("user", subject.user),
+        ("group", subject.group),
+        ("cmdline", subject.cmdline or subject.exename),
+        ("obj", event.obj.entity_type.value),
+    ]
+    obj = event.obj
+    if isinstance(obj, FileEntity):
+        fields += [("path", obj.path), ("name", obj.name),
+                   ("obj_user", obj.user), ("obj_group", obj.group)]
+    elif isinstance(obj, ProcessEntity):
+        fields += [("obj_exe", obj.exename), ("obj_pid", obj.pid),
+                   ("obj_user", obj.user), ("obj_group", obj.group),
+                   ("obj_cmdline", obj.cmdline or obj.exename)]
+    elif isinstance(obj, NetworkEntity):
+        fields += [("srcip", obj.srcip), ("srcport", obj.srcport),
+                   ("dstip", obj.dstip), ("dstport", obj.dstport),
+                   ("proto", obj.protocol)]
+    fields += [("bytes", event.data_amount), ("exit", event.failure_code)]
+    return " ".join(f"{key}={_quote(value)}" for key, value in fields)
+
+
+def parse_fields(line: str) -> dict[str, str]:
+    """Parse one record line into a raw ``{key: value}`` dictionary."""
+    line = line.strip()
+    if not line:
+        raise AuditError("empty audit record")
+    fields: dict[str, str] = {}
+    for key, value in _KV_RE.findall(line):
+        fields[key] = _unquote(value)
+    if not fields:
+        raise AuditError(f"unparseable audit record: {line!r}")
+    return fields
+
+
+def parse_record(line: str) -> SystemEvent:
+    """Parse one auditd-style record line into a :class:`SystemEvent`.
+
+    Raises:
+        AuditError: when the record is malformed, references an unmonitored
+            syscall, or is missing required attributes.
+    """
+    fields = parse_fields(line)
+    if fields.get("type", "SYSCALL") != "SYSCALL":
+        raise AuditError(f"unsupported record type: {fields.get('type')!r}")
+    try:
+        syscall = fields["syscall"]
+        spec = lookup_syscall(syscall)
+    except KeyError as exc:
+        raise AuditError(f"unmonitored or missing syscall in record: {line!r}"
+                         ) from exc
+    try:
+        start_time = float(fields["ts"])
+        end_time = float(fields.get("te", fields["ts"]))
+        subject = ProcessEntity(
+            exename=fields["exe"],
+            pid=int(fields["pid"]),
+            user=fields.get("user", "root"),
+            group=fields.get("group", "root"),
+            cmdline=fields.get("cmdline", ""),
+        )
+        obj = _parse_object(spec.object_type, fields)
+        return SystemEvent(
+            subject=subject,
+            operation=spec.operation,
+            obj=obj,
+            start_time=start_time,
+            end_time=end_time,
+            data_amount=int(fields.get("bytes", 0)),
+            failure_code=int(fields.get("exit", 0)),
+            host=fields.get("host", "host-0"),
+        )
+    except AuditError:
+        raise
+    except (KeyError, ValueError) as exc:
+        raise AuditError(f"malformed audit record: {line!r}") from exc
+
+
+def _parse_object(object_type: EntityType, fields: dict[str, str]
+                  ) -> SystemEntity:
+    if object_type is EntityType.FILE:
+        path = fields.get("path")
+        if not path:
+            raise AuditError("file event record is missing 'path'")
+        return FileEntity(path=path, name=fields.get("name", path),
+                          user=fields.get("obj_user", "root"),
+                          group=fields.get("obj_group", "root"))
+    if object_type is EntityType.PROCESS:
+        exe = fields.get("obj_exe")
+        if not exe:
+            raise AuditError("process event record is missing 'obj_exe'")
+        return ProcessEntity(exename=exe, pid=int(fields.get("obj_pid", 0)),
+                             user=fields.get("obj_user", "root"),
+                             group=fields.get("obj_group", "root"),
+                             cmdline=fields.get("obj_cmdline", ""))
+    dstip = fields.get("dstip")
+    if not dstip:
+        raise AuditError("network event record is missing 'dstip'")
+    return NetworkEntity(srcip=fields.get("srcip", "0.0.0.0"),
+                         srcport=int(fields.get("srcport", 0)),
+                         dstip=dstip,
+                         dstport=int(fields.get("dstport", 0)),
+                         protocol=fields.get("proto", "tcp"))
+
+
+def format_log(events: list[SystemEvent]) -> str:
+    """Serialize a list of events into a newline-terminated audit log."""
+    return "".join(format_record(event) + "\n" for event in events)
+
+
+def split_cmdline(cmdline: str) -> list[str]:
+    """Split a recorded command line into argv, tolerating odd quoting."""
+    try:
+        return shlex.split(cmdline)
+    except ValueError:
+        return cmdline.split()
+
+
+__all__ = [
+    "format_record",
+    "format_log",
+    "parse_fields",
+    "parse_record",
+    "split_cmdline",
+]

@@ -1,0 +1,123 @@
+"""System call to system event mapping (Table I).
+
+The kernel auditing frameworks used by the paper (Linux Audit, ETW, Sysdig)
+report raw system calls.  ThreatRaptor maps them onto the three event
+categories it cares about: process-to-file, process-to-process, and
+process-to-network interactions.  This module provides that mapping for the
+synthetic collector and the log parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .entities import EntityType, Operation
+
+
+@dataclass(frozen=True)
+class SyscallSpec:
+    """Describes how one system call is interpreted as a system event."""
+
+    name: str
+    operation: Operation
+    object_type: EntityType
+
+
+#: Table I of the paper: representative system calls per event category.
+SYSCALL_TABLE: dict[str, SyscallSpec] = {
+    # ProcessToFile
+    "read": SyscallSpec("read", Operation.READ, EntityType.FILE),
+    "readv": SyscallSpec("readv", Operation.READ, EntityType.FILE),
+    "pread64": SyscallSpec("pread64", Operation.READ, EntityType.FILE),
+    "write": SyscallSpec("write", Operation.WRITE, EntityType.FILE),
+    "writev": SyscallSpec("writev", Operation.WRITE, EntityType.FILE),
+    "pwrite64": SyscallSpec("pwrite64", Operation.WRITE, EntityType.FILE),
+    "open": SyscallSpec("open", Operation.OPEN, EntityType.FILE),
+    "openat": SyscallSpec("openat", Operation.OPEN, EntityType.FILE),
+    "rename": SyscallSpec("rename", Operation.RENAME, EntityType.FILE),
+    "renameat": SyscallSpec("renameat", Operation.RENAME, EntityType.FILE),
+    "unlink": SyscallSpec("unlink", Operation.DELETE, EntityType.FILE),
+    "unlinkat": SyscallSpec("unlinkat", Operation.DELETE, EntityType.FILE),
+    "chmod": SyscallSpec("chmod", Operation.CHMOD, EntityType.FILE),
+    "execve_file": SyscallSpec("execve_file", Operation.EXECUTE,
+                               EntityType.FILE),
+    # ProcessToProcess
+    "execve": SyscallSpec("execve", Operation.START, EntityType.PROCESS),
+    "fork": SyscallSpec("fork", Operation.START, EntityType.PROCESS),
+    "vfork": SyscallSpec("vfork", Operation.START, EntityType.PROCESS),
+    "clone": SyscallSpec("clone", Operation.START, EntityType.PROCESS),
+    "exit": SyscallSpec("exit", Operation.END, EntityType.PROCESS),
+    "exit_group": SyscallSpec("exit_group", Operation.END, EntityType.PROCESS),
+    "kill": SyscallSpec("kill", Operation.END, EntityType.PROCESS),
+    # ProcessToNetwork
+    "connect": SyscallSpec("connect", Operation.CONNECT, EntityType.NETWORK),
+    "accept": SyscallSpec("accept", Operation.ACCEPT, EntityType.NETWORK),
+    "accept4": SyscallSpec("accept4", Operation.ACCEPT, EntityType.NETWORK),
+    "sendto": SyscallSpec("sendto", Operation.SEND, EntityType.NETWORK),
+    "sendmsg": SyscallSpec("sendmsg", Operation.SEND, EntityType.NETWORK),
+    "send": SyscallSpec("send", Operation.SEND, EntityType.NETWORK),
+    "recvfrom": SyscallSpec("recvfrom", Operation.RECEIVE, EntityType.NETWORK),
+    "recvmsg": SyscallSpec("recvmsg", Operation.RECEIVE, EntityType.NETWORK),
+    "recv": SyscallSpec("recv", Operation.RECEIVE, EntityType.NETWORK),
+    "read_net": SyscallSpec("read_net", Operation.RECEIVE, EntityType.NETWORK),
+    "write_net": SyscallSpec("write_net", Operation.SEND, EntityType.NETWORK),
+}
+
+
+#: Reverse map: which syscall name the collector emits for an operation on a
+#: given object type.  Used by the synthetic collector when replaying scripted
+#: attack steps expressed as (operation, object type) pairs.
+_REVERSE_TABLE: dict[tuple[Operation, EntityType], str] = {}
+for _name, _spec in SYSCALL_TABLE.items():
+    _REVERSE_TABLE.setdefault((_spec.operation, _spec.object_type), _name)
+# Semantically useful aliases that are not the first match above.
+_REVERSE_TABLE[(Operation.READ, EntityType.NETWORK)] = "recvfrom"
+_REVERSE_TABLE[(Operation.WRITE, EntityType.NETWORK)] = "sendto"
+_REVERSE_TABLE[(Operation.EXECUTE, EntityType.FILE)] = "execve_file"
+_REVERSE_TABLE[(Operation.FORK, EntityType.PROCESS)] = "fork"
+
+
+def lookup_syscall(name: str) -> SyscallSpec:
+    """Return the :class:`SyscallSpec` for a raw syscall name.
+
+    Raises:
+        KeyError: if the syscall is not one ThreatRaptor processes.
+    """
+    return SYSCALL_TABLE[name]
+
+
+def is_monitored(name: str) -> bool:
+    """Return whether the syscall is one of the monitored calls (Table I)."""
+    return name in SYSCALL_TABLE
+
+
+def syscall_for(operation: Operation, object_type: EntityType) -> str:
+    """Return a representative syscall name for an (operation, object) pair.
+
+    Operations that do not map exactly onto a syscall (e.g. ``read`` on a
+    network connection) are mapped to the closest monitored call, mirroring
+    how the kernel reports socket reads/writes through ``recvfrom``/``sendto``.
+    """
+    key = (operation, object_type)
+    if key in _REVERSE_TABLE:
+        return _REVERSE_TABLE[key]
+    # Fall back to operations that are object-type agnostic in the kernel.
+    for (op, _), name in _REVERSE_TABLE.items():
+        if op is operation:
+            return name
+    raise KeyError(f"no monitored syscall for {operation} on {object_type}")
+
+
+def event_category_of(name: str) -> EntityType:
+    """Return the object entity type produced by the named syscall."""
+    return lookup_syscall(name).object_type
+
+
+__all__ = [
+    "SyscallSpec",
+    "SYSCALL_TABLE",
+    "lookup_syscall",
+    "is_monitored",
+    "syscall_for",
+    "event_category_of",
+]

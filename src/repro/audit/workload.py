@@ -1,0 +1,203 @@
+"""Benign background workload generator.
+
+The paper's testbed is a shared server with more than fifteen active users
+doing routine work (file manipulation, text editing, software development), so
+benign activities vastly outnumber attack activities.  This module generates
+that benign background noise deterministically so experiments are repeatable.
+
+The generator produces a mixture of realistic activity "sessions": shell file
+manipulation, text editing, compilation, package management, web browsing, and
+periodic system daemons.  Every session is recorded through an
+:class:`~repro.audit.collector.AuditCollector`, so the noise has the same
+burst structure as real audit logs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .collector import AuditCollector, CollectorConfig
+from .entities import Operation, SystemEvent
+
+_USERS = ["alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
+          "ivan", "judy", "mallory", "niaj", "olivia", "peggy", "rupert",
+          "sybil"]
+
+_EDITOR_BINARIES = ["/usr/bin/vim", "/usr/bin/nano", "/usr/bin/emacs",
+                    "/usr/bin/code"]
+_SHELL_BINARIES = ["/bin/bash", "/bin/zsh", "/bin/sh"]
+_DEV_BINARIES = ["/usr/bin/gcc", "/usr/bin/make", "/usr/bin/python3",
+                 "/usr/bin/git", "/usr/bin/javac"]
+_BROWSER_BINARIES = ["/usr/bin/firefox", "/usr/bin/chrome"]
+_DAEMON_BINARIES = ["/usr/sbin/cron", "/usr/sbin/rsyslogd",
+                    "/usr/sbin/sshd", "/usr/bin/dockerd"]
+_WEB_IPS = ["93.184.216.34", "151.101.1.69", "142.250.72.206",
+            "104.16.132.229", "13.107.42.14"]
+_DOC_DIRS = ["/home/{user}/docs", "/home/{user}/projects",
+             "/home/{user}/notes", "/var/data/shared"]
+_SYSTEM_FILES = ["/var/log/syslog", "/var/log/auth.log", "/etc/hosts",
+                 "/etc/resolv.conf", "/proc/meminfo", "/proc/stat"]
+
+
+@dataclass
+class WorkloadConfig:
+    """Controls the amount and mix of benign background activity."""
+
+    #: Number of benign activity sessions to generate.
+    num_sessions: int = 50
+    #: Random seed; identical seeds generate identical noise.
+    seed: int = 13
+    #: Average number of actions within a session.
+    actions_per_session: int = 6
+    #: Host name stamped on generated events.
+    host: str = "host-0"
+    #: Virtual start time of the noise window.
+    start_time: float = 1_523_400_000.0
+
+
+class BenignWorkloadGenerator:
+    """Generates deterministic benign audit activity."""
+
+    def __init__(self, config: WorkloadConfig | None = None) -> None:
+        self.config = config or WorkloadConfig()
+        self._rng = random.Random(self.config.seed)
+
+    def generate(self, collector: AuditCollector | None = None
+                 ) -> list[SystemEvent]:
+        """Generate benign events, optionally into an existing collector."""
+        if collector is None:
+            collector = AuditCollector(CollectorConfig(
+                host=self.config.host, start_time=self.config.start_time,
+                seed=self.config.seed))
+        sessions = [self._session_editing, self._session_development,
+                    self._session_browsing, self._session_shell,
+                    self._session_daemon]
+        produced: list[SystemEvent] = []
+        for _ in range(self.config.num_sessions):
+            session = self._rng.choice(sessions)
+            produced.extend(session(collector))
+            collector.advance(self._rng.uniform(1.0, 20.0))
+        return produced
+
+    def generate_log(self) -> str:
+        """Generate benign noise and return it as audit log text."""
+        collector = AuditCollector(CollectorConfig(
+            host=self.config.host, start_time=self.config.start_time,
+            seed=self.config.seed))
+        self.generate(collector)
+        return collector.to_log()
+
+    # ------------------------------------------------------------------
+    # session builders
+    # ------------------------------------------------------------------
+    def _pick_user(self) -> str:
+        return self._rng.choice(_USERS)
+
+    def _user_file(self, user: str, suffix: str) -> str:
+        directory = self._rng.choice(_DOC_DIRS).format(user=user)
+        return f"{directory}/{suffix}"
+
+    def _num_actions(self) -> int:
+        base = self.config.actions_per_session
+        return max(1, base + self._rng.randrange(-2, 3))
+
+    def _session_editing(self, collector: AuditCollector
+                         ) -> list[SystemEvent]:
+        user = self._pick_user()
+        editor = collector.spawn_process(self._rng.choice(_EDITOR_BINARIES),
+                                         user=user)
+        events: list[SystemEvent] = []
+        for index in range(self._num_actions()):
+            path = self._user_file(user, f"report_{index}.txt")
+            events += collector.read_file(editor, path,
+                                          burst=self._rng.randrange(1, 4))
+            if self._rng.random() < 0.7:
+                events += collector.write_file(editor, path,
+                                               burst=self._rng.randrange(1, 4))
+        return events
+
+    def _session_development(self, collector: AuditCollector
+                             ) -> list[SystemEvent]:
+        user = self._pick_user()
+        shell = collector.spawn_process(self._rng.choice(_SHELL_BINARIES),
+                                        user=user)
+        events: list[SystemEvent] = []
+        for index in range(self._num_actions()):
+            tool_name = self._rng.choice(_DEV_BINARIES)
+            tool, start_events = collector.start_process(shell, tool_name)
+            events += start_events
+            source = self._user_file(user, f"src/module_{index}.c")
+            events += collector.read_file(tool, source)
+            events += collector.write_file(
+                tool, self._user_file(user, f"build/module_{index}.o"))
+            events += collector.record(tool, Operation.END, tool)
+        return events
+
+    def _session_browsing(self, collector: AuditCollector
+                          ) -> list[SystemEvent]:
+        user = self._pick_user()
+        browser = collector.spawn_process(self._rng.choice(_BROWSER_BINARIES),
+                                          user=user)
+        events: list[SystemEvent] = []
+        for _ in range(self._num_actions()):
+            ip = self._rng.choice(_WEB_IPS)
+            events += collector.connect_ip(browser, ip, dstport=443)
+            events += collector.receive_from(browser, ip, dstport=443,
+                                             burst=self._rng.randrange(2, 6))
+            if self._rng.random() < 0.4:
+                events += collector.write_file(
+                    browser,
+                    f"/home/{user}/.cache/mozilla/{self._rng.randrange(9999)}")
+        return events
+
+    def _session_shell(self, collector: AuditCollector) -> list[SystemEvent]:
+        user = self._pick_user()
+        shell = collector.spawn_process(self._rng.choice(_SHELL_BINARIES),
+                                        user=user)
+        events: list[SystemEvent] = []
+        for index in range(self._num_actions()):
+            action = self._rng.random()
+            if action < 0.4:
+                tool, start_events = collector.start_process(shell, "/bin/ls")
+                events += start_events
+                events += collector.read_file(
+                    tool, self._user_file(user, f"dir_{index}"))
+            elif action < 0.7:
+                tool, start_events = collector.start_process(shell, "/bin/cp")
+                events += start_events
+                source = self._user_file(user, f"data_{index}.csv")
+                events += collector.read_file(tool, source)
+                events += collector.write_file(tool, source + ".bak")
+            else:
+                events += collector.read_file(
+                    shell, self._rng.choice(_SYSTEM_FILES))
+        return events
+
+    def _session_daemon(self, collector: AuditCollector) -> list[SystemEvent]:
+        daemon = collector.spawn_process(self._rng.choice(_DAEMON_BINARIES),
+                                         user="root")
+        events: list[SystemEvent] = []
+        for _ in range(self._num_actions()):
+            events += collector.write_file(daemon,
+                                           self._rng.choice(_SYSTEM_FILES),
+                                           burst=self._rng.randrange(1, 3))
+            if self._rng.random() < 0.3:
+                events += collector.connect_ip(daemon, "10.0.0.1", 514)
+        return events
+
+
+def generate_benign_noise(num_sessions: int = 50, seed: int = 13,
+                          start_time: float = 1_523_400_000.0
+                          ) -> list[SystemEvent]:
+    """Convenience helper: generate benign events with default settings."""
+    generator = BenignWorkloadGenerator(WorkloadConfig(
+        num_sessions=num_sessions, seed=seed, start_time=start_time))
+    return generator.generate()
+
+
+__all__ = [
+    "WorkloadConfig",
+    "BenignWorkloadGenerator",
+    "generate_benign_noise",
+]

@@ -1,0 +1,42 @@
+"""Evaluation benchmark: 18 attack cases, metrics, and experiment drivers."""
+
+from .case import AttackCase, AttackStep, BuiltCase, CaseBuilder, \
+    step_signature
+from .cases import ALL_CASES, case_ids, get_case
+from .evaluation import (build_case_store, default_approaches, format_table,
+                         run_conciseness, run_extraction_accuracy,
+                         run_extraction_timing, run_fuzzy_comparison,
+                         run_hunting_accuracy, run_query_execution,
+                         run_query_execution_all)
+from .metrics import (PRF, aggregate, score_hunting, score_ioc_entities,
+                      score_ioc_relations, score_sets)
+from .queries import CaseQueries, build_case_queries
+
+__all__ = [
+    "AttackCase",
+    "AttackStep",
+    "BuiltCase",
+    "CaseBuilder",
+    "step_signature",
+    "ALL_CASES",
+    "case_ids",
+    "get_case",
+    "build_case_store",
+    "default_approaches",
+    "format_table",
+    "run_conciseness",
+    "run_extraction_accuracy",
+    "run_extraction_timing",
+    "run_fuzzy_comparison",
+    "run_hunting_accuracy",
+    "run_query_execution",
+    "run_query_execution_all",
+    "PRF",
+    "aggregate",
+    "score_hunting",
+    "score_ioc_entities",
+    "score_ioc_relations",
+    "score_sets",
+    "CaseQueries",
+    "build_case_queries",
+]

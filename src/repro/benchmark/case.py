@@ -1,0 +1,182 @@
+"""Attack case model for the evaluation benchmark.
+
+Each case bundles:
+
+* the OSCTI report text describing the attack (input to extraction),
+* ground-truth labels: IOC entities and IOC relations present in the text
+  (for Table V scoring),
+* an *attack script* — the ordered malicious steps the attacker actually
+  performed, which the builder replays through the synthetic collector and
+  which double as the hunting ground truth (for Table VI scoring),
+* the amount of benign background noise to mix in.
+
+Steps use a compact notation: ``("proc:<exe>", "<operation>", "<target>")``
+where the target is ``file:<path>``, ``proc:<exe>``, or ``ip:<address>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..audit.collector import AuditCollector, CollectorConfig
+from ..audit.entities import SystemEvent
+from ..audit.workload import BenignWorkloadGenerator, WorkloadConfig
+from ..errors import BenchmarkError
+
+AttackStep = tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class AttackCase:
+    """One attack case of the 18-case evaluation benchmark (Table IV)."""
+
+    case_id: str
+    name: str
+    description: str                       # OSCTI report text
+    steps: tuple[AttackStep, ...]          # ordered malicious activities
+    ground_truth_iocs: tuple[str, ...]
+    ground_truth_relations: tuple[tuple[str, str, str], ...]
+    #: Signatures the synthesized TBQL query is *not* expected to find (e.g.
+    #: the paper's tc_trace_1 "run" ambiguity); they stay in the hunting
+    #: ground truth and therefore lower recall, as in Table VI.
+    expected_misses: tuple[AttackStep, ...] = ()
+    benign_sessions: int = 40
+    noise_seed: int = 97
+    os_family: str = "linux"
+
+    def hunting_ground_truth(self) -> set[tuple[str, str, str]]:
+        """(subject, operation, object) signatures of all malicious events."""
+        return {step_signature(step) for step in self.steps}
+
+
+def step_signature(step: AttackStep) -> tuple[str, str, str]:
+    """Convert a step into the (subject, operation, object) signature."""
+    subject, operation, target = step
+    return (_value_of(subject), _stored_operation(operation, target),
+            _value_of(target))
+
+
+def _kind_of(reference: str) -> str:
+    kind, _, _ = reference.partition(":")
+    if kind not in ("proc", "file", "ip"):
+        raise BenchmarkError(f"bad step reference: {reference!r}")
+    return kind
+
+
+def _value_of(reference: str) -> str:
+    return reference.partition(":")[2]
+
+
+def _stored_operation(operation: str, target: str) -> str:
+    """Operation name as it appears in the store after log parsing."""
+    kind = _kind_of(target)
+    if kind == "ip":
+        return {"read": "receive", "write": "send",
+                "download": "receive"}.get(operation, operation)
+    return operation
+
+
+@dataclass
+class BuiltCase:
+    """The materialized form of a case: events plus ground truth."""
+
+    case: AttackCase
+    events: list[SystemEvent]
+    attack_signatures: set[tuple[str, str, str]]
+    malicious_event_count: int
+    benign_event_count: int
+
+
+class CaseBuilder:
+    """Replays a case's attack script and mixes in benign noise."""
+
+    def __init__(self, start_time: float = 1_523_400_000.0) -> None:
+        self.start_time = start_time
+
+    def build(self, case: AttackCase,
+              benign_sessions: int | None = None) -> BuiltCase:
+        """Materialize a case into a mixed benign + malicious event stream."""
+        sessions = case.benign_sessions if benign_sessions is None \
+            else benign_sessions
+        noise = BenignWorkloadGenerator(WorkloadConfig(
+            num_sessions=sessions, seed=case.noise_seed,
+            start_time=self.start_time)).generate()
+        collector = AuditCollector(CollectorConfig(
+            host=f"host-{case.case_id}",
+            start_time=self.start_time + 120.0, seed=case.noise_seed + 1))
+        malicious = self._replay(case, collector)
+        events = noise + malicious
+        return BuiltCase(case=case, events=events,
+                         attack_signatures=case.hunting_ground_truth(),
+                         malicious_event_count=len(malicious),
+                         benign_event_count=len(noise))
+
+    def _replay(self, case: AttackCase, collector: AuditCollector
+                ) -> list[SystemEvent]:
+        processes: dict[str, object] = {}
+        events: list[SystemEvent] = []
+
+        def process_for(exe: str):
+            if exe not in processes:
+                processes[exe] = collector.spawn_process(exe)
+            return processes[exe]
+
+        for subject_ref, operation, target_ref in case.steps:
+            if _kind_of(subject_ref) != "proc":
+                raise BenchmarkError(
+                    f"{case.case_id}: step subject must be a process: "
+                    f"{subject_ref!r}")
+            subject = process_for(_value_of(subject_ref))
+            target_kind = _kind_of(target_ref)
+            target_value = _value_of(target_ref)
+            if target_kind == "file":
+                handler = {
+                    "read": collector.read_file,
+                    "write": collector.write_file,
+                    "execute": collector.execute_file,
+                    "delete": lambda s, p: collector.record(
+                        s, _op("delete"), collector.file(p)),
+                    "rename": lambda s, p: collector.record(
+                        s, _op("rename"), collector.file(p)),
+                    "open": lambda s, p: collector.record(
+                        s, _op("open"), collector.file(p)),
+                }.get(operation)
+                if handler is None:
+                    raise BenchmarkError(
+                        f"{case.case_id}: unsupported file operation "
+                        f"{operation!r}")
+                events.extend(handler(subject, target_value))
+            elif target_kind == "ip":
+                handler = {
+                    "connect": collector.connect_ip,
+                    "send": collector.send_to,
+                    "write": collector.send_to,
+                    "receive": collector.receive_from,
+                    "read": collector.receive_from,
+                    "download": collector.receive_from,
+                }.get(operation)
+                if handler is None:
+                    raise BenchmarkError(
+                        f"{case.case_id}: unsupported network operation "
+                        f"{operation!r}")
+                events.extend(handler(subject, target_value))
+            elif target_kind == "proc":
+                if operation not in ("start", "fork", "end"):
+                    raise BenchmarkError(
+                        f"{case.case_id}: unsupported process operation "
+                        f"{operation!r}")
+                child = process_for(target_value)
+                events.extend(collector.record(subject, _op("start")
+                                               if operation != "end"
+                                               else _op("end"), child))
+            collector.advance(1.5)
+        return events
+
+
+def _op(name: str):
+    from ..audit.entities import Operation
+    return Operation.from_string(name)
+
+
+__all__ = ["AttackStep", "AttackCase", "BuiltCase", "CaseBuilder",
+           "step_signature"]

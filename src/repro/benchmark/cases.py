@@ -1,0 +1,591 @@
+"""The 18-case evaluation benchmark (Table IV).
+
+Fifteen cases are modeled on the public DARPA TC Engagement-3 attack
+scenarios the paper selected (ClearScope / FiveDirections / THEIA / TRACE
+combinations of phishing e-mails, Firefox backdoors, browser extensions, and
+Drakon payloads); three are the multi-step intrusive attacks the authors
+performed themselves (password cracking and data leakage after Shellshock
+penetration, and VPNFilter).
+
+Because the real TC logs and ground-truth report are not redistributable,
+each case here carries a scripted attack (its hunting ground truth), an OSCTI
+description written in the style of the TC ground-truth report, and labeled
+IOC / relation annotations for the extraction accuracy experiments.
+
+Two cases intentionally reproduce known deviations reported in the paper:
+
+* ``tc_trace_1`` / ``tc_trace_4``: a "run"/"spawn" relation is ambiguous
+  between a file-execute and a process-start event; the default synthesis
+  plan picks the file-execute pattern and misses the process-start ground
+  truth (Table VI's recall losses);
+* ``tc_fivedirections_3`` / ``tc_trace_3``: the OSCTI text deviates from the
+  IOCs present in the logs, so the exact search finds nothing and the fuzzy
+  search mode is required.
+"""
+
+from __future__ import annotations
+
+from ..errors import BenchmarkError
+from .case import AttackCase
+
+# ---------------------------------------------------------------------------
+# ClearScope (Android) cases
+# ---------------------------------------------------------------------------
+
+_TC_CLEARSCOPE_1 = AttackCase(
+    case_id="tc_clearscope_1",
+    name="20180406 1500 ClearScope - Phishing E-mail Link",
+    description=(
+        "The victim received a phishing e-mail containing a malicious link "
+        "on the Android device. "
+        "com.android.email downloaded the malicious application "
+        "MsgApp-instr.apk from a remote staging server. "
+        "com.android.email then executed MsgApp-instr.apk to install the "
+        "backdoor on the device."),
+    ground_truth_iocs=("com.android.email", "MsgApp-instr.apk"),
+    ground_truth_relations=(
+        ("com.android.email", "download", "MsgApp-instr.apk"),
+        ("com.android.email", "execute", "MsgApp-instr.apk"),
+    ),
+    steps=(
+        ("proc:com.android.email", "write", "file:MsgApp-instr.apk"),
+        ("proc:com.android.email", "execute", "file:MsgApp-instr.apk"),
+    ),
+)
+
+_TC_CLEARSCOPE_2 = AttackCase(
+    case_id="tc_clearscope_2",
+    name="20180411 1400 ClearScope - Firefox Backdoor w/ Drakon In-Memory",
+    description=(
+        "The attacker exploited a backdoor in the mobile Firefox browser. "
+        "org.mozilla.firefox connected to 161.116.88.72. "
+        "It wrote the staging payload to /data/local/tmp/drakon.so for the "
+        "in-memory loader."),
+    ground_truth_iocs=("org.mozilla.firefox", "161.116.88.72",
+                       "/data/local/tmp/drakon.so"),
+    ground_truth_relations=(
+        ("org.mozilla.firefox", "connect", "161.116.88.72"),
+        ("org.mozilla.firefox", "write", "/data/local/tmp/drakon.so"),
+    ),
+    steps=(
+        ("proc:org.mozilla.firefox", "connect", "ip:161.116.88.72"),
+        ("proc:org.mozilla.firefox", "write",
+         "file:/data/local/tmp/drakon.so"),
+    ),
+)
+
+_TC_CLEARSCOPE_3 = AttackCase(
+    case_id="tc_clearscope_3",
+    name="20180413 ClearScope",
+    description=(
+        "During the engagement, the malicious application "
+        "com.android.lockwatch read the contacts database "
+        "/data/data/contacts.db on the compromised phone."),
+    ground_truth_iocs=("com.android.lockwatch", "/data/data/contacts.db"),
+    ground_truth_relations=(
+        ("com.android.lockwatch", "read", "/data/data/contacts.db"),
+    ),
+    steps=(
+        ("proc:com.android.lockwatch", "read", "file:/data/data/contacts.db"),
+    ),
+    benign_sessions=30,
+)
+
+# ---------------------------------------------------------------------------
+# FiveDirections (Windows) cases
+# ---------------------------------------------------------------------------
+
+_TC_FIVEDIRECTIONS_1 = AttackCase(
+    case_id="tc_fivedirections_1",
+    name="20180409 1500 FiveDirections - Phishing E-mail w/ Excel Macro",
+    description=(
+        "The victim opened a phishing e-mail carrying a malicious Excel "
+        "attachment. "
+        "excel.exe wrote the macro dropper payload.exe to the temporary "
+        "folder. "
+        "payload.exe connected to 132.197.158.98. "
+        "payload.exe read the browser credential store logins.json."),
+    ground_truth_iocs=("excel.exe", "payload.exe", "132.197.158.98",
+                       "logins.json"),
+    ground_truth_relations=(
+        ("excel.exe", "write", "payload.exe"),
+        ("payload.exe", "connect", "132.197.158.98"),
+        ("payload.exe", "read", "logins.json"),
+    ),
+    steps=(
+        ("proc:excel.exe", "write", "file:payload.exe"),
+        ("proc:payload.exe", "connect", "ip:132.197.158.98"),
+        ("proc:payload.exe", "read", "file:logins.json"),
+    ),
+    os_family="windows",
+)
+
+_TC_FIVEDIRECTIONS_2 = AttackCase(
+    case_id="tc_fivedirections_2",
+    name="20180411 1000 FiveDirections - Firefox Backdoor w/ Drakon "
+         "In-Memory",
+    description=(
+        "The attacker used a Firefox backdoor to stage the Drakon loader. "
+        "firefox.exe connected to 139.123.0.113. "
+        "firefox.exe wrote the in-memory loader drakon_loader.dll to the "
+        "profile directory. "
+        "svchost.exe read drakon_loader.dll during the injection."),
+    ground_truth_iocs=("firefox.exe", "139.123.0.113", "drakon_loader.dll",
+                       "svchost.exe"),
+    ground_truth_relations=(
+        ("firefox.exe", "connect", "139.123.0.113"),
+        ("firefox.exe", "write", "drakon_loader.dll"),
+        ("svchost.exe", "read", "drakon_loader.dll"),
+    ),
+    steps=(
+        ("proc:firefox.exe", "connect", "ip:139.123.0.113"),
+        ("proc:firefox.exe", "write", "file:drakon_loader.dll"),
+        ("proc:svchost.exe", "read", "file:drakon_loader.dll"),
+    ),
+    os_family="windows",
+)
+
+_TC_FIVEDIRECTIONS_3 = AttackCase(
+    case_id="tc_fivedirections_3",
+    name="20180412 1100 FiveDirections - Browser Extension w/ Drakon "
+         "Dropper",
+    description=(
+        "A malicious browser extension delivered the Drakon dropper. "
+        "dropper.exe wrote the fake password manager pass_mgr.exe to the "
+        "extensions folder. "
+        "pass_mgr.exe connected to 104.228.117.212."),
+    ground_truth_iocs=("dropper.exe", "pass_mgr.exe", "104.228.117.212"),
+    ground_truth_relations=(
+        ("dropper.exe", "write", "pass_mgr.exe"),
+        ("pass_mgr.exe", "connect", "104.228.117.212"),
+    ),
+    # The activities on the host used different artifact names than the
+    # report (re-purposed tooling), so the exact search retrieves nothing.
+    steps=(
+        ("proc:dropper_x64.exe", "write", "file:pass_mgr_v2.exe"),
+        ("proc:pass_mgr_v2.exe", "connect", "ip:104.228.119.90"),
+        ("proc:pass_mgr_v2.exe", "read", "file:logins.json"),
+    ),
+    expected_misses=(
+        ("proc:dropper_x64.exe", "write", "file:pass_mgr_v2.exe"),
+        ("proc:pass_mgr_v2.exe", "connect", "ip:104.228.119.90"),
+        ("proc:pass_mgr_v2.exe", "read", "file:logins.json"),
+    ),
+    os_family="windows",
+)
+
+# ---------------------------------------------------------------------------
+# THEIA (Linux) cases
+# ---------------------------------------------------------------------------
+
+_TC_THEIA_1 = AttackCase(
+    case_id="tc_theia_1",
+    name="20180410 1400 THEIA - Firefox Backdoor w/ Drakon In-Memory",
+    description=(
+        "The attacker exploited a backdoor in the Firefox browser on the "
+        "THEIA host. "
+        "/usr/bin/firefox connected to 141.43.176.203. "
+        "/usr/bin/firefox wrote the Drakon payload to /tmp/drakon. "
+        "/tmp/drakon executed /bin/dash to spawn an interactive shell."),
+    ground_truth_iocs=("/usr/bin/firefox", "141.43.176.203", "/tmp/drakon",
+                       "/bin/dash"),
+    ground_truth_relations=(
+        ("/usr/bin/firefox", "connect", "141.43.176.203"),
+        ("/usr/bin/firefox", "write", "/tmp/drakon"),
+        ("/tmp/drakon", "execute", "/bin/dash"),
+    ),
+    steps=(
+        ("proc:/usr/bin/firefox", "connect", "ip:141.43.176.203"),
+        ("proc:/usr/bin/firefox", "write", "file:/tmp/drakon"),
+        ("proc:/tmp/drakon", "execute", "file:/bin/dash"),
+    ),
+    benign_sessions=60,
+)
+
+_TC_THEIA_2 = AttackCase(
+    case_id="tc_theia_2",
+    name="20180410 1300 THEIA - Phishing Email w/ Link",
+    description=(
+        "The victim clicked a phishing link delivered over e-mail. "
+        "/usr/bin/thunderbird read the mailbox file /var/mail/victim. "
+        "/usr/bin/firefox downloaded the stage one malware /home/admin/clean "
+        "from 146.153.68.151."),
+    ground_truth_iocs=("/usr/bin/thunderbird", "/var/mail/victim",
+                       "/usr/bin/firefox", "/home/admin/clean",
+                       "146.153.68.151"),
+    ground_truth_relations=(
+        ("/usr/bin/thunderbird", "read", "/var/mail/victim"),
+        ("/usr/bin/firefox", "download", "/home/admin/clean"),
+        ("/usr/bin/firefox", "download", "146.153.68.151"),
+    ),
+    steps=(
+        ("proc:/usr/bin/thunderbird", "read", "file:/var/mail/victim"),
+        ("proc:/usr/bin/firefox", "write", "file:/home/admin/clean"),
+        ("proc:/usr/bin/firefox", "receive", "ip:146.153.68.151"),
+    ),
+    benign_sessions=60,
+)
+
+_TC_THEIA_3 = AttackCase(
+    case_id="tc_theia_3",
+    name="20180412 THEIA - Browser Extension w/ Drakon Dropper",
+    description=(
+        "The attacker delivered a malicious browser extension to the THEIA "
+        "host. "
+        "/usr/bin/firefox wrote the extension dropper "
+        "/home/admin/profile/gtcache to disk. "
+        "/home/admin/profile/gtcache connected to 141.43.176.203. "
+        "It wrote the second stage implant to /var/log/mail. "
+        "/var/log/mail read the password file /etc/shadow. "
+        "/var/log/mail sent the stolen data to 141.43.176.203."),
+    ground_truth_iocs=("/usr/bin/firefox", "/home/admin/profile/gtcache",
+                       "141.43.176.203", "/var/log/mail", "/etc/shadow"),
+    ground_truth_relations=(
+        ("/usr/bin/firefox", "write", "/home/admin/profile/gtcache"),
+        ("/home/admin/profile/gtcache", "connect", "141.43.176.203"),
+        ("/home/admin/profile/gtcache", "write", "/var/log/mail"),
+        ("/var/log/mail", "read", "/etc/shadow"),
+        ("/var/log/mail", "send", "141.43.176.203"),
+    ),
+    steps=(
+        ("proc:/usr/bin/firefox", "write", "file:/home/admin/profile/gtcache"),
+        ("proc:/home/admin/profile/gtcache", "connect", "ip:141.43.176.203"),
+        ("proc:/home/admin/profile/gtcache", "write", "file:/var/log/mail"),
+        ("proc:/var/log/mail", "read", "file:/etc/shadow"),
+        ("proc:/var/log/mail", "send", "ip:141.43.176.203"),
+    ),
+    benign_sessions=60,
+)
+
+_TC_THEIA_4 = AttackCase(
+    case_id="tc_theia_4",
+    name="20180413 1400 THEIA - Phishing E-mail w/ Executable Attachment",
+    description=(
+        "The victim saved the executable attachment of a phishing e-mail. "
+        "/usr/bin/thunderbird wrote the executable attachment "
+        "/home/admin/mail_attach to disk. "
+        "/home/admin/mail_attach connected to 149.52.110.4."),
+    ground_truth_iocs=("/usr/bin/thunderbird", "/home/admin/mail_attach",
+                       "149.52.110.4"),
+    ground_truth_relations=(
+        ("/usr/bin/thunderbird", "write", "/home/admin/mail_attach"),
+        ("/home/admin/mail_attach", "connect", "149.52.110.4"),
+    ),
+    steps=(
+        ("proc:/usr/bin/thunderbird", "write", "file:/home/admin/mail_attach"),
+        ("proc:/home/admin/mail_attach", "connect", "ip:149.52.110.4"),
+    ),
+    benign_sessions=60,
+)
+
+# ---------------------------------------------------------------------------
+# TRACE (Linux) cases
+# ---------------------------------------------------------------------------
+
+_TC_TRACE_1 = AttackCase(
+    case_id="tc_trace_1",
+    name="20180410 1000 TRACE - Firefox Backdoor w/ Drakon In-Memory",
+    description=(
+        "The attacker exploited the Firefox backdoor on the TRACE host. "
+        "/usr/bin/firefox connected to 145.199.103.57. "
+        "/usr/bin/firefox wrote the loader to /home/admin/cache. "
+        "/home/admin/cache ran /home/admin/cache to stay resident. "
+        "/home/admin/cache read the preference file /etc/firefox/prefs.js."),
+    ground_truth_iocs=("/usr/bin/firefox", "145.199.103.57",
+                       "/home/admin/cache", "/etc/firefox/prefs.js"),
+    ground_truth_relations=(
+        ("/usr/bin/firefox", "connect", "145.199.103.57"),
+        ("/usr/bin/firefox", "write", "/home/admin/cache"),
+        ("/home/admin/cache", "run", "/home/admin/cache"),
+        ("/home/admin/cache", "read", "/etc/firefox/prefs.js"),
+    ),
+    # The "run" self-loop is ambiguous: the default synthesis plan emits a
+    # file-execute pattern while the ground truth is a process-start event,
+    # so those events are missed (the paper's tc_trace_1 false negatives).
+    steps=(
+        ("proc:/usr/bin/firefox", "connect", "ip:145.199.103.57"),
+        ("proc:/usr/bin/firefox", "write", "file:/home/admin/cache"),
+        ("proc:/home/admin/cache", "start", "proc:/home/admin/cache"),
+        ("proc:/home/admin/cache", "read", "file:/etc/firefox/prefs.js"),
+    ),
+    expected_misses=(
+        ("proc:/home/admin/cache", "start", "proc:/home/admin/cache"),
+    ),
+    benign_sessions=80,
+)
+
+_TC_TRACE_2 = AttackCase(
+    case_id="tc_trace_2",
+    name="20180410 1200 TRACE - Phishing E-mail Link",
+    description=(
+        "The victim followed a phishing link from the mail client. "
+        "/usr/bin/thunderbird read the phishing mail /var/spool/mail/admin. "
+        "/usr/bin/firefox downloaded the dropper /tmp/tcexec from "
+        "145.199.103.57."),
+    ground_truth_iocs=("/usr/bin/thunderbird", "/var/spool/mail/admin",
+                       "/usr/bin/firefox", "/tmp/tcexec", "145.199.103.57"),
+    ground_truth_relations=(
+        ("/usr/bin/thunderbird", "read", "/var/spool/mail/admin"),
+        ("/usr/bin/firefox", "download", "/tmp/tcexec"),
+        ("/usr/bin/firefox", "download", "145.199.103.57"),
+    ),
+    steps=(
+        ("proc:/usr/bin/thunderbird", "read", "file:/var/spool/mail/admin"),
+        ("proc:/usr/bin/firefox", "write", "file:/tmp/tcexec"),
+        ("proc:/usr/bin/firefox", "receive", "ip:145.199.103.57"),
+    ),
+    benign_sessions=80,
+)
+
+_TC_TRACE_3 = AttackCase(
+    case_id="tc_trace_3",
+    name="20180412 1300 TRACE - Browser Extension w/ Drakon Dropper",
+    description=(
+        "A malicious browser extension staged the Drakon dropper. "
+        "/usr/bin/firefox wrote the extension dropper ext_cache.so to the "
+        "profile directory."),
+    ground_truth_iocs=("/usr/bin/firefox", "ext_cache.so"),
+    ground_truth_relations=(
+        ("/usr/bin/firefox", "write", "ext_cache.so"),
+    ),
+    # On the host the dropper was written under a different name, so the
+    # exact search retrieves nothing for this case (0 found, 2 missed).
+    steps=(
+        ("proc:/usr/bin/firefox", "write", "file:/home/admin/.cache/ztmp"),
+        ("proc:/home/admin/.cache/ztmp", "connect", "ip:145.199.103.57"),
+    ),
+    expected_misses=(
+        ("proc:/usr/bin/firefox", "write", "file:/home/admin/.cache/ztmp"),
+        ("proc:/home/admin/.cache/ztmp", "connect", "ip:145.199.103.57"),
+    ),
+    benign_sessions=80,
+)
+
+_TC_TRACE_4 = AttackCase(
+    case_id="tc_trace_4",
+    name="20180413 1200 TRACE - Pine Backdoor w/ Drakon Dropper",
+    description=(
+        "The attacker used a backdoored Pine mail client. "
+        "/usr/bin/pine spawned the dropper process /tmp/tcexec. "
+        "/tmp/tcexec connected to 61.167.39.128. "
+        "/tmp/tcexec wrote the implant to /var/tmp/nginx."),
+    ground_truth_iocs=("/usr/bin/pine", "/tmp/tcexec", "61.167.39.128",
+                       "/var/tmp/nginx"),
+    ground_truth_relations=(
+        ("/usr/bin/pine", "spawn", "/tmp/tcexec"),
+        ("/tmp/tcexec", "connect", "61.167.39.128"),
+        ("/tmp/tcexec", "write", "/var/tmp/nginx"),
+    ),
+    steps=(
+        ("proc:/usr/bin/pine", "start", "proc:/tmp/tcexec"),
+        ("proc:/tmp/tcexec", "connect", "ip:61.167.39.128"),
+        ("proc:/tmp/tcexec", "write", "file:/var/tmp/nginx"),
+    ),
+    expected_misses=(
+        ("proc:/usr/bin/pine", "start", "proc:/tmp/tcexec"),
+    ),
+    benign_sessions=80,
+)
+
+_TC_TRACE_5 = AttackCase(
+    case_id="tc_trace_5",
+    name="20180413 1400 TRACE - Phishing E-mail w/ Executable Attachment",
+    description=(
+        "The victim opened a phishing e-mail and saved the attachment. "
+        "/usr/bin/pine wrote the executable attachment /tmp/tcexec to disk. "
+        "/tmp/tcexec connected to 61.167.39.128."),
+    ground_truth_iocs=("/usr/bin/pine", "/tmp/tcexec", "61.167.39.128"),
+    ground_truth_relations=(
+        ("/usr/bin/pine", "write", "/tmp/tcexec"),
+        ("/tmp/tcexec", "connect", "61.167.39.128"),
+    ),
+    steps=(
+        ("proc:/usr/bin/pine", "write", "file:/tmp/tcexec"),
+        ("proc:/tmp/tcexec", "connect", "ip:61.167.39.128"),
+    ),
+    benign_sessions=80,
+)
+
+# ---------------------------------------------------------------------------
+# Multi-step intrusive attacks performed on the testbed
+# ---------------------------------------------------------------------------
+
+_PASSWORD_CRACK = AttackCase(
+    case_id="password_crack",
+    name="Password Cracking After Shellshock Penetration",
+    description=(
+        "The attacker penetrated the victim host by exploiting the "
+        "Shellshock vulnerability in the web server. "
+        "/usr/lib/cgi-bin/default.cgi connected to 108.177.122.189. "
+        "It wrote the dropped script to /tmp/payload.sh. "
+        "/bin/bash executed /tmp/payload.sh to gain a foothold.\n\n"
+        "The attacker then connected to cloud services to retrieve the "
+        "command and control address. "
+        "/usr/bin/wget downloaded the image file /tmp/dropbox.jpg from "
+        "162.125.6.1. "
+        "The C2 address was encoded in the EXIF metadata of the image. "
+        "/usr/bin/wget downloaded the password cracker /tmp/john from "
+        "192.168.29.128. "
+        "/bin/bash executed /tmp/john against the shadow files. "
+        "/tmp/john read the shadow file /etc/shadow."),
+    ground_truth_iocs=("/usr/lib/cgi-bin/default.cgi", "108.177.122.189",
+                       "/tmp/payload.sh", "/bin/bash", "/usr/bin/wget",
+                       "/tmp/dropbox.jpg", "162.125.6.1", "/tmp/john",
+                       "192.168.29.128", "/etc/shadow"),
+    ground_truth_relations=(
+        ("/usr/lib/cgi-bin/default.cgi", "connect", "108.177.122.189"),
+        ("/usr/lib/cgi-bin/default.cgi", "write", "/tmp/payload.sh"),
+        ("/bin/bash", "execute", "/tmp/payload.sh"),
+        ("/usr/bin/wget", "download", "/tmp/dropbox.jpg"),
+        ("/usr/bin/wget", "download", "162.125.6.1"),
+        ("/usr/bin/wget", "download", "/tmp/john"),
+        ("/usr/bin/wget", "download", "192.168.29.128"),
+        ("/bin/bash", "execute", "/tmp/john"),
+        ("/tmp/john", "read", "/etc/shadow"),
+    ),
+    steps=(
+        ("proc:/usr/lib/cgi-bin/default.cgi", "connect",
+         "ip:108.177.122.189"),
+        ("proc:/usr/lib/cgi-bin/default.cgi", "write", "file:/tmp/payload.sh"),
+        ("proc:/bin/bash", "execute", "file:/tmp/payload.sh"),
+        ("proc:/usr/bin/wget", "write", "file:/tmp/dropbox.jpg"),
+        ("proc:/usr/bin/wget", "receive", "ip:162.125.6.1"),
+        ("proc:/usr/bin/wget", "write", "file:/tmp/john"),
+        ("proc:/usr/bin/wget", "receive", "ip:192.168.29.128"),
+        ("proc:/bin/bash", "execute", "file:/tmp/john"),
+        ("proc:/tmp/john", "read", "file:/etc/shadow"),
+        # Activities the report does not describe (cleanup), so the query
+        # does not cover them: they lower recall as in Table VI.
+        ("proc:/tmp/john", "write", "file:/tmp/john.pot"),
+        ("proc:/bin/bash", "delete", "file:/tmp/payload.sh"),
+    ),
+    expected_misses=(
+        ("proc:/tmp/john", "write", "file:/tmp/john.pot"),
+        ("proc:/bin/bash", "delete", "file:/tmp/payload.sh"),
+    ),
+    benign_sessions=100,
+)
+
+_DATA_LEAK = AttackCase(
+    case_id="data_leak",
+    name="Data Leakage After Shellshock Penetration",
+    description=(
+        "After the lateral movement stage, the attacker attempts to steal "
+        "valuable assets from the host. This stage mainly involves the "
+        "behaviors of local and remote file system scanning activities, "
+        "copying and compressing of important files, and transferring the "
+        "files to its C2 host.\n\n"
+        "As a first step, the attacker used /bin/tar to read user "
+        "credentials from /etc/passwd. "
+        "It wrote the gathered information to a file /tmp/upload.tar. "
+        "Then, the attacker leveraged /bin/bzip2 utility to compress the "
+        "tar file. "
+        "/bin/bzip2 read from /tmp/upload.tar and wrote to "
+        "/tmp/upload.tar.bz2. "
+        "/usr/bin/gpg read from /tmp/upload.tar.bz2 and wrote the encrypted "
+        "information to /tmp/upload. "
+        "Finally, the attacker used /usr/bin/curl to read the data from "
+        "/tmp/upload. "
+        "He leaked the gathered sensitive information back to the C2 host "
+        "by using /usr/bin/curl to connect to 192.168.29.128."),
+    ground_truth_iocs=("/bin/tar", "/etc/passwd", "/tmp/upload.tar",
+                       "/bin/bzip2", "/tmp/upload.tar.bz2", "/usr/bin/gpg",
+                       "/tmp/upload", "/usr/bin/curl", "192.168.29.128"),
+    ground_truth_relations=(
+        ("/bin/tar", "read", "/etc/passwd"),
+        ("/bin/tar", "write", "/tmp/upload.tar"),
+        ("/bin/bzip2", "read", "/tmp/upload.tar"),
+        ("/bin/bzip2", "write", "/tmp/upload.tar.bz2"),
+        ("/usr/bin/gpg", "read", "/tmp/upload.tar.bz2"),
+        ("/usr/bin/gpg", "write", "/tmp/upload"),
+        ("/usr/bin/curl", "read", "/tmp/upload"),
+        ("/usr/bin/curl", "connect", "192.168.29.128"),
+    ),
+    steps=(
+        ("proc:/bin/tar", "read", "file:/etc/passwd"),
+        ("proc:/bin/tar", "write", "file:/tmp/upload.tar"),
+        ("proc:/bin/bzip2", "read", "file:/tmp/upload.tar"),
+        ("proc:/bin/bzip2", "write", "file:/tmp/upload.tar.bz2"),
+        ("proc:/usr/bin/gpg", "read", "file:/tmp/upload.tar.bz2"),
+        ("proc:/usr/bin/gpg", "write", "file:/tmp/upload"),
+        ("proc:/usr/bin/curl", "read", "file:/tmp/upload"),
+        ("proc:/usr/bin/curl", "connect", "ip:192.168.29.128"),
+        # File-system scanning activities the report only summarizes.
+        ("proc:/bin/ls", "read", "file:/home/admin"),
+        ("proc:/usr/bin/find", "read", "file:/home/admin/docs"),
+    ),
+    expected_misses=(
+        ("proc:/bin/ls", "read", "file:/home/admin"),
+        ("proc:/usr/bin/find", "read", "file:/home/admin/docs"),
+    ),
+    benign_sessions=100,
+)
+
+_VPNFILTER = AttackCase(
+    case_id="vpnfilter",
+    name="VPNFilter",
+    description=(
+        "The attacker utilized the notorious VPNFilter malware to maintain "
+        "a direct connection to the victim device. "
+        "/usr/bin/wget downloaded the stage one malware "
+        "/tmp/vpnfilter_stage1 from 91.121.109.209. "
+        "/tmp/vpnfilter_stage1 downloaded the photo /tmp/update.jpg from "
+        "217.12.202.40. "
+        "The stage two address was encoded in the EXIF metadata of the "
+        "photo. "
+        "/tmp/vpnfilter_stage1 wrote the stage two malware to "
+        "/tmp/vpnfilter_stage2. "
+        "/bin/bash executed /tmp/vpnfilter_stage2 to launch the attack. "
+        "/tmp/vpnfilter_stage2 connected to 91.121.109.209."),
+    ground_truth_iocs=("/usr/bin/wget", "/tmp/vpnfilter_stage1",
+                       "91.121.109.209", "/tmp/update.jpg", "217.12.202.40",
+                       "/tmp/vpnfilter_stage2", "/bin/bash"),
+    ground_truth_relations=(
+        ("/usr/bin/wget", "download", "/tmp/vpnfilter_stage1"),
+        ("/usr/bin/wget", "download", "91.121.109.209"),
+        ("/tmp/vpnfilter_stage1", "download", "/tmp/update.jpg"),
+        ("/tmp/vpnfilter_stage1", "download", "217.12.202.40"),
+        ("/tmp/vpnfilter_stage1", "write", "/tmp/vpnfilter_stage2"),
+        ("/bin/bash", "execute", "/tmp/vpnfilter_stage2"),
+        ("/tmp/vpnfilter_stage2", "connect", "91.121.109.209"),
+    ),
+    steps=(
+        ("proc:/usr/bin/wget", "write", "file:/tmp/vpnfilter_stage1"),
+        ("proc:/usr/bin/wget", "receive", "ip:91.121.109.209"),
+        ("proc:/tmp/vpnfilter_stage1", "write", "file:/tmp/update.jpg"),
+        ("proc:/tmp/vpnfilter_stage1", "receive", "ip:217.12.202.40"),
+        ("proc:/tmp/vpnfilter_stage1", "write", "file:/tmp/vpnfilter_stage2"),
+        ("proc:/bin/bash", "execute", "file:/tmp/vpnfilter_stage2"),
+        ("proc:/tmp/vpnfilter_stage2", "connect", "ip:91.121.109.209"),
+    ),
+    benign_sessions=100,
+)
+
+#: The full benchmark, in Table IV order.
+ALL_CASES: tuple[AttackCase, ...] = (
+    _TC_CLEARSCOPE_1, _TC_CLEARSCOPE_2, _TC_CLEARSCOPE_3,
+    _TC_FIVEDIRECTIONS_1, _TC_FIVEDIRECTIONS_2, _TC_FIVEDIRECTIONS_3,
+    _TC_THEIA_1, _TC_THEIA_2, _TC_THEIA_3, _TC_THEIA_4,
+    _TC_TRACE_1, _TC_TRACE_2, _TC_TRACE_3, _TC_TRACE_4, _TC_TRACE_5,
+    _PASSWORD_CRACK, _DATA_LEAK, _VPNFILTER,
+)
+
+_CASES_BY_ID = {case.case_id: case for case in ALL_CASES}
+
+
+def get_case(case_id: str) -> AttackCase:
+    """Return one attack case by its id (e.g. ``"data_leak"``)."""
+    try:
+        return _CASES_BY_ID[case_id]
+    except KeyError as exc:
+        raise BenchmarkError(
+            f"unknown case id {case_id!r}; known cases: "
+            f"{', '.join(sorted(_CASES_BY_ID))}") from exc
+
+
+def case_ids() -> list[str]:
+    """All case ids in benchmark order."""
+    return [case.case_id for case in ALL_CASES]
+
+
+__all__ = ["ALL_CASES", "get_case", "case_ids"]

@@ -1,0 +1,137 @@
+"""Precision / recall / F1 metrics used throughout the evaluation.
+
+Three scorers mirror the paper's tables:
+
+* IOC entity extraction (Table V, entity columns),
+* IOC relation extraction (Table V, relation columns),
+* threat hunting accuracy — malicious system events found by the synthesized
+  query vs. the ground-truth events of the attack (Table VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision, recall, and F1 with the underlying counts."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        if denominator == 0:
+            return 1.0 if self.false_negatives == 0 else 0.0
+        return self.true_positives / denominator
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        if denominator == 0:
+            return 1.0
+        return self.true_positives / denominator
+
+    @property
+    def f1(self) -> float:
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+
+    def __add__(self, other: "PRF") -> "PRF":
+        return PRF(self.true_positives + other.true_positives,
+                   self.false_positives + other.false_positives,
+                   self.false_negatives + other.false_negatives)
+
+    def as_dict(self) -> dict:
+        return {"precision": self.precision, "recall": self.recall,
+                "f1": self.f1, "tp": self.true_positives,
+                "fp": self.false_positives, "fn": self.false_negatives}
+
+
+def score_sets(predicted: Iterable, expected: Iterable) -> PRF:
+    """Exact-match set scoring."""
+    predicted_set = set(predicted)
+    expected_set = set(expected)
+    true_positives = len(predicted_set & expected_set)
+    return PRF(true_positives=true_positives,
+               false_positives=len(predicted_set) - true_positives,
+               false_negatives=len(expected_set) - true_positives)
+
+
+def _normalize_ioc(value: str) -> str:
+    return value.strip().strip("\"'").rstrip("/").lower()
+
+
+def score_ioc_entities(predicted: Sequence[str],
+                       expected: Sequence[str]) -> PRF:
+    """Score extracted IOC entities against the labeled ground truth.
+
+    Matching is case-insensitive after stripping quotes and trailing slashes;
+    a predicted IOC also counts as correct when it equals a labeled IOC up to
+    a leading directory prefix (the label "/tmp/upload.tar" vs the mention
+    "upload.tar"), mirroring how the paper's labels treat path variants.
+    """
+    expected_normalized = [_normalize_ioc(value) for value in expected]
+    matched_expected: set[int] = set()
+    true_positives = 0
+    false_positives = 0
+    for value in {_normalize_ioc(value) for value in predicted}:
+        match_index = None
+        for index, label in enumerate(expected_normalized):
+            if index in matched_expected:
+                continue
+            if value == label or label.endswith("/" + value) or \
+                    value.endswith("/" + label):
+                match_index = index
+                break
+        if match_index is None:
+            false_positives += 1
+        else:
+            matched_expected.add(match_index)
+            true_positives += 1
+    false_negatives = len(expected_normalized) - len(matched_expected)
+    return PRF(true_positives, false_positives, false_negatives)
+
+
+def score_ioc_relations(predicted: Sequence[tuple[str, str, str]],
+                        expected: Sequence[tuple[str, str, str]]) -> PRF:
+    """Score extracted (subject, verb, object) triples against labels."""
+    def normalize(triple: tuple[str, str, str]) -> tuple[str, str, str]:
+        subject, verb, obj = triple
+        return (_normalize_ioc(subject), verb.strip().lower(),
+                _normalize_ioc(obj))
+    return score_sets([normalize(t) for t in predicted],
+                      [normalize(t) for t in expected])
+
+
+def score_hunting(found_signatures: Iterable[tuple[str, str, str]],
+                  ground_truth: Iterable[tuple[str, str, str]]) -> PRF:
+    """Score matched system events against ground-truth attack events.
+
+    Signatures are (subject name, operation, object name) triples; counts
+    are per distinct signature, mirroring Table VI's per-event counting.
+    """
+    def normalize(signature: tuple[str, str, str]) -> tuple[str, str, str]:
+        subject, operation, obj = signature
+        return (str(subject).lower(), str(operation).lower(),
+                str(obj).lower())
+    return score_sets([normalize(s) for s in found_signatures],
+                      [normalize(s) for s in ground_truth])
+
+
+def aggregate(scores: Iterable[PRF]) -> PRF:
+    """Micro-average: sum the TP/FP/FN counts across cases."""
+    total = PRF(0, 0, 0)
+    for score in scores:
+        total = total + score
+    return total
+
+
+__all__ = ["PRF", "score_sets", "score_ioc_entities", "score_ioc_relations",
+           "score_hunting", "aggregate"]

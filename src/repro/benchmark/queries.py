@@ -1,0 +1,78 @@
+"""Equivalent query generation for the RQ4 / RQ5 comparisons.
+
+For every attack case the evaluation compares four semantically equivalent
+queries (Section IV-B4):
+
+(a) the TBQL query with event-pattern syntax (scheduled, PostgreSQL backend),
+(b) a single giant SQL query,
+(c) the TBQL query with length-1 event path pattern syntax (scheduled,
+    Neo4j backend),
+(d) a single giant Cypher query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..extraction.pipeline import ThreatBehaviorExtractor
+from ..tbql.compiler_cypher import compile_giant_cypher
+from ..tbql.compiler_sql import compile_giant_sql
+from ..tbql.parser import parse_tbql
+from ..tbql.semantics import resolve_query
+from ..tbql.synthesis import SynthesisPlan, TBQLSynthesizer
+from .case import AttackCase
+
+
+@dataclass(frozen=True)
+class CaseQueries:
+    """The four equivalent query texts for one case."""
+
+    case_id: str
+    tbql: str
+    sql: str
+    tbql_path: str
+    cypher: str
+    pattern_count: int
+
+    def as_dict(self) -> dict[str, str]:
+        return {"TBQL": self.tbql, "SQL": self.sql,
+                "TBQL (length-1 path)": self.tbql_path,
+                "Cypher": self.cypher}
+
+
+def build_case_queries(case: AttackCase,
+                       extractor: ThreatBehaviorExtractor | None = None
+                       ) -> CaseQueries:
+    """Extract the case's behavior graph and derive all four query variants."""
+    extractor = extractor or ThreatBehaviorExtractor()
+    extraction = extractor.extract(case.description)
+    event_plan = SynthesisPlan()
+    path_plan = SynthesisPlan(use_path_patterns=True, fuzzy_paths=False,
+                              temporal_order=False)
+    tbql = TBQLSynthesizer(event_plan).synthesize(extraction.graph)
+    tbql_path = TBQLSynthesizer(path_plan).synthesize(extraction.graph)
+    resolved = resolve_query(parse_tbql(tbql.text))
+    resolved_path = resolve_query(parse_tbql(tbql_path.text))
+    sql = compile_giant_sql(resolved)
+    cypher = compile_giant_cypher(resolved_path)
+    return CaseQueries(case_id=case.case_id, tbql=tbql.text,
+                       sql=_inline_sql_params(sql.sql, sql.params),
+                       tbql_path=tbql_path.text, cypher=cypher,
+                       pattern_count=tbql.pattern_count)
+
+
+def _inline_sql_params(sql: str, params: list) -> str:
+    """Inline bound parameters so the SQL text is the analyst-written form.
+
+    The conciseness comparison (Table X) measures the query text an analyst
+    would have to write by hand, which contains literal values rather than
+    placeholders.
+    """
+    rendered = sql
+    for value in params:
+        literal = f"'{value}'" if isinstance(value, str) else str(value)
+        rendered = rendered.replace("?", literal, 1)
+    return rendered
+
+
+__all__ = ["CaseQueries", "build_case_queries"]

@@ -1,0 +1,148 @@
+"""Command-line interface for the ThreatRaptor reproduction.
+
+Four subcommands cover the workflows of Figure 1:
+
+* ``extract``    — OSCTI report text -> threat behavior graph (printed),
+* ``synthesize`` — OSCTI report text -> TBQL query text,
+* ``hunt``       — OSCTI report + audit log -> matched malicious events,
+* ``query``      — hand-written TBQL + audit log -> query results.
+
+Usage::
+
+    python -m repro.cli hunt --report report.txt --log audit.log
+    python -m repro.cli query --log audit.log --tbql 'proc p read file f["%/etc/shadow%"] return p'
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .extraction import ThreatBehaviorExtractor
+from .hunting import ThreatRaptor
+from .tbql.synthesis import SynthesisPlan, TBQLSynthesizer
+
+
+def _read_text(path: str) -> str:
+    return Path(path).read_text(encoding="utf-8")
+
+
+def _load_raptor(log_path: str, no_reduction: bool) -> ThreatRaptor:
+    from .storage import DualStore
+    raptor = ThreatRaptor(store=DualStore(reduce=not no_reduction))
+    count = raptor.ingest_log_text(_read_text(log_path))
+    print(f"[repro] ingested {count} events from {log_path}",
+          file=sys.stderr)
+    return raptor
+
+
+def _print_events(events: list[dict]) -> None:
+    for event in sorted(events, key=lambda item: item["start_time"]):
+        print(f"{event['pattern_id']:>8}  {event['subject']} "
+              f"--{event['operation']}--> {event['object']}")
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    result = ThreatBehaviorExtractor().extract(_read_text(args.report))
+    print(result.graph.summary())
+    if args.show_iocs:
+        print("\nIOCs:")
+        for ioc in result.iocs:
+            print(f"  {ioc.canonical} ({ioc.ioc_type.value}) "
+                  f"mentions={ioc.mentions}")
+    return 0
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    result = ThreatBehaviorExtractor().extract(_read_text(args.report))
+    plan = SynthesisPlan(use_path_patterns=args.path_patterns,
+                         fuzzy_paths=not args.length1)
+    synthesized = TBQLSynthesizer(plan).synthesize(result.graph)
+    print(synthesized.text)
+    return 0
+
+
+def cmd_hunt(args: argparse.Namespace) -> int:
+    raptor = _load_raptor(args.log, args.no_reduction)
+    report = raptor.hunt(_read_text(args.report),
+                         fallback_to_fuzzy=args.fuzzy_fallback)
+    print("=== synthesized TBQL ===")
+    print(report.synthesized.text)
+    print("\n=== matched events ===")
+    _print_events(report.result.matched_events)
+    if report.fuzzy_result is not None and report.fuzzy_result.best:
+        print("\n=== fuzzy alignment (exact search found nothing) ===")
+        for entity_id, name in sorted(
+                report.fuzzy_result.best.node_names.items()):
+            print(f"  {entity_id} -> {name}")
+    raptor.store.close()
+    return 0 if report.result.matched_events or report.fuzzy_result else 1
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    raptor = _load_raptor(args.log, args.no_reduction)
+    tbql = args.tbql if args.tbql else _read_text(args.query_file)
+    result = raptor.execute_tbql(tbql)
+    print(f"=== {len(result.rows)} result row(s) ===")
+    for row in result.rows:
+        print(" ", row)
+    print("\n=== matched events ===")
+    _print_events(result.matched_events)
+    raptor.store.close()
+    return 0 if result.rows else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ThreatRaptor reproduction CLI")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    extract = subparsers.add_parser(
+        "extract", help="extract a threat behavior graph from OSCTI text")
+    extract.add_argument("--report", required=True,
+                         help="path to the OSCTI report text file")
+    extract.add_argument("--show-iocs", action="store_true",
+                         help="also list the merged IOCs")
+    extract.set_defaults(func=cmd_extract)
+
+    synthesize = subparsers.add_parser(
+        "synthesize", help="synthesize a TBQL query from OSCTI text")
+    synthesize.add_argument("--report", required=True)
+    synthesize.add_argument("--path-patterns", action="store_true",
+                            help="synthesize variable-length path patterns")
+    synthesize.add_argument("--length1", action="store_true",
+                            help="use length-1 (->) path patterns")
+    synthesize.set_defaults(func=cmd_synthesize)
+
+    hunt = subparsers.add_parser(
+        "hunt", help="extract, synthesize, and execute against an audit log")
+    hunt.add_argument("--report", required=True)
+    hunt.add_argument("--log", required=True,
+                      help="path to an auditd-style log file")
+    hunt.add_argument("--fuzzy-fallback", action="store_true",
+                      help="fall back to fuzzy search when nothing matches")
+    hunt.add_argument("--no-reduction", action="store_true",
+                      help="disable data reduction at ingestion time")
+    hunt.set_defaults(func=cmd_hunt)
+
+    query = subparsers.add_parser(
+        "query", help="run a hand-written TBQL query against an audit log")
+    query.add_argument("--log", required=True)
+    group = query.add_mutually_exclusive_group(required=True)
+    group.add_argument("--tbql", help="TBQL query text")
+    group.add_argument("--query-file", help="path to a file with TBQL text")
+    query.add_argument("--no-reduction", action="store_true")
+    query.set_defaults(func=cmd_query)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":     # pragma: no cover - exercised via main()
+    sys.exit(main())

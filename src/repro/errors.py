@@ -1,0 +1,73 @@
+"""Exception hierarchy shared across the ThreatRaptor reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so that callers can
+catch library failures without swallowing genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class AuditError(ReproError):
+    """Raised when audit log records cannot be parsed or are malformed."""
+
+
+class StorageError(ReproError):
+    """Raised by the relational or graph storage backends."""
+
+
+class CypherError(StorageError):
+    """Raised when a mini-Cypher query cannot be parsed or evaluated."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class NLPError(ReproError):
+    """Raised by the lightweight NLP substrate."""
+
+
+class ExtractionError(ReproError):
+    """Raised by the threat behavior extraction pipeline."""
+
+
+class TBQLError(ReproError):
+    """Base class for errors raised by the TBQL subsystem."""
+
+
+class TBQLSyntaxError(TBQLError):
+    """Raised when a TBQL query fails to lex or parse.
+
+    Attributes:
+        line: 1-based line of the offending token (when known).
+        column: 1-based column of the offending token (when known).
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        location = ""
+        if line is not None:
+            location = f" (line {line}, column {column})"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class TBQLSemanticError(TBQLError):
+    """Raised when a parsed TBQL query violates semantic rules."""
+
+
+class SynthesisError(TBQLError):
+    """Raised when a TBQL query cannot be synthesized from a behavior graph."""
+
+
+class ExecutionError(TBQLError):
+    """Raised when query execution fails against the storage backends."""
+
+
+class BenchmarkError(ReproError):
+    """Raised by the evaluation benchmark when a case is misconfigured."""

@@ -1,0 +1,46 @@
+"""Threat behavior extraction from OSCTI text (the paper's Algorithm 1)."""
+
+from .annotate import RELATION_VERB_KEYWORDS, annotate_tree, simplify_tree
+from .behavior_graph import (BehaviorEdge, BehaviorNode, ThreatBehaviorGraph,
+                             build_behavior_graph)
+from .coref import resolve_coreferences
+from .ioc import (AUDITABLE_IOC_TYPES, IOC, IOCRecognizer, IOCType,
+                  recognize_iocs)
+from .merge import MergedIOC, scan_and_merge_iocs
+from .openie import ClauseOpenIE, OpenIETriple, PatternOpenIE
+from .pipeline import (ExtractionResult, PipelineConfig,
+                       ThreatBehaviorExtractor, extract_threat_behaviors)
+from .protection import (PROTECTION_WORD, ProtectedText, protect_iocs,
+                         restore_tree)
+from .relations import IOCRelation, extract_relations
+
+__all__ = [
+    "RELATION_VERB_KEYWORDS",
+    "annotate_tree",
+    "simplify_tree",
+    "BehaviorEdge",
+    "BehaviorNode",
+    "ThreatBehaviorGraph",
+    "build_behavior_graph",
+    "resolve_coreferences",
+    "AUDITABLE_IOC_TYPES",
+    "IOC",
+    "IOCRecognizer",
+    "IOCType",
+    "recognize_iocs",
+    "MergedIOC",
+    "scan_and_merge_iocs",
+    "ClauseOpenIE",
+    "OpenIETriple",
+    "PatternOpenIE",
+    "ExtractionResult",
+    "PipelineConfig",
+    "ThreatBehaviorExtractor",
+    "extract_threat_behaviors",
+    "PROTECTION_WORD",
+    "ProtectedText",
+    "protect_iocs",
+    "restore_tree",
+    "IOCRelation",
+    "extract_relations",
+]

@@ -1,0 +1,105 @@
+"""Tree annotation and simplification (Algorithm 1, Steps 5-6).
+
+Annotation marks the nodes of interest in each dependency tree: restored IOC
+nodes, candidate IOC-relation verbs (from the curated keyword list), and
+pronouns that coreference resolution may later link to IOCs.  Simplification
+then drops trees without any candidate relation verb and prunes subtrees
+containing neither IOC nodes nor verbs — it never changes the extraction
+outcome, only the amount of work later steps do.
+"""
+
+from __future__ import annotations
+
+from ..nlp.depparse import DependencyTree
+
+#: Curated list of candidate IOC relation verbs (lemmas), Section III-C
+#: Step 5.  The verbs cover the system-level behaviours TBQL can express plus
+#: their common OSCTI synonyms (mapping to operations happens at synthesis).
+RELATION_VERB_KEYWORDS = frozenset({
+    "read", "write", "open", "download", "upload", "execute", "run",
+    "launch", "start", "spawn", "fork", "create", "drop", "delete",
+    "remove", "rename", "move", "copy", "compress", "archive", "encrypt",
+    "decrypt", "encode", "decode", "send", "transfer", "exfiltrate", "leak",
+    "leaked", "receive", "connect", "communicate", "access", "scan",
+    "steal", "gather", "collect", "extract", "obtain", "fetch", "retrieve",
+    "install", "inject", "modify", "overwrite", "save", "store", "scrape",
+    "crack",
+})
+
+#: Pronouns considered by coreference resolution.
+COREF_PRONOUNS = frozenset({"it", "he", "she", "they", "this", "that",
+                            "which", "itself"})
+
+#: Generic nouns that, when used with a definite article ("the malware",
+#: "the tool"), may corefer with a previously mentioned process-like IOC.
+COREF_NOUNS = frozenset({"malware", "tool", "utility", "binary", "program",
+                         "payload", "script", "file", "executable",
+                         "cracker", "process"})
+
+
+def annotate_tree(tree: DependencyTree) -> DependencyTree:
+    """Annotate IOC nodes, candidate relation verbs, and pronouns in place."""
+    for node in tree.nodes:
+        if "ioc_value" in node.annotations:
+            node.annotations["is_ioc"] = True
+        if node.pos == "VERB" and node.lemma in RELATION_VERB_KEYWORDS:
+            node.annotations["relation_verb"] = node.lemma
+        if node.pos == "PRON" and node.text.lower() in COREF_PRONOUNS:
+            node.annotations["coref_pronoun"] = True
+        if node.pos in ("NOUN", "PROPN") and \
+                node.lemma in COREF_NOUNS and _has_definite_article(tree,
+                                                                    node.index):
+            node.annotations["coref_nominal"] = True
+    return tree
+
+
+def _has_definite_article(tree: DependencyTree, index: int) -> bool:
+    return any(child.deprel == "det" and child.text.lower() in ("the", "this",
+                                                                "that")
+               for child in tree.children(index))
+
+
+def has_candidate_verb(tree: DependencyTree) -> bool:
+    """Return whether the tree contains at least one candidate relation verb."""
+    return any("relation_verb" in node.annotations for node in tree.nodes)
+
+
+def has_ioc(tree: DependencyTree) -> bool:
+    """Return whether the tree contains at least one IOC node."""
+    return any("is_ioc" in node.annotations for node in tree.nodes)
+
+
+def simplify_tree(tree: DependencyTree) -> DependencyTree | None:
+    """Prune irrelevant structure; return ``None`` for irrelevant trees.
+
+    A tree is irrelevant when it contains no candidate relation verb (there
+    is nothing to extract from it).  Otherwise subtrees containing neither an
+    IOC node, a candidate verb, a pronoun of interest, nor any ancestor of
+    those are detached.  Node indices are preserved.
+    """
+    if not has_candidate_verb(tree) and not has_ioc(tree):
+        return None
+    keep: set[int] = set()
+    for node in tree.nodes:
+        interesting = ("is_ioc" in node.annotations or
+                       "relation_verb" in node.annotations or
+                       "coref_pronoun" in node.annotations or
+                       "coref_nominal" in node.annotations)
+        if not interesting:
+            continue
+        for ancestor in tree.path_to_root(node.index):
+            keep.add(ancestor.index)
+    # Keep prepositions linking kept nodes (they sit between verb and pobj
+    # and are already ancestors of the pobj, so nothing more to add).
+    removable = {node.index for node in tree.nodes
+                 if node.index not in keep and node.pos == "PUNCT"}
+    removable |= {node.index for node in tree.nodes
+                  if node.index not in keep and
+                  node.deprel in ("det", "amod", "advmod", "case", "nmod")}
+    if not removable:
+        return tree
+    return tree.remove_nodes(removable)
+
+
+__all__ = ["RELATION_VERB_KEYWORDS", "COREF_PRONOUNS", "COREF_NOUNS",
+           "annotate_tree", "simplify_tree", "has_candidate_verb", "has_ioc"]

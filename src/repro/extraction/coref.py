@@ -1,0 +1,112 @@
+"""Coreference resolution across sentences of one block (Algorithm 1, Step 7).
+
+OSCTI text frequently introduces a tool or file by its IOC and then refers to
+it with a pronoun ("It wrote the gathered information to ...") or a definite
+noun phrase ("the malware then connects to ...").  This step links such
+mentions back to the IOC node they denote, within the same block, by checking
+POS tags and dependency roles:
+
+* a pronoun in subject position resolves to the most recent *actor* IOC — an
+  IOC that was the grammatical subject or the instrument object of a
+  use-class verb in an earlier (or the same) sentence;
+* a definite noun phrase of a process-like noun ("the tool", "the malware")
+  resolves the same way;
+* pronouns in object position resolve to the most recent object-side IOC.
+"""
+
+from __future__ import annotations
+
+from ..nlp.depparse import DependencyTree, USE_CLASS_VERBS
+
+_SUBJECT_DEPRELS = {"nsubj", "nsubjpass"}
+_OBJECT_DEPRELS = {"dobj", "obj", "pobj"}
+
+
+def _is_actor_ioc(tree: DependencyTree, index: int) -> bool:
+    node = tree.nodes_by_index(index)
+    if "is_ioc" not in node.annotations:
+        return False
+    if node.deprel in _SUBJECT_DEPRELS:
+        return True
+    if node.deprel in _OBJECT_DEPRELS and node.head >= 0:
+        head = tree.nodes_by_index(node.head)
+        if head.pos == "VERB" and head.lemma in USE_CLASS_VERBS:
+            return True
+        # "... the launched process /usr/bin/gpg ..."
+        if head.deprel in _OBJECT_DEPRELS:
+            return True
+    if node.deprel == "compound" and node.head >= 0:
+        return _is_actor_ioc(tree, node.head)
+    return False
+
+
+def _ioc_nodes(tree: DependencyTree) -> list:
+    return [node for node in tree.nodes if "is_ioc" in node.annotations]
+
+
+def _group_contains_ioc(tree: DependencyTree, index: int) -> bool:
+    """Return whether the noun group around ``index`` names an IOC."""
+    node = tree.nodes_by_index(index)
+    related = list(tree.children(index))
+    if node.head >= 0:
+        related.append(tree.nodes_by_index(node.head))
+    return any("is_ioc" in other.annotations for other in related
+               if other.deprel in ("compound", "appos") or
+               node.deprel in ("compound", "appos"))
+
+
+def resolve_coreferences(trees: list[DependencyTree]) -> int:
+    """Resolve pronoun / nominal coreferences across ``trees`` in place.
+
+    Resolution adds a ``coref_ioc`` annotation carrying the normalized IOC
+    value (and ``coref_ioc_type``) to the referring node.  Returns the number
+    of references resolved.
+    """
+    resolved = 0
+    actor_history: list[tuple[str, object]] = []   # (value, type), most recent last
+    object_history: list[tuple[str, object]] = []
+    for tree in trees:
+        # First resolve references in this tree against *earlier* mentions.
+        for node in tree.nodes:
+            is_pronoun = "coref_pronoun" in node.annotations
+            is_nominal = "coref_nominal" in node.annotations
+            if not (is_pronoun or is_nominal):
+                continue
+            if "ioc_value" in node.annotations:
+                continue
+            # A nominal ("the tool", "the malware") only corefers when it is
+            # the grammatical subject and its own noun group does not already
+            # name an IOC ("the launched process /usr/bin/gpg" names one).
+            if is_nominal and not is_pronoun:
+                if node.deprel not in _SUBJECT_DEPRELS:
+                    continue
+                if _group_contains_ioc(tree, node.index):
+                    continue
+            if is_pronoun and node.deprel not in (
+                    _SUBJECT_DEPRELS | {"dobj"}):
+                continue
+            antecedents = None
+            if node.deprel in _SUBJECT_DEPRELS or is_nominal:
+                antecedents = actor_history or object_history
+            elif node.deprel in _OBJECT_DEPRELS:
+                antecedents = object_history or actor_history
+            else:
+                antecedents = actor_history
+            if not antecedents:
+                continue
+            value, ioc_type = antecedents[-1]
+            node.annotations["coref_ioc"] = value
+            node.annotations["coref_ioc_type"] = ioc_type
+            resolved += 1
+        # Then record this tree's IOC mentions for later sentences.
+        for node in _ioc_nodes(tree):
+            entry = (node.annotations["ioc_value"],
+                     node.annotations.get("ioc_type"))
+            if _is_actor_ioc(tree, node.index):
+                actor_history.append(entry)
+            else:
+                object_history.append(entry)
+    return resolved
+
+
+__all__ = ["resolve_coreferences"]

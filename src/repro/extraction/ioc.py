@@ -1,0 +1,155 @@
+"""IOC recognition via regex rules (Algorithm 1, Step 2).
+
+The recognizer extends the style of the open-source ``ioc-parser`` project
+with the improvements the paper mentions (distinguishing Linux and Windows
+file paths, file names with extensions, CIDR-suffixed IPs, Android package
+names).  Matches are non-overlapping and longest-match-wins so that
+``/tmp/upload.tar.bz2`` is recognized once rather than as nested fragments.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+
+class IOCType(enum.Enum):
+    """Types of indicators the recognizer distinguishes."""
+
+    FILEPATH = "Filepath"
+    WINDOWS_FILEPATH = "WindowsFilepath"
+    FILENAME = "Filename"
+    IP = "IP"
+    CIDR = "CIDR"
+    DOMAIN = "Domain"
+    URL = "URL"
+    EMAIL = "Email"
+    MD5 = "MD5"
+    SHA1 = "SHA1"
+    SHA256 = "SHA256"
+    REGISTRY = "Registry"
+    CVE = "CVE"
+    PACKAGE = "AndroidPackage"
+
+
+#: IOC types that correspond to system entities captured by system auditing;
+#: other types are filtered out during pre-synthesis screening (Section III-E).
+AUDITABLE_IOC_TYPES = frozenset({
+    IOCType.FILEPATH, IOCType.WINDOWS_FILEPATH, IOCType.FILENAME,
+    IOCType.IP, IOCType.CIDR, IOCType.PACKAGE,
+})
+
+
+@dataclass(frozen=True)
+class IOC:
+    """One IOC mention in a piece of text."""
+
+    value: str
+    ioc_type: IOCType
+    start: int
+    end: int
+
+    @property
+    def normalized(self) -> str:
+        """Canonical comparison form (CIDR suffix and quotes stripped)."""
+        value = self.value.strip("\"'`")
+        if self.ioc_type is IOCType.CIDR:
+            return value.split("/")[0]
+        return value
+
+
+# Ordered list: earlier rules win ties; longest match always wins overall.
+_RULES: list[tuple[IOCType, re.Pattern]] = [
+    (IOCType.URL, re.compile(
+        r"\bhttps?://[^\s\"'<>\)]+", re.IGNORECASE)),
+    (IOCType.EMAIL, re.compile(
+        r"\b[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}\b")),
+    (IOCType.CVE, re.compile(r"\bCVE-\d{4}-\d{4,7}\b", re.IGNORECASE)),
+    (IOCType.SHA256, re.compile(r"\b[a-fA-F0-9]{64}\b")),
+    (IOCType.SHA1, re.compile(r"\b[a-fA-F0-9]{40}\b")),
+    (IOCType.MD5, re.compile(r"\b[a-fA-F0-9]{32}\b")),
+    (IOCType.CIDR, re.compile(
+        r"\b(?:\d{1,3}\.){3}\d{1,3}/\d{1,2}\b")),
+    (IOCType.IP, re.compile(
+        r"\b(?:\d{1,3}\.){3}\d{1,3}\b")),
+    (IOCType.REGISTRY, re.compile(
+        r"\b(?:HKEY_LOCAL_MACHINE|HKEY_CURRENT_USER|HKLM|HKCU)"
+        r"(?:\\[A-Za-z0-9_ .{}-]+)+", re.IGNORECASE)),
+    (IOCType.WINDOWS_FILEPATH, re.compile(
+        r"\b[A-Za-z]:\\(?:[A-Za-z0-9_. ()-]+\\)*[A-Za-z0-9_.()-]+\b")),
+    (IOCType.FILEPATH, re.compile(
+        r"(?<![\w.])/(?:[A-Za-z0-9_.+-]+/)*[A-Za-z0-9_.+-]+")),
+    (IOCType.PACKAGE, re.compile(
+        r"\b(?:com|org|net|io)(?:\.[a-z][a-z0-9_]+){2,}\b")),
+    (IOCType.FILENAME, re.compile(
+        r"\b[A-Za-z0-9_-][A-Za-z0-9_.-]*\."
+        r"(?:exe|dll|so|sh|bat|ps1|py|js|jar|apk|doc|docx|xls|xlsx|xlsm|pdf|"
+        r"zip|tar|gz|bz2|rar|7z|png|jpg|img|bin|elf|tmp|dat|cfg|conf|log|"
+        r"php|html?|json|xml|ya?ml|db|sqlite|csv|txt|key|pem|crt|msi|vbs|"
+        r"hta|lnk|scr|pot)\b", re.IGNORECASE)),
+    (IOCType.DOMAIN, re.compile(
+        r"\b(?:[a-z0-9](?:[a-z0-9-]{0,61}[a-z0-9])?\.)+"
+        r"(?:com|net|org|io|ru|cn|info|biz|xyz|top|cc|onion)\b",
+        re.IGNORECASE)),
+]
+
+#: Common English words that the FILENAME / DOMAIN rules would otherwise
+#: match ("e.g.", version numbers, ...).
+_FALSE_POSITIVE_VALUES = {"e.g", "i.e", "etc."}
+
+
+class IOCRecognizer:
+    """Recognizes IOC mentions in text with longest-match-wins semantics."""
+
+    def __init__(self, extra_rules: list[tuple[IOCType, re.Pattern]] | None
+                 = None) -> None:
+        self._rules = list(_RULES)
+        if extra_rules:
+            self._rules = list(extra_rules) + self._rules
+
+    def recognize(self, text: str) -> list[IOC]:
+        """Return non-overlapping IOC mentions sorted by start offset."""
+        candidates: list[IOC] = []
+        for ioc_type, pattern in self._rules:
+            for match in pattern.finditer(text):
+                value = match.group().rstrip(".,;:)")
+                if not value or value.lower() in _FALSE_POSITIVE_VALUES:
+                    continue
+                if ioc_type is IOCType.IP and not _valid_ip(value):
+                    continue
+                candidates.append(IOC(value=value, ioc_type=ioc_type,
+                                      start=match.start(),
+                                      end=match.start() + len(value)))
+        return _resolve_overlaps(candidates)
+
+
+def _valid_ip(value: str) -> bool:
+    parts = value.split("/")[0].split(".")
+    return len(parts) == 4 and all(part.isdigit() and 0 <= int(part) <= 255
+                                   for part in parts)
+
+
+def _resolve_overlaps(candidates: list[IOC]) -> list[IOC]:
+    """Keep the longest match among overlapping candidates."""
+    ordered = sorted(candidates,
+                     key=lambda ioc: (-(ioc.end - ioc.start), ioc.start))
+    chosen: list[IOC] = []
+    occupied: list[tuple[int, int]] = []
+    for ioc in ordered:
+        if any(ioc.start < end and start < ioc.end
+               for start, end in occupied):
+            continue
+        chosen.append(ioc)
+        occupied.append((ioc.start, ioc.end))
+    chosen.sort(key=lambda ioc: ioc.start)
+    return chosen
+
+
+def recognize_iocs(text: str) -> list[IOC]:
+    """Module-level convenience wrapper around :class:`IOCRecognizer`."""
+    return IOCRecognizer().recognize(text)
+
+
+__all__ = ["IOCType", "IOC", "IOCRecognizer", "recognize_iocs",
+           "AUDITABLE_IOC_TYPES"]

@@ -1,0 +1,125 @@
+"""IOC scan and merge across blocks (Algorithm 1, Step 8).
+
+The same IOC may be written differently in different blocks of an article
+("upload.tar" vs "/tmp/upload.tar").  This step scans every IOC mention in
+the dependency trees of all blocks and merges mentions that denote the same
+artifact, using character-level overlap plus word-vector similarity.  The
+merge is deliberately conservative so that distinct-but-similar files
+(``upload.tar`` vs ``upload.tar.bz2``) are never collapsed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..nlp.depparse import DependencyTree
+from ..nlp.vectors import character_overlap, cosine_similarity
+from .ioc import IOCType
+
+#: Minimum cosine similarity (hashed trigram vectors) for a merge.
+VECTOR_SIMILARITY_THRESHOLD = 0.6
+
+
+@dataclass
+class MergedIOC:
+    """A canonical IOC produced by the merge step."""
+
+    canonical: str
+    ioc_type: IOCType
+    mentions: list[str] = field(default_factory=list)
+
+    def covers(self, value: str) -> bool:
+        return value in self.mentions or value == self.canonical
+
+
+def _same_artifact(left: str, right: str, ioc_type: IOCType) -> bool:
+    """Decide whether two mention strings denote the same artifact."""
+    a, b = left.lower(), right.lower()
+    if a == b:
+        return True
+    if ioc_type in (IOCType.IP, IOCType.CIDR):
+        return a.split("/")[0] == b.split("/")[0]
+    shorter, longer = (a, b) if len(a) <= len(b) else (b, a)
+    # A path and its suffix form ("/tmp/upload.tar" vs "upload.tar"): the
+    # longer must end with "/<shorter>"; a bare extension difference
+    # ("upload.tar" vs "upload.tar.bz2") fails this test by design.
+    suffix_match = longer.endswith("/" + shorter) or \
+        longer.endswith("\\" + shorter)
+    if not suffix_match:
+        return False
+    if character_overlap(shorter, longer) < 0.3:
+        return False
+    return cosine_similarity(shorter, longer) >= VECTOR_SIMILARITY_THRESHOLD
+
+
+def scan_and_merge_iocs(block_trees: list[list[DependencyTree]]
+                        ) -> list[MergedIOC]:
+    """Scan IOC mentions in every block's trees and merge equivalent ones.
+
+    Returns the merged IOC list in first-mention order; each tree's IOC nodes
+    gain a ``merged_ioc`` annotation holding the canonical value.
+    """
+    merged: list[MergedIOC] = []
+    for trees in block_trees:
+        for tree in trees:
+            for node in tree.nodes:
+                if "ioc_value" not in node.annotations:
+                    continue
+                value = node.annotations["ioc_value"]
+                ioc_type = node.annotations.get("ioc_type")
+                target = _find_merge_target(merged, value, ioc_type)
+                if target is None:
+                    target = MergedIOC(canonical=value, ioc_type=ioc_type,
+                                       mentions=[value])
+                    merged.append(target)
+                else:
+                    if value not in target.mentions:
+                        target.mentions.append(value)
+                    # Prefer the most specific (longest) mention as canonical.
+                    if len(value) > len(target.canonical):
+                        target.canonical = value
+                node.annotations["merged_ioc"] = target.canonical
+    # Second pass: canonical values may have changed after later mentions.
+    for trees in block_trees:
+        for tree in trees:
+            for node in tree.nodes:
+                if "ioc_value" not in node.annotations:
+                    continue
+                value = node.annotations["ioc_value"]
+                for candidate in merged:
+                    if candidate.covers(value):
+                        node.annotations["merged_ioc"] = candidate.canonical
+                        break
+    return merged
+
+
+#: Groups of IOC types whose mentions may denote the same artifact: a bare
+#: file name ("upload.tar") and a full path ("/tmp/upload.tar") are merge
+#: candidates even though the recognizer types them differently.
+_COMPATIBLE_TYPE_GROUPS = (
+    frozenset({IOCType.FILEPATH, IOCType.WINDOWS_FILEPATH,
+               IOCType.FILENAME}),
+    frozenset({IOCType.IP, IOCType.CIDR}),
+)
+
+
+def _types_compatible(left: IOCType, right: IOCType) -> bool:
+    if left is right:
+        return True
+    return any(left in group and right in group
+               for group in _COMPATIBLE_TYPE_GROUPS)
+
+
+def _find_merge_target(merged: list[MergedIOC], value: str,
+                       ioc_type: IOCType) -> MergedIOC | None:
+    for candidate in merged:
+        if not _types_compatible(candidate.ioc_type, ioc_type):
+            continue
+        if any(_same_artifact(value, mention, ioc_type)
+               for mention in candidate.mentions):
+            return candidate
+    return None
+
+
+__all__ = ["MergedIOC", "scan_and_merge_iocs",
+           "VECTOR_SIMILARITY_THRESHOLD"]

@@ -1,0 +1,172 @@
+"""General-purpose Open IE baselines (Table V comparison).
+
+Two baselines mirror the evaluation's comparison systems:
+
+* :class:`ClauseOpenIE` — in the spirit of Stanford Open IE: split sentences
+  into clauses, find a verb per clause, and emit (argument, verb, argument)
+  triples from the noun phrases to the verb's left and right.
+* :class:`PatternOpenIE` — in the spirit of Open IE 5: template/pattern-based
+  extraction over token sequences with a larger set of argument patterns (and
+  correspondingly more spurious output).
+
+Both operate on *generic* tokenization (punctuation splits tokens), which is
+precisely why they shred IOC strings and score near zero on OSCTI text; the
+optional ``ioc_protection`` flag reproduces the "+ IOC Protection" rows of
+Table V by running protection before extraction and restoring the IOC strings
+in the produced arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nlp.lemmatizer import lemmatize
+from ..nlp.pos import POSTagger
+from ..nlp.sentences import split_sentences
+from ..nlp.tokenizer import tokenize
+from .protection import PROTECTION_WORD, protect_iocs
+
+_NOUN_TAGS = {"NOUN", "PROPN", "PRON", "NUM"}
+
+
+@dataclass(frozen=True)
+class OpenIETriple:
+    """A generic (subject phrase, relation phrase, object phrase) triple."""
+
+    subject: str
+    relation: str
+    obj: str
+
+
+class _BaselineOpenIE:
+    """Shared machinery for both baselines."""
+
+    def __init__(self, ioc_protection: bool = False) -> None:
+        self.ioc_protection = ioc_protection
+        self._tagger = POSTagger()
+
+    def extract(self, document: str) -> list[OpenIETriple]:
+        """Extract triples from a document."""
+        records = []
+        if self.ioc_protection:
+            protected = protect_iocs(document)
+            text = protected.text
+            records = [record.ioc.value for record in protected.records]
+        else:
+            text = document
+        triples: list[OpenIETriple] = []
+        consumed = 0
+        for sentence in split_sentences(text):
+            sentence_triples, consumed = self._extract_sentence(
+                sentence.text, records, consumed)
+            triples.extend(sentence_triples)
+        return triples
+
+    # Subclasses implement per-sentence extraction.
+    def _extract_sentence(self, sentence: str, records: list[str],
+                          consumed: int
+                          ) -> tuple[list[OpenIETriple], int]:
+        raise NotImplementedError
+
+    def _restore(self, tokens: list[str], records: list[str],
+                 consumed: int) -> tuple[list[str], int]:
+        restored = []
+        for token in tokens:
+            if token.lower() == PROTECTION_WORD and consumed < len(records):
+                restored.append(records[consumed])
+                consumed += 1
+            else:
+                restored.append(token)
+        return restored, consumed
+
+    def entities(self, document: str) -> list[str]:
+        """Entity mentions = argument phrases of the extracted triples."""
+        values: list[str] = []
+        for triple in self.extract(document):
+            for phrase in (triple.subject, triple.obj):
+                for word in phrase.split():
+                    if word not in values:
+                        values.append(word)
+        return values
+
+
+class ClauseOpenIE(_BaselineOpenIE):
+    """Clause-splitting baseline (Stanford Open IE style)."""
+
+    def _extract_sentence(self, sentence: str, records: list[str],
+                          consumed: int
+                          ) -> tuple[list[OpenIETriple], int]:
+        tokens = tokenize(sentence)
+        tags = self._tagger.tag(tokens)
+        words = [token.text for token in tokens]
+        words, consumed = self._restore(words, records, consumed)
+        triples: list[OpenIETriple] = []
+        # One triple per verb: nearest noun run to the left and right.
+        for index, tag in enumerate(tags):
+            if tag != "VERB":
+                continue
+            left = self._noun_run(words, tags, range(index - 1, -1, -1))
+            right = self._noun_run(words, tags, range(index + 1, len(tags)))
+            if left and right:
+                # Open IE emits surface relation phrases, not canonical
+                # operation lemmas — one reason its triples rarely line up
+                # with labeled IOC relations.
+                triples.append(OpenIETriple(subject=" ".join(left),
+                                            relation=words[index],
+                                            obj=" ".join(right)))
+        return triples, consumed
+
+    @staticmethod
+    def _noun_run(words: list[str], tags: list[str], indices) -> list[str]:
+        run: list[str] = []
+        for index in indices:
+            if tags[index] in _NOUN_TAGS:
+                run.append(words[index])
+                if len(run) == 3:
+                    break
+            elif run:
+                break
+        if indices and isinstance(indices, range) and indices.step == -1:
+            run.reverse()
+        return run
+
+
+class PatternOpenIE(_BaselineOpenIE):
+    """Pattern-matching baseline (Open IE 5 style).
+
+    Emits more candidate triples than the clause baseline (verb + preposition
+    relations, noun-noun appositions), trading precision for recall — the
+    behaviour the paper observes for Open IE 5.
+    """
+
+    def _extract_sentence(self, sentence: str, records: list[str],
+                          consumed: int
+                          ) -> tuple[list[OpenIETriple], int]:
+        tokens = tokenize(sentence)
+        tags = self._tagger.tag(tokens)
+        words = [token.text for token in tokens]
+        words, consumed = self._restore(words, records, consumed)
+        triples: list[OpenIETriple] = []
+        nouns = [index for index, tag in enumerate(tags)
+                 if tag in _NOUN_TAGS]
+        verbs = [index for index, tag in enumerate(tags) if tag == "VERB"]
+        for verb_index in verbs:
+            before = [i for i in nouns if i < verb_index]
+            after = [i for i in nouns if i > verb_index]
+            for subject_index in before[-2:]:
+                for object_index in after[:3]:
+                    relation = words[verb_index]
+                    # verb + preposition relation phrase ("read from").
+                    between = [words[i] for i in range(verb_index + 1,
+                                                       object_index)
+                               if tags[i] == "ADP"]
+                    if between:
+                        relation = f"{relation} {between[-1]}"
+                    triples.append(OpenIETriple(
+                        subject=words[subject_index],
+                        relation=relation,
+                        obj=words[object_index]))
+        return triples, consumed
+
+
+__all__ = ["OpenIETriple", "ClauseOpenIE", "PatternOpenIE"]

@@ -1,0 +1,200 @@
+"""Threat behavior extraction pipeline (Algorithm 1, end to end).
+
+Given an OSCTI report's text, the pipeline
+
+1. segments the article into blocks,
+2. recognizes and protects IOCs per block,
+3. segments each block into sentences,
+4. parses each sentence into a dependency tree and restores IOCs,
+5. annotates nodes of interest (IOCs, candidate verbs, pronouns),
+6. simplifies trees,
+7. resolves coreferences within the block,
+8. scans and merges IOCs across blocks,
+9. extracts IOC relations per tree with dependency-path rules, and
+10. constructs the threat behavior graph.
+
+Per-stage wall-clock timings are recorded because the paper reports them
+(Table VII).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..nlp.depparse import DependencyTree, RuleDependencyParser
+from ..nlp.sentences import split_blocks, split_sentences
+from .annotate import annotate_tree, simplify_tree
+from .behavior_graph import ThreatBehaviorGraph, build_behavior_graph
+from .coref import resolve_coreferences
+from .ioc import IOCRecognizer
+from .merge import MergedIOC, scan_and_merge_iocs
+from .protection import protect_iocs, restore_tree
+from .relations import IOCRelation, extract_relations
+
+
+@dataclass
+class ExtractionResult:
+    """Everything the pipeline produced for one OSCTI report."""
+
+    graph: ThreatBehaviorGraph
+    iocs: list[MergedIOC]
+    relations: list[IOCRelation]
+    trees: list[DependencyTree] = field(default_factory=list)
+    #: Seconds spent extracting entities & relations from text.
+    extraction_seconds: float = 0.0
+    #: Seconds spent constructing the threat behavior graph.
+    graph_seconds: float = 0.0
+
+    @property
+    def ioc_values(self) -> list[str]:
+        return [ioc.canonical for ioc in self.iocs]
+
+    @property
+    def relation_triples(self) -> list[tuple[str, str, str]]:
+        return [(rel.subject, rel.verb, rel.obj) for rel in self.relations]
+
+
+@dataclass
+class PipelineConfig:
+    """Switches used by the evaluation (ablations of Table V)."""
+
+    #: Disable IOC protection (the "ThreatRaptor - IOC Protection" ablation).
+    ioc_protection: bool = True
+    #: Run tree simplification (performance only; never changes the output).
+    simplify: bool = True
+    #: Run coreference resolution.
+    coreference: bool = True
+
+
+class ThreatBehaviorExtractor:
+    """Unsupervised, light-weight threat behavior extraction pipeline."""
+
+    def __init__(self, config: PipelineConfig | None = None) -> None:
+        self.config = config or PipelineConfig()
+        self._recognizer = IOCRecognizer()
+        self._parser = RuleDependencyParser()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def extract(self, document: str) -> ExtractionResult:
+        """Run the full pipeline on an OSCTI report's text."""
+        start = time.perf_counter()
+        block_trees: list[list[DependencyTree]] = []
+        block_offsets: list[int] = []
+        offset = 0
+        for block in split_blocks(document):
+            trees = self._process_block(block, offset)
+            block_trees.append(trees)
+            block_offsets.append(offset)
+            offset += len(block) + 2
+        all_iocs = scan_and_merge_iocs(block_trees)
+        all_relations: list[IOCRelation] = []
+        for trees in block_trees:
+            for tree in trees:
+                all_relations.extend(
+                    extract_relations(tree,
+                                      text_offset=tree.nodes[0].index
+                                      if tree.nodes else 0))
+        extraction_seconds = time.perf_counter() - start
+
+        graph_start = time.perf_counter()
+        # Order relations by their appearance in the document: block order,
+        # then sentence order, then verb position.
+        ordered = self._order_relations(block_trees, all_relations)
+        graph = build_behavior_graph(all_iocs, ordered)
+        graph_seconds = time.perf_counter() - graph_start
+
+        flat_trees = [tree for trees in block_trees for tree in trees]
+        return ExtractionResult(graph=graph, iocs=all_iocs,
+                                relations=ordered, trees=flat_trees,
+                                extraction_seconds=extraction_seconds,
+                                graph_seconds=graph_seconds)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _process_block(self, block: str, block_offset: int
+                       ) -> list[DependencyTree]:
+        if self.config.ioc_protection:
+            protected = protect_iocs(block, self._recognizer)
+            text_for_nlp = protected.text
+        else:
+            # Ablation: without protection, general-purpose sentence
+            # segmentation and tokenization treat the dots inside IOCs
+            # (IPs, file extensions, package names) as sentence/token
+            # boundaries and break those IOC strings apart; path-only IOCs
+            # without dots tend to survive.  Splitting dotted tokens here
+            # reproduces that partial breakage.
+            import re as _re
+            protected = None
+            text_for_nlp = _re.sub(
+                r"\S*\.\S+",
+                lambda match: " . ".join(match.group().split(".")),
+                block)
+        trees: list[DependencyTree] = []
+        consumed = 0
+        for sentence in split_sentences(text_for_nlp):
+            tree = self._parser.parse(sentence.text)
+            if protected is not None:
+                consumed = restore_tree(tree, protected, consumed)
+            else:
+                self._recognize_unprotected(tree)
+            tree = annotate_tree(tree)
+            if self.config.simplify:
+                simplified = simplify_tree(tree)
+                if simplified is None:
+                    continue
+                tree = simplified
+            trees.append(tree)
+        if self.config.coreference:
+            resolve_coreferences(trees)
+        return trees
+
+    def _recognize_unprotected(self, tree: DependencyTree) -> None:
+        """Best-effort IOC tagging when protection is disabled.
+
+        Without protection the tokenizer and segmenter have already shredded
+        most IOC strings, so only mentions that survived as single tokens are
+        recognized — this is exactly why the ablation's recall collapses.
+        """
+        for node in tree.nodes:
+            matches = self._recognizer.recognize(node.text)
+            if len(matches) == 1 and \
+                    matches[0].value == node.text.strip(".,;:"):
+                ioc = matches[0]
+                node.annotations["ioc_value"] = ioc.normalized
+                node.annotations["ioc_raw"] = ioc.value
+                node.annotations["ioc_type"] = ioc.ioc_type
+
+    @staticmethod
+    def _order_relations(block_trees: list[list[DependencyTree]],
+                         relations: list[IOCRelation]) -> list[IOCRelation]:
+        """Assign document-global ordering offsets to relations."""
+        sentence_rank: dict[str, int] = {}
+        rank = 0
+        for trees in block_trees:
+            for tree in trees:
+                sentence_rank.setdefault(tree.text, rank)
+                rank += 1
+        def key(relation: IOCRelation) -> tuple[int, int]:
+            return (sentence_rank.get(relation.sentence, rank),
+                    relation.verb_offset)
+        ordered = sorted(relations, key=key)
+        return [IOCRelation(subject=rel.subject,
+                            subject_type=rel.subject_type, verb=rel.verb,
+                            obj=rel.obj, object_type=rel.object_type,
+                            verb_offset=index, sentence=rel.sentence)
+                for index, rel in enumerate(ordered)]
+
+
+def extract_threat_behaviors(document: str,
+                             config: PipelineConfig | None = None
+                             ) -> ExtractionResult:
+    """Module-level convenience wrapper around the extraction pipeline."""
+    return ThreatBehaviorExtractor(config).extract(document)
+
+
+__all__ = ["ExtractionResult", "PipelineConfig", "ThreatBehaviorExtractor",
+           "extract_threat_behaviors"]

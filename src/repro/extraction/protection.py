@@ -1,0 +1,90 @@
+"""IOC protection and restoration (Algorithm 1, Steps 2 and 4).
+
+Before general NLP components see the text, every IOC mention is replaced by
+the dummy word ``something`` and a replacement record is kept.  After
+dependency parsing, the dummy tokens are mapped back to their original IOC
+mentions so the security context is restored in the trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ExtractionError
+from ..nlp.depparse import DependencyTree
+from .ioc import IOC, IOCRecognizer
+
+#: The dummy word used in place of an IOC (the paper uses "something").
+PROTECTION_WORD = "something"
+
+
+@dataclass(frozen=True)
+class ReplacementRecord:
+    """Maps the n-th protection word back to the original IOC mention."""
+
+    order: int
+    ioc: IOC
+
+
+@dataclass
+class ProtectedText:
+    """The protected text plus the replacement records for one block."""
+
+    text: str
+    records: list[ReplacementRecord]
+
+    def record_for(self, occurrence: int) -> ReplacementRecord | None:
+        """Return the record for the n-th protection word (0-based)."""
+        if 0 <= occurrence < len(self.records):
+            return self.records[occurrence]
+        return None
+
+
+def protect_iocs(text: str, recognizer: IOCRecognizer | None = None
+                 ) -> ProtectedText:
+    """Replace each IOC mention in ``text`` with the protection word."""
+    recognizer = recognizer or IOCRecognizer()
+    iocs = recognizer.recognize(text)
+    pieces: list[str] = []
+    records: list[ReplacementRecord] = []
+    cursor = 0
+    for order, ioc in enumerate(iocs):
+        pieces.append(text[cursor:ioc.start])
+        pieces.append(PROTECTION_WORD)
+        records.append(ReplacementRecord(order=order, ioc=ioc))
+        cursor = ioc.end
+    pieces.append(text[cursor:])
+    return ProtectedText(text="".join(pieces), records=records)
+
+
+def restore_tree(tree: DependencyTree, protected: ProtectedText,
+                 consumed: int) -> int:
+    """Restore IOC mentions into a parsed dependency tree.
+
+    ``consumed`` is the number of protection words already restored in
+    earlier sentences of the same block; the return value is the updated
+    count.  Restored nodes keep the protection word as ``text`` alignment but
+    gain ``ioc_value`` / ``ioc_type`` annotations and have their ``lemma`` and
+    ``text`` replaced by the original IOC string.
+    """
+    count = consumed
+    for node in tree.nodes:
+        if node.text.lower() != PROTECTION_WORD:
+            continue
+        record = protected.record_for(count)
+        count += 1
+        if record is None:
+            raise ExtractionError(
+                "more protection words in parsed trees than replacement "
+                "records; text was modified between protection and parsing")
+        node.text = record.ioc.value
+        node.lemma = record.ioc.normalized
+        node.annotations["ioc_value"] = record.ioc.normalized
+        node.annotations["ioc_raw"] = record.ioc.value
+        node.annotations["ioc_type"] = record.ioc.ioc_type
+        node.annotations["ioc_offset"] = record.ioc.start
+    return count
+
+
+__all__ = ["PROTECTION_WORD", "ReplacementRecord", "ProtectedText",
+           "protect_iocs", "restore_tree"]

@@ -1,0 +1,248 @@
+"""Dependency-path based IOC relation extraction (Algorithm 1, Step 9).
+
+For each dependency tree the extractor enumerates ordered pairs of IOC nodes
+(including pronoun/nominal nodes resolved to IOCs by coreference) and checks
+whether the pair stands in a subject-object relation, by examining the three
+parts of their dependency path: root-to-LCA, LCA-to-subject, LCA-to-object.
+For pairs that pass, the relation verb is the annotated candidate verb on the
+path closest to the object node, lemmatized.
+
+Subject-side rules (the IOC must be the *actor* / instrument):
+
+* S1 — the node (or its noun-group head) is ``nsubj``;
+* S2 — the node is the direct object of a *use-class* verb
+  ("the attacker used /bin/tar to read ...");
+* S3 — the node is the agent of a passive verb ("... was downloaded by
+  firefox");
+* S4 — the node is an appositive naming of a process-like noun
+  ("the launched process /usr/bin/gpg reading from ...").
+
+Object-side rules:
+
+* O1 — direct/indirect object of a verb;
+* O2 — object of a preposition attached to a verb (excluding agentive "by");
+* O3 — passive subject ("... /tmp/payload was downloaded by ...").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nlp.depparse import (DepNode, DependencyTree, LINKING_VERBS,
+                            USE_CLASS_VERBS)
+from ..nlp.lemmatizer import lemmatize
+from .annotate import COREF_NOUNS
+from .ioc import IOCType
+
+_SUBJECT_DEPRELS = {"nsubj", "nsubjpass"}
+_OBJECT_DEPRELS = {"dobj", "obj"}
+_PREP_OBJECT_DEPRELS = {"pobj"}
+
+
+@dataclass(frozen=True)
+class IOCRelation:
+    """One extracted (subject IOC, relation verb, object IOC) triplet."""
+
+    subject: str
+    subject_type: IOCType | None
+    verb: str
+    obj: str
+    object_type: IOCType | None
+    #: Character offset of the relation verb in the source text block; used
+    #: to order threat steps when building the behavior graph.
+    verb_offset: int
+    sentence: str = ""
+
+
+def _ioc_value(node: DepNode) -> str | None:
+    if "merged_ioc" in node.annotations:
+        return node.annotations["merged_ioc"]
+    if "ioc_value" in node.annotations:
+        return node.annotations["ioc_value"]
+    if "coref_ioc" in node.annotations:
+        return node.annotations["coref_ioc"]
+    return None
+
+
+def _ioc_type(node: DepNode) -> IOCType | None:
+    if "ioc_type" in node.annotations:
+        return node.annotations["ioc_type"]
+    if "coref_ioc_type" in node.annotations:
+        return node.annotations["coref_ioc_type"]
+    return None
+
+
+def _ioc_nodes(tree: DependencyTree) -> list[DepNode]:
+    return [node for node in tree.nodes if _ioc_value(node) is not None]
+
+
+def _group_head(tree: DependencyTree, node: DepNode) -> DepNode:
+    """Follow compound/appos links upward to the head of the noun group."""
+    current = node
+    seen = set()
+    while current.head >= 0 and current.deprel in ("compound", "appos") and \
+            current.index not in seen:
+        seen.add(current.index)
+        current = tree.nodes_by_index(current.head)
+    return current
+
+
+def _governing_verb(tree: DependencyTree, node: DepNode) -> DepNode | None:
+    """Return the nearest ancestor verb of ``node``."""
+    for ancestor in tree.path_to_root(node.index)[1:]:
+        if ancestor.pos == "VERB":
+            return ancestor
+    return None
+
+
+def _is_subject_side(tree: DependencyTree, node: DepNode) -> bool:
+    head_node = _group_head(tree, node)
+    if head_node.deprel in _SUBJECT_DEPRELS and head_node.deprel == "nsubj":
+        return True
+    parent = (tree.nodes_by_index(head_node.head)
+              if head_node.head >= 0 else None)
+    # S2: instrument object of a use-class verb.
+    if head_node.deprel in (_OBJECT_DEPRELS | _PREP_OBJECT_DEPRELS) and \
+            parent is not None:
+        verb = parent if parent.pos == "VERB" else (
+            tree.nodes_by_index(parent.head) if parent.head >= 0 else None)
+        if verb is not None and verb.pos == "VERB" and \
+                verb.lemma in USE_CLASS_VERBS:
+            return True
+    # S3: agent of a passive verb ("by firefox").
+    if head_node.deprel in _PREP_OBJECT_DEPRELS and parent is not None and \
+            parent.lemma == "by":
+        return True
+    # S4: the IOC is an appositive naming of a process-like noun in a
+    # prepositional phrase ("... corresponds to the launched process X
+    # reading from Y").  Restricted to pobj heads so that ordinary direct
+    # objects ("downloaded the stage one malware X") are not misread as
+    # actors of their own sentence.
+    if head_node.deprel in _PREP_OBJECT_DEPRELS and any(
+            child.deprel in ("compound", "amod") and
+            child.lemma in COREF_NOUNS
+            for child in tree.children(head_node.index)):
+        return True
+    # A compound child of a subject ("the /bin/tar process read ...").
+    if node.deprel in ("compound", "appos") and \
+            head_node.deprel in _SUBJECT_DEPRELS:
+        return True
+    return False
+
+
+def _is_object_side(tree: DependencyTree, node: DepNode) -> bool:
+    head_node = _group_head(tree, node)
+    if head_node.deprel in _OBJECT_DEPRELS:
+        # Exclude instrument objects of pure linking verbs ("used X to ...");
+        # objects of execution verbs ("executed X") are genuine event objects.
+        parent = (tree.nodes_by_index(head_node.head)
+                  if head_node.head >= 0 else None)
+        if parent is not None and parent.pos == "VERB" and \
+                parent.lemma in LINKING_VERBS:
+            return False
+        return True
+    if head_node.deprel == "nsubjpass":
+        return True
+    if head_node.deprel in _PREP_OBJECT_DEPRELS and head_node.head >= 0:
+        prep = tree.nodes_by_index(head_node.head)
+        if prep.lemma == "by":
+            return False
+        attach = (tree.nodes_by_index(prep.head)
+                  if prep.head >= 0 else None)
+        return attach is not None and attach.pos == "VERB"
+    return False
+
+
+def _verbs_between(tree: DependencyTree, subject: DepNode, object_: DepNode
+                   ) -> list[DepNode]:
+    """Candidate relation verbs on the dependency path between the nodes."""
+    path = tree.path_between(subject.index, object_.index)
+    verbs = [node for node in path if "relation_verb" in node.annotations]
+    # Also consider the object's governing verb even if the path skips it
+    # (prepositions attach the object below the verb, keeping it on the
+    # path, but appositive constructions may not).
+    governing = _governing_verb(tree, object_)
+    if governing is not None and "relation_verb" in governing.annotations \
+            and governing not in verbs:
+        verbs.append(governing)
+    return verbs
+
+
+def _verb_ancestry_ok(tree: DependencyTree, subject: DepNode,
+                      object_: DepNode) -> bool:
+    """The subject's verb must dominate (or equal) the object's verb."""
+    subject_verb = _governing_verb(tree, _group_head(tree, subject))
+    object_verb = _governing_verb(tree, _group_head(tree, object_))
+    if subject_verb is None or object_verb is None:
+        return False
+    if subject_verb.index == object_verb.index:
+        return True
+    ancestors = {node.index for node in tree.path_to_root(object_verb.index)}
+    if subject_verb.index in ancestors:
+        return True
+    # Coordinated verbs sharing the subject ("X read ... and wrote ..."):
+    # the object's verb chain reaches the subject's verb via conj links.
+    current = object_verb
+    while current.head >= 0:
+        parent = tree.nodes_by_index(current.head)
+        if current.deprel not in ("conj", "xcomp", "advcl"):
+            break
+        if parent.index == subject_verb.index:
+            return True
+        current = parent
+    return False
+
+
+def extract_relations(tree: DependencyTree, text_offset: int = 0
+                      ) -> list[IOCRelation]:
+    """Extract IOC relations from one annotated, coref-resolved tree."""
+    relations: list[IOCRelation] = []
+    ioc_nodes = _ioc_nodes(tree)
+    for subject_node in ioc_nodes:
+        if not _is_subject_side(tree, subject_node):
+            continue
+        for object_node in ioc_nodes:
+            if object_node.index == subject_node.index:
+                continue
+            subject_value = _ioc_value(subject_node)
+            object_value = _ioc_value(object_node)
+            if subject_value == object_value:
+                continue
+            if not _is_object_side(tree, object_node):
+                continue
+            if not _verb_ancestry_ok(tree, subject_node, object_node):
+                continue
+            verbs = _verbs_between(tree, subject_node, object_node)
+            if not verbs:
+                continue
+            # Select the candidate verb closest (by token index) to the
+            # object IOC node, then lemmatize it.
+            closest = min(verbs,
+                          key=lambda verb: abs(verb.index -
+                                               object_node.index))
+            relations.append(IOCRelation(
+                subject=subject_value,
+                subject_type=_ioc_type(subject_node),
+                verb=lemmatize(closest.annotations.get("relation_verb",
+                                                       closest.lemma)),
+                obj=object_value,
+                object_type=_ioc_type(object_node),
+                verb_offset=text_offset + closest.index,
+                sentence=tree.text,
+            ))
+    return _deduplicate(relations)
+
+
+def _deduplicate(relations: list[IOCRelation]) -> list[IOCRelation]:
+    seen: set[tuple[str, str, str]] = set()
+    unique: list[IOCRelation] = []
+    for relation in relations:
+        key = (relation.subject, relation.verb, relation.obj)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(relation)
+    return unique
+
+
+__all__ = ["IOCRelation", "extract_relations"]

@@ -1,0 +1,5 @@
+"""End-to-end threat hunting facade."""
+
+from .threatraptor import HuntReport, ThreatRaptor
+
+__all__ = ["HuntReport", "ThreatRaptor"]

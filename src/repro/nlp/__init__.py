@@ -1,0 +1,35 @@
+"""Lightweight NLP substrate (spaCy stand-in).
+
+Tokenization, sentence segmentation, POS tagging, lemmatization, hashed word
+vectors, and a rule-based dependency parser — the minimum linguistic toolkit
+the threat behavior extraction pipeline needs.
+"""
+
+from .depparse import (DepNode, DependencyTree, RuleDependencyParser,
+                       USE_CLASS_VERBS)
+from .lemmatizer import lemmatize
+from .pos import POSTagger
+from .sentences import Sentence, split_blocks, split_sentences
+from .tokenizer import Token, detokenize, tokenize, tokenize_whitespace
+from .vectors import (DEFAULT_DIMENSIONS, character_overlap,
+                      cosine_similarity, embed)
+
+__all__ = [
+    "DepNode",
+    "DependencyTree",
+    "RuleDependencyParser",
+    "USE_CLASS_VERBS",
+    "lemmatize",
+    "POSTagger",
+    "Sentence",
+    "split_blocks",
+    "split_sentences",
+    "Token",
+    "detokenize",
+    "tokenize",
+    "tokenize_whitespace",
+    "DEFAULT_DIMENSIONS",
+    "character_overlap",
+    "cosine_similarity",
+    "embed",
+]

@@ -1,0 +1,415 @@
+"""Rule-based dependency parser.
+
+The parser produces shallow dependency trees good enough for the
+dependency-path rules of the threat behavior extraction pipeline
+(Section III-C, Step 9).  It is a deterministic, pattern-driven parser
+designed around the narrative style of OSCTI text *after IOC protection*:
+IOC strings have been replaced by a plain noun, so sentences look like
+ordinary English ("the attacker used something to read user credentials
+from something").
+
+Produced arcs (a subset of Universal Dependencies labels):
+
+``nsubj``, ``nsubjpass``, ``dobj``, ``prep``, ``pobj``, ``xcomp``, ``conj``,
+``cc``, ``aux``, ``det``, ``amod``, ``compound``, ``appos``, ``advmod``,
+``case``, ``mark``, ``punct``, ``dep`` and ``root``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .lemmatizer import lemmatize
+from .pos import POSTagger
+from .tokenizer import Token, tokenize_whitespace
+
+_NOUN_TAGS = {"NOUN", "PROPN", "PRON", "NUM"}
+#: Pure linking verbs: their direct object is only the *instrument* the actor
+#: used ("used /bin/tar to read ..."), never the object of a system event.
+LINKING_VERBS = {"use", "leverage", "utilize", "employ"}
+#: Verbs after which a direct object is the instrument for downstream steps
+#: ("ran the cracker against the shadow file") but is *also* itself the
+#: object of an execution-style system event ("bash executed /tmp/john").
+USE_CLASS_VERBS = LINKING_VERBS | {"launch", "run", "execute", "invoke",
+                                   "spawn"}
+
+
+@dataclass
+class DepNode:
+    """One node of a dependency tree."""
+
+    index: int
+    text: str
+    lemma: str
+    pos: str
+    head: int = -1            # -1 means root
+    deprel: str = "dep"
+    #: Annotations added by the extraction pipeline (Step 5 of Algorithm 1):
+    #: e.g. ``ioc`` (IOC value + type), ``relation_verb``, ``coref`` target.
+    annotations: dict = field(default_factory=dict)
+
+    @property
+    def is_verb(self) -> bool:
+        return self.pos in ("VERB", "AUX")
+
+
+class DependencyTree:
+    """A dependency tree over one sentence.
+
+    Node ``index`` values are token positions in the original sentence and
+    are preserved across simplification, so lookups go through an index map
+    rather than list position.
+    """
+
+    def __init__(self, nodes: list[DepNode], text: str = "") -> None:
+        self.nodes = nodes
+        self.text = text
+        self._by_index = {node.index: node for node in nodes}
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[DepNode]:
+        return iter(self.nodes)
+
+    def node(self, index: int) -> DepNode:
+        return self._by_index[index]
+
+    def root(self) -> Optional[DepNode]:
+        for node in self.nodes:
+            if node.head == -1 and node.deprel == "root":
+                return node
+        return self.nodes[0] if self.nodes else None
+
+    def children(self, index: int) -> list[DepNode]:
+        return [node for node in self.nodes if node.head == index]
+
+    def path_to_root(self, index: int) -> list[DepNode]:
+        """Return the node list from ``index`` up to (and including) the root."""
+        path = []
+        current = index
+        seen = set()
+        while current != -1 and current not in seen and \
+                current in self._by_index:
+            seen.add(current)
+            node = self._by_index[current]
+            path.append(node)
+            current = node.head
+        return path
+
+    def lowest_common_ancestor(self, left: int, right: int
+                               ) -> Optional[DepNode]:
+        """Return the LCA node of two nodes (or ``None`` in a broken tree)."""
+        left_path = {node.index for node in self.path_to_root(left)}
+        for node in self.path_to_root(right):
+            if node.index in left_path:
+                return node
+        return None
+
+    def path_between(self, left: int, right: int) -> list[DepNode]:
+        """Return nodes on the tree path from ``left`` to ``right``."""
+        lca = self.lowest_common_ancestor(left, right)
+        if lca is None:
+            return []
+        path: list[DepNode] = []
+        for node in self.path_to_root(left):
+            path.append(node)
+            if node.index == lca.index:
+                break
+        right_side: list[DepNode] = []
+        for node in self.path_to_root(right):
+            if node.index == lca.index:
+                break
+            right_side.append(node)
+        path.extend(reversed(right_side))
+        return path
+
+    def verbs(self) -> list[DepNode]:
+        return [node for node in self.nodes if node.pos == "VERB"]
+
+    def remove_nodes(self, indices: set[int]) -> "DependencyTree":
+        """Return a copy of the tree with the given nodes detached.
+
+        Children of removed nodes are re-attached to the removed node's head
+        so the tree stays connected.  Node indices are preserved (they refer
+        to token positions), which keeps annotation alignment valid.
+        """
+        keep = [node for node in self.nodes if node.index not in indices]
+        removed_heads = {node.index: node.head for node in self.nodes
+                         if node.index in indices}
+        new_nodes = []
+        for node in keep:
+            head = node.head
+            while head in removed_heads:
+                head = removed_heads[head]
+            clone = DepNode(node.index, node.text, node.lemma, node.pos,
+                            head, node.deprel, dict(node.annotations))
+            new_nodes.append(clone)
+        return DependencyTree(new_nodes, self.text)
+
+    def to_triples(self) -> list[tuple[str, str, str]]:
+        """Return (head text, deprel, dependent text) triples for debugging."""
+        triples = []
+        for node in self.nodes:
+            head_text = "ROOT" if node.head == -1 else self.nodes_by_index(
+                node.head).text
+            triples.append((head_text, node.deprel, node.text))
+        return triples
+
+    def nodes_by_index(self, index: int) -> DepNode:
+        try:
+            return self._by_index[index]
+        except KeyError as exc:
+            raise IndexError(index) from exc
+
+
+class RuleDependencyParser:
+    """Deterministic dependency parser for protected OSCTI sentences."""
+
+    def __init__(self) -> None:
+        self._tagger = POSTagger()
+
+    def parse(self, sentence: str) -> DependencyTree:
+        """Tokenize, tag, and parse one sentence into a dependency tree."""
+        tokens = tokenize_whitespace(sentence)
+        tags = self._tagger.tag(tokens)
+        nodes = [DepNode(index=token.index, text=token.text,
+                         lemma=lemmatize(token.text), pos=tag)
+                 for token, tag in zip(tokens, tags)]
+        tree = DependencyTree(nodes, sentence)
+        if not nodes:
+            return tree
+        self._attach(tree)
+        return tree
+
+    # ------------------------------------------------------------------
+    # attachment rules
+    # ------------------------------------------------------------------
+    def _attach(self, tree: DependencyTree) -> None:
+        nodes = tree.nodes
+        verb_indices = [node.index for node in nodes if node.pos == "VERB"]
+        if not verb_indices:
+            self._attach_verbless(tree)
+            return
+        root_index = verb_indices[0]
+        nodes[root_index].head = -1
+        nodes[root_index].deprel = "root"
+        self._attach_verb_chain(tree, verb_indices)
+        for verb_index in verb_indices:
+            self._attach_subject(tree, verb_index, verb_indices)
+            self._attach_right_dependents(tree, verb_index, verb_indices)
+        self._attach_remaining(tree, root_index)
+
+    def _attach_verbless(self, tree: DependencyTree) -> None:
+        nodes = tree.nodes
+        noun_indices = [node.index for node in nodes
+                        if node.pos in _NOUN_TAGS]
+        root_index = noun_indices[-1] if noun_indices else 0
+        nodes[root_index].head = -1
+        nodes[root_index].deprel = "root"
+        self._attach_noun_group(tree, list(range(len(nodes))), root_index)
+        self._attach_remaining(tree, root_index)
+
+    def _attach_verb_chain(self, tree: DependencyTree,
+                           verb_indices: list[int]) -> None:
+        """Link non-root verbs to earlier verbs (xcomp / conj / advcl)."""
+        nodes = tree.nodes
+        for position, verb_index in enumerate(verb_indices[1:], start=1):
+            previous_verb = verb_indices[position - 1]
+            node = nodes[verb_index]
+            before = nodes[verb_index - 1] if verb_index > 0 else None
+            if before is not None and before.pos == "PART" and \
+                    before.lemma == "to":
+                node.head = previous_verb
+                node.deprel = "xcomp"
+                before.head = verb_index
+                before.deprel = "mark"
+            elif before is not None and before.pos == "CCONJ":
+                node.head = previous_verb
+                node.deprel = "conj"
+                before.head = verb_index
+                before.deprel = "cc"
+            elif before is not None and before.pos == "AUX":
+                node.head = previous_verb
+                node.deprel = "conj"
+            else:
+                node.head = previous_verb
+                node.deprel = "conj"
+
+    def _attach_subject(self, tree: DependencyTree, verb_index: int,
+                        verb_indices: list[int]) -> None:
+        nodes = tree.nodes
+        verb = nodes[verb_index]
+        if verb.deprel == "xcomp":
+            return  # subject inherited from the matrix verb
+        previous_boundary = max(
+            (index for index in verb_indices if index < verb_index),
+            default=-1)
+        passive = any(nodes[i].pos == "AUX" and nodes[i].lemma == "be"
+                      for i in range(max(previous_boundary, 0), verb_index))
+        candidate = None
+        index = verb_index - 1
+        while index > previous_boundary:
+            node = nodes[index]
+            if node.pos in _NOUN_TAGS and node.head == -1 and \
+                    node.deprel == "dep":
+                # Skip nouns that are the object of a preposition directly
+                # before them ("after the reconnaissance, the attacker ...").
+                candidate = node
+                break
+            index -= 1
+        if candidate is not None:
+            candidate.head = verb_index
+            candidate.deprel = "nsubjpass" if passive else "nsubj"
+            # Attach the subject's own modifiers (determiner, adjectives,
+            # compound nouns directly to its left).
+            group_start = candidate.index
+            while group_start - 1 > previous_boundary and \
+                    nodes[group_start - 1].pos in (
+                        "DET", "ADJ", "NOUN", "PROPN", "NUM"):
+                group_start -= 1
+            self._attach_noun_group(
+                tree, list(range(group_start, candidate.index + 1)),
+                candidate.index)
+        for index in range(max(previous_boundary, 0), verb_index):
+            node = nodes[index]
+            if node.pos == "AUX" and node.head == -1 and node.deprel == "dep":
+                node.head = verb_index
+                node.deprel = "aux"
+
+    def _attach_right_dependents(self, tree: DependencyTree, verb_index: int,
+                                 verb_indices: list[int]) -> None:
+        nodes = tree.nodes
+        next_verb = min((index for index in verb_indices
+                         if index > verb_index), default=len(nodes))
+        current_prep: int | None = None
+        has_dobj = False
+        index = verb_index + 1
+        while index < next_verb:
+            node = nodes[index]
+            if node.deprel != "dep" or node.head != -1:
+                index += 1
+                continue
+            if node.pos == "PART" and node.lemma == "to":
+                index += 1
+                continue
+            if node.pos in ("ADP", "SCONJ"):
+                node.head = verb_index
+                node.deprel = "prep"
+                current_prep = node.index
+                index += 1
+                continue
+            if node.pos == "CCONJ":
+                node.head = verb_index
+                node.deprel = "cc"
+                index += 1
+                continue
+            if node.pos == "ADV":
+                node.head = verb_index
+                node.deprel = "advmod"
+                index += 1
+                continue
+            if node.pos in _NOUN_TAGS:
+                group_end = self._noun_group_end(nodes, index, next_verb)
+                head_index = group_end - 1
+                head_node = nodes[head_index]
+                if current_prep is not None:
+                    head_node.head = current_prep
+                    head_node.deprel = "pobj"
+                    current_prep = None
+                elif not has_dobj:
+                    head_node.head = verb_index
+                    head_node.deprel = "dobj"
+                    has_dobj = True
+                else:
+                    head_node.head = verb_index
+                    head_node.deprel = "obj"
+                self._attach_noun_group(tree, list(range(index, group_end)),
+                                        head_index)
+                index = group_end
+                continue
+            if node.pos in ("DET", "ADJ"):
+                index += 1
+                continue
+            node.head = verb_index
+            node.deprel = "punct" if node.pos == "PUNCT" else "dep"
+            index += 1
+        # Determiners / adjectives between the verb and the nouns they modify.
+        for index in range(verb_index + 1, next_verb):
+            node = nodes[index]
+            if node.head == -1 and node.deprel == "dep" and \
+                    node.pos in ("DET", "ADJ"):
+                self._attach_to_following_noun(tree, index, next_verb,
+                                               verb_index)
+
+    @staticmethod
+    def _noun_group_end(nodes: list[DepNode], start: int, limit: int) -> int:
+        """Return the exclusive end index of a run of noun-like tokens."""
+        end = start
+        while end < limit and nodes[end].pos in _NOUN_TAGS:
+            end += 1
+        return end
+
+    def _attach_noun_group(self, tree: DependencyTree, indices: list[int],
+                           head_index: int) -> None:
+        nodes = tree.nodes
+        for index in indices:
+            node = nodes[index]
+            if index == head_index or node.head != -1 or \
+                    node.deprel != "dep":
+                continue
+            if node.pos in ("DET",):
+                node.head = head_index
+                node.deprel = "det"
+            elif node.pos == "ADJ":
+                node.head = head_index
+                node.deprel = "amod"
+            elif node.pos in _NOUN_TAGS:
+                node.head = head_index
+                # The last noun heads the group; earlier PROPN/NOUN tokens of
+                # the group are compounds; a trailing path-like PROPN after a
+                # generic noun would instead be an apposition, but since the
+                # head is the final token that case does not arise here.
+                node.deprel = "compound"
+            elif node.pos in ("ADP", "SCONJ"):
+                node.head = head_index
+                node.deprel = "case"
+
+    def _attach_to_following_noun(self, tree: DependencyTree, index: int,
+                                  limit: int, fallback_head: int) -> None:
+        nodes = tree.nodes
+        node = nodes[index]
+        for next_index in range(index + 1, limit):
+            candidate = nodes[next_index]
+            if candidate.pos in _NOUN_TAGS:
+                node.head = next_index
+                node.deprel = "det" if node.pos == "DET" else "amod"
+                return
+        node.head = fallback_head
+        node.deprel = "dep"
+
+    def _attach_remaining(self, tree: DependencyTree, root_index: int) -> None:
+        nodes = tree.nodes
+        for node in nodes:
+            if node.index == root_index or node.head != -1:
+                continue
+            if node.pos == "PUNCT":
+                node.deprel = "punct"
+            elif node.pos in ("DET", "ADJ"):
+                self._attach_to_following_noun(tree, node.index, len(nodes),
+                                               root_index)
+                continue
+            elif node.pos in ("ADP", "SCONJ"):
+                node.deprel = "case"
+            elif node.pos == "ADV":
+                node.deprel = "advmod"
+            elif node.pos in _NOUN_TAGS:
+                node.deprel = "nmod"
+            else:
+                node.deprel = "dep"
+            node.head = root_index
+
+
+__all__ = ["DepNode", "DependencyTree", "RuleDependencyParser",
+           "USE_CLASS_VERBS", "LINKING_VERBS"]

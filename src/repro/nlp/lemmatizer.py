@@ -1,0 +1,82 @@
+"""Rule-based English lemmatizer.
+
+Handles the irregular verbs that actually appear in threat reports plus
+regular inflection stripping.  The relation-extraction step lemmatizes the
+selected relation verb (Section III-C Step 9), so coverage here directly
+affects IOC-relation normalization ("wrote" -> "write").
+"""
+
+from __future__ import annotations
+
+_IRREGULAR = {
+    "wrote": "write", "written": "write", "writes": "write",
+    "read": "read", "reads": "read",
+    "ran": "run", "runs": "run", "running": "run",
+    "sent": "send", "sends": "send",
+    "stole": "steal", "stolen": "steal",
+    "took": "take", "taken": "take", "takes": "take",
+    "got": "get", "gotten": "get", "gets": "get",
+    "made": "make", "makes": "make",
+    "left": "leave", "leaves": "leave",
+    "began": "begin", "begun": "begin",
+    "went": "go", "goes": "go", "gone": "go",
+    "came": "come", "comes": "come",
+    "did": "do", "does": "do", "done": "do",
+    "was": "be", "were": "be", "been": "be", "is": "be", "are": "be",
+    "has": "have", "had": "have",
+    "sought": "seek", "seeks": "seek",
+    "led": "lead", "leads": "lead",
+    "built": "build", "builds": "build",
+    "found": "find", "finds": "find",
+    "kept": "keep", "keeps": "keep",
+    "chose": "choose", "chosen": "choose",
+}
+
+_DOUBLE_CONSONANT_ENDINGS = ("bb", "dd", "gg", "ll", "mm", "nn", "pp", "rr",
+                             "tt")
+
+_KEEP_FINAL_E = {
+    "us": "use", "leverag": "leverage", "creat": "create",
+    "execut": "execute", "compromis": "compromise", "archiv": "archive",
+    "renam": "rename", "mov": "move", "sav": "save", "stor": "store",
+    "encod": "encode", "decod": "decode", "retriev": "retrieve",
+    "receiv": "receive", "remov": "remove", "delet": "delete",
+    "communicat": "communicate", "exfiltrat": "exfiltrate",
+    "utiliz": "utilize", "scrap": "scrape", "brows": "browse",
+    "involv": "involve", "includ": "include", "establish": "establish",
+    "infiltrat": "infiltrate", "penetrat": "penetrate",
+}
+
+
+def lemmatize(word: str) -> str:
+    """Return the lemma of ``word`` (lower-cased)."""
+    lower = word.lower()
+    if lower in _IRREGULAR:
+        return _IRREGULAR[lower]
+    if lower.endswith("ies") and len(lower) > 4:
+        return lower[:-3] + "y"
+    if lower.endswith("ied") and len(lower) > 4:
+        return lower[:-3] + "y"
+    if lower.endswith("ing") and len(lower) > 5:
+        stem = lower[:-3]
+        return _repair_stem(stem)
+    if lower.endswith("ed") and len(lower) > 3:
+        stem = lower[:-2]
+        return _repair_stem(stem)
+    if lower.endswith("es") and len(lower) > 4 and \
+            lower[-3] in ("s", "x", "z", "h"):
+        return lower[:-2]
+    if lower.endswith("s") and not lower.endswith("ss") and len(lower) > 3:
+        return lower[:-1]
+    return lower
+
+
+def _repair_stem(stem: str) -> str:
+    if stem in _KEEP_FINAL_E:
+        return _KEEP_FINAL_E[stem]
+    if stem.endswith(_DOUBLE_CONSONANT_ENDINGS) and len(stem) > 3:
+        return stem[:-1]
+    return stem
+
+
+__all__ = ["lemmatize"]

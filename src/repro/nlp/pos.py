@@ -1,0 +1,180 @@
+"""Rule-and-lexicon part-of-speech tagger.
+
+A compact Universal-POS-style tagger: a closed-class lexicon covers function
+words, an open-class lexicon covers verbs and nouns frequent in threat
+reports, suffix heuristics cover the rest, and a couple of contextual repair
+rules fix the most common lexical ambiguities (e.g. verb/noun after a
+determiner, past-participle noun modifiers).
+"""
+
+from __future__ import annotations
+
+from .tokenizer import Token
+
+# Closed classes ------------------------------------------------------------
+_DETERMINERS = {"the", "a", "an", "this", "that", "these", "those", "its",
+                "his", "her", "their", "our", "your", "each", "every", "any",
+                "some", "no", "both", "all", "another"}
+_PRONOUNS = {"it", "he", "she", "they", "we", "you", "i", "them", "him",
+             "who", "which", "itself", "himself", "themselves", "what"}
+_PREPOSITIONS = {"of", "in", "on", "at", "by", "for", "with", "from", "to",
+                 "into", "onto", "over", "under", "through", "against",
+                 "via", "within", "across", "after", "before", "during",
+                 "between", "about", "as", "back", "towards", "toward",
+                 "without"}
+_CONJUNCTIONS = {"and", "or", "but", "nor", "so", "yet"}
+_SUBORDINATORS = {"because", "although", "while", "when", "where", "if",
+                  "since", "once", "that", "until", "unless"}
+_AUXILIARIES = {"is", "are", "was", "were", "be", "been", "being", "am",
+                "has", "have", "had", "do", "does", "did", "will", "would",
+                "can", "could", "may", "might", "shall", "should", "must"}
+_PARTICLES = {"not", "n't", "'s"}
+_ADVERBS = {"then", "also", "finally", "next", "later", "again",
+            "already", "often", "remotely", "locally", "successfully",
+            "subsequently", "eventually", "afterwards", "thereby", "however",
+            "directly", "further", "furthermore", "meanwhile"}
+
+# Open-class lexicon --------------------------------------------------------
+#: Verbs common in threat reports (base forms); inflections are handled by
+#: suffix analysis plus this set via naive stemming.
+_VERB_LEXICON = {
+    "read", "write", "wrote", "written", "execute", "executed", "run", "ran",
+    "launch", "launched", "start", "started", "stop", "stopped", "create",
+    "created", "delete", "deleted", "remove", "removed", "download",
+    "downloaded", "upload", "uploaded", "transfer", "transferred", "send",
+    "sent", "receive", "received", "connect", "connected", "communicate",
+    "communicated", "exfiltrate", "exfiltrated", "leak", "leaked", "steal",
+    "stole", "stolen", "copy", "copied", "compress", "compressed", "encrypt",
+    "encrypted", "decrypt", "decrypted", "scan", "scanned", "open", "opened",
+    "close", "closed", "install", "installed", "drop", "dropped", "inject",
+    "injected", "spawn", "spawned", "fork", "forked", "exploit", "exploited",
+    "use", "used", "leverage", "leveraged", "utilize", "utilized", "employ",
+    "employed", "access", "accessed", "modify", "modified", "gather",
+    "gathered", "collect", "collected", "extract", "extracted", "obtain",
+    "obtained", "attempt", "attempted", "attempts", "penetrate", "penetrated",
+    "infect", "infected", "compromise", "compromised", "crack", "cracked",
+    "archived", "rename", "renamed", "move", "moved", "save",
+    "saved", "stored", "encode", "encoded", "decode", "decoded",
+    "fetch", "fetched", "retrieve", "retrieved", "browse", "browsed",
+    "visit", "visited", "click", "clicked", "contain", "contained",
+    "involve", "involved", "include", "included", "perform", "performed",
+    "correspond", "corresponds", "corresponding", "establish", "established",
+    "maintain", "maintained", "seek", "seeks", "wrote", "reads", "writes",
+    "connects", "downloads", "uploads", "transfers", "sends", "receives",
+    "executes", "runs", "launches", "creates", "scrapes", "scraped",
+}
+
+_NOUN_LEXICON = {
+    # The IOC-protection dummy word must be noun-like for parsing to work.
+    "something", "anything", "everything", "nothing",
+    "attacker", "attack", "victim", "host", "server", "file", "files",
+    "process", "processes", "malware", "payload", "backdoor", "vulnerability",
+    "credential", "credentials", "password", "passwords", "data",
+    "information", "utility", "tool", "script", "stage", "image", "metadata",
+    "address", "connection", "service", "services", "cloud", "repository",
+    "step", "behavior", "behaviors", "activity", "activities", "system",
+    "email", "e-mail", "link", "attachment", "extension", "browser",
+    "macro", "document", "shell", "kernel", "network", "user", "users",
+    "directory", "folder", "archive", "text", "content", "contents",
+    "assets", "reconnaissance", "penetration", "exfiltration", "cracker",
+    "shadow", "c2", "command", "control", "ip", "exif", "details",
+}
+
+_ADJECTIVES = {"malicious", "sensitive", "valuable", "remote", "local",
+               "important", "compressed", "encrypted", "zipped", "gathered",
+               "notorious", "public", "private", "clear", "direct",
+               "initial", "final", "first", "second", "third", "following",
+               "known", "zero-day", "lateral", "executable", "infected"}
+
+
+def _suffix_guess(word: str) -> str:
+    lower = word.lower()
+    if lower.endswith(("tion", "sion", "ment", "ness", "ity", "ance", "ence",
+                       "ware", "or", "er")):
+        return "NOUN"
+    if lower.endswith(("ize", "ise", "ate", "ify")):
+        return "VERB"
+    if lower.endswith(("ed", "ing")):
+        return "VERB"
+    if lower.endswith(("ous", "ive", "able", "ible", "ful", "less", "al",
+                       "ic")):
+        return "ADJ"
+    if lower.endswith("ly"):
+        return "ADV"
+    return "NOUN"
+
+
+def _lexical_tag(token: Token) -> str:
+    lower = token.lower
+    if token.is_punct:
+        return "PUNCT"
+    if lower.replace(".", "").isdigit():
+        return "NUM"
+    if lower in _DETERMINERS:
+        return "DET"
+    if lower in _PRONOUNS:
+        return "PRON"
+    if lower in _AUXILIARIES:
+        return "AUX"
+    if lower in _CONJUNCTIONS:
+        return "CCONJ"
+    if lower in _SUBORDINATORS:
+        return "SCONJ"
+    if lower in _PREPOSITIONS:
+        return "ADP"
+    if lower in _PARTICLES:
+        return "PART"
+    if lower in _ADVERBS:
+        return "ADV"
+    if lower in _ADJECTIVES:
+        return "ADJ"
+    if lower in _VERB_LEXICON:
+        return "VERB"
+    if lower in _NOUN_LEXICON:
+        return "NOUN"
+    # Strip a plural/3sg "s" and re-check the verb lexicon ("reads", "runs").
+    if lower.endswith("s") and lower[:-1] in _VERB_LEXICON:
+        return "VERB"
+    if lower.endswith("s") and lower[:-1] in _NOUN_LEXICON:
+        return "NOUN"
+    if "/" in token.text or "\\" in token.text or "." in token.text:
+        # Unsplit path-like or dotted tokens (whitespace tokenizer output).
+        return "PROPN"
+    if token.text[0].isupper() and token.index != 0:
+        return "PROPN"
+    return _suffix_guess(token.text)
+
+
+class POSTagger:
+    """Tags token sequences with Universal-POS-style labels."""
+
+    def tag(self, tokens: list[Token]) -> list[str]:
+        """Return one tag per token."""
+        tags = [_lexical_tag(token) for token in tokens]
+        self._contextual_repairs(tokens, tags)
+        return tags
+
+    @staticmethod
+    def _contextual_repairs(tokens: list[Token], tags: list[str]) -> None:
+        for index, token in enumerate(tokens):
+            previous_tag = tags[index - 1] if index > 0 else None
+            next_tag = tags[index + 1] if index + 1 < len(tags) else None
+            # A verb-tagged word directly after a determiner is a noun
+            # ("the read operation") unless followed by another noun it
+            # modifies.
+            if tags[index] == "VERB" and previous_tag == "DET" and \
+                    next_tag not in ("NOUN", "PROPN"):
+                tags[index] = "NOUN"
+            # A verb directly between a determiner/adjective and a noun acts
+            # as a participial modifier ("the gathered information",
+            # "the stolen data", "the launched process").
+            if tags[index] == "VERB" and \
+                    next_tag in ("NOUN", "PROPN") and previous_tag in (
+                        "DET", "ADJ"):
+                tags[index] = "ADJ"
+            # "to" before a verb is an infinitive marker, not a preposition.
+            if token.lower == "to" and next_tag in ("VERB", "AUX"):
+                tags[index] = "PART"
+
+
+__all__ = ["POSTagger"]

@@ -1,0 +1,93 @@
+"""Sentence segmentation.
+
+The segmenter splits on sentence-final punctuation followed by whitespace and
+an upper-case letter (or end of text).  Common abbreviations and decimal
+numbers are protected.  Note that *unprotected* OSCTI text defeats this
+segmenter — ``/tmp/upload.tar.bz2`` looks like two sentence boundaries — which
+is exactly the failure the paper's IOC-protection step prevents; the pipeline
+therefore always runs protection before segmentation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_ABBREVIATIONS = {
+    "e.g", "i.e", "etc", "mr", "mrs", "dr", "vs", "fig", "no", "st", "inc",
+    "corp", "ltd",
+}
+
+_BOUNDARY_RE = re.compile(r"([.!?])(\s+)")
+
+
+@dataclass(frozen=True)
+class Sentence:
+    """A sentence with its character span in the source text."""
+
+    text: str
+    start: int
+    end: int
+
+
+def _is_abbreviation(text: str, period_index: int) -> bool:
+    before = text[:period_index]
+    match = re.search(r"([A-Za-z.]+)$", before)
+    if not match:
+        return False
+    word = match.group(1).lower().rstrip(".")
+    return word in _ABBREVIATIONS or len(word) == 1
+
+
+def _is_decimal(text: str, period_index: int) -> bool:
+    before = period_index > 0 and text[period_index - 1].isdigit()
+    after_index = period_index + 1
+    after = after_index < len(text) and text[after_index].isdigit()
+    return bool(before and after)
+
+
+def split_sentences(text: str) -> list[Sentence]:
+    """Split ``text`` into sentences, preserving character offsets."""
+    sentences: list[Sentence] = []
+    start = 0
+    for match in _BOUNDARY_RE.finditer(text):
+        period_index = match.start(1)
+        if _is_abbreviation(text, period_index) or \
+                _is_decimal(text, period_index):
+            continue
+        next_index = match.end()
+        if next_index < len(text) and not (
+                text[next_index].isalpha() or text[next_index].isdigit() or
+                text[next_index] in "\"'(/"):
+            continue
+        raw = text[start:match.end(1)]
+        stripped = raw.strip()
+        if stripped:
+            offset = start + raw.index(stripped[0])
+            sentences.append(Sentence(stripped, offset,
+                                      offset + len(stripped)))
+        start = match.end()
+    tail = text[start:].strip()
+    if tail:
+        offset = start + text[start:].index(tail[0])
+        sentences.append(Sentence(tail, offset, offset + len(tail)))
+    return sentences
+
+
+def split_blocks(text: str) -> list[str]:
+    """Split an OSCTI article into blocks (paragraphs).
+
+    Blocks are separated by blank lines; leading/trailing whitespace is
+    stripped and single newlines within a block are joined, mirroring how the
+    paper's Step 1 segments an article before per-block extraction.
+    """
+    blocks: list[str] = []
+    for raw_block in re.split(r"\n\s*\n", text):
+        joined = " ".join(line.strip() for line in raw_block.splitlines())
+        joined = re.sub(r"\s+", " ", joined).strip()
+        if joined:
+            blocks.append(joined)
+    return blocks
+
+
+__all__ = ["Sentence", "split_sentences", "split_blocks"]

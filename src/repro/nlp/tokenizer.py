@@ -1,0 +1,101 @@
+"""Tokenization for the lightweight NLP substrate.
+
+Two tokenizers are provided:
+
+* :func:`tokenize` — the *general-purpose* tokenizer, equivalent to what a
+  general NLP library does: punctuation (dots, slashes, underscores, colons)
+  splits tokens.  This is intentionally the tokenizer that shreds IOC strings
+  such as ``/etc/passwd`` or ``192.168.29.128`` into pieces — the failure mode
+  the paper's IOC-protection step exists to avoid.
+* :func:`tokenize_whitespace` — a whitespace tokenizer used where token
+  identity must be preserved verbatim (e.g. after IOC protection restored the
+  original strings into the dependency tree).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_WORD_RE = re.compile(
+    r"[A-Za-z]+(?:'[A-Za-z]+)?"   # words, possibly with an apostrophe
+    r"|\d+(?:\.\d+)?"              # numbers
+    r"|[^\sA-Za-z0-9]"             # any single punctuation character
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its character offset in the source text."""
+
+    text: str
+    index: int
+    start: int
+
+    @property
+    def end(self) -> int:
+        return self.start + len(self.text)
+
+    @property
+    def lower(self) -> str:
+        return self.text.lower()
+
+    @property
+    def is_punct(self) -> bool:
+        return all(not ch.isalnum() for ch in self.text)
+
+    @property
+    def is_word(self) -> bool:
+        return not self.is_punct
+
+
+def tokenize(text: str) -> list[Token]:
+    """General-purpose tokenization: punctuation becomes separate tokens."""
+    tokens: list[Token] = []
+    for match in _WORD_RE.finditer(text):
+        tokens.append(Token(text=match.group(), index=len(tokens),
+                            start=match.start()))
+    return tokens
+
+
+def tokenize_whitespace(text: str) -> list[Token]:
+    """Whitespace tokenization that keeps embedded punctuation intact.
+
+    Trailing sentence punctuation (``.``, ``,``, ``;``, ``:``) is still split
+    off so sentence-final words do not carry a period, but interior dots,
+    slashes, and underscores (file paths, IPs, domains) stay in one token.
+    """
+    tokens: list[Token] = []
+    for match in re.finditer(r"\S+", text):
+        chunk = match.group()
+        start = match.start()
+        # Split off leading punctuation such as quotes and parentheses.
+        while chunk and chunk[0] in "\"'([{“”‘’":
+            tokens.append(Token(chunk[0], len(tokens), start))
+            chunk = chunk[1:]
+            start += 1
+        # Split off trailing punctuation, preserving interior characters.
+        trailing: list[str] = []
+        while chunk and chunk[-1] in ".,;:!?\"')]}“”‘’":
+            trailing.append(chunk[-1])
+            chunk = chunk[:-1]
+        if chunk:
+            tokens.append(Token(chunk, len(tokens), start))
+        for offset, char in enumerate(reversed(trailing)):
+            tokens.append(Token(char, len(tokens),
+                                start + len(chunk) + offset))
+    return tokens
+
+
+def detokenize(tokens: list[Token]) -> str:
+    """Reassemble tokens into a readable string (spaces between words)."""
+    pieces: list[str] = []
+    for token in tokens:
+        if pieces and token.is_punct and token.text in ".,;:!?)":
+            pieces[-1] += token.text
+        else:
+            pieces.append(token.text)
+    return " ".join(pieces)
+
+
+__all__ = ["Token", "tokenize", "tokenize_whitespace", "detokenize"]

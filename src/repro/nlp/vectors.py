@@ -1,0 +1,74 @@
+"""Hashed character n-gram word vectors.
+
+Stand-in for spaCy's pretrained vectors: every string is embedded as a bag of
+hashed character trigrams (plus the whole token), L2-normalized.  Similar
+surface forms ("upload.tar" vs "/tmp/upload.tar") therefore have a high cosine
+similarity, which is what the IOC scan-and-merge step (Algorithm 1 Step 8)
+needs from the vector model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+DEFAULT_DIMENSIONS = 64
+
+
+def _hash_feature(feature: str, dimensions: int) -> int:
+    digest = hashlib.md5(feature.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "little") % dimensions
+
+
+def embed(text: str, dimensions: int = DEFAULT_DIMENSIONS) -> np.ndarray:
+    """Embed a string as an L2-normalized hashed trigram vector."""
+    vector = np.zeros(dimensions, dtype=np.float64)
+    normalized = text.lower().strip()
+    if not normalized:
+        return vector
+    padded = f"^{normalized}$"
+    for index in range(len(padded) - 2):
+        trigram = padded[index:index + 3]
+        vector[_hash_feature(trigram, dimensions)] += 1.0
+    for word in normalized.split():
+        vector[_hash_feature(f"w:{word}", dimensions)] += 2.0
+    norm = np.linalg.norm(vector)
+    if norm > 0:
+        vector /= norm
+    return vector
+
+
+def cosine_similarity(left: str, right: str,
+                      dimensions: int = DEFAULT_DIMENSIONS) -> float:
+    """Cosine similarity of the hashed embeddings of two strings."""
+    left_vec = embed(left, dimensions)
+    right_vec = embed(right, dimensions)
+    return float(np.dot(left_vec, right_vec))
+
+
+def character_overlap(left: str, right: str) -> float:
+    """Normalized longest-common-substring-style overlap in [0, 1].
+
+    Used together with :func:`cosine_similarity` by the IOC merge step:
+    the score is the length of the longer string's best containment match
+    divided by the longer string's length.
+    """
+    a, b = left.lower(), right.lower()
+    if not a or not b:
+        return 0.0
+    shorter, longer = (a, b) if len(a) <= len(b) else (b, a)
+    if shorter in longer:
+        return len(shorter) / len(longer)
+    best = 0
+    for start in range(len(shorter)):
+        for end in range(start + best + 1, len(shorter) + 1):
+            if shorter[start:end] in longer:
+                best = end - start
+            else:
+                break
+    return best / len(longer)
+
+
+__all__ = ["DEFAULT_DIMENSIONS", "embed", "cosine_similarity",
+           "character_overlap"]

@@ -1,0 +1,14 @@
+"""Storage substrate: relational (SQL) and graph (Cypher) backends."""
+
+from .dualstore import DualStore
+from .graph import GraphStore, PropertyGraph, graph_from_events, parse_cypher
+from .relational import RelationalStore
+
+__all__ = [
+    "DualStore",
+    "GraphStore",
+    "PropertyGraph",
+    "graph_from_events",
+    "parse_cypher",
+    "RelationalStore",
+]

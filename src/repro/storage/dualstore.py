@@ -1,0 +1,89 @@
+"""Dual storage facade: replicated relational + graph backends.
+
+Section III-B: data is replicated across PostgreSQL and Neo4j so that event
+patterns can run as SQL and variable-length path patterns can run as Cypher.
+The :class:`DualStore` mirrors that arrangement — one load call populates both
+backends (optionally applying data reduction first) and exposes both query
+interfaces.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from ..audit.entities import SystemEvent
+from ..audit.reduction import DEFAULT_MERGE_THRESHOLD, ReductionStats, \
+    reduce_events
+from .graph import GraphStore
+from .relational import RelationalStore
+
+
+class DualStore:
+    """Replicated storage across the relational and graph backends."""
+
+    def __init__(self, relational_path: str | Path | None = None,
+                 reduce: bool = True,
+                 merge_threshold: float = DEFAULT_MERGE_THRESHOLD) -> None:
+        """Create the dual store.
+
+        Args:
+            relational_path: optional on-disk path for the relational store.
+            reduce: apply the Section III-B data reduction before storing.
+            merge_threshold: merge-gap threshold in seconds.
+        """
+        self.relational = RelationalStore(relational_path)
+        self.graph = GraphStore()
+        self.reduce = reduce
+        self.merge_threshold = merge_threshold
+        self.last_reduction: ReductionStats | None = None
+        self._events: list[SystemEvent] = []
+
+    def load_events(self, events: Iterable[SystemEvent]) -> int:
+        """Load events into both backends; returns stored event count."""
+        event_list = list(events)
+        if self.reduce:
+            event_list, stats = reduce_events(event_list,
+                                              self.merge_threshold)
+            self.last_reduction = stats
+        self._events = event_list
+        self.relational.load_events(event_list)
+        self.graph.load_events(event_list)
+        return len(event_list)
+
+    def events(self) -> list[SystemEvent]:
+        """Return the (reduced) events currently stored."""
+        return list(self._events)
+
+    def execute_sql(self, sql: str, params=()) -> list[dict]:
+        """Run SQL against the relational backend."""
+        return self.relational.execute(sql, params)
+
+    def execute_cypher(self, cypher: str) -> list[dict]:
+        """Run mini-Cypher against the graph backend."""
+        return self.graph.execute(cypher)
+
+    def statistics(self) -> dict:
+        """Return entity/event counts per backend plus reduction stats."""
+        stats = {
+            "relational_entities": self.relational.count_entities(),
+            "relational_events": self.relational.count_events(),
+            "graph_nodes": self.graph.num_nodes(),
+            "graph_edges": self.graph.num_edges(),
+        }
+        if self.last_reduction is not None:
+            stats["reduction_ratio"] = self.last_reduction.reduction_ratio
+            stats["events_removed"] = self.last_reduction.events_removed
+        return stats
+
+    def close(self) -> None:
+        self.relational.close()
+
+    def __enter__(self) -> "DualStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["DualStore"]

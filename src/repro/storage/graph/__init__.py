@@ -1,0 +1,58 @@
+"""Graph storage backend (property graph + mini-Cypher, Neo4j stand-in)."""
+
+from .cypher_ast import (BooleanExpr, Comparison, CypherQuery, Literal,
+                         NodePattern, NotExpr, PathPattern, PropertyRef,
+                         RelationshipPattern, ReturnItem)
+from .cypher_eval import CypherEvaluator, evaluate_where
+from .cypher_parser import CypherParser, parse_cypher, tokenize
+from .graphdb import (GraphEdge, GraphNode, PropertyGraph, graph_from_events)
+
+
+class GraphStore:
+    """Neo4j-style store: a property graph plus a Cypher query interface."""
+
+    def __init__(self) -> None:
+        self.graph = PropertyGraph()
+
+    def load_events(self, events) -> int:
+        """Load a system event stream into the property graph."""
+        self.graph = graph_from_events(events)
+        return self.graph.num_edges()
+
+    def execute(self, cypher: str) -> list[dict]:
+        """Parse and evaluate a mini-Cypher query, returning result rows."""
+        query = parse_cypher(cypher)
+        return CypherEvaluator(self.graph).execute(query)
+
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes()
+
+    def num_edges(self) -> int:
+        return self.graph.num_edges()
+
+    def clear(self) -> None:
+        self.graph.clear()
+
+
+__all__ = [
+    "BooleanExpr",
+    "Comparison",
+    "CypherQuery",
+    "Literal",
+    "NodePattern",
+    "NotExpr",
+    "PathPattern",
+    "PropertyRef",
+    "RelationshipPattern",
+    "ReturnItem",
+    "CypherEvaluator",
+    "evaluate_where",
+    "CypherParser",
+    "parse_cypher",
+    "tokenize",
+    "GraphEdge",
+    "GraphNode",
+    "PropertyGraph",
+    "graph_from_events",
+    "GraphStore",
+]

@@ -1,0 +1,157 @@
+"""AST definitions for the mini-Cypher dialect.
+
+The dialect covers the subset of Cypher the TBQL compiler emits and the
+hand-written Cypher baseline queries in the evaluation use:
+
+* ``MATCH`` with one or more comma-separated path patterns,
+* node patterns ``(var:label {prop: value})``,
+* relationship patterns ``-[var:TYPE]->`` and variable length
+  ``-[var:TYPE*min..max]->``,
+* ``WHERE`` with comparisons, ``CONTAINS`` / ``STARTS WITH`` / ``ENDS WITH``,
+  regular-expression matching ``=~``, boolean connectives, parentheses,
+* ``RETURN [DISTINCT] item, ...`` with ``var`` or ``var.prop`` items,
+* optional ``LIMIT n``.
+
+Dialect note: a property map on a variable-length relationship constrains the
+*final* hop of the path, matching TBQL's event-path semantics (Section III-D);
+real Cypher would constrain every hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+
+@dataclass(frozen=True)
+class NodePattern:
+    """A node pattern such as ``(p1:proc {type: 'proc'})``."""
+
+    variable: Optional[str]
+    label: Optional[str]
+    properties: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RelationshipPattern:
+    """A relationship pattern between two node patterns."""
+
+    variable: Optional[str]
+    label: Optional[str]
+    properties: dict[str, Any] = field(default_factory=dict)
+    min_length: int = 1
+    max_length: int = 1
+
+    @property
+    def is_variable_length(self) -> bool:
+        return not (self.min_length == 1 and self.max_length == 1)
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """An alternating chain node-rel-node-rel-...-node."""
+
+    nodes: tuple[NodePattern, ...]
+    relationships: tuple[RelationshipPattern, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != len(self.relationships) + 1:
+            raise ValueError("path must alternate nodes and relationships")
+
+
+# --- WHERE expressions -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PropertyRef:
+    """A reference such as ``p1.exename`` (or bare ``p1``)."""
+
+    variable: str
+    key: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any
+
+
+Operand = Union[PropertyRef, Literal]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left OP right`` where OP is a comparison or string predicate."""
+
+    left: Operand
+    operator: str
+    right: Operand
+
+
+@dataclass(frozen=True)
+class BooleanExpr:
+    """``AND`` / ``OR`` over sub-expressions."""
+
+    operator: str
+    operands: tuple["WhereExpr", ...]
+
+
+@dataclass(frozen=True)
+class NotExpr:
+    operand: "WhereExpr"
+
+
+WhereExpr = Union[Comparison, BooleanExpr, NotExpr]
+
+
+@dataclass(frozen=True)
+class ReturnItem:
+    """One ``RETURN`` item, optionally aliased."""
+
+    ref: PropertyRef
+    alias: Optional[str] = None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if self.ref.key:
+            return f"{self.ref.variable}.{self.ref.key}"
+        return self.ref.variable
+
+
+@dataclass(frozen=True)
+class CypherQuery:
+    """A parsed mini-Cypher query."""
+
+    patterns: tuple[PathPattern, ...]
+    where: Optional[WhereExpr]
+    return_items: tuple[ReturnItem, ...]
+    distinct: bool = False
+    limit: Optional[int] = None
+
+    def variables(self) -> set[str]:
+        """Return every variable bound by the MATCH clause."""
+        bound: set[str] = set()
+        for pattern in self.patterns:
+            for node in pattern.nodes:
+                if node.variable:
+                    bound.add(node.variable)
+            for rel in pattern.relationships:
+                if rel.variable:
+                    bound.add(rel.variable)
+        return bound
+
+
+__all__ = [
+    "NodePattern",
+    "RelationshipPattern",
+    "PathPattern",
+    "PropertyRef",
+    "Literal",
+    "Comparison",
+    "BooleanExpr",
+    "NotExpr",
+    "WhereExpr",
+    "ReturnItem",
+    "CypherQuery",
+]

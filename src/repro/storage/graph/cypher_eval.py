@@ -1,0 +1,354 @@
+"""Evaluator for the mini-Cypher dialect over :class:`PropertyGraph`.
+
+The evaluator performs backtracking subgraph matching:
+
+* path patterns are matched left-to-right in the order written (like a graph
+  database that trusts the query author's pattern order),
+* inline label / property-map filters are applied while enumerating candidate
+  nodes and relationships,
+* WHERE predicates are applied as soon as every variable they mention is
+  bound, so obviously-false partial bindings are pruned early,
+* variable-length relationships are expanded with bounded depth-first search;
+  the property map on a variable-length relationship constrains the final hop
+  (TBQL event-path semantics).
+
+The evaluator does **not** reorder patterns; good ordering is exactly what the
+TBQL scheduler contributes in the paper, so keeping the backend naive makes
+the RQ4 comparison meaningful.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterator
+
+from ...errors import CypherError
+from .cypher_ast import (BooleanExpr, Comparison, CypherQuery, Literal,
+                         NodePattern, NotExpr, PathPattern, PropertyRef,
+                         RelationshipPattern, WhereExpr)
+from .graphdb import GraphEdge, GraphNode, PropertyGraph
+
+Binding = dict[str, Any]
+
+
+def _value_of(operand, binding: Binding) -> Any:
+    if isinstance(operand, Literal):
+        return operand.value
+    element = binding.get(operand.variable)
+    if element is None:
+        raise KeyError(operand.variable)
+    if operand.key is None:
+        if isinstance(element, (GraphNode,)):
+            return element.node_id
+        if isinstance(element, GraphEdge):
+            return element.edge_id
+        if isinstance(element, list):  # variable-length path
+            return [edge.edge_id for edge in element]
+        return element
+    if isinstance(element, list):
+        # Property access on a variable-length path refers to the final hop.
+        if not element:
+            return None
+        return element[-1].get(operand.key)
+    return element.get(operand.key)
+
+
+def _compare(left: Any, operator: str, right: Any) -> bool:
+    if operator == "=":
+        return left == right
+    if operator == "<>":
+        return left != right
+    if operator == "CONTAINS":
+        return left is not None and right is not None and \
+            str(right) in str(left)
+    if operator == "STARTS WITH":
+        return left is not None and str(left).startswith(str(right))
+    if operator == "ENDS WITH":
+        return left is not None and str(left).endswith(str(right))
+    if operator == "=~":
+        return left is not None and \
+            re.search(str(right), str(left)) is not None
+    if left is None or right is None:
+        return False
+    try:
+        if operator == "<":
+            return left < right
+        if operator == "<=":
+            return left <= right
+        if operator == ">":
+            return left > right
+        if operator == ">=":
+            return left >= right
+    except TypeError:
+        return False
+    raise CypherError(f"unsupported operator: {operator}")
+
+
+def _expression_variables(expr: WhereExpr) -> set[str]:
+    if isinstance(expr, Comparison):
+        names = set()
+        for operand in (expr.left, expr.right):
+            if isinstance(operand, PropertyRef):
+                names.add(operand.variable)
+        return names
+    if isinstance(expr, NotExpr):
+        return _expression_variables(expr.operand)
+    if isinstance(expr, BooleanExpr):
+        names = set()
+        for operand in expr.operands:
+            names |= _expression_variables(operand)
+        return names
+    raise CypherError(f"unknown expression node: {expr!r}")
+
+
+def evaluate_where(expr: WhereExpr, binding: Binding) -> bool:
+    """Evaluate a WHERE expression against a (complete) binding."""
+    if isinstance(expr, Comparison):
+        try:
+            left = _value_of(expr.left, binding)
+            right = _value_of(expr.right, binding)
+        except KeyError:
+            return False
+        return _compare(left, expr.operator, right)
+    if isinstance(expr, NotExpr):
+        return not evaluate_where(expr.operand, binding)
+    if isinstance(expr, BooleanExpr):
+        if expr.operator == "AND":
+            return all(evaluate_where(op, binding) for op in expr.operands)
+        return any(evaluate_where(op, binding) for op in expr.operands)
+    raise CypherError(f"unknown expression node: {expr!r}")
+
+
+def _split_conjuncts(expr: WhereExpr | None) -> list[WhereExpr]:
+    """Flatten top-level AND so conjuncts can be applied independently."""
+    if expr is None:
+        return []
+    if isinstance(expr, BooleanExpr) and expr.operator == "AND":
+        conjuncts: list[WhereExpr] = []
+        for operand in expr.operands:
+            conjuncts.extend(_split_conjuncts(operand))
+        return conjuncts
+    return [expr]
+
+
+class CypherEvaluator:
+    """Evaluates parsed mini-Cypher queries against a property graph."""
+
+    def __init__(self, graph: PropertyGraph) -> None:
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def execute(self, query: CypherQuery) -> list[dict[str, Any]]:
+        """Execute a query and return result rows keyed by output name."""
+        conjuncts = _split_conjuncts(query.where)
+        conjunct_vars = [(_expression_variables(c), c) for c in conjuncts]
+        results: list[dict[str, Any]] = []
+        seen: set[tuple] = set()
+        for binding in self._match_patterns(list(query.patterns), {},
+                                            conjunct_vars, set()):
+            row = {}
+            for item in query.return_items:
+                try:
+                    row[item.output_name] = _value_of(item.ref, binding)
+                except KeyError:
+                    row[item.output_name] = None
+            if query.distinct:
+                key = tuple(sorted((name, _hashable(value))
+                                   for name, value in row.items()))
+                if key in seen:
+                    continue
+                seen.add(key)
+            results.append(row)
+            if query.limit is not None and len(results) >= query.limit:
+                break
+        return results
+
+    # ------------------------------------------------------------------
+    # pattern matching
+    # ------------------------------------------------------------------
+    def _match_patterns(self, patterns: list[PathPattern], binding: Binding,
+                        conjunct_vars: list[tuple[set[str], WhereExpr]],
+                        applied: set[int]) -> Iterator[Binding]:
+        if not patterns:
+            # Every remaining conjunct must hold on the complete binding.
+            for index, (_, conjunct) in enumerate(conjunct_vars):
+                if index not in applied and \
+                        not evaluate_where(conjunct, binding):
+                    return
+            yield binding
+            return
+        head, *tail = patterns
+        for extended in self._match_path(head, binding):
+            new_applied = set(applied)
+            satisfied = True
+            for index, (variables, conjunct) in enumerate(conjunct_vars):
+                if index in new_applied:
+                    continue
+                if variables and variables <= set(extended.keys()):
+                    if not evaluate_where(conjunct, extended):
+                        satisfied = False
+                        break
+                    new_applied.add(index)
+            if not satisfied:
+                continue
+            yield from self._match_patterns(tail, extended, conjunct_vars,
+                                            new_applied)
+
+    def _match_path(self, pattern: PathPattern, binding: Binding
+                    ) -> Iterator[Binding]:
+        yield from self._match_path_from(pattern, 0, binding)
+
+    def _match_path_from(self, pattern: PathPattern, node_index: int,
+                         binding: Binding) -> Iterator[Binding]:
+        node_pattern = pattern.nodes[node_index]
+        for node, bound in self._candidate_nodes(node_pattern, binding):
+            if node_index == len(pattern.relationships):
+                yield bound
+                continue
+            rel_pattern = pattern.relationships[node_index]
+            next_node_pattern = pattern.nodes[node_index + 1]
+            for path_edges, end_node in self._expand_relationship(
+                    node, rel_pattern):
+                if not self._node_matches(end_node, next_node_pattern, bound):
+                    continue
+                extended = dict(bound)
+                if rel_pattern.variable:
+                    if rel_pattern.is_variable_length:
+                        extended[rel_pattern.variable] = path_edges
+                    else:
+                        extended[rel_pattern.variable] = path_edges[0]
+                if next_node_pattern.variable:
+                    extended[next_node_pattern.variable] = end_node
+                yield from self._continue_path(pattern, node_index + 1,
+                                               extended)
+
+    def _continue_path(self, pattern: PathPattern, node_index: int,
+                       binding: Binding) -> Iterator[Binding]:
+        if node_index == len(pattern.relationships):
+            yield binding
+            return
+        node_pattern = pattern.nodes[node_index]
+        node = binding.get(node_pattern.variable) if node_pattern.variable \
+            else None
+        if node is None:
+            yield from self._match_path_from(pattern, node_index, binding)
+            return
+        rel_pattern = pattern.relationships[node_index]
+        next_node_pattern = pattern.nodes[node_index + 1]
+        for path_edges, end_node in self._expand_relationship(node,
+                                                              rel_pattern):
+            if not self._node_matches(end_node, next_node_pattern, binding):
+                continue
+            extended = dict(binding)
+            if rel_pattern.variable:
+                if rel_pattern.is_variable_length:
+                    extended[rel_pattern.variable] = path_edges
+                else:
+                    extended[rel_pattern.variable] = path_edges[0]
+            if next_node_pattern.variable:
+                extended[next_node_pattern.variable] = end_node
+            yield from self._continue_path(pattern, node_index + 1, extended)
+
+    # ------------------------------------------------------------------
+    # candidate enumeration
+    # ------------------------------------------------------------------
+    def _candidate_nodes(self, pattern: NodePattern, binding: Binding
+                         ) -> Iterator[tuple[GraphNode, Binding]]:
+        if pattern.variable and pattern.variable in binding:
+            node = binding[pattern.variable]
+            if self._node_matches(node, pattern, binding):
+                yield node, binding
+            return
+        candidates = self._indexed_candidates(pattern)
+        for node in candidates:
+            if self._node_properties_match(node, pattern):
+                if pattern.variable:
+                    extended = dict(binding)
+                    extended[pattern.variable] = node
+                    yield node, extended
+                else:
+                    yield node, binding
+
+    def _indexed_candidates(self, pattern: NodePattern) -> Iterator[GraphNode]:
+        # Use a property index when an exact (non-wildcard) value is given.
+        for key, value in pattern.properties.items():
+            if isinstance(value, str) and "%" in value:
+                continue
+            nodes = self.graph.nodes_with_property(key, value)
+            if pattern.label:
+                return iter([node for node in nodes
+                             if node.label == pattern.label])
+            return iter(nodes)
+        if pattern.label:
+            return self.graph.nodes(pattern.label)
+        return self.graph.nodes()
+
+    def _node_matches(self, node: GraphNode | None, pattern: NodePattern,
+                      binding: Binding) -> bool:
+        if node is None:
+            return False
+        if pattern.variable and pattern.variable in binding and \
+                binding[pattern.variable].node_id != node.node_id:
+            return False
+        if pattern.label and node.label != pattern.label:
+            return False
+        return self._node_properties_match(node, pattern)
+
+    @staticmethod
+    def _properties_match(element, properties: dict[str, Any]) -> bool:
+        for key, expected in properties.items():
+            actual = element.get(key)
+            if isinstance(expected, str) and "%" in expected:
+                regex = "^" + re.escape(expected).replace("%", ".*") + "$"
+                if actual is None or re.match(regex, str(actual)) is None:
+                    return False
+            elif actual != expected:
+                return False
+        return True
+
+    def _node_properties_match(self, node: GraphNode, pattern: NodePattern
+                               ) -> bool:
+        if pattern.label and node.label != pattern.label:
+            return False
+        return self._properties_match(node, pattern.properties)
+
+    def _expand_relationship(self, start: GraphNode,
+                             pattern: RelationshipPattern
+                             ) -> Iterator[tuple[list[GraphEdge], GraphNode]]:
+        """Yield (edge path, end node) pairs satisfying the rel pattern."""
+        if not pattern.is_variable_length:
+            for edge in self.graph.out_edges(start.node_id):
+                if pattern.label and edge.label != pattern.label:
+                    continue
+                if not self._properties_match(edge, pattern.properties):
+                    continue
+                yield [edge], self.graph.node(edge.target)
+            return
+        # Variable-length: bounded DFS; the property map constrains the final
+        # hop only (TBQL event-path semantics).
+        stack: list[tuple[int, list[GraphEdge]]] = [(start.node_id, [])]
+        while stack:
+            node_id, path = stack.pop()
+            if len(path) >= pattern.max_length:
+                continue
+            for edge in self.graph.out_edges(node_id):
+                if pattern.label and edge.label != pattern.label:
+                    continue
+                if any(existing.edge_id == edge.edge_id for existing in path):
+                    continue
+                new_path = path + [edge]
+                if len(new_path) >= pattern.min_length and \
+                        self._properties_match(edge, pattern.properties):
+                    yield new_path, self.graph.node(edge.target)
+                stack.append((edge.target, new_path))
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+__all__ = ["CypherEvaluator", "evaluate_where", "Binding"]

@@ -1,0 +1,310 @@
+"""Lexer and recursive-descent parser for the mini-Cypher dialect."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ...errors import CypherError
+from .cypher_ast import (BooleanExpr, Comparison, CypherQuery, Literal,
+                         NodePattern, NotExpr, PathPattern, PropertyRef,
+                         RelationshipPattern, ReturnItem, WhereExpr)
+
+_KEYWORDS = {
+    "MATCH", "WHERE", "RETURN", "DISTINCT", "LIMIT", "AND", "OR", "NOT",
+    "CONTAINS", "STARTS", "ENDS", "WITH", "AS", "TRUE", "FALSE", "NULL",
+    "IN",
+}
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<symbol><=|>=|<>|!=|=~|\.\.|->|<-|[-()\[\]{}:,.*<>=])
+""", re.VERBOSE)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # 'keyword', 'name', 'number', 'string', 'symbol', 'eof'
+    text: str
+    position: int
+
+
+def tokenize(query: str) -> list[Token]:
+    """Tokenize a mini-Cypher query string."""
+    tokens: list[Token] = []
+    index = 0
+    while index < len(query):
+        match = _TOKEN_RE.match(query, index)
+        if match is None:
+            raise CypherError(f"unexpected character {query[index]!r}", index)
+        index = match.end()
+        if match.lastgroup == "ws":
+            continue
+        text = match.group()
+        if match.lastgroup == "name":
+            upper = text.upper()
+            kind = "keyword" if upper in _KEYWORDS else "name"
+            tokens.append(Token(kind, upper if kind == "keyword" else text,
+                                match.start()))
+        elif match.lastgroup == "number":
+            tokens.append(Token("number", text, match.start()))
+        elif match.lastgroup == "string":
+            tokens.append(Token("string", text, match.start()))
+        else:
+            tokens.append(Token("symbol", text, match.start()))
+    tokens.append(Token("eof", "", len(query)))
+    return tokens
+
+
+def _unescape(raw: str) -> str:
+    body = raw[1:-1]
+    return body.replace("\\'", "'").replace('\\"', '"').replace("\\\\", "\\")
+
+
+class CypherParser:
+    """Recursive-descent parser producing a :class:`CypherQuery`."""
+
+    def __init__(self, query: str) -> None:
+        self._query = query
+        self._tokens = tokenize(query)
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # token utilities
+    # ------------------------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _check(self, kind: str, text: str | None = None) -> bool:
+        token = self._peek()
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def _accept(self, kind: str, text: str | None = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._accept(kind, text)
+        if token is None:
+            actual = self._peek()
+            expected = text or kind
+            raise CypherError(
+                f"expected {expected!r} but found {actual.text!r}",
+                actual.position)
+        return token
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+    def parse(self) -> CypherQuery:
+        self._expect("keyword", "MATCH")
+        patterns = [self._path_pattern()]
+        while self._accept("symbol", ","):
+            patterns.append(self._path_pattern())
+        where = None
+        if self._accept("keyword", "WHERE"):
+            where = self._expression()
+        self._expect("keyword", "RETURN")
+        distinct = self._accept("keyword", "DISTINCT") is not None
+        items = [self._return_item()]
+        while self._accept("symbol", ","):
+            items.append(self._return_item())
+        limit = None
+        if self._accept("keyword", "LIMIT"):
+            limit_token = self._expect("number")
+            limit = int(float(limit_token.text))
+        self._expect("eof")
+        return CypherQuery(patterns=tuple(patterns), where=where,
+                           return_items=tuple(items), distinct=distinct,
+                           limit=limit)
+
+    # -- patterns -------------------------------------------------------
+    def _path_pattern(self) -> PathPattern:
+        nodes = [self._node_pattern()]
+        relationships: list[RelationshipPattern] = []
+        while self._check("symbol", "-") or self._check("symbol", "<-"):
+            relationships.append(self._relationship_pattern())
+            nodes.append(self._node_pattern())
+        return PathPattern(nodes=tuple(nodes),
+                           relationships=tuple(relationships))
+
+    def _node_pattern(self) -> NodePattern:
+        self._expect("symbol", "(")
+        variable = None
+        label = None
+        properties: dict[str, Any] = {}
+        if self._check("name"):
+            variable = self._advance().text
+        if self._accept("symbol", ":"):
+            label = self._expect("name").text
+        if self._check("symbol", "{"):
+            properties = self._property_map()
+        self._expect("symbol", ")")
+        return NodePattern(variable=variable, label=label,
+                           properties=properties)
+
+    def _relationship_pattern(self) -> RelationshipPattern:
+        # Only left-to-right relationships are supported by the dialect.
+        self._expect("symbol", "-")
+        self._expect("symbol", "[")
+        variable = None
+        label = None
+        properties: dict[str, Any] = {}
+        min_length, max_length = 1, 1
+        if self._check("name"):
+            variable = self._advance().text
+        if self._accept("symbol", ":"):
+            label = self._expect("name").text
+        if self._accept("symbol", "*"):
+            min_length, max_length = self._length_range()
+        if self._check("symbol", "{"):
+            properties = self._property_map()
+        self._expect("symbol", "]")
+        self._expect("symbol", "->")
+        return RelationshipPattern(variable=variable, label=label,
+                                   properties=properties,
+                                   min_length=min_length,
+                                   max_length=max_length)
+
+    #: Upper bound used when a variable-length pattern omits the maximum.
+    UNBOUNDED_MAX = 8
+
+    def _length_range(self) -> tuple[int, int]:
+        minimum = 1
+        maximum = self.UNBOUNDED_MAX
+        if self._check("number"):
+            minimum = int(float(self._advance().text))
+            maximum = minimum
+        if self._accept("symbol", ".."):
+            if self._check("number"):
+                maximum = int(float(self._advance().text))
+            else:
+                maximum = self.UNBOUNDED_MAX
+        if minimum < 1 or maximum < minimum:
+            raise CypherError(
+                f"invalid variable-length range: {minimum}..{maximum}")
+        return minimum, maximum
+
+    def _property_map(self) -> dict[str, Any]:
+        self._expect("symbol", "{")
+        properties: dict[str, Any] = {}
+        if not self._check("symbol", "}"):
+            while True:
+                key = self._expect("name").text
+                self._expect("symbol", ":")
+                properties[key] = self._literal_value()
+                if not self._accept("symbol", ","):
+                    break
+        self._expect("symbol", "}")
+        return properties
+
+    def _literal_value(self) -> Any:
+        token = self._peek()
+        if token.kind == "string":
+            self._advance()
+            return _unescape(token.text)
+        if token.kind == "number":
+            self._advance()
+            value = float(token.text)
+            return int(value) if value.is_integer() else value
+        if token.kind == "keyword" and token.text in ("TRUE", "FALSE"):
+            self._advance()
+            return token.text == "TRUE"
+        if token.kind == "keyword" and token.text == "NULL":
+            self._advance()
+            return None
+        raise CypherError(f"expected a literal, found {token.text!r}",
+                          token.position)
+
+    # -- WHERE expressions ---------------------------------------------
+    def _expression(self) -> WhereExpr:
+        return self._or_expression()
+
+    def _or_expression(self) -> WhereExpr:
+        operands = [self._and_expression()]
+        while self._accept("keyword", "OR"):
+            operands.append(self._and_expression())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanExpr("OR", tuple(operands))
+
+    def _and_expression(self) -> WhereExpr:
+        operands = [self._not_expression()]
+        while self._accept("keyword", "AND"):
+            operands.append(self._not_expression())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanExpr("AND", tuple(operands))
+
+    def _not_expression(self) -> WhereExpr:
+        if self._accept("keyword", "NOT"):
+            return NotExpr(self._not_expression())
+        return self._comparison()
+
+    def _comparison(self) -> WhereExpr:
+        if self._accept("symbol", "("):
+            inner = self._expression()
+            self._expect("symbol", ")")
+            return inner
+        left = self._operand()
+        token = self._peek()
+        operator = None
+        if token.kind == "symbol" and token.text in (
+                "=", "<>", "!=", "<", "<=", ">", ">=", "=~"):
+            operator = "<>" if token.text == "!=" else token.text
+            self._advance()
+        elif self._accept("keyword", "CONTAINS"):
+            operator = "CONTAINS"
+        elif self._accept("keyword", "STARTS"):
+            self._expect("keyword", "WITH")
+            operator = "STARTS WITH"
+        elif self._accept("keyword", "ENDS"):
+            self._expect("keyword", "WITH")
+            operator = "ENDS WITH"
+        if operator is None:
+            raise CypherError(
+                f"expected a comparison operator, found {token.text!r}",
+                token.position)
+        right = self._operand()
+        return Comparison(left=left, operator=operator, right=right)
+
+    def _operand(self):
+        token = self._peek()
+        if token.kind == "name":
+            self._advance()
+            if self._accept("symbol", "."):
+                key = self._expect("name").text
+                return PropertyRef(token.text, key)
+            return PropertyRef(token.text, None)
+        return Literal(self._literal_value())
+
+    # -- RETURN ----------------------------------------------------------
+    def _return_item(self) -> ReturnItem:
+        token = self._expect("name")
+        key = None
+        if self._accept("symbol", "."):
+            key = self._expect("name").text
+        alias = None
+        if self._accept("keyword", "AS"):
+            alias = self._expect("name").text
+        return ReturnItem(ref=PropertyRef(token.text, key), alias=alias)
+
+
+def parse_cypher(query: str) -> CypherQuery:
+    """Parse a mini-Cypher query string into a :class:`CypherQuery`."""
+    return CypherParser(query).parse()
+
+
+__all__ = ["Token", "tokenize", "CypherParser", "parse_cypher"]

@@ -1,0 +1,22 @@
+"""Relational storage backend (SQLite stand-in for PostgreSQL)."""
+
+from .database import RelationalStore
+from .schema import (ENTITY_ATTRIBUTE_COLUMNS, ENTITY_COLUMNS,
+                     EVENT_ATTRIBUTE_COLUMNS, EVENT_COLUMNS, all_ddl)
+from .sqlgen import (SQLQuery, comparison, event_pattern_select,
+                     giant_join_select, in_list, like_escape)
+
+__all__ = [
+    "RelationalStore",
+    "ENTITY_ATTRIBUTE_COLUMNS",
+    "ENTITY_COLUMNS",
+    "EVENT_ATTRIBUTE_COLUMNS",
+    "EVENT_COLUMNS",
+    "all_ddl",
+    "SQLQuery",
+    "comparison",
+    "event_pattern_select",
+    "giant_join_select",
+    "in_list",
+    "like_escape",
+]

@@ -1,0 +1,214 @@
+"""SQLite-backed relational store (PostgreSQL stand-in).
+
+The store keeps one row per unique system entity and one row per (reduced)
+system event, with indexes on the attributes threat-hunting filters touch.
+It exposes a thin, explicit API:
+
+* :meth:`RelationalStore.load_events` - bulk-load an event stream,
+* :meth:`RelationalStore.execute` - run a parameterized SQL query,
+* :meth:`RelationalStore.query_events` - convenience filtered event lookup
+  used by the TBQL execution engine.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from ...audit.entities import (EntityType, FileEntity, NetworkEntity,
+                               ProcessEntity, SystemEntity, SystemEvent)
+from ...errors import StorageError
+from .schema import ENTITY_COLUMNS, EVENT_COLUMNS, all_ddl
+
+
+def _entity_row(entity_id: int, entity: SystemEntity) -> tuple:
+    """Flatten a system entity into a row for the entities table."""
+    row = {column: None for column in ENTITY_COLUMNS}
+    row["id"] = entity_id
+    row["type"] = entity.entity_type.value
+    if isinstance(entity, FileEntity):
+        row.update(name=entity.name, path=entity.path, user=entity.user,
+                   grp=entity.group)
+    elif isinstance(entity, ProcessEntity):
+        row.update(name=entity.exename, exename=entity.exename,
+                   pid=entity.pid, user=entity.user, grp=entity.group,
+                   cmdline=entity.cmdline or entity.exename)
+    elif isinstance(entity, NetworkEntity):
+        row.update(name=entity.dstip, srcip=entity.srcip,
+                   srcport=entity.srcport, dstip=entity.dstip,
+                   dstport=entity.dstport, protocol=entity.protocol)
+    else:  # pragma: no cover - defensive, the union is closed
+        raise StorageError(f"unsupported entity class: {type(entity)!r}")
+    return tuple(row[column] for column in ENTITY_COLUMNS)
+
+
+class RelationalStore:
+    """Relational storage backend for system audit logging data."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        """Open (or create) the store.
+
+        Args:
+            path: database file path; ``None`` uses an in-memory database.
+        """
+        self._database = str(path) if path is not None else ":memory:"
+        self._connection = sqlite3.connect(self._database)
+        self._connection.row_factory = sqlite3.Row
+        self._entity_ids: dict[tuple, int] = {}
+        self._next_entity_id = 1
+        self._next_event_id = 1
+        self._create_schema()
+
+    # ------------------------------------------------------------------
+    # schema / lifecycle
+    # ------------------------------------------------------------------
+    def _create_schema(self) -> None:
+        cursor = self._connection.cursor()
+        for statement in all_ddl():
+            cursor.execute(statement)
+        self._connection.commit()
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "RelationalStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def clear(self) -> None:
+        """Remove all stored entities and events."""
+        cursor = self._connection.cursor()
+        cursor.execute("DELETE FROM events")
+        cursor.execute("DELETE FROM entities")
+        self._connection.commit()
+        self._entity_ids.clear()
+        self._next_entity_id = 1
+        self._next_event_id = 1
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def entity_id_for(self, entity: SystemEntity) -> int:
+        """Return the stored id for ``entity``, registering it if new."""
+        key = entity.unique_key
+        existing = self._entity_ids.get(key)
+        if existing is not None:
+            return existing
+        entity_id = self._next_entity_id
+        self._next_entity_id += 1
+        self._entity_ids[key] = entity_id
+        placeholders = ", ".join("?" for _ in ENTITY_COLUMNS)
+        self._connection.execute(
+            f"INSERT INTO entities ({', '.join(ENTITY_COLUMNS)}) "
+            f"VALUES ({placeholders})",
+            _entity_row(entity_id, entity))
+        return entity_id
+
+    def load_events(self, events: Iterable[SystemEvent]) -> int:
+        """Bulk-load events (and their entities); returns events inserted."""
+        rows = []
+        for event in events:
+            subject_id = self.entity_id_for(event.subject)
+            object_id = self.entity_id_for(event.obj)
+            event_id = self._next_event_id
+            self._next_event_id += 1
+            rows.append((event_id, subject_id, object_id,
+                         event.operation.value, event.category.value,
+                         event.start_time, event.end_time, event.duration,
+                         event.data_amount, event.failure_code, event.host))
+        if rows:
+            placeholders = ", ".join("?" for _ in EVENT_COLUMNS)
+            self._connection.executemany(
+                f"INSERT INTO events ({', '.join(EVENT_COLUMNS)}) "
+                f"VALUES ({placeholders})", rows)
+        self._connection.commit()
+        return len(rows)
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> list[dict]:
+        """Execute a SQL query and return rows as plain dictionaries.
+
+        Raises:
+            StorageError: when the SQL statement is invalid.
+        """
+        try:
+            cursor = self._connection.execute(sql, tuple(params))
+        except sqlite3.Error as exc:
+            raise StorageError(f"SQL execution failed: {exc}\n{sql}") from exc
+        return [dict(row) for row in cursor.fetchall()]
+
+    def explain(self, sql: str, params: Sequence[Any] = ()) -> list[str]:
+        """Return the engine's query plan lines (useful for diagnostics)."""
+        rows = self.execute(f"EXPLAIN QUERY PLAN {sql}", params)
+        return [str(row.get("detail", row)) for row in rows]
+
+    def count_entities(self) -> int:
+        return self.execute("SELECT COUNT(*) AS n FROM entities")[0]["n"]
+
+    def count_events(self) -> int:
+        return self.execute("SELECT COUNT(*) AS n FROM events")[0]["n"]
+
+    def entity_by_id(self, entity_id: int) -> dict | None:
+        rows = self.execute("SELECT * FROM entities WHERE id = ?",
+                            (entity_id,))
+        return rows[0] if rows else None
+
+    def entities_matching(self, entity_type: EntityType | None = None,
+                          where_sql: str = "", params: Sequence[Any] = ()
+                          ) -> list[dict]:
+        """Return entity rows matching an optional type and WHERE fragment."""
+        clauses = []
+        bound: list[Any] = []
+        if entity_type is not None:
+            clauses.append("type = ?")
+            bound.append(entity_type.value)
+        if where_sql:
+            clauses.append(f"({where_sql})")
+            bound.extend(params)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        return self.execute(f"SELECT * FROM entities{where}", bound)
+
+    def query_events(self, where_sql: str = "", params: Sequence[Any] = (),
+                     limit: int | None = None) -> list[dict]:
+        """Return joined event rows with subject/object attributes inlined.
+
+        The result rows expose event columns plus ``subject_*`` and
+        ``object_*`` prefixed entity columns; this is the shape the TBQL
+        execution engine consumes.
+        """
+        sql = (
+            "SELECT e.id AS event_id, e.operation, e.category, e.start_time, "
+            "e.end_time, e.duration, e.data_amount, e.failure_code, e.host, "
+            "s.id AS subject_id, s.type AS subject_type, s.name AS "
+            "subject_name, s.path AS subject_path, s.exename AS "
+            "subject_exename, s.pid AS subject_pid, s.user AS subject_user, "
+            "s.grp AS subject_group, s.cmdline AS subject_cmdline, "
+            "o.id AS object_id, o.type AS object_type, o.name AS object_name, "
+            "o.path AS object_path, o.exename AS object_exename, o.pid AS "
+            "object_pid, o.user AS object_user, o.grp AS object_group, "
+            "o.cmdline AS object_cmdline, o.srcip AS object_srcip, o.srcport "
+            "AS object_srcport, o.dstip AS object_dstip, o.dstport AS "
+            "object_dstport, o.protocol AS object_protocol "
+            "FROM events e "
+            "JOIN entities s ON e.subject_id = s.id "
+            "JOIN entities o ON e.object_id = o.id"
+        )
+        if where_sql:
+            sql += f" WHERE {where_sql}"
+        sql += " ORDER BY e.start_time, e.id"
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        return self.execute(sql, params)
+
+    def all_events(self) -> list[dict]:
+        """Return every stored event row with inlined entity attributes."""
+        return self.query_events()
+
+
+__all__ = ["RelationalStore"]

@@ -1,0 +1,125 @@
+"""SQL text helpers shared by the TBQL compiler and the benchmark suite.
+
+Two kinds of SQL are produced in the reproduction, matching the paper's
+RQ4/RQ5 comparison:
+
+* *data queries*: small per-pattern SELECTs emitted by the TBQL compiler and
+  executed by the scheduler (Section III-F), and
+* *giant queries*: a single SELECT that joins one event-table alias plus two
+  entity-table aliases per pattern, used as the hand-written SQL baseline.
+
+Only string-building lives here; execution goes through
+:class:`repro.storage.relational.RelationalStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class SQLQuery:
+    """A SQL statement plus its bound parameters."""
+
+    sql: str
+    params: list[Any] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return self.sql
+
+
+def like_escape(pattern: str) -> str:
+    """Return a SQL LIKE pattern from a TBQL wildcard string.
+
+    TBQL uses ``%`` as the wildcard already, so the value passes through;
+    underscores are escaped because they are single-character wildcards in
+    SQL but literal characters in TBQL identifiers such as file names.
+    """
+    return pattern.replace("_", "\\_")
+
+
+def comparison(column: str, op: str, value: Any,
+               params: list[Any]) -> str:
+    """Render one comparison, appending the bound value to ``params``.
+
+    String equality against a value containing ``%`` becomes a LIKE with an
+    explicit escape character, which is how TBQL wildcard filters map to SQL.
+    """
+    if op == "=" and isinstance(value, str) and "%" in value:
+        params.append(like_escape(value))
+        return f"{column} LIKE ? ESCAPE '\\'"
+    if op == "!=" and isinstance(value, str) and "%" in value:
+        params.append(like_escape(value))
+        return f"{column} NOT LIKE ? ESCAPE '\\'"
+    sql_op = {"=": "=", "!=": "<>", "<": "<", "<=": "<=", ">": ">",
+              ">=": ">="}.get(op)
+    if sql_op is None:
+        raise ValueError(f"unsupported comparison operator: {op!r}")
+    params.append(value)
+    return f"{column} {sql_op} ?"
+
+
+def in_list(column: str, values: list[Any], negated: bool,
+            params: list[Any]) -> str:
+    """Render an IN / NOT IN membership test."""
+    placeholders = ", ".join("?" for _ in values)
+    params.extend(values)
+    keyword = "NOT IN" if negated else "IN"
+    return f"{column} {keyword} ({placeholders})"
+
+
+def event_pattern_select(event_alias: str, subject_alias: str,
+                         object_alias: str, where_clauses: list[str]
+                         ) -> str:
+    """Build the FROM/JOIN skeleton for one event pattern."""
+    select = (
+        f"SELECT {event_alias}.id AS event_id, "
+        f"{event_alias}.operation, {event_alias}.start_time, "
+        f"{event_alias}.end_time, {event_alias}.data_amount, "
+        f"{subject_alias}.id AS subject_id, {object_alias}.id AS object_id "
+        f"FROM events {event_alias} "
+        f"JOIN entities {subject_alias} "
+        f"ON {event_alias}.subject_id = {subject_alias}.id "
+        f"JOIN entities {object_alias} "
+        f"ON {event_alias}.object_id = {object_alias}.id"
+    )
+    if where_clauses:
+        select += " WHERE " + " AND ".join(where_clauses)
+    return select
+
+
+def giant_join_select(pattern_aliases: list[tuple[str, str, str]],
+                      where_clauses: list[str],
+                      return_columns: list[str]) -> str:
+    """Build a single SELECT that joins every pattern's three tables.
+
+    ``pattern_aliases`` holds (event_alias, subject_alias, object_alias) per
+    pattern.  This is the "giant SQL query" baseline of RQ4: all joins and
+    constraints are woven into one statement and left to the engine's
+    optimizer.
+    """
+    from_parts = []
+    for event_alias, subject_alias, object_alias in pattern_aliases:
+        from_parts.append(f"events {event_alias}")
+        from_parts.append(f"entities {subject_alias}")
+        from_parts.append(f"entities {object_alias}")
+        where_clauses = where_clauses + [
+            f"{event_alias}.subject_id = {subject_alias}.id",
+            f"{event_alias}.object_id = {object_alias}.id",
+        ]
+    sql = "SELECT DISTINCT " + ", ".join(return_columns)
+    sql += " FROM " + ", ".join(from_parts)
+    if where_clauses:
+        sql += " WHERE " + " AND ".join(where_clauses)
+    return sql
+
+
+__all__ = [
+    "SQLQuery",
+    "like_escape",
+    "comparison",
+    "in_list",
+    "event_pattern_select",
+    "giant_join_select",
+]

@@ -1,0 +1,247 @@
+"""Abstract syntax tree for TBQL (Grammar 1 of the paper).
+
+A TBQL query consists of optional global filters, one or more TBQL patterns
+(event patterns or variable-length event path patterns), an optional ``with``
+clause describing relationships between patterns, and a ``return`` clause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..audit.entities import EntityType
+
+# --------------------------------------------------------------------------
+# attribute filter expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttributeComparison:
+    """``attr bop value`` — e.g. ``pid = 1`` or ``exename = "%chrome%"``."""
+
+    attribute: str
+    operator: str
+    value: object
+
+
+@dataclass(frozen=True)
+class BareValueFilter:
+    """``"%/bin/tar%"`` — a value whose attribute is the entity default."""
+
+    value: object
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class MembershipFilter:
+    """``attr [not] in { v1, v2, ... }``."""
+
+    attribute: str
+    values: tuple
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BooleanFilter:
+    """``&&`` / ``||`` over sub-filters."""
+
+    operator: str                      # "&&" or "||"
+    operands: tuple["AttributeFilter", ...]
+
+
+@dataclass(frozen=True)
+class NegatedFilter:
+    operand: "AttributeFilter"
+
+
+AttributeFilter = Union[AttributeComparison, BareValueFilter,
+                        MembershipFilter, BooleanFilter, NegatedFilter]
+
+
+# --------------------------------------------------------------------------
+# operations
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OperationAtom:
+    """A single operation name such as ``read``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class OperationBoolean:
+    """``read || write``, ``read && !write``."""
+
+    operator: str                      # "&&" or "||"
+    operands: tuple["OperationExpr", ...]
+
+
+@dataclass(frozen=True)
+class OperationNegation:
+    operand: "OperationExpr"
+
+
+OperationExpr = Union[OperationAtom, OperationBoolean, OperationNegation]
+
+
+@dataclass(frozen=True)
+class OperationPath:
+    """A variable-length event path ``~>(min~max)[op_expr]`` or ``->[op]``.
+
+    ``fuzzy_arrow`` distinguishes ``~>`` (arbitrary-length path) from ``->``
+    (length-1 path executed on the graph backend).
+    """
+
+    fuzzy_arrow: bool = True
+    min_length: int = 1
+    max_length: Optional[int] = None
+    operation: Optional[OperationExpr] = None
+
+
+# --------------------------------------------------------------------------
+# entities, windows, patterns
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EntityDecl:
+    """``proc p1["%/bin/tar%"]`` — type, ID, optional attribute filter."""
+
+    entity_type: EntityType
+    entity_id: str
+    attr_filter: Optional[AttributeFilter] = None
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """A ``from .. to ..``, ``at|before|after ..``, or ``last N unit`` window."""
+
+    kind: str                          # "range", "at", "before", "after", "last"
+    start: Optional[str] = None
+    end: Optional[str] = None
+    amount: Optional[float] = None
+    unit: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class EventPattern:
+    """One TBQL pattern: subject entity, operation (or path), object entity."""
+
+    subject: EntityDecl
+    obj: EntityDecl
+    operation: Optional[OperationExpr] = None
+    path: Optional[OperationPath] = None
+    pattern_id: Optional[str] = None
+    pattern_filter: Optional[AttributeFilter] = None
+    window: Optional[TimeWindow] = None
+
+    @property
+    def is_path_pattern(self) -> bool:
+        return self.path is not None
+
+
+# --------------------------------------------------------------------------
+# pattern relationships and return clause
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TemporalRelation:
+    """``with evt1 before[0-5 min] evt2`` style temporal constraint."""
+
+    left: str
+    kind: str                          # "before", "after", "within"
+    right: str
+    min_gap: Optional[float] = None
+    max_gap: Optional[float] = None
+    unit: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class AttributeRelation:
+    """``with p1.pid = p2.pid`` style attribute constraint."""
+
+    left: str                          # dotted reference "p1.pid"
+    operator: str
+    right: str
+
+
+PatternRelation = Union[TemporalRelation, AttributeRelation]
+
+
+@dataclass(frozen=True)
+class ReturnItem:
+    """A return item: ``p1`` (default attribute) or ``p1.exename``."""
+
+    entity_id: str
+    attribute: Optional[str] = None
+
+    def dotted(self) -> str:
+        return f"{self.entity_id}.{self.attribute}" if self.attribute \
+            else self.entity_id
+
+
+@dataclass(frozen=True)
+class ReturnClause:
+    items: tuple[ReturnItem, ...]
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class GlobalFilter:
+    """A global attribute filter or time window applying to every pattern."""
+
+    attr_filter: Optional[AttributeFilter] = None
+    window: Optional[TimeWindow] = None
+
+
+@dataclass
+class TBQLQuery:
+    """A parsed TBQL query."""
+
+    patterns: list[EventPattern] = field(default_factory=list)
+    relations: list[PatternRelation] = field(default_factory=list)
+    return_clause: Optional[ReturnClause] = None
+    global_filters: list[GlobalFilter] = field(default_factory=list)
+
+    def pattern_ids(self) -> list[str]:
+        return [pattern.pattern_id for pattern in self.patterns
+                if pattern.pattern_id]
+
+    def entity_ids(self) -> list[str]:
+        """Every distinct entity ID, in first-appearance order."""
+        seen: list[str] = []
+        for pattern in self.patterns:
+            for entity in (pattern.subject, pattern.obj):
+                if entity.entity_id not in seen:
+                    seen.append(entity.entity_id)
+        return seen
+
+
+__all__ = [
+    "AttributeComparison",
+    "BareValueFilter",
+    "MembershipFilter",
+    "BooleanFilter",
+    "NegatedFilter",
+    "AttributeFilter",
+    "OperationAtom",
+    "OperationBoolean",
+    "OperationNegation",
+    "OperationExpr",
+    "OperationPath",
+    "EntityDecl",
+    "TimeWindow",
+    "EventPattern",
+    "TemporalRelation",
+    "AttributeRelation",
+    "PatternRelation",
+    "ReturnItem",
+    "ReturnClause",
+    "GlobalFilter",
+    "TBQLQuery",
+]

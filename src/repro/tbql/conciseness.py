@@ -1,0 +1,50 @@
+"""Query conciseness metrics (RQ5, Table X).
+
+The paper compares the number of characters (excluding spaces and comments)
+and the number of words of semantically equivalent TBQL, SQL, TBQL-length-1-
+path, and Cypher queries.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_COMMENT_RE = re.compile(r"(//[^\n]*|#[^\n]*|--[^\n]*|/\*.*?\*/)", re.DOTALL)
+
+
+@dataclass(frozen=True)
+class ConcisenessMetrics:
+    """Character and word counts for one query string."""
+
+    characters: int
+    words: int
+
+    def ratio_to(self, other: "ConcisenessMetrics") -> float:
+        """How many times more concise ``self`` is than ``other`` (chars)."""
+        if self.characters == 0:
+            return float("inf")
+        return other.characters / self.characters
+
+
+def strip_comments(query: str) -> str:
+    """Remove SQL/Cypher/TBQL comments from a query string."""
+    return _COMMENT_RE.sub(" ", query)
+
+
+def measure_conciseness(query: str) -> ConcisenessMetrics:
+    """Count characters (excluding whitespace and comments) and words."""
+    cleaned = strip_comments(query)
+    characters = sum(1 for char in cleaned if not char.isspace())
+    words = len([word for word in cleaned.split() if word])
+    return ConcisenessMetrics(characters=characters, words=words)
+
+
+def compare_conciseness(queries: dict[str, str]
+                        ) -> dict[str, ConcisenessMetrics]:
+    """Measure a set of named query strings (e.g. TBQL / SQL / Cypher)."""
+    return {name: measure_conciseness(text) for name, text in queries.items()}
+
+
+__all__ = ["ConcisenessMetrics", "strip_comments", "measure_conciseness",
+           "compare_conciseness"]

@@ -1,0 +1,409 @@
+"""TBQL query execution engine (exact search mode).
+
+The engine executes a TBQL query against a :class:`~repro.storage.DualStore`
+in three stages:
+
+1. compile every pattern into a data query — SQL for event patterns,
+   Cypher for (variable-length) path patterns;
+2. execute the data queries in the order chosen by the scheduler, injecting
+   entity-candidate constraints from previously executed patterns;
+3. join the per-pattern match lists on shared entity IDs, apply temporal and
+   attribute relationships from the ``with`` clause, and produce the return
+   rows plus the set of matched system events.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import ExecutionError
+from ..storage.dualstore import DualStore
+from .ast import TemporalRelation
+from .compiler_cypher import compile_giant_cypher, compile_pattern_cypher
+from .compiler_sql import compile_giant_sql, compile_pattern_sql
+from .parser import TIME_UNIT_SECONDS, parse_tbql
+from .scheduler import ScheduledStep, naive_schedule, schedule
+from .semantics import ResolvedPattern, ResolvedQuery, resolve_query
+
+
+@dataclass(frozen=True)
+class PatternMatch:
+    """One concrete match of a TBQL pattern against the store."""
+
+    subject_key: str
+    object_key: str
+    subject_attrs: dict
+    object_attrs: dict
+    operation: Optional[str]
+    start_time: float
+    end_time: float
+    event_ids: tuple = ()
+
+
+@dataclass
+class QueryResult:
+    """The result of executing a TBQL query."""
+
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    matched_events: list[dict[str, Any]] = field(default_factory=list)
+    plan: list[str] = field(default_factory=list)
+    per_pattern_matches: dict[str, int] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def matched_event_signatures(self) -> set[tuple[str, str, str]]:
+        """(subject name, operation, object name) triples of matched events."""
+        return {(event["subject"], event["operation"], event["object"])
+                for event in self.matched_events}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def _canonical_key(attrs: dict) -> str:
+    entity_type = attrs.get("type", "")
+    if entity_type == "proc":
+        return f"proc:{attrs.get('exename')}:{attrs.get('pid')}"
+    if entity_type == "file":
+        return f"file:{attrs.get('path') or attrs.get('name')}"
+    return (f"ip:{attrs.get('srcip')}:{attrs.get('srcport')}:"
+            f"{attrs.get('dstip')}:{attrs.get('dstport')}:"
+            f"{attrs.get('protocol')}")
+
+
+def _display_name(attrs: dict) -> str:
+    entity_type = attrs.get("type", "")
+    if entity_type == "proc":
+        return str(attrs.get("exename"))
+    if entity_type == "file":
+        return str(attrs.get("name") or attrs.get("path"))
+    return str(attrs.get("dstip"))
+
+
+class TBQLExecutor:
+    """Executes TBQL queries against the dual storage backends."""
+
+    def __init__(self, store: DualStore, use_scheduler: bool = True) -> None:
+        self.store = store
+        self.use_scheduler = use_scheduler
+        self._entity_cache: dict[int, dict] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def execute(self, query: str | ResolvedQuery,
+                now: Optional[float] = None) -> QueryResult:
+        """Execute TBQL text (or an already resolved query)."""
+        start = time.perf_counter()
+        resolved = self._resolve(query, now)
+        steps = schedule(resolved) if self.use_scheduler \
+            else naive_schedule(resolved)
+        matches_by_pattern: dict[str, list[PatternMatch]] = {}
+        candidates: dict[str, set[str]] = {}
+        plan: list[str] = []
+        for step in steps:
+            pattern = step.pattern
+            plan.append(pattern.pattern_id)
+            matches = self._execute_pattern(pattern, resolved, candidates)
+            matches_by_pattern[pattern.pattern_id] = matches
+            self._update_candidates(pattern, matches, candidates)
+        rows, _joined_events = self._join(resolved, matches_by_pattern)
+        # Matched events are counted per pattern (after candidate-constraint
+        # propagation), mirroring the paper's per-event precision/recall in
+        # Table VI: a pattern that matched nothing does not erase the events
+        # the other patterns found.
+        matched_events = self._collect_events(matches_by_pattern)
+        result = QueryResult(
+            rows=rows, matched_events=matched_events, plan=plan,
+            per_pattern_matches={pid: len(matches) for pid, matches
+                                 in matches_by_pattern.items()},
+            elapsed_seconds=time.perf_counter() - start)
+        return result
+
+    def execute_giant_sql(self, query: str | ResolvedQuery,
+                          now: Optional[float] = None) -> list[dict]:
+        """Run the single-statement SQL baseline (RQ4 comparison)."""
+        resolved = self._resolve(query, now)
+        compiled = compile_giant_sql(resolved)
+        return self.store.execute_sql(compiled.sql, compiled.params)
+
+    def execute_giant_cypher(self, query: str | ResolvedQuery,
+                             now: Optional[float] = None) -> list[dict]:
+        """Run the single-statement Cypher baseline (RQ4 comparison)."""
+        resolved = self._resolve(query, now)
+        return self.store.execute_cypher(compile_giant_cypher(resolved))
+
+    # ------------------------------------------------------------------
+    # resolution / compilation helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve(query: str | ResolvedQuery, now: Optional[float]
+                 ) -> ResolvedQuery:
+        if isinstance(query, ResolvedQuery):
+            return query
+        return resolve_query(parse_tbql(query), now=now)
+
+    # ------------------------------------------------------------------
+    # per-pattern execution
+    # ------------------------------------------------------------------
+    def _execute_pattern(self, pattern: ResolvedPattern,
+                         resolved: ResolvedQuery,
+                         candidates: dict[str, set[str]]
+                         ) -> list[PatternMatch]:
+        if pattern.is_path:
+            matches = self._execute_cypher_pattern(pattern, resolved)
+        else:
+            matches = self._execute_sql_pattern(pattern, resolved, candidates)
+        # Enforce candidate restrictions produced by earlier patterns (the
+        # SQL path also injects them into the query; Cypher matches and any
+        # remaining cases are filtered here).
+        subject_allowed = candidates.get(pattern.subject.entity_id)
+        object_allowed = candidates.get(pattern.obj.entity_id)
+        filtered = [match for match in matches
+                    if (subject_allowed is None or
+                        match.subject_key in subject_allowed) and
+                    (object_allowed is None or
+                     match.object_key in object_allowed)]
+        return filtered
+
+    def _execute_sql_pattern(self, pattern: ResolvedPattern,
+                             resolved: ResolvedQuery,
+                             candidates: dict[str, set[str]]
+                             ) -> list[PatternMatch]:
+        compiled = compile_pattern_sql(pattern, resolved)
+        rows = self.store.execute_sql(compiled.sql, compiled.params)
+        matches = []
+        for row in rows:
+            subject_attrs = self._entity_attrs(row["subject_id"])
+            object_attrs = self._entity_attrs(row["object_id"])
+            matches.append(PatternMatch(
+                subject_key=_canonical_key(subject_attrs),
+                object_key=_canonical_key(object_attrs),
+                subject_attrs=subject_attrs, object_attrs=object_attrs,
+                operation=row["operation"], start_time=row["start_time"],
+                end_time=row["end_time"],
+                event_ids=(row["event_id"],)))
+        return matches
+
+    def _execute_cypher_pattern(self, pattern: ResolvedPattern,
+                                resolved: ResolvedQuery
+                                ) -> list[PatternMatch]:
+        cypher = compile_pattern_cypher(pattern, resolved)
+        rows = self.store.execute_cypher(cypher)
+        graph = self.store.graph.graph
+        matches = []
+        for row in rows:
+            subject_attrs = dict(graph.node(row["subject_id"]).properties)
+            object_attrs = dict(graph.node(row["object_id"]).properties)
+            event_ids = row["event_ids"]
+            if isinstance(event_ids, int):
+                event_ids = [event_ids]
+            final_edge = graph.edge(event_ids[-1]) if event_ids else None
+            operation = final_edge.get("operation") if final_edge else None
+            matches.append(PatternMatch(
+                subject_key=_canonical_key(subject_attrs),
+                object_key=_canonical_key(object_attrs),
+                subject_attrs=subject_attrs, object_attrs=object_attrs,
+                operation=operation,
+                start_time=row.get("start_time") or 0.0,
+                end_time=row.get("end_time") or 0.0,
+                event_ids=tuple(event_ids)))
+        return matches
+
+    def _entity_attrs(self, entity_id: int) -> dict:
+        cached = self._entity_cache.get(entity_id)
+        if cached is not None:
+            return cached
+        row = self.store.relational.entity_by_id(entity_id)
+        if row is None:
+            raise ExecutionError(f"dangling entity id {entity_id} in events "
+                                 "table")
+        attrs = dict(row)
+        attrs["group"] = attrs.pop("grp", None)
+        self._entity_cache[entity_id] = attrs
+        return attrs
+
+    @staticmethod
+    def _update_candidates(pattern: ResolvedPattern,
+                           matches: list[PatternMatch],
+                           candidates: dict[str, set[str]]) -> None:
+        for entity_id, keys in (
+                (pattern.subject.entity_id,
+                 {match.subject_key for match in matches}),
+                (pattern.obj.entity_id,
+                 {match.object_key for match in matches})):
+            if entity_id in candidates:
+                candidates[entity_id] &= keys
+            else:
+                candidates[entity_id] = set(keys)
+
+    @staticmethod
+    def _collect_events(matches_by_pattern: dict[str, list[PatternMatch]]
+                        ) -> list[dict]:
+        events: list[dict] = []
+        seen: set[tuple] = set()
+        for pattern_id, matches in matches_by_pattern.items():
+            for match in matches:
+                signature = (match.event_ids, pattern_id)
+                if signature in seen:
+                    continue
+                seen.add(signature)
+                events.append({
+                    "pattern_id": pattern_id,
+                    "subject": _display_name(match.subject_attrs),
+                    "operation": match.operation,
+                    "object": _display_name(match.object_attrs),
+                    "start_time": match.start_time,
+                    "end_time": match.end_time,
+                    "event_ids": list(match.event_ids),
+                })
+        return events
+
+    # ------------------------------------------------------------------
+    # join
+    # ------------------------------------------------------------------
+    def _join(self, resolved: ResolvedQuery,
+              matches_by_pattern: dict[str, list[PatternMatch]]
+              ) -> tuple[list[dict], list[dict]]:
+        pattern_order = [pattern.pattern_id for pattern in resolved.patterns]
+        # Join in ascending match-list size for efficiency.
+        pattern_order.sort(key=lambda pid: len(matches_by_pattern[pid]))
+        rows: list[dict] = []
+        seen_rows: set[tuple] = set()
+        matched_events: list[dict] = []
+        seen_events: set[tuple] = set()
+
+        def backtrack(position: int, entity_binding: dict[str, PatternMatch],
+                      assignment: dict[str, PatternMatch]) -> None:
+            if position == len(pattern_order):
+                if not self._relations_hold(resolved, assignment):
+                    return
+                self._emit(resolved, assignment, rows, seen_rows,
+                           matched_events, seen_events)
+                return
+            pattern_id = pattern_order[position]
+            pattern = resolved.pattern_by_id(pattern_id)
+            for match in matches_by_pattern[pattern_id]:
+                subject_prev = entity_binding.get(pattern.subject.entity_id)
+                object_prev = entity_binding.get(pattern.obj.entity_id)
+                if subject_prev is not None and \
+                        subject_prev != match.subject_key:
+                    continue
+                if object_prev is not None and \
+                        object_prev != match.object_key:
+                    continue
+                new_binding = dict(entity_binding)
+                new_binding[pattern.subject.entity_id] = match.subject_key
+                new_binding[pattern.obj.entity_id] = match.object_key
+                new_assignment = dict(assignment)
+                new_assignment[pattern_id] = match
+                backtrack(position + 1, new_binding, new_assignment)
+
+        backtrack(0, {}, {})
+        return rows, matched_events
+
+    def _relations_hold(self, resolved: ResolvedQuery,
+                        assignment: dict[str, PatternMatch]) -> bool:
+        for relation in resolved.temporal_relations:
+            if not self._temporal_holds(relation, assignment):
+                return False
+        for relation in resolved.attribute_relations:
+            if not self._attribute_holds(relation, resolved, assignment):
+                return False
+        return True
+
+    @staticmethod
+    def _temporal_holds(relation: TemporalRelation,
+                        assignment: dict[str, PatternMatch]) -> bool:
+        left = assignment.get(relation.left)
+        right = assignment.get(relation.right)
+        if left is None or right is None:
+            return True
+        scale = TIME_UNIT_SECONDS.get(relation.unit or "sec", 1.0)
+        if relation.kind == "before":
+            if left.end_time > right.start_time:
+                return False
+            if relation.max_gap is not None and \
+                    right.start_time - left.end_time > relation.max_gap * \
+                    scale:
+                return False
+            return True
+        if relation.kind == "after":
+            return TBQLExecutor._temporal_holds(
+                TemporalRelation(left=relation.right, kind="before",
+                                 right=relation.left,
+                                 min_gap=relation.min_gap,
+                                 max_gap=relation.max_gap,
+                                 unit=relation.unit), assignment)
+        gap = (relation.max_gap or 0.0) * scale
+        return abs(left.start_time - right.start_time) <= gap
+
+    def _attribute_holds(self, relation, resolved: ResolvedQuery,
+                         assignment: dict[str, PatternMatch]) -> bool:
+        left_value = self._relation_value(relation.left, resolved, assignment)
+        right_value = self._relation_value(relation.right, resolved,
+                                           assignment)
+        if left_value is None or right_value is None:
+            return True
+        operator = relation.operator
+        if operator == "=":
+            return left_value == right_value
+        if operator == "!=":
+            return left_value != right_value
+        try:
+            if operator == "<":
+                return left_value < right_value
+            if operator == "<=":
+                return left_value <= right_value
+            if operator == ">":
+                return left_value > right_value
+            if operator == ">=":
+                return left_value >= right_value
+        except TypeError:
+            return False
+        return False
+
+    def _relation_value(self, dotted: str, resolved: ResolvedQuery,
+                        assignment: dict[str, PatternMatch]):
+        entity_id, attribute = dotted.split(".", 1)
+        for pattern in resolved.patterns:
+            match = assignment.get(pattern.pattern_id)
+            if match is None:
+                continue
+            if pattern.subject.entity_id == entity_id:
+                return match.subject_attrs.get(attribute)
+            if pattern.obj.entity_id == entity_id:
+                return match.object_attrs.get(attribute)
+        return None
+
+    def _emit(self, resolved: ResolvedQuery,
+              assignment: dict[str, PatternMatch], rows: list[dict],
+              seen_rows: set, matched_events: list[dict],
+              seen_events: set) -> None:
+        row: dict[str, Any] = {}
+        for entity_id, attribute in resolved.return_items:
+            row[f"{entity_id}.{attribute}"] = self._relation_value(
+                f"{entity_id}.{attribute}", resolved, assignment)
+        key = tuple(sorted((name, str(value)) for name, value in row.items()))
+        if not resolved.distinct or key not in seen_rows:
+            seen_rows.add(key)
+            rows.append(row)
+        for pattern_id, match in assignment.items():
+            signature = (match.event_ids, pattern_id)
+            if signature in seen_events:
+                continue
+            seen_events.add(signature)
+            matched_events.append({
+                "pattern_id": pattern_id,
+                "subject": _display_name(match.subject_attrs),
+                "operation": match.operation,
+                "object": _display_name(match.object_attrs),
+                "start_time": match.start_time,
+                "end_time": match.end_time,
+                "event_ids": list(match.event_ids),
+            })
+
+
+__all__ = ["PatternMatch", "QueryResult", "TBQLExecutor"]

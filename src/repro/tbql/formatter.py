@@ -1,0 +1,171 @@
+"""TBQL formatter: turn a parsed query back into canonical TBQL text.
+
+Human-in-the-loop analysis (Section II) revolves around editing synthesized
+queries; the formatter supports that workflow by rendering any
+:class:`~repro.tbql.ast.TBQLQuery` — parsed, synthesized, or programmatically
+built — as canonical, re-parseable TBQL text.
+"""
+
+from __future__ import annotations
+
+from ..errors import TBQLError
+from .ast import (AttributeComparison, AttributeFilter, AttributeRelation,
+                  BareValueFilter, BooleanFilter, EntityDecl, EventPattern,
+                  GlobalFilter, MembershipFilter, NegatedFilter,
+                  OperationAtom, OperationBoolean, OperationExpr,
+                  OperationNegation, OperationPath, PatternRelation,
+                  ReturnClause, TBQLQuery, TemporalRelation, TimeWindow)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def format_attribute_filter(filt: AttributeFilter) -> str:
+    """Render an attribute filter expression."""
+    if isinstance(filt, BareValueFilter):
+        prefix = "!" if filt.negated else ""
+        return f"{prefix}{_format_value(filt.value)}"
+    if isinstance(filt, AttributeComparison):
+        return (f"{filt.attribute} {filt.operator} "
+                f"{_format_value(filt.value)}")
+    if isinstance(filt, MembershipFilter):
+        values = ", ".join(_format_value(value) for value in filt.values)
+        keyword = "not in" if filt.negated else "in"
+        return f"{filt.attribute} {keyword} {{{values}}}"
+    if isinstance(filt, NegatedFilter):
+        return f"!({format_attribute_filter(filt.operand)})"
+    if isinstance(filt, BooleanFilter):
+        joined = f" {filt.operator} ".join(
+            format_attribute_filter(operand) for operand in filt.operands)
+        return f"({joined})" if len(filt.operands) > 1 else joined
+    raise TBQLError(f"cannot format attribute filter: {filt!r}")
+
+
+def format_operation(expr: OperationExpr) -> str:
+    """Render an operation expression."""
+    if isinstance(expr, OperationAtom):
+        return expr.name
+    if isinstance(expr, OperationNegation):
+        return f"!{format_operation(expr.operand)}"
+    if isinstance(expr, OperationBoolean):
+        joined = f" {expr.operator} ".join(format_operation(operand)
+                                           for operand in expr.operands)
+        return f"({joined})"
+    raise TBQLError(f"cannot format operation expression: {expr!r}")
+
+
+def format_path(path: OperationPath) -> str:
+    """Render a variable-length event path operator."""
+    arrow = "~>" if path.fuzzy_arrow else "->"
+    text = arrow
+    if path.fuzzy_arrow and not (path.min_length == 1 and
+                                 path.max_length is None):
+        minimum = "" if path.min_length == 1 else str(path.min_length)
+        maximum = "" if path.max_length is None else str(path.max_length)
+        text += f"({minimum}~{maximum})"
+    if path.operation is not None:
+        text += f"[{format_operation(path.operation)}]"
+    return text
+
+
+def format_entity(entity: EntityDecl) -> str:
+    """Render an entity declaration."""
+    text = f"{entity.entity_type.value} {entity.entity_id}"
+    if entity.attr_filter is not None:
+        text += f"[{format_attribute_filter(entity.attr_filter)}]"
+    return text
+
+
+def format_window(window: TimeWindow) -> str:
+    """Render a time window."""
+    if window.kind == "range":
+        return (f'from {_format_value(window.start)} '
+                f'to {_format_value(window.end)}')
+    if window.kind in ("at", "before", "after"):
+        return f"{window.kind} {_format_value(window.start)}"
+    if window.kind == "last":
+        amount = window.amount
+        if isinstance(amount, float) and amount.is_integer():
+            amount = int(amount)
+        return f"last {amount} {window.unit}"
+    raise TBQLError(f"cannot format window: {window!r}")
+
+
+def format_pattern(pattern: EventPattern) -> str:
+    """Render one TBQL pattern."""
+    if pattern.is_path_pattern:
+        middle = format_path(pattern.path)
+    else:
+        middle = format_operation(pattern.operation)
+    text = (f"{format_entity(pattern.subject)} {middle} "
+            f"{format_entity(pattern.obj)}")
+    if pattern.pattern_id:
+        text += f" as {pattern.pattern_id}"
+        if pattern.pattern_filter is not None:
+            text += f"[{format_attribute_filter(pattern.pattern_filter)}]"
+    if pattern.window is not None:
+        text += f" {format_window(pattern.window)}"
+    return text
+
+
+def format_relation(relation: PatternRelation) -> str:
+    """Render one with-clause relationship."""
+    if isinstance(relation, TemporalRelation):
+        bound = ""
+        if relation.max_gap is not None:
+            minimum = relation.min_gap if relation.min_gap is not None else 0
+            minimum = int(minimum) if float(minimum).is_integer() else minimum
+            maximum = relation.max_gap
+            maximum = int(maximum) if float(maximum).is_integer() else maximum
+            bound = f"[{minimum}-{maximum} {relation.unit}]"
+        return f"{relation.left} {relation.kind}{bound} {relation.right}"
+    if isinstance(relation, AttributeRelation):
+        return f"{relation.left} {relation.operator} {relation.right}"
+    raise TBQLError(f"cannot format relation: {relation!r}")
+
+
+def format_return(clause: ReturnClause) -> str:
+    """Render the return clause."""
+    distinct = "distinct " if clause.distinct else ""
+    items = ", ".join(item.dotted() for item in clause.items)
+    return f"return {distinct}{items}"
+
+
+def format_global_filter(global_filter: GlobalFilter) -> str:
+    if global_filter.window is not None:
+        return format_window(global_filter.window)
+    return format_attribute_filter(global_filter.attr_filter)
+
+
+def format_query(query: TBQLQuery) -> str:
+    """Render a whole TBQL query as canonical multi-line text."""
+    lines: list[str] = []
+    for global_filter in query.global_filters:
+        lines.append(format_global_filter(global_filter))
+    for pattern in query.patterns:
+        lines.append(format_pattern(pattern))
+    if query.relations:
+        lines.append("with " + ", ".join(format_relation(relation)
+                                         for relation in query.relations))
+    if query.return_clause is not None:
+        lines.append(format_return(query.return_clause))
+    return "\n".join(lines)
+
+
+__all__ = [
+    "format_attribute_filter",
+    "format_operation",
+    "format_path",
+    "format_entity",
+    "format_window",
+    "format_pattern",
+    "format_relation",
+    "format_return",
+    "format_query",
+]

@@ -1,0 +1,387 @@
+"""Fuzzy search mode: inexact graph pattern matching (Section III-F).
+
+The exact search mode misses attack activities when the OSCTI text deviates
+from the ground truth (typos, renamed IOCs, extra intermediate processes).
+The fuzzy mode, which extends Poirot's alignment algorithm, tolerates such
+deviations:
+
+* *node-level alignment* uses Levenshtein similarity between the IOC strings
+  in the TBQL query and entity attributes in the store, so small string
+  changes still retrieve the right entities;
+* *graph-level alignment* matches the query's subgraph shape against the
+  provenance graph: for every query edge the aligner looks for an information
+  flow (a bounded-length path) between the aligned endpoints, and scores the
+  alignment by the aggregate flow quality (shorter flows score higher,
+  echoing Poirot's ancestor-influence intuition).
+
+:class:`FuzzySearcher` (ThreatRaptor-Fuzzy) enumerates *all* acceptable
+alignments exhaustively; :class:`PoirotSearcher` (the baseline, see
+:mod:`repro.tbql.poirot`) stops at the first acceptable alignment.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..storage.dualstore import DualStore
+from .parser import parse_tbql
+from .semantics import ResolvedQuery, resolve_query
+from .ast import AttributeComparison, BooleanFilter, NegatedFilter, \
+    MembershipFilter
+
+#: Minimum node similarity for a candidate alignment.
+NODE_SIMILARITY_THRESHOLD = 0.6
+#: Minimum overall alignment score for an alignment to be acceptable.
+ALIGNMENT_SCORE_THRESHOLD = 0.7
+#: Maximum flow length explored between two aligned nodes.
+MAX_FLOW_LENGTH = 4
+
+
+def levenshtein_distance(left: str, right: str) -> int:
+    """Classic dynamic-programming Levenshtein edit distance."""
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    previous = list(range(len(right) + 1))
+    for i, left_char in enumerate(left, start=1):
+        current = [i]
+        for j, right_char in enumerate(right, start=1):
+            insert_cost = current[j - 1] + 1
+            delete_cost = previous[j] + 1
+            replace_cost = previous[j - 1] + (left_char != right_char)
+            current.append(min(insert_cost, delete_cost, replace_cost))
+        previous = current
+    return previous[-1]
+
+
+def string_similarity(left: str, right: str) -> float:
+    """Normalized Levenshtein similarity in [0, 1]."""
+    if not left and not right:
+        return 1.0
+    longest = max(len(left), len(right))
+    if longest == 0:
+        return 1.0
+    # Substring containment counts as a strong match (a path suffix or a
+    # wildcard-stripped IOC inside a longer path).
+    if left and right and (left in right or right in left):
+        return max(0.9, 1.0 - levenshtein_distance(left, right) / longest)
+    return 1.0 - levenshtein_distance(left, right) / longest
+
+
+# ---------------------------------------------------------------------------
+# query graph and provenance index
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryNode:
+    """A node of the query graph: one TBQL entity."""
+
+    entity_id: str
+    entity_type: str
+    search_string: str
+
+
+@dataclass(frozen=True)
+class QueryEdge:
+    """A directed edge of the query graph: one TBQL pattern."""
+
+    source: str
+    target: str
+    operations: Optional[frozenset[str]]
+
+
+@dataclass
+class QueryGraph:
+    """The subgraph of system behaviour a TBQL query describes."""
+
+    nodes: list[QueryNode]
+    edges: list[QueryEdge]
+
+    @classmethod
+    def from_resolved(cls, resolved: ResolvedQuery) -> "QueryGraph":
+        nodes: dict[str, QueryNode] = {}
+        edges: list[QueryEdge] = []
+        for pattern in resolved.patterns:
+            for entity in (pattern.subject, pattern.obj):
+                if entity.entity_id not in nodes:
+                    nodes[entity.entity_id] = QueryNode(
+                        entity_id=entity.entity_id,
+                        entity_type=entity.entity_type.value,
+                        search_string=_search_string(entity.attr_filter))
+            edges.append(QueryEdge(source=pattern.subject.entity_id,
+                                   target=pattern.obj.entity_id,
+                                   operations=pattern.operations))
+        return cls(nodes=list(nodes.values()), edges=edges)
+
+
+def _search_string(attr_filter) -> str:
+    """Extract the primary IOC string from an entity's attribute filter."""
+    if attr_filter is None:
+        return ""
+    if isinstance(attr_filter, AttributeComparison):
+        if isinstance(attr_filter.value, str):
+            return attr_filter.value.strip("%")
+        return str(attr_filter.value)
+    if isinstance(attr_filter, MembershipFilter):
+        return str(attr_filter.values[0]).strip("%") if attr_filter.values \
+            else ""
+    if isinstance(attr_filter, NegatedFilter):
+        return _search_string(attr_filter.operand)
+    if isinstance(attr_filter, BooleanFilter):
+        for operand in attr_filter.operands:
+            found = _search_string(operand)
+            if found:
+                return found
+    return ""
+
+
+@dataclass
+class ProvenanceIndex:
+    """In-memory provenance graph built from the stored events."""
+
+    node_names: dict[int, str] = field(default_factory=dict)
+    node_types: dict[int, str] = field(default_factory=dict)
+    out_edges: dict[int, list[tuple[int, str, float]]] = field(
+        default_factory=dict)
+    num_edges: int = 0
+
+    def add_event(self, row: dict) -> None:
+        subject_id = row["subject_id"]
+        object_id = row["object_id"]
+        self.node_names.setdefault(
+            subject_id, row.get("subject_exename") or
+            row.get("subject_name") or "")
+        self.node_types.setdefault(subject_id, row.get("subject_type", ""))
+        object_name = (row.get("object_dstip") or row.get("object_path") or
+                       row.get("object_exename") or
+                       row.get("object_name") or "")
+        self.node_names.setdefault(object_id, object_name)
+        self.node_types.setdefault(object_id, row.get("object_type", ""))
+        self.out_edges.setdefault(subject_id, []).append(
+            (object_id, row.get("operation", ""), row.get("start_time", 0.0)))
+        self.num_edges += 1
+
+    def candidates_for(self, query_node: QueryNode
+                       ) -> list[tuple[int, float]]:
+        """Return (node id, similarity) candidates above the threshold."""
+        results: list[tuple[int, float]] = []
+        needle = query_node.search_string
+        for node_id, name in self.node_names.items():
+            if query_node.entity_type and \
+                    self.node_types.get(node_id) != query_node.entity_type:
+                continue
+            similarity = string_similarity(needle, name or "") if needle \
+                else 0.5
+            if similarity >= NODE_SIMILARITY_THRESHOLD:
+                results.append((node_id, similarity))
+        results.sort(key=lambda item: -item[1])
+        return results
+
+    def flow_score(self, source: int, target: int,
+                   operations: Optional[frozenset[str]]) -> float:
+        """Score the best information flow from ``source`` to ``target``.
+
+        The score is ``1 / length`` of the shortest path whose final hop
+        matches the requested operations, or 0 when no such flow exists
+        within :data:`MAX_FLOW_LENGTH` hops.  Shorter flows mean fewer
+        intermediate (potentially compromised) processes, mirroring Poirot's
+        ancestor-influence score.
+        """
+        frontier = [(source, 0)]
+        visited = {source}
+        best = 0.0
+        while frontier:
+            node, depth = frontier.pop(0)
+            if depth >= MAX_FLOW_LENGTH:
+                continue
+            for neighbor, operation, _ in self.out_edges.get(node, ()):
+                hop = depth + 1
+                if neighbor == target and (
+                        operations is None or operation in operations or
+                        not operations):
+                    best = max(best, 1.0 / hop)
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    frontier.append((neighbor, hop))
+        return best
+
+
+# ---------------------------------------------------------------------------
+# alignment search
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Alignment:
+    """A mapping from query nodes to provenance nodes plus its score."""
+
+    mapping: dict[str, int]
+    score: float
+    node_names: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class FuzzySearchResult:
+    """Result of a fuzzy (or Poirot) search with its timing breakdown."""
+
+    alignments: list[Alignment]
+    loading_seconds: float
+    preprocessing_seconds: float
+    searching_seconds: float
+    candidate_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.loading_seconds + self.preprocessing_seconds +
+                self.searching_seconds)
+
+    @property
+    def best(self) -> Optional[Alignment]:
+        if not self.alignments:
+            return None
+        return max(self.alignments, key=lambda alignment: alignment.score)
+
+
+class GraphAligner:
+    """Backtracking aligner shared by the fuzzy mode and the Poirot baseline."""
+
+    def __init__(self, query_graph: QueryGraph, index: ProvenanceIndex,
+                 score_threshold: float = ALIGNMENT_SCORE_THRESHOLD,
+                 max_expansions: int = 200_000) -> None:
+        self.query_graph = query_graph
+        self.index = index
+        self.score_threshold = score_threshold
+        self.max_expansions = max_expansions
+        self._expansions = 0
+
+    def alignments(self, stop_after_first: bool = False
+                   ) -> Iterator[Alignment]:
+        """Yield acceptable alignments (all of them, or just the first)."""
+        candidates = {node.entity_id: self.index.candidates_for(node)
+                      for node in self.query_graph.nodes}
+        # Align the most selective query node first.
+        order = sorted(self.query_graph.nodes,
+                       key=lambda node: len(candidates[node.entity_id]))
+        self._expansions = 0
+        yield from self._extend(order, 0, {}, candidates, stop_after_first)
+
+    def candidate_counts(self) -> dict[str, int]:
+        return {node.entity_id: len(self.index.candidates_for(node))
+                for node in self.query_graph.nodes}
+
+    def _extend(self, order: list[QueryNode], position: int,
+                mapping: dict[str, int],
+                candidates: dict[str, list[tuple[int, float]]],
+                stop_after_first: bool) -> Iterator[Alignment]:
+        if self._expansions > self.max_expansions:
+            return
+        if position == len(order):
+            alignment = self._score(mapping)
+            if alignment is not None:
+                yield alignment
+            return
+        node = order[position]
+        used = set(mapping.values())
+        for candidate_id, _similarity in candidates[node.entity_id]:
+            if candidate_id in used:
+                continue
+            self._expansions += 1
+            mapping[node.entity_id] = candidate_id
+            if self._partial_consistent(mapping):
+                produced = False
+                for alignment in self._extend(order, position + 1, mapping,
+                                              candidates, stop_after_first):
+                    produced = True
+                    yield alignment
+                    if stop_after_first:
+                        del mapping[node.entity_id]
+                        return
+                _ = produced
+            del mapping[node.entity_id]
+
+    def _partial_consistent(self, mapping: dict[str, int]) -> bool:
+        """Check flows for every query edge whose endpoints are both mapped."""
+        for edge in self.query_graph.edges:
+            if edge.source in mapping and edge.target in mapping:
+                if self.index.flow_score(mapping[edge.source],
+                                         mapping[edge.target],
+                                         edge.operations) == 0.0:
+                    return False
+        return True
+
+    def _score(self, mapping: dict[str, int]) -> Optional[Alignment]:
+        if not self.query_graph.edges:
+            return None
+        total = 0.0
+        for edge in self.query_graph.edges:
+            total += self.index.flow_score(mapping[edge.source],
+                                           mapping[edge.target],
+                                           edge.operations)
+        score = total / len(self.query_graph.edges)
+        if score < self.score_threshold:
+            return None
+        names = {entity_id: self.index.node_names.get(node_id, "")
+                 for entity_id, node_id in mapping.items()}
+        return Alignment(mapping=dict(mapping), score=score,
+                         node_names=names)
+
+
+class FuzzySearcher:
+    """ThreatRaptor's fuzzy search mode: exhaustive alignment search."""
+
+    stop_after_first = False
+
+    def __init__(self, store: DualStore,
+                 score_threshold: float = ALIGNMENT_SCORE_THRESHOLD) -> None:
+        self.store = store
+        self.score_threshold = score_threshold
+
+    def search(self, query: str | ResolvedQuery) -> FuzzySearchResult:
+        """Run the fuzzy search for a TBQL query."""
+        resolved = query if isinstance(query, ResolvedQuery) else \
+            resolve_query(parse_tbql(query))
+        load_start = time.perf_counter()
+        rows = self.store.relational.all_events()
+        loading = time.perf_counter() - load_start
+
+        prep_start = time.perf_counter()
+        index = ProvenanceIndex()
+        for row in rows:
+            index.add_event(row)
+        preprocessing = time.perf_counter() - prep_start
+
+        search_start = time.perf_counter()
+        query_graph = QueryGraph.from_resolved(resolved)
+        aligner = GraphAligner(query_graph, index,
+                               score_threshold=self.score_threshold)
+        alignments = list(aligner.alignments(
+            stop_after_first=self.stop_after_first))
+        searching = time.perf_counter() - search_start
+        return FuzzySearchResult(alignments=alignments,
+                                 loading_seconds=loading,
+                                 preprocessing_seconds=preprocessing,
+                                 searching_seconds=searching,
+                                 candidate_counts=aligner.candidate_counts())
+
+
+__all__ = [
+    "levenshtein_distance",
+    "string_similarity",
+    "QueryNode",
+    "QueryEdge",
+    "QueryGraph",
+    "ProvenanceIndex",
+    "Alignment",
+    "FuzzySearchResult",
+    "GraphAligner",
+    "FuzzySearcher",
+    "NODE_SIMILARITY_THRESHOLD",
+    "ALIGNMENT_SCORE_THRESHOLD",
+    "MAX_FLOW_LENGTH",
+]

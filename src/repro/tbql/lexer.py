@@ -1,0 +1,95 @@
+"""Lexer for TBQL.
+
+The paper builds its TBQL parser with ANTLR 4; this reproduction uses a
+hand-written lexer + recursive-descent parser producing the same language
+(Grammar 1).  The lexer tracks line/column positions for error messages.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import TBQLSyntaxError
+
+#: Keywords of the language.  Operation names (read, write, ...) are *not*
+#: keywords: they are ordinary identifiers interpreted by the parser, so new
+#: operation types do not require lexer changes.
+KEYWORDS = {
+    "proc", "file", "ip", "as", "with", "return", "distinct", "before",
+    "after", "within", "from", "to", "at", "last", "not", "in",
+}
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|\#[^\n]*)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<symbol>~>|->|&&|\|\||!=|<=|>=|[=!<>\[\]\(\)\{\},\.\-~\*/:%])
+""", re.VERBOSE)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # 'keyword', 'ident', 'number', 'string', 'symbol', 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Converts TBQL source text into a token stream."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+
+    def tokens(self) -> list[Token]:
+        tokens: list[Token] = []
+        index = 0
+        line = 1
+        line_start = 0
+        source = self.source
+        while index < len(source):
+            match = _TOKEN_RE.match(source, index)
+            if match is None:
+                column = index - line_start + 1
+                raise TBQLSyntaxError(
+                    f"unexpected character {source[index]!r}", line, column)
+            text = match.group()
+            column = match.start() - line_start + 1
+            group = match.lastgroup
+            if group in ("ws", "comment"):
+                newlines = text.count("\n")
+                if newlines:
+                    line += newlines
+                    line_start = match.start() + text.rfind("\n") + 1
+            elif group == "ident":
+                kind = "keyword" if text in KEYWORDS else "ident"
+                tokens.append(Token(kind, text, line, column))
+            elif group == "number":
+                tokens.append(Token("number", text, line, column))
+            elif group == "string":
+                tokens.append(Token("string", text, line, column))
+            else:
+                tokens.append(Token("symbol", text, line, column))
+            index = match.end()
+        tokens.append(Token("eof", "", line, len(source) - line_start + 1))
+        return tokens
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper returning the token list for ``source``."""
+    return Lexer(source).tokens()
+
+
+def unescape_string(raw: str) -> str:
+    """Strip quotes and process escapes of a TBQL string literal."""
+    body = raw[1:-1]
+    return body.replace('\\"', '"').replace("\\\\", "\\")
+
+
+__all__ = ["KEYWORDS", "Token", "Lexer", "tokenize", "unescape_string"]

@@ -1,0 +1,428 @@
+"""Recursive-descent parser for TBQL (Grammar 1)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..audit.entities import EntityType
+from ..errors import TBQLSyntaxError
+from .ast import (AttributeComparison, AttributeFilter, AttributeRelation,
+                  BareValueFilter, BooleanFilter, EntityDecl, EventPattern,
+                  GlobalFilter, MembershipFilter, NegatedFilter,
+                  OperationAtom, OperationBoolean, OperationExpr,
+                  OperationNegation, OperationPath, PatternRelation,
+                  ReturnClause, ReturnItem, TBQLQuery, TemporalRelation,
+                  TimeWindow)
+from .lexer import Token, tokenize, unescape_string
+
+#: Operation names accepted by the ``<op>`` rule.
+OPERATION_NAMES = {
+    "read", "write", "execute", "start", "end", "rename", "delete",
+    "connect", "accept", "send", "receive", "open", "chmod", "fork",
+}
+
+_TIME_UNITS = {"sec": 1.0, "second": 1.0, "seconds": 1.0, "s": 1.0,
+               "min": 60.0, "minute": 60.0, "minutes": 60.0, "m": 60.0,
+               "hour": 3600.0, "hours": 3600.0, "h": 3600.0,
+               "day": 86400.0, "days": 86400.0, "d": 86400.0}
+
+_ENTITY_KEYWORDS = {"proc": EntityType.PROCESS, "file": EntityType.FILE,
+                    "ip": EntityType.NETWORK}
+
+_COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+class TBQLParser:
+    """Parses TBQL source text into a :class:`TBQLQuery`."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self._tokens = tokenize(source)
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _check(self, kind: str, text: str | None = None,
+               offset: int = 0) -> bool:
+        token = self._peek(offset)
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def _accept(self, kind: str, text: str | None = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._accept(kind, text)
+        if token is None:
+            actual = self._peek()
+            expected = text if text is not None else kind
+            raise TBQLSyntaxError(
+                f"expected {expected!r} but found {actual.text!r}",
+                actual.line, actual.column)
+        return token
+
+    def _error(self, message: str) -> TBQLSyntaxError:
+        token = self._peek()
+        return TBQLSyntaxError(message, token.line, token.column)
+
+    # ------------------------------------------------------------------
+    # grammar: query
+    # ------------------------------------------------------------------
+    def parse(self) -> TBQLQuery:
+        query = TBQLQuery()
+        while not self._at_pattern_start() and not self._check(
+                "keyword", "return") and not self._check("eof"):
+            query.global_filters.append(self._global_filter())
+        if not self._at_pattern_start():
+            raise self._error("a TBQL query must declare at least one "
+                              "event pattern")
+        while self._at_pattern_start():
+            query.patterns.append(self._pattern())
+        while self._accept("keyword", "with"):
+            query.relations.append(self._relation())
+            while self._accept("symbol", ","):
+                query.relations.append(self._relation())
+        if self._accept("keyword", "return"):
+            query.return_clause = self._return_clause()
+        self._expect("eof")
+        return query
+
+    def _at_pattern_start(self) -> bool:
+        return self._check("keyword") and self._peek().text in \
+            _ENTITY_KEYWORDS
+
+    # ------------------------------------------------------------------
+    # global filters and time windows
+    # ------------------------------------------------------------------
+    def _global_filter(self) -> GlobalFilter:
+        if self._check("keyword") and self._peek().text in ("from", "at",
+                                                            "before", "after",
+                                                            "last"):
+            return GlobalFilter(window=self._window())
+        return GlobalFilter(attr_filter=self._attribute_expression())
+
+    def _window(self) -> TimeWindow:
+        token = self._advance()
+        if token.text == "from":
+            start = self._datetime_value()
+            self._expect("keyword", "to")
+            end = self._datetime_value()
+            return TimeWindow(kind="range", start=start, end=end)
+        if token.text in ("at", "before", "after"):
+            return TimeWindow(kind=token.text, start=self._datetime_value())
+        if token.text == "last":
+            amount = float(self._expect("number").text)
+            unit = self._time_unit()
+            return TimeWindow(kind="last", amount=amount, unit=unit)
+        raise self._error(f"invalid time window starting with {token.text!r}")
+
+    def _datetime_value(self) -> str:
+        token = self._peek()
+        if token.kind == "string":
+            self._advance()
+            return unescape_string(token.text)
+        if token.kind == "number":
+            self._advance()
+            return token.text
+        raise self._error("expected a datetime literal (string or epoch "
+                          "number)")
+
+    def _time_unit(self) -> str:
+        token = self._peek()
+        if token.kind in ("ident", "keyword") and \
+                token.text.lower() in _TIME_UNITS:
+            self._advance()
+            return token.text.lower()
+        raise self._error(f"expected a time unit, found {token.text!r}")
+
+    # ------------------------------------------------------------------
+    # patterns
+    # ------------------------------------------------------------------
+    def _pattern(self) -> EventPattern:
+        subject = self._entity()
+        operation: OperationExpr | None = None
+        path: OperationPath | None = None
+        if self._check("symbol", "~>") or self._check("symbol", "->"):
+            path = self._operation_path()
+        else:
+            operation = self._operation_expression()
+        obj = self._entity()
+        pattern_id = None
+        pattern_filter = None
+        if self._accept("keyword", "as"):
+            pattern_id = self._expect("ident").text
+            if self._accept("symbol", "["):
+                pattern_filter = self._attribute_expression()
+                self._expect("symbol", "]")
+        window = None
+        if self._check("keyword") and self._peek().text in (
+                "from", "at", "last") or (
+                self._check("keyword", "before") and
+                not self._is_relation_context()) or (
+                self._check("keyword", "after") and
+                not self._is_relation_context()):
+            window = self._window()
+        return EventPattern(subject=subject, obj=obj, operation=operation,
+                            path=path, pattern_id=pattern_id,
+                            pattern_filter=pattern_filter, window=window)
+
+    def _is_relation_context(self) -> bool:
+        # "before"/"after" directly following a pattern belongs to a window;
+        # inside a with-clause it is a temporal relation keyword.  The parser
+        # only calls this from pattern context, where a following identifier
+        # (another pattern id) never occurs, so a datetime literal means a
+        # window.
+        return not (self._check("string", offset=1) or
+                    self._check("number", offset=1))
+
+    def _entity(self) -> EntityDecl:
+        type_token = self._expect("keyword")
+        if type_token.text not in _ENTITY_KEYWORDS:
+            raise TBQLSyntaxError(
+                f"unknown entity type {type_token.text!r}",
+                type_token.line, type_token.column)
+        entity_type = _ENTITY_KEYWORDS[type_token.text]
+        id_token = self._expect("ident")
+        attr_filter = None
+        if self._accept("symbol", "["):
+            attr_filter = self._attribute_expression()
+            self._expect("symbol", "]")
+        return EntityDecl(entity_type=entity_type, entity_id=id_token.text,
+                          attr_filter=attr_filter)
+
+    # ------------------------------------------------------------------
+    # operations and paths
+    # ------------------------------------------------------------------
+    def _operation_expression(self) -> OperationExpr:
+        return self._operation_or()
+
+    def _operation_or(self) -> OperationExpr:
+        operands = [self._operation_and()]
+        while self._accept("symbol", "||"):
+            operands.append(self._operation_and())
+        if len(operands) == 1:
+            return operands[0]
+        return OperationBoolean("||", tuple(operands))
+
+    def _operation_and(self) -> OperationExpr:
+        operands = [self._operation_unary()]
+        while self._accept("symbol", "&&"):
+            operands.append(self._operation_unary())
+        if len(operands) == 1:
+            return operands[0]
+        return OperationBoolean("&&", tuple(operands))
+
+    def _operation_unary(self) -> OperationExpr:
+        if self._accept("symbol", "!"):
+            return OperationNegation(self._operation_unary())
+        if self._accept("symbol", "("):
+            inner = self._operation_or()
+            self._expect("symbol", ")")
+            return inner
+        token = self._expect("ident")
+        name = token.text.lower()
+        if name not in OPERATION_NAMES:
+            raise TBQLSyntaxError(f"unknown operation {token.text!r}",
+                                  token.line, token.column)
+        return OperationAtom(name)
+
+    def _operation_path(self) -> OperationPath:
+        arrow = self._advance()
+        fuzzy_arrow = arrow.text == "~>"
+        min_length, max_length = 1, (None if fuzzy_arrow else 1)
+        if self._accept("symbol", "("):
+            min_length, max_length = self._path_range()
+            self._expect("symbol", ")")
+        operation = None
+        if self._accept("symbol", "["):
+            operation = self._operation_expression()
+            self._expect("symbol", "]")
+        if not fuzzy_arrow:
+            min_length, max_length = 1, 1
+        return OperationPath(fuzzy_arrow=fuzzy_arrow, min_length=min_length,
+                             max_length=max_length, operation=operation)
+
+    def _path_range(self) -> tuple[int, Optional[int]]:
+        minimum = 1
+        maximum: Optional[int] = None
+        if self._check("number"):
+            minimum = int(float(self._advance().text))
+            maximum = minimum
+        if self._accept("symbol", "~"):
+            maximum = None
+            if self._check("number"):
+                maximum = int(float(self._advance().text))
+        if minimum < 1 or (maximum is not None and maximum < minimum):
+            raise self._error(f"invalid path length range "
+                              f"({minimum}~{maximum})")
+        return minimum, maximum
+
+    # ------------------------------------------------------------------
+    # attribute expressions
+    # ------------------------------------------------------------------
+    def _attribute_expression(self) -> AttributeFilter:
+        return self._attribute_or()
+
+    def _attribute_or(self) -> AttributeFilter:
+        operands = [self._attribute_and()]
+        while self._accept("symbol", "||"):
+            operands.append(self._attribute_and())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanFilter("||", tuple(operands))
+
+    def _attribute_and(self) -> AttributeFilter:
+        operands = [self._attribute_unary()]
+        while self._accept("symbol", "&&"):
+            operands.append(self._attribute_unary())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanFilter("&&", tuple(operands))
+
+    def _attribute_unary(self) -> AttributeFilter:
+        if self._accept("symbol", "!"):
+            operand = self._attribute_unary()
+            if isinstance(operand, BareValueFilter):
+                return BareValueFilter(operand.value, negated=True)
+            return NegatedFilter(operand)
+        if self._accept("symbol", "("):
+            inner = self._attribute_or()
+            self._expect("symbol", ")")
+            return inner
+        return self._attribute_atom()
+
+    def _attribute_atom(self) -> AttributeFilter:
+        token = self._peek()
+        if token.kind in ("string", "number"):
+            self._advance()
+            return BareValueFilter(self._literal_value(token))
+        if token.kind in ("ident", "keyword"):
+            attribute = self._attribute_name()
+            negated = self._accept("keyword", "not") is not None
+            if self._accept("keyword", "in"):
+                values = self._value_set()
+                return MembershipFilter(attribute=attribute, values=values,
+                                        negated=negated)
+            if negated:
+                raise self._error("'not' must be followed by 'in'")
+            operator_token = self._peek()
+            if operator_token.kind == "symbol" and \
+                    operator_token.text in _COMPARISON_OPS:
+                self._advance()
+                value_token = self._peek()
+                if value_token.kind not in ("string", "number"):
+                    raise self._error("expected a literal value after "
+                                      f"{operator_token.text!r}")
+                self._advance()
+                return AttributeComparison(attribute=attribute,
+                                           operator=operator_token.text,
+                                           value=self._literal_value(
+                                               value_token))
+            raise self._error("expected a comparison operator or 'in' after "
+                              f"attribute {attribute!r}")
+        raise self._error(f"unexpected token {token.text!r} in attribute "
+                          "expression")
+
+    def _attribute_name(self) -> str:
+        first = self._advance()
+        name = first.text
+        if self._accept("symbol", "."):
+            second = self._expect("ident")
+            name = f"{name}.{second.text}"
+        return name
+
+    def _value_set(self) -> tuple:
+        self._expect("symbol", "{")
+        values = []
+        if not self._check("symbol", "}"):
+            while True:
+                token = self._peek()
+                if token.kind not in ("string", "number"):
+                    raise self._error("expected a literal inside a value set")
+                self._advance()
+                values.append(self._literal_value(token))
+                if not self._accept("symbol", ","):
+                    break
+        self._expect("symbol", "}")
+        return tuple(values)
+
+    @staticmethod
+    def _literal_value(token: Token):
+        if token.kind == "string":
+            return unescape_string(token.text)
+        value = float(token.text)
+        return int(value) if value.is_integer() else value
+
+    # ------------------------------------------------------------------
+    # pattern relationships
+    # ------------------------------------------------------------------
+    def _relation(self) -> PatternRelation:
+        left = self._attribute_name()
+        token = self._peek()
+        if token.kind == "keyword" and token.text in ("before", "after",
+                                                      "within"):
+            self._advance()
+            min_gap = max_gap = None
+            unit = None
+            if self._accept("symbol", "["):
+                min_gap = float(self._expect("number").text)
+                self._expect("symbol", "-")
+                max_gap = float(self._expect("number").text)
+                unit = self._time_unit()
+                self._expect("symbol", "]")
+            right = self._expect("ident").text
+            return TemporalRelation(left=left, kind=token.text, right=right,
+                                    min_gap=min_gap, max_gap=max_gap,
+                                    unit=unit)
+        if token.kind == "symbol" and token.text in _COMPARISON_OPS:
+            self._advance()
+            right = self._attribute_name()
+            return AttributeRelation(left=left, operator=token.text,
+                                     right=right)
+        raise self._error("expected 'before', 'after', 'within', or a "
+                          "comparison operator in a with-clause")
+
+    # ------------------------------------------------------------------
+    # return clause
+    # ------------------------------------------------------------------
+    def _return_clause(self) -> ReturnClause:
+        distinct = self._accept("keyword", "distinct") is not None
+        items = [self._return_item()]
+        while self._accept("symbol", ","):
+            items.append(self._return_item())
+        return ReturnClause(items=tuple(items), distinct=distinct)
+
+    def _return_item(self) -> ReturnItem:
+        entity_id = self._expect("ident").text
+        attribute = None
+        if self._accept("symbol", "."):
+            attribute = self._expect("ident").text
+        return ReturnItem(entity_id=entity_id, attribute=attribute)
+
+
+def parse_tbql(source: str) -> TBQLQuery:
+    """Parse TBQL source text into a :class:`TBQLQuery`."""
+    return TBQLParser(source).parse()
+
+
+#: Conversion table from time-unit spellings to seconds (shared with the
+#: executor for evaluating ``before[0-5 min]`` style constraints).
+TIME_UNIT_SECONDS = dict(_TIME_UNITS)
+
+
+__all__ = ["TBQLParser", "parse_tbql", "OPERATION_NAMES",
+           "TIME_UNIT_SECONDS"]

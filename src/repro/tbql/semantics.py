@@ -1,0 +1,383 @@
+"""Semantic analysis of parsed TBQL queries.
+
+This stage expands TBQL's syntactic sugar and validates the query:
+
+* bare value filters pick up the entity's default attribute ("name" for
+  files, "exename" for processes, "dstip" for network connections);
+* entity IDs reused across patterns must keep a consistent entity type and
+  imply that the same concrete entity matches in every pattern;
+* return items without an attribute return the entity's default attribute;
+* every pattern gets a pattern ID (``evt1``, ``evt2``, ... when omitted);
+* operation expressions are evaluated into concrete operation sets;
+* time windows are normalized to epoch-second ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Optional
+
+from ..audit.entities import EntityType, default_attribute_for
+from ..errors import TBQLSemanticError
+from .ast import (AttributeComparison, AttributeFilter, AttributeRelation,
+                  BareValueFilter, BooleanFilter, EventPattern, GlobalFilter,
+                  MembershipFilter, NegatedFilter, OperationAtom,
+                  OperationBoolean, OperationExpr, OperationNegation,
+                  OperationPath, ReturnItem, TBQLQuery, TemporalRelation,
+                  TimeWindow)
+from .parser import OPERATION_NAMES, TIME_UNIT_SECONDS
+
+#: Attributes accepted per entity type (superset of Table II).
+_ENTITY_ATTRIBUTES = {
+    EntityType.FILE: {"name", "path", "user", "group", "type"},
+    EntityType.PROCESS: {"exename", "pid", "user", "group", "cmdline",
+                         "name", "type"},
+    EntityType.NETWORK: {"srcip", "srcport", "dstip", "dstport", "protocol",
+                         "name", "type"},
+}
+
+#: Event-level attributes accepted in pattern filters and with-clauses.
+EVENT_ATTRIBUTES = {"operation", "start_time", "end_time", "duration",
+                    "data_amount", "failure_code", "host", "category"}
+
+
+@dataclass
+class ResolvedEntity:
+    """An entity reference with sugar expanded."""
+
+    entity_id: str
+    entity_type: EntityType
+    attr_filter: Optional[AttributeFilter]
+
+    @property
+    def default_attribute(self) -> str:
+        return default_attribute_for(self.entity_type)
+
+
+@dataclass
+class ResolvedPattern:
+    """A pattern with defaults filled in, ready for compilation."""
+
+    index: int
+    pattern_id: str
+    subject: ResolvedEntity
+    obj: ResolvedEntity
+    operations: Optional[frozenset[str]]   # None means "any operation"
+    is_path: bool = False
+    path_fuzzy: bool = False
+    min_length: int = 1
+    max_length: Optional[int] = 1
+    pattern_filter: Optional[AttributeFilter] = None
+    window: Optional[tuple[Optional[float], Optional[float]]] = None
+
+    @property
+    def constraint_count(self) -> int:
+        """Number of declared constraints; the scheduler's pruning signal."""
+        count = 0
+        for filt in (self.subject.attr_filter, self.obj.attr_filter,
+                     self.pattern_filter):
+            count += _count_atoms(filt)
+        if self.operations is not None:
+            count += 1
+        if self.window is not None:
+            count += 1
+        return count
+
+
+@dataclass
+class ResolvedQuery:
+    """The fully resolved form of a TBQL query."""
+
+    patterns: list[ResolvedPattern]
+    temporal_relations: list[TemporalRelation]
+    attribute_relations: list[AttributeRelation]
+    return_items: list[tuple[str, str]]        # (entity id, attribute)
+    distinct: bool
+    global_window: Optional[tuple[Optional[float], Optional[float]]] = None
+    global_filters: list[AttributeFilter] = field(default_factory=list)
+    entity_types: dict[str, EntityType] = field(default_factory=dict)
+
+    def pattern_by_id(self, pattern_id: str) -> ResolvedPattern:
+        for pattern in self.patterns:
+            if pattern.pattern_id == pattern_id:
+                return pattern
+        raise TBQLSemanticError(f"unknown pattern id: {pattern_id!r}")
+
+    def shared_entities(self) -> dict[str, list[str]]:
+        """Map entity id -> pattern ids referencing it (dependency info)."""
+        sharing: dict[str, list[str]] = {}
+        for pattern in self.patterns:
+            for entity in (pattern.subject, pattern.obj):
+                sharing.setdefault(entity.entity_id, []).append(
+                    pattern.pattern_id)
+        return sharing
+
+
+def _count_atoms(filt: Optional[AttributeFilter]) -> int:
+    if filt is None:
+        return 0
+    if isinstance(filt, (AttributeComparison, BareValueFilter,
+                         MembershipFilter)):
+        return 1
+    if isinstance(filt, NegatedFilter):
+        return _count_atoms(filt.operand)
+    if isinstance(filt, BooleanFilter):
+        return sum(_count_atoms(operand) for operand in filt.operands)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# operation expressions
+# ---------------------------------------------------------------------------
+
+
+def evaluate_operation_expr(expr: Optional[OperationExpr]
+                            ) -> Optional[frozenset[str]]:
+    """Evaluate an operation expression into the set of allowed operations.
+
+    ``None`` (no expression) means any operation is allowed.
+    """
+    if expr is None:
+        return None
+    return frozenset(op for op in OPERATION_NAMES
+                     if _operation_matches(expr, op))
+
+
+def _operation_matches(expr: OperationExpr, operation: str) -> bool:
+    if isinstance(expr, OperationAtom):
+        return expr.name == operation
+    if isinstance(expr, OperationNegation):
+        return not _operation_matches(expr.operand, operation)
+    if isinstance(expr, OperationBoolean):
+        if expr.operator == "&&":
+            return all(_operation_matches(op, operation)
+                       for op in expr.operands)
+        return any(_operation_matches(op, operation) for op in expr.operands)
+    raise TBQLSemanticError(f"unknown operation expression: {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# attribute filters
+# ---------------------------------------------------------------------------
+
+
+def expand_default_attributes(filt: Optional[AttributeFilter],
+                              default_attribute: str,
+                              allowed: set[str]) -> Optional[AttributeFilter]:
+    """Rewrite bare-value filters into comparisons on the default attribute."""
+    if filt is None:
+        return None
+    if isinstance(filt, BareValueFilter):
+        operator = "!=" if filt.negated else "="
+        return AttributeComparison(attribute=default_attribute,
+                                   operator=operator, value=filt.value)
+    if isinstance(filt, AttributeComparison):
+        _check_attribute(filt.attribute, allowed)
+        return filt
+    if isinstance(filt, MembershipFilter):
+        _check_attribute(filt.attribute, allowed)
+        return filt
+    if isinstance(filt, NegatedFilter):
+        return NegatedFilter(expand_default_attributes(
+            filt.operand, default_attribute, allowed))
+    if isinstance(filt, BooleanFilter):
+        return BooleanFilter(filt.operator, tuple(
+            expand_default_attributes(operand, default_attribute, allowed)
+            for operand in filt.operands))
+    raise TBQLSemanticError(f"unknown attribute filter: {filt!r}")
+
+
+def _check_attribute(attribute: str, allowed: set[str]) -> None:
+    name = attribute.split(".")[-1]
+    if name not in allowed and name not in EVENT_ATTRIBUTES:
+        raise TBQLSemanticError(
+            f"attribute {attribute!r} is not valid here; expected one of "
+            f"{sorted(allowed | EVENT_ATTRIBUTES)}")
+
+
+# ---------------------------------------------------------------------------
+# time windows
+# ---------------------------------------------------------------------------
+
+
+def parse_datetime(value: str) -> float:
+    """Parse a TBQL datetime literal into epoch seconds (UTC)."""
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    formats = ["%Y-%m-%d %H:%M:%S", "%Y-%m-%d %H:%M", "%Y-%m-%d",
+               "%Y/%m/%d %H:%M:%S", "%Y/%m/%d"]
+    for fmt in formats:
+        try:
+            parsed = datetime.strptime(value, fmt)
+            return parsed.replace(tzinfo=timezone.utc).timestamp()
+        except ValueError:
+            continue
+    raise TBQLSemanticError(f"unparseable datetime literal: {value!r}")
+
+
+def resolve_window(window: Optional[TimeWindow],
+                   now: Optional[float] = None
+                   ) -> Optional[tuple[Optional[float], Optional[float]]]:
+    """Convert a parsed time window into an (earliest, latest) epoch range."""
+    if window is None:
+        return None
+    if window.kind == "range":
+        return (parse_datetime(window.start), parse_datetime(window.end))
+    if window.kind == "at":
+        moment = parse_datetime(window.start)
+        return (moment, moment + 86400.0)
+    if window.kind == "before":
+        return (None, parse_datetime(window.start))
+    if window.kind == "after":
+        return (parse_datetime(window.start), None)
+    if window.kind == "last":
+        seconds = window.amount * TIME_UNIT_SECONDS[window.unit]
+        reference = now if now is not None else \
+            datetime.now(timezone.utc).timestamp()
+        return (reference - seconds, reference)
+    raise TBQLSemanticError(f"unknown window kind: {window.kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# query resolution
+# ---------------------------------------------------------------------------
+
+
+def resolve_query(query: TBQLQuery, now: Optional[float] = None
+                  ) -> ResolvedQuery:
+    """Expand sugar and validate a parsed query."""
+    if not query.patterns:
+        raise TBQLSemanticError("a TBQL query needs at least one pattern")
+    entity_types: dict[str, EntityType] = {}
+    resolved_patterns: list[ResolvedPattern] = []
+    used_ids: set[str] = set(pid for pid in query.pattern_ids())
+    auto_counter = 1
+    for index, pattern in enumerate(query.patterns):
+        pattern_id = pattern.pattern_id
+        if pattern_id is None:
+            while f"evt{auto_counter}" in used_ids:
+                auto_counter += 1
+            pattern_id = f"evt{auto_counter}"
+            used_ids.add(pattern_id)
+        subject = _resolve_entity(pattern.subject, entity_types)
+        obj = _resolve_entity(pattern.obj, entity_types)
+        if subject.entity_type is not EntityType.PROCESS:
+            raise TBQLSemanticError(
+                f"pattern {pattern_id!r}: the subject of a system event must "
+                "be a process entity")
+        is_path = pattern.is_path_pattern
+        if is_path:
+            path = pattern.path
+            operations = evaluate_operation_expr(path.operation)
+            min_length, max_length = path.min_length, path.max_length
+            path_fuzzy = path.fuzzy_arrow
+        else:
+            operations = evaluate_operation_expr(pattern.operation)
+            min_length, max_length = 1, 1
+            path_fuzzy = False
+        resolved_patterns.append(ResolvedPattern(
+            index=index, pattern_id=pattern_id, subject=subject, obj=obj,
+            operations=operations, is_path=is_path, path_fuzzy=path_fuzzy,
+            min_length=min_length, max_length=max_length,
+            pattern_filter=pattern.pattern_filter,
+            window=resolve_window(pattern.window, now)))
+    temporal, attribute = _split_relations(query, used_ids, entity_types)
+    return_items = _resolve_return(query, entity_types)
+    global_window, global_filters = _resolve_globals(query, now)
+    return ResolvedQuery(patterns=resolved_patterns,
+                         temporal_relations=temporal,
+                         attribute_relations=attribute,
+                         return_items=return_items,
+                         distinct=bool(query.return_clause and
+                                       query.return_clause.distinct),
+                         global_window=global_window,
+                         global_filters=global_filters,
+                         entity_types=entity_types)
+
+
+def _resolve_entity(entity, entity_types: dict[str, EntityType]
+                    ) -> ResolvedEntity:
+    known = entity_types.get(entity.entity_id)
+    if known is not None and known is not entity.entity_type:
+        raise TBQLSemanticError(
+            f"entity id {entity.entity_id!r} is used with conflicting types "
+            f"({known.value} vs {entity.entity_type.value})")
+    entity_types[entity.entity_id] = entity.entity_type
+    default_attr = default_attribute_for(entity.entity_type)
+    allowed = _ENTITY_ATTRIBUTES[entity.entity_type]
+    attr_filter = expand_default_attributes(entity.attr_filter, default_attr,
+                                            allowed)
+    return ResolvedEntity(entity_id=entity.entity_id,
+                          entity_type=entity.entity_type,
+                          attr_filter=attr_filter)
+
+
+def _split_relations(query: TBQLQuery, pattern_ids: set[str],
+                     entity_types: dict[str, EntityType]
+                     ) -> tuple[list[TemporalRelation],
+                                list[AttributeRelation]]:
+    temporal: list[TemporalRelation] = []
+    attribute: list[AttributeRelation] = []
+    for relation in query.relations:
+        if isinstance(relation, TemporalRelation):
+            for side in (relation.left, relation.right):
+                if side not in pattern_ids:
+                    raise TBQLSemanticError(
+                        f"with-clause references unknown pattern id {side!r}")
+            temporal.append(relation)
+        else:
+            for side in (relation.left, relation.right):
+                entity_id = side.split(".")[0]
+                if entity_id not in entity_types and \
+                        entity_id not in pattern_ids:
+                    raise TBQLSemanticError(
+                        f"with-clause references unknown id {entity_id!r}")
+            attribute.append(relation)
+    return temporal, attribute
+
+
+def _resolve_return(query: TBQLQuery,
+                    entity_types: dict[str, EntityType]
+                    ) -> list[tuple[str, str]]:
+    if query.return_clause is None:
+        # Default: return every entity's default attribute.
+        return [(entity_id, default_attribute_for(entity_type))
+                for entity_id, entity_type in entity_types.items()]
+    items: list[tuple[str, str]] = []
+    for item in query.return_clause.items:
+        if item.entity_id not in entity_types:
+            raise TBQLSemanticError(
+                f"return clause references unknown entity id "
+                f"{item.entity_id!r}")
+        attribute = item.attribute or default_attribute_for(
+            entity_types[item.entity_id])
+        items.append((item.entity_id, attribute))
+    return items
+
+
+def _resolve_globals(query: TBQLQuery, now: Optional[float]
+                     ) -> tuple[Optional[tuple], list[AttributeFilter]]:
+    window = None
+    filters: list[AttributeFilter] = []
+    for global_filter in query.global_filters:
+        if global_filter.window is not None:
+            window = resolve_window(global_filter.window, now)
+        if global_filter.attr_filter is not None:
+            filters.append(global_filter.attr_filter)
+    return window, filters
+
+
+__all__ = [
+    "ResolvedEntity",
+    "ResolvedPattern",
+    "ResolvedQuery",
+    "EVENT_ATTRIBUTES",
+    "evaluate_operation_expr",
+    "expand_default_attributes",
+    "parse_datetime",
+    "resolve_window",
+    "resolve_query",
+]

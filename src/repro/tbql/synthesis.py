@@ -1,0 +1,250 @@
+"""TBQL query synthesis from a threat behavior graph (Section III-E).
+
+Synthesis proceeds in four steps:
+
+1. *Pre-synthesis screening and IOC relation mapping* — drop graph nodes whose
+   IOC types system auditing does not capture (e.g. registry keys, URLs) and
+   map each remaining edge's relation verb to a TBQL operation using rules
+   that consider both the verb and the connected IOC types.
+2. *TBQL pattern synthesis* — source nodes become process entities, sink
+   nodes become network-connection entities (IP IOCs) or file entities;
+   entity attributes are the IOC strings wrapped in ``%`` wildcards; entity
+   IDs are reused for repeated IOCs.
+3. *Pattern relationship synthesis* — ``with evtI before evtJ`` constraints in
+   ascending sequence-number order (event patterns only).
+4. *Return synthesis* — ``return distinct`` over every entity ID.
+
+The output is TBQL *text*, which the analyst can edit before execution
+(human-in-the-loop analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..audit.entities import EntityType
+from ..errors import SynthesisError
+from ..extraction.behavior_graph import BehaviorEdge, ThreatBehaviorGraph
+from ..extraction.ioc import AUDITABLE_IOC_TYPES, IOCType
+
+#: Relation-verb mapping for edges whose target is a file-like IOC.
+_FILE_TARGET_OPERATIONS = {
+    "read": "read", "open": "read", "access": "read", "scan": "read",
+    "collect": "read", "gather": "read", "steal": "read", "obtain": "read",
+    "fetch": "read", "retrieve": "read", "extract": "read", "crack": "read",
+    "write": "write", "create": "write", "drop": "write", "save": "write",
+    "store": "write", "copy": "write", "compress": "write",
+    "archive": "write", "encrypt": "write", "decrypt": "write",
+    "encode": "write", "decode": "write", "modify": "write",
+    "overwrite": "write", "install": "write", "inject": "write",
+    "download": "write", "upload": "write", "transfer": "write",
+    "exfiltrate": "write", "leak": "write",
+    "execute": "execute", "run": "execute", "launch": "execute",
+    "start": "execute", "spawn": "execute", "fork": "execute",
+    "delete": "delete", "remove": "delete",
+    "rename": "rename", "move": "rename",
+}
+
+#: Relation-verb mapping for edges whose target is an IP IOC.
+_NETWORK_TARGET_OPERATIONS = {
+    "connect": "connect", "communicate": "connect", "access": "connect",
+    "download": "receive", "read": "receive", "receive": "receive",
+    "fetch": "receive", "retrieve": "receive",
+    "send": "send", "write": "send", "upload": "send", "transfer": "send",
+    "exfiltrate": "send", "leak": "send",
+}
+
+_NETWORK_TYPES = {IOCType.IP, IOCType.CIDR}
+
+
+@dataclass
+class SynthesisPlan:
+    """Configuration of the synthesis (the paper's "synthesis plan").
+
+    The default plan synthesizes event patterns with wildcarded default
+    attributes and temporal order constraints; a user-defined plan can switch
+    to variable-length event path patterns or add extra clauses.
+    """
+
+    #: Synthesize variable-length event path patterns instead of event
+    #: patterns (system-administrator configurable, Section III-E Step 2).
+    use_path_patterns: bool = False
+    #: When path patterns are used: ``~>`` (True) or length-1 ``->`` (False).
+    fuzzy_paths: bool = True
+    #: Maximum path length for ``~>`` patterns (None leaves it unbounded).
+    max_path_length: int | None = 4
+    #: Wrap entity attribute strings in ``%`` wildcards.
+    wildcards: bool = True
+    #: Emit ``with evtI before evtJ`` temporal constraints.
+    temporal_order: bool = True
+    #: Extra lines prepended to the query (e.g. a global time window).
+    global_clauses: list[str] = field(default_factory=list)
+
+
+@dataclass
+class SynthesizedQuery:
+    """The synthesis result: TBQL text plus bookkeeping for evaluation."""
+
+    text: str
+    entity_ids: dict[str, str]              # IOC -> entity id
+    pattern_count: int
+    skipped_nodes: list[str] = field(default_factory=list)
+    skipped_edges: list[BehaviorEdge] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return self.text
+
+
+class TBQLSynthesizer:
+    """Synthesizes a TBQL query from a threat behavior graph."""
+
+    def __init__(self, plan: SynthesisPlan | None = None) -> None:
+        self.plan = plan or SynthesisPlan()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def synthesize(self, graph: ThreatBehaviorGraph) -> SynthesizedQuery:
+        """Synthesize TBQL text from ``graph``.
+
+        Raises:
+            SynthesisError: when no edge survives screening and mapping.
+        """
+        plan = self.plan
+        skipped_nodes = [node.ioc for node in graph.nodes
+                         if node.ioc_type not in AUDITABLE_IOC_TYPES]
+        usable_nodes = {node.ioc for node in graph.nodes
+                        if node.ioc_type in AUDITABLE_IOC_TYPES}
+        entity_ids: dict[str, str] = {}
+        declared: set[str] = set()
+        counters = {EntityType.PROCESS: 0, EntityType.FILE: 0,
+                    EntityType.NETWORK: 0}
+        lines: list[str] = list(plan.global_clauses)
+        pattern_ids: list[str] = []
+        skipped_edges: list[BehaviorEdge] = []
+        pattern_index = 0
+        for edge in graph.ordered_edges():
+            if edge.source not in usable_nodes or \
+                    edge.target not in usable_nodes:
+                skipped_edges.append(edge)
+                continue
+            source_type = graph.node_type(edge.source)
+            target_type = graph.node_type(edge.target)
+            if source_type in _NETWORK_TYPES:
+                # A network connection cannot be the subject of a system
+                # event; such edges cannot be expressed and are screened out.
+                skipped_edges.append(edge)
+                continue
+            mapping = self._map_relation(edge.relation, target_type)
+            if mapping is None:
+                skipped_edges.append(edge)
+                continue
+            operation, object_kind = mapping
+            pattern_index += 1
+            pattern_id = f"evt{pattern_index}"
+            pattern_ids.append(pattern_id)
+            subject_ref = self._entity_ref(edge.source, EntityType.PROCESS,
+                                           entity_ids, declared, counters)
+            object_ref = self._entity_ref(edge.target, object_kind,
+                                          entity_ids, declared, counters)
+            lines.append(self._pattern_line(subject_ref, operation,
+                                            object_ref, pattern_id))
+        if pattern_index == 0:
+            raise SynthesisError(
+                "no TBQL pattern could be synthesized: every edge of the "
+                "threat behavior graph was screened out")
+        if plan.temporal_order and not plan.use_path_patterns and \
+                len(pattern_ids) > 1:
+            constraints = ", ".join(
+                f"{earlier} before {later}"
+                for earlier, later in zip(pattern_ids, pattern_ids[1:]))
+            lines.append(f"with {constraints}")
+        ordered_ids = list(dict.fromkeys(entity_ids.values()))
+        lines.append("return distinct " + ", ".join(ordered_ids))
+        return SynthesizedQuery(text="\n".join(lines),
+                                entity_ids=entity_ids,
+                                pattern_count=pattern_index,
+                                skipped_nodes=skipped_nodes,
+                                skipped_edges=skipped_edges)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _map_relation(relation: str, target_type: IOCType | None
+                      ) -> tuple[str, EntityType] | None:
+        """Map an IOC relation verb to (TBQL operation, object entity type)."""
+        verb = relation.lower()
+        if target_type in _NETWORK_TYPES:
+            operation = _NETWORK_TARGET_OPERATIONS.get(verb)
+            if operation is None:
+                return None
+            return operation, EntityType.NETWORK
+        operation = _FILE_TARGET_OPERATIONS.get(verb)
+        if operation is None:
+            return None
+        return operation, EntityType.FILE
+
+    def _entity_ref(self, ioc: str, entity_type: EntityType,
+                    entity_ids: dict[str, str], declared: set[str],
+                    counters: dict[EntityType, int]) -> str:
+        """Return the entity reference text, declaring the filter only once.
+
+        File and process IOCs reuse the same entity ID across patterns
+        (entity-ID reuse sugar: the same concrete entity must match).
+        Network IOCs always get a fresh entity ID: a connection is identified
+        by its 5-tuple, so two contacts with the same C2 address are distinct
+        connection entities that merely share the destination IP filter.
+        """
+        key = (ioc, entity_type)
+        mapped = entity_ids.get(self._entity_key(key))
+        if mapped is None or entity_type is EntityType.NETWORK:
+            counters[entity_type] += 1
+            prefix = {EntityType.PROCESS: "p", EntityType.FILE: "f",
+                      EntityType.NETWORK: "i"}[entity_type]
+            mapped = f"{prefix}{counters[entity_type]}"
+            entity_ids.setdefault(self._entity_key(key), mapped)
+            if entity_type is EntityType.NETWORK:
+                entity_ids[f"{self._entity_key(key)}#{mapped}"] = mapped
+        keyword = entity_type.value
+        if mapped in declared:
+            # Entity-ID reuse sugar: later mentions omit the attribute filter.
+            return f"{keyword} {mapped}"
+        declared.add(mapped)
+        value = self._attribute_value(ioc, entity_type)
+        return f'{keyword} {mapped}["{value}"]'
+
+    @staticmethod
+    def _entity_key(key: tuple[str, EntityType]) -> str:
+        ioc, entity_type = key
+        return f"{entity_type.value}:{ioc}"
+
+    def _attribute_value(self, ioc: str, entity_type: EntityType) -> str:
+        if entity_type is EntityType.NETWORK:
+            return ioc.split("/")[0]
+        if self.plan.wildcards:
+            return f"%{ioc}%"
+        return ioc
+
+    def _pattern_line(self, subject_ref: str, operation: str,
+                      object_ref: str, pattern_id: str) -> str:
+        plan = self.plan
+        if plan.use_path_patterns:
+            if plan.fuzzy_paths:
+                length = (f"(~{plan.max_path_length})"
+                          if plan.max_path_length else "")
+                arrow = f"~>{length}[{operation}]"
+            else:
+                arrow = f"->[{operation}]"
+            return f"{subject_ref} {arrow} {object_ref} as {pattern_id}"
+        return f"{subject_ref} {operation} {object_ref} as {pattern_id}"
+
+
+def synthesize_tbql(graph: ThreatBehaviorGraph,
+                    plan: SynthesisPlan | None = None) -> SynthesizedQuery:
+    """Module-level convenience wrapper around :class:`TBQLSynthesizer`."""
+    return TBQLSynthesizer(plan).synthesize(graph)
+
+
+__all__ = ["SynthesisPlan", "SynthesizedQuery", "TBQLSynthesizer",
+           "synthesize_tbql"]

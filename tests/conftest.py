@@ -1,0 +1,97 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (the data-leak case store, the extraction result of the
+Figure-2 text) are session-scoped so the integration tests stay fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit import AuditCollector, CollectorConfig, generate_benign_noise
+from repro.benchmark import get_case
+from repro.benchmark.case import CaseBuilder
+from repro.extraction import extract_threat_behaviors
+from repro.hunting import ThreatRaptor
+from repro.storage import DualStore
+
+#: The running example of the paper (Figure 2), reused by many tests.
+DATA_LEAK_TEXT = (
+    "As a first step, the attacker used /bin/tar to read user credentials "
+    "from /etc/passwd. It wrote the gathered information to a file "
+    "/tmp/upload.tar. Then, the attacker leveraged /bin/bzip2 utility to "
+    "compress the tar file. /bin/bzip2 read from /tmp/upload.tar and wrote "
+    "to /tmp/upload.tar.bz2. /usr/bin/gpg read from /tmp/upload.tar.bz2 and "
+    "wrote the encrypted information to /tmp/upload. Finally, the attacker "
+    "used /usr/bin/curl to read the data from /tmp/upload. He leaked the "
+    "gathered sensitive information back to the C2 host by using "
+    "/usr/bin/curl to connect to 192.168.29.128."
+)
+
+#: The eight ground-truth steps of the data-leak attack, in order.
+DATA_LEAK_EDGES = [
+    ("/bin/tar", "read", "/etc/passwd"),
+    ("/bin/tar", "write", "/tmp/upload.tar"),
+    ("/bin/bzip2", "read", "/tmp/upload.tar"),
+    ("/bin/bzip2", "write", "/tmp/upload.tar.bz2"),
+    ("/usr/bin/gpg", "read", "/tmp/upload.tar.bz2"),
+    ("/usr/bin/gpg", "write", "/tmp/upload"),
+    ("/usr/bin/curl", "read", "/tmp/upload"),
+    ("/usr/bin/curl", "connect", "192.168.29.128"),
+]
+
+
+def record_data_leak_attack(collector: AuditCollector) -> None:
+    """Replay the data-leak attack steps through a collector."""
+    tar = collector.spawn_process("/bin/tar")
+    collector.read_file(tar, "/etc/passwd", burst=3)
+    collector.write_file(tar, "/tmp/upload.tar", burst=3)
+    bzip2 = collector.spawn_process("/bin/bzip2")
+    collector.read_file(bzip2, "/tmp/upload.tar")
+    collector.write_file(bzip2, "/tmp/upload.tar.bz2")
+    gpg = collector.spawn_process("/usr/bin/gpg")
+    collector.read_file(gpg, "/tmp/upload.tar.bz2")
+    collector.write_file(gpg, "/tmp/upload")
+    curl = collector.spawn_process("/usr/bin/curl")
+    collector.read_file(curl, "/tmp/upload")
+    collector.connect_ip(curl, "192.168.29.128")
+
+
+@pytest.fixture(scope="session")
+def data_leak_events():
+    """Malicious data-leak events plus a small benign background."""
+    collector = AuditCollector(CollectorConfig(seed=11))
+    record_data_leak_attack(collector)
+    return collector.events() + generate_benign_noise(num_sessions=15,
+                                                      seed=23)
+
+
+@pytest.fixture(scope="session")
+def data_leak_store(data_leak_events):
+    """A dual store loaded with the data-leak events."""
+    store = DualStore()
+    store.load_events(data_leak_events)
+    yield store
+    store.close()
+
+
+@pytest.fixture(scope="session")
+def data_leak_extraction():
+    """Extraction result for the Figure-2 OSCTI text."""
+    return extract_threat_behaviors(DATA_LEAK_TEXT)
+
+
+@pytest.fixture(scope="session")
+def data_leak_raptor(data_leak_events):
+    """A ThreatRaptor instance with the data-leak events ingested."""
+    raptor = ThreatRaptor()
+    raptor.ingest_events(data_leak_events)
+    yield raptor
+    raptor.store.close()
+
+
+@pytest.fixture(scope="session")
+def clearscope_built():
+    """The smallest benchmark case, materialized (for fast case tests)."""
+    return CaseBuilder().build(get_case("tc_clearscope_3"),
+                               benign_sessions=5)

@@ -1,0 +1,151 @@
+"""Unit tests for the synthetic collector and the benign workload generator."""
+
+import pytest
+
+from repro.audit.collector import AuditCollector, CollectorConfig
+from repro.audit.entities import EntityType, Operation
+from repro.audit.syscalls import (SYSCALL_TABLE, event_category_of,
+                                  is_monitored, lookup_syscall, syscall_for)
+from repro.audit.workload import (BenignWorkloadGenerator, WorkloadConfig,
+                                  generate_benign_noise)
+
+
+class TestSyscallTable:
+    def test_table_covers_paper_calls(self):
+        for name in ("read", "write", "execve", "fork", "clone", "recvfrom",
+                     "sendto", "rename"):
+            assert is_monitored(name)
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            lookup_syscall("not_a_syscall")
+
+    def test_reverse_mapping_roundtrips(self):
+        name = syscall_for(Operation.READ, EntityType.FILE)
+        spec = lookup_syscall(name)
+        assert spec.operation is Operation.READ
+        assert spec.object_type is EntityType.FILE
+
+    def test_network_read_maps_to_recv(self):
+        assert syscall_for(Operation.READ, EntityType.NETWORK) == "recvfrom"
+        assert syscall_for(Operation.WRITE, EntityType.NETWORK) == "sendto"
+
+    def test_event_category(self):
+        assert event_category_of("connect") is EntityType.NETWORK
+        assert event_category_of("execve") is EntityType.PROCESS
+
+    def test_every_entry_consistent(self):
+        for name, spec in SYSCALL_TABLE.items():
+            assert spec.name == name
+
+
+class TestAuditCollector:
+    def test_clock_advances_monotonically(self):
+        collector = AuditCollector()
+        tar = collector.spawn_process("/bin/tar")
+        before = collector.now
+        collector.read_file(tar, "/etc/passwd")
+        assert collector.now > before
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AuditCollector().advance(-1)
+
+    def test_burst_produces_multiple_records(self):
+        collector = AuditCollector()
+        tar = collector.spawn_process("/bin/tar")
+        events = collector.read_file(tar, "/etc/passwd", burst=5)
+        assert len(events) == 5
+        assert all(event.operation is Operation.READ for event in events)
+
+    def test_burst_ignored_for_control_operations(self):
+        collector = AuditCollector()
+        bash = collector.spawn_process("/bin/bash")
+        events = collector.connect_ip(bash, "1.2.3.4", burst=7)
+        assert len(events) == 1
+
+    def test_invalid_burst_rejected(self):
+        collector = AuditCollector()
+        tar = collector.spawn_process("/bin/tar")
+        with pytest.raises(ValueError):
+            collector.read_file(tar, "/etc/passwd", burst=0)
+
+    def test_spawn_process_reuses_same_pid_for_same_key(self):
+        collector = AuditCollector()
+        first = collector.spawn_process("/bin/bash", pid=500)
+        second = collector.spawn_process("/bin/bash", pid=500)
+        assert first is second
+
+    def test_start_process_creates_child(self):
+        collector = AuditCollector()
+        bash = collector.spawn_process("/bin/bash")
+        child, events = collector.start_process(bash, "/usr/bin/python3")
+        assert child.exename == "/usr/bin/python3"
+        assert events[0].operation is Operation.START
+
+    def test_file_name_is_full_path(self):
+        collector = AuditCollector()
+        entity = collector.file("/etc/passwd")
+        assert entity.name == "/etc/passwd"
+
+    def test_data_amount_split_across_burst(self):
+        collector = AuditCollector()
+        tar = collector.spawn_process("/bin/tar")
+        events = collector.read_file(tar, "/etc/passwd", burst=4,
+                                     data_amount=4000)
+        assert all(event.data_amount == 1000 for event in events)
+
+    def test_to_log_and_clear(self):
+        collector = AuditCollector()
+        tar = collector.spawn_process("/bin/tar")
+        collector.read_file(tar, "/etc/passwd")
+        assert collector.to_log().strip()
+        assert len(collector) > 0
+        collector.clear()
+        assert len(collector) == 0
+
+    def test_events_sorted(self):
+        collector = AuditCollector()
+        tar = collector.spawn_process("/bin/tar")
+        collector.read_file(tar, "/etc/a")
+        collector.read_file(tar, "/etc/b")
+        events = collector.events()
+        assert events == sorted(events, key=lambda e: (e.start_time,
+                                                       e.event_id))
+
+
+class TestBenignWorkload:
+    def test_deterministic_for_same_seed(self):
+        first = generate_benign_noise(num_sessions=10, seed=5)
+        second = generate_benign_noise(num_sessions=10, seed=5)
+        first_sig = [(e.subject.exename, e.operation, e.start_time)
+                     for e in first]
+        second_sig = [(e.subject.exename, e.operation, e.start_time)
+                      for e in second]
+        assert first_sig == second_sig
+
+    def test_different_seeds_differ(self):
+        first = generate_benign_noise(num_sessions=10, seed=5)
+        second = generate_benign_noise(num_sessions=10, seed=6)
+        assert [(e.subject.exename, e.operation) for e in first] != \
+            [(e.subject.exename, e.operation) for e in second]
+
+    def test_more_sessions_more_events(self):
+        small = generate_benign_noise(num_sessions=5, seed=1)
+        large = generate_benign_noise(num_sessions=50, seed=1)
+        assert len(large) > len(small)
+
+    def test_generates_varied_activity(self):
+        events = generate_benign_noise(num_sessions=40, seed=3)
+        operations = {event.operation for event in events}
+        assert Operation.READ in operations
+        assert Operation.WRITE in operations
+        categories = {event.category.value for event in events}
+        assert "network_event" in categories or "process_event" in categories
+
+    def test_generate_log_text_parses(self):
+        from repro.audit.parser import parse_audit_log
+        generator = BenignWorkloadGenerator(WorkloadConfig(num_sessions=5,
+                                                           seed=2))
+        events = parse_audit_log(generator.generate_log())
+        assert events

@@ -1,0 +1,129 @@
+"""Unit tests for the system entity/event model (Tables I-III)."""
+
+import pytest
+
+from repro.audit.entities import (DEFAULT_ATTRIBUTES, EntityType,
+                                  EventCategory, FileEntity, NetworkEntity,
+                                  Operation, ProcessEntity, SystemEvent,
+                                  default_attribute_for, entity_matches_type,
+                                  iter_unique_entities, make_entity)
+
+
+class TestEntityTypes:
+    def test_from_string_aliases(self):
+        assert EntityType.from_string("proc") is EntityType.PROCESS
+        assert EntityType.from_string("process") is EntityType.PROCESS
+        assert EntityType.from_string("file") is EntityType.FILE
+        assert EntityType.from_string("ip") is EntityType.NETWORK
+        assert EntityType.from_string("NETWORK") is EntityType.NETWORK
+
+    def test_from_string_unknown_raises(self):
+        with pytest.raises(ValueError):
+            EntityType.from_string("registry")
+
+    def test_operation_from_string(self):
+        assert Operation.from_string("read") is Operation.READ
+        assert Operation.from_string("CONNECT") is Operation.CONNECT
+
+    def test_operation_unknown_raises(self):
+        with pytest.raises(ValueError):
+            Operation.from_string("teleport")
+
+
+class TestEntities:
+    def test_file_identity_is_path(self):
+        first = FileEntity(path="/etc/passwd")
+        second = FileEntity(path="/etc/passwd", name="passwd")
+        assert first.unique_key == second.unique_key
+
+    def test_file_name_defaults_to_path(self):
+        entity = FileEntity(path="/etc/passwd")
+        assert entity.name == "/etc/passwd"
+
+    def test_process_identity_is_exe_and_pid(self):
+        first = ProcessEntity(exename="/bin/bash", pid=10)
+        second = ProcessEntity(exename="/bin/bash", pid=10, user="alice")
+        third = ProcessEntity(exename="/bin/bash", pid=11)
+        assert first.unique_key == second.unique_key
+        assert first.unique_key != third.unique_key
+
+    def test_network_identity_is_five_tuple(self):
+        base = dict(srcip="10.0.0.1", srcport=1, dstip="8.8.8.8", dstport=53,
+                    protocol="udp")
+        first = NetworkEntity(**base)
+        second = NetworkEntity(**{**base, "srcport": 2})
+        assert first.unique_key != second.unique_key
+
+    def test_default_attributes_match_paper(self):
+        assert DEFAULT_ATTRIBUTES[EntityType.FILE] == "name"
+        assert DEFAULT_ATTRIBUTES[EntityType.PROCESS] == "exename"
+        assert DEFAULT_ATTRIBUTES[EntityType.NETWORK] == "dstip"
+        assert default_attribute_for(EntityType.FILE) == "name"
+
+    def test_attributes_dict_contains_type(self):
+        entity = ProcessEntity(exename="/bin/ls", pid=4)
+        attrs = entity.attributes()
+        assert attrs["type"] == "proc"
+        assert attrs["exename"] == "/bin/ls"
+        assert attrs["pid"] == 4
+
+    def test_make_entity_dispatch(self):
+        file_entity = make_entity(EntityType.FILE, path="/tmp/x")
+        proc_entity = make_entity(EntityType.PROCESS, exename="/bin/x", pid=1)
+        net_entity = make_entity(EntityType.NETWORK, srcip="1.1.1.1",
+                                 srcport=1, dstip="2.2.2.2", dstport=2)
+        assert entity_matches_type(file_entity, EntityType.FILE)
+        assert entity_matches_type(proc_entity, EntityType.PROCESS)
+        assert entity_matches_type(net_entity, EntityType.NETWORK)
+
+    def test_entity_ids_are_unique(self):
+        ids = {FileEntity(path=f"/tmp/{i}").entity_id for i in range(50)}
+        assert len(ids) == 50
+
+
+class TestSystemEvent:
+    def _event(self, operation=Operation.READ, obj=None, start=0.0, end=1.0):
+        subject = ProcessEntity(exename="/bin/cat", pid=2)
+        obj = obj or FileEntity(path="/etc/hosts")
+        return SystemEvent(subject=subject, operation=operation, obj=obj,
+                           start_time=start, end_time=end, data_amount=10)
+
+    def test_duration(self):
+        assert self._event(start=1.0, end=3.5).duration == 2.5
+
+    def test_end_before_start_raises(self):
+        with pytest.raises(ValueError):
+            self._event(start=2.0, end=1.0)
+
+    def test_category_by_object_type(self):
+        assert self._event().category is EventCategory.FILE_EVENT
+        proc_obj = ProcessEntity(exename="/bin/sh", pid=9)
+        assert self._event(obj=proc_obj).category is \
+            EventCategory.PROCESS_EVENT
+        net_obj = NetworkEntity(srcip="1.1.1.1", srcport=1, dstip="2.2.2.2",
+                                dstport=2)
+        assert self._event(obj=net_obj).category is \
+            EventCategory.NETWORK_EVENT
+
+    def test_merged_with_combines_time_and_bytes(self):
+        first = self._event(start=0.0, end=1.0)
+        second = self._event(start=1.5, end=2.0)
+        merged = first.merged_with(second)
+        assert merged.start_time == 0.0
+        assert merged.end_time == 2.0
+        assert merged.data_amount == 20
+
+    def test_attributes_roundtrip(self):
+        event = self._event()
+        attrs = event.attributes()
+        assert attrs["operation"] == "read"
+        assert attrs["category"] == "file_event"
+        assert attrs["data_amount"] == 10
+
+    def test_iter_unique_entities_deduplicates(self):
+        subject = ProcessEntity(exename="/bin/cat", pid=2)
+        obj = FileEntity(path="/etc/hosts")
+        events = [SystemEvent(subject=subject, operation=Operation.READ,
+                              obj=obj, start_time=i, end_time=i + 0.1)
+                  for i in range(5)]
+        assert len(list(iter_unique_entities(events))) == 2

@@ -1,0 +1,169 @@
+"""Unit tests for the auditd-style log format and the log parser."""
+
+import pytest
+
+from repro.audit.entities import (FileEntity, NetworkEntity, Operation,
+                                  ProcessEntity, SystemEvent)
+from repro.audit.logfmt import (format_log, format_record, parse_fields,
+                                parse_record, split_cmdline)
+from repro.audit.parser import AuditLogParser, parse_audit_log, \
+    summarize_events
+from repro.errors import AuditError
+
+
+def _file_event(path="/etc/passwd", operation=Operation.READ):
+    subject = ProcessEntity(exename="/bin/tar", pid=101,
+                            cmdline="tar cf /tmp/x /etc/passwd")
+    return SystemEvent(subject=subject, operation=operation,
+                       obj=FileEntity(path=path, name=path),
+                       start_time=100.0, end_time=100.5, data_amount=4096)
+
+
+def _network_event():
+    subject = ProcessEntity(exename="/usr/bin/curl", pid=102)
+    obj = NetworkEntity(srcip="10.0.0.5", srcport=40000,
+                        dstip="192.168.29.128", dstport=443)
+    return SystemEvent(subject=subject, operation=Operation.CONNECT, obj=obj,
+                       start_time=200.0, end_time=200.1)
+
+
+def _process_event():
+    subject = ProcessEntity(exename="/bin/bash", pid=103)
+    obj = ProcessEntity(exename="/usr/bin/python3", pid=104)
+    return SystemEvent(subject=subject, operation=Operation.START, obj=obj,
+                       start_time=300.0, end_time=300.0)
+
+
+class TestRecordRoundTrip:
+    def test_file_event_roundtrip(self):
+        original = _file_event()
+        parsed = parse_record(format_record(original))
+        assert parsed.operation is Operation.READ
+        assert parsed.subject.exename == "/bin/tar"
+        assert parsed.subject.pid == 101
+        assert parsed.obj.path == "/etc/passwd"
+        assert parsed.data_amount == 4096
+        assert parsed.start_time == pytest.approx(100.0)
+
+    def test_network_event_roundtrip(self):
+        parsed = parse_record(format_record(_network_event()))
+        assert parsed.operation is Operation.CONNECT
+        assert parsed.obj.dstip == "192.168.29.128"
+        assert parsed.obj.dstport == 443
+        assert parsed.obj.srcport == 40000
+
+    def test_process_event_roundtrip(self):
+        parsed = parse_record(format_record(_process_event()))
+        assert parsed.operation is Operation.START
+        assert parsed.obj.exename == "/usr/bin/python3"
+        assert parsed.obj.pid == 104
+
+    def test_cmdline_with_spaces_is_quoted(self):
+        record = format_record(_file_event())
+        fields = parse_fields(record)
+        assert fields["cmdline"] == "tar cf /tmp/x /etc/passwd"
+
+    def test_path_with_spaces_roundtrip(self):
+        event = _file_event(path="/home/alice/My Documents/report.txt")
+        parsed = parse_record(format_record(event))
+        assert parsed.obj.path == "/home/alice/My Documents/report.txt"
+
+    def test_format_log_one_line_per_event(self):
+        log = format_log([_file_event(), _network_event()])
+        assert len(log.strip().splitlines()) == 2
+
+
+class TestMalformedRecords:
+    def test_empty_record_raises(self):
+        with pytest.raises(AuditError):
+            parse_fields("   ")
+
+    def test_unknown_syscall_raises(self):
+        with pytest.raises(AuditError):
+            parse_record("type=SYSCALL ts=1 te=1 syscall=frobnicate pid=1 "
+                         "exe=/bin/x obj=file path=/tmp/a")
+
+    def test_missing_path_raises(self):
+        with pytest.raises(AuditError):
+            parse_record("type=SYSCALL ts=1 te=1 syscall=read pid=1 "
+                         "exe=/bin/x obj=file")
+
+    def test_missing_dstip_raises(self):
+        with pytest.raises(AuditError):
+            parse_record("type=SYSCALL ts=1 te=1 syscall=connect pid=1 "
+                         "exe=/bin/x obj=ip")
+
+    def test_unsupported_record_type_raises(self):
+        with pytest.raises(AuditError):
+            parse_record("type=LOGIN ts=1 pid=1")
+
+    def test_bad_number_raises(self):
+        with pytest.raises(AuditError):
+            parse_record("type=SYSCALL ts=abc te=1 syscall=read pid=1 "
+                         "exe=/bin/x obj=file path=/tmp/a")
+
+
+class TestAuditLogParser:
+    def test_parse_skips_comments_and_blank_lines(self):
+        log = "\n".join(["# header comment", "",
+                         format_record(_file_event())])
+        parser = AuditLogParser()
+        events = parser.parse_text(log)
+        assert len(events) == 1
+        assert parser.last_report.skipped_lines == 2
+
+    def test_parse_counts_malformed_lines(self):
+        log = "\n".join([format_record(_file_event()), "garbage line here"])
+        parser = AuditLogParser()
+        events = parser.parse_text(log)
+        assert len(events) == 1
+        assert parser.last_report.malformed_lines == 1
+
+    def test_strict_mode_raises_on_malformed(self):
+        parser = AuditLogParser(strict=True)
+        with pytest.raises(AuditError):
+            parser.parse_text("garbage line here")
+
+    def test_events_sorted_by_start_time(self):
+        log = format_log([_network_event(), _file_event()])
+        events = parse_audit_log(log)
+        assert events[0].start_time <= events[1].start_time
+
+    def test_parse_file(self, tmp_path):
+        path = tmp_path / "audit.log"
+        path.write_text(format_log([_file_event(), _network_event()]))
+        events = AuditLogParser().parse_file(path)
+        assert len(events) == 2
+
+    def test_summarize_events(self):
+        events = parse_audit_log(format_log(
+            [_file_event(), _network_event(), _process_event()]))
+        summary = summarize_events(events)
+        assert summary["num_events"] == 3
+        assert summary["num_entities"] == 6
+        assert summary["events_by_category"]["file_event"] == 1
+        assert summary["time_span"][0] <= summary["time_span"][1]
+
+    def test_summarize_empty(self):
+        assert summarize_events([])["num_events"] == 0
+
+
+class TestCmdlineSplit:
+    def test_simple_split(self):
+        assert split_cmdline("tar cf /tmp/x /etc/passwd") == \
+            ["tar", "cf", "/tmp/x", "/etc/passwd"]
+
+    def test_unbalanced_quote_falls_back(self):
+        assert split_cmdline('echo "unterminated') == ["echo",
+                                                       '"unterminated']
+
+
+class TestCollectorLogRoundTrip:
+    def test_collector_log_parses_back(self, data_leak_events):
+        from repro.audit.logfmt import format_log as fmt
+        log_text = fmt(data_leak_events)
+        parsed = parse_audit_log(log_text)
+        assert len(parsed) == len(data_leak_events)
+        operations = {event.operation for event in parsed}
+        assert Operation.CONNECT in operations
+        assert Operation.READ in operations

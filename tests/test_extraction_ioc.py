@@ -1,0 +1,163 @@
+"""Unit and property tests for IOC recognition and protection."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extraction.ioc import (AUDITABLE_IOC_TYPES, IOCRecognizer,
+                                  IOCType, recognize_iocs)
+from repro.extraction.protection import (PROTECTION_WORD, protect_iocs,
+                                         restore_tree)
+from repro.nlp.depparse import RuleDependencyParser
+
+
+def values_of(text, ioc_type=None):
+    iocs = recognize_iocs(text)
+    if ioc_type is not None:
+        iocs = [ioc for ioc in iocs if ioc.ioc_type is ioc_type]
+    return [ioc.value for ioc in iocs]
+
+
+class TestRecognizer:
+    def test_unix_filepath(self):
+        assert values_of("read /etc/passwd now") == ["/etc/passwd"]
+        assert recognize_iocs("read /etc/passwd")[0].ioc_type is \
+            IOCType.FILEPATH
+
+    def test_nested_filepath_longest_match(self):
+        assert values_of("wrote /tmp/upload.tar.bz2 out") == \
+            ["/tmp/upload.tar.bz2"]
+
+    def test_windows_filepath(self):
+        found = values_of(r"dropped C:\Users\victim\payload.exe today")
+        assert r"C:\Users\victim\payload.exe" in found
+        assert all("today" not in value for value in found)
+
+    def test_filename_with_extension(self):
+        assert "payload.exe" in values_of("excel.exe wrote payload.exe")
+        assert "logins.json" in values_of("read logins.json")
+
+    def test_ipv4(self):
+        assert values_of("connect to 192.168.29.128 now",
+                         IOCType.IP) == ["192.168.29.128"]
+
+    def test_invalid_ip_rejected(self):
+        assert values_of("version 999.999.999.999 here", IOCType.IP) == []
+
+    def test_cidr(self):
+        iocs = recognize_iocs("block 10.0.0.0/24 at the firewall")
+        assert iocs[0].ioc_type is IOCType.CIDR
+        assert iocs[0].normalized == "10.0.0.0"
+
+    def test_url_and_domain(self):
+        assert values_of("visit http://evil.example.com/a.php",
+                         IOCType.URL) == ["http://evil.example.com/a.php"]
+        assert "command-and-control.ru" in values_of(
+            "beacons to command-and-control.ru daily", IOCType.DOMAIN)
+
+    def test_email(self):
+        assert values_of("mail admin@corp.com now", IOCType.EMAIL) == \
+            ["admin@corp.com"]
+
+    def test_hashes(self):
+        md5 = "d41d8cd98f00b204e9800998ecf8427e"
+        sha256 = "e" * 64
+        text = f"hashes {md5} and {sha256}"
+        assert values_of(text, IOCType.MD5) == [md5]
+        assert values_of(text, IOCType.SHA256) == [sha256]
+
+    def test_cve(self):
+        assert values_of("exploits CVE-2014-6271 remotely",
+                         IOCType.CVE) == ["CVE-2014-6271"]
+
+    def test_registry_key(self):
+        found = values_of(r"writes HKEY_LOCAL_MACHINE\Software\Run\evil")
+        assert any("HKEY_LOCAL_MACHINE" in value for value in found)
+
+    def test_android_package(self):
+        assert "com.android.defcontainer" in values_of(
+            "com.android.defcontainer opened the apk")
+
+    def test_no_false_positive_on_plain_text(self):
+        assert values_of("the attacker read the password file") == []
+
+    def test_results_sorted_and_non_overlapping(self):
+        iocs = recognize_iocs(
+            "used /bin/tar to read /etc/passwd and sent to 192.168.29.128")
+        starts = [ioc.start for ioc in iocs]
+        assert starts == sorted(starts)
+        for left, right in zip(iocs, iocs[1:]):
+            assert left.end <= right.start
+
+    def test_auditable_types_cover_files_processes_ips(self):
+        assert IOCType.FILEPATH in AUDITABLE_IOC_TYPES
+        assert IOCType.IP in AUDITABLE_IOC_TYPES
+        assert IOCType.URL not in AUDITABLE_IOC_TYPES
+        assert IOCType.REGISTRY not in AUDITABLE_IOC_TYPES
+
+    @given(st.text(alphabet=st.characters(min_codepoint=32,
+                                          max_codepoint=126), max_size=120))
+    @settings(max_examples=80, deadline=None)
+    def test_never_crashes_and_offsets_valid(self, text):
+        for ioc in IOCRecognizer().recognize(text):
+            assert 0 <= ioc.start < ioc.end <= len(text)
+            assert text[ioc.start:ioc.end] == ioc.value
+
+
+class TestProtection:
+    def test_replaces_iocs_with_dummy_word(self):
+        protected = protect_iocs(
+            "the attacker used /bin/tar to read /etc/passwd")
+        assert "/bin/tar" not in protected.text
+        assert protected.text.count(PROTECTION_WORD) == 2
+        assert len(protected.records) == 2
+
+    def test_records_preserve_order(self):
+        protected = protect_iocs("/bin/tar read /etc/passwd")
+        assert protected.records[0].ioc.value == "/bin/tar"
+        assert protected.records[1].ioc.value == "/etc/passwd"
+
+    def test_record_for_out_of_range(self):
+        protected = protect_iocs("no iocs at all")
+        assert protected.record_for(0) is None
+
+    def test_text_without_iocs_unchanged(self):
+        text = "the attacker read the password file"
+        assert protect_iocs(text).text == text
+
+    def test_restore_into_tree(self):
+        protected = protect_iocs("/bin/tar read /etc/passwd.")
+        tree = RuleDependencyParser().parse(protected.text)
+        consumed = restore_tree(tree, protected, 0)
+        assert consumed == 2
+        restored = [n.text for n in tree.nodes
+                    if "ioc_value" in n.annotations]
+        assert restored == ["/bin/tar", "/etc/passwd"]
+        types = [n.annotations["ioc_type"] for n in tree.nodes
+                 if "ioc_type" in n.annotations]
+        assert all(t is IOCType.FILEPATH for t in types)
+
+    def test_restore_across_sentences_keeps_counter(self):
+        protected = protect_iocs("/bin/tar read /etc/passwd. "
+                                 "/bin/bzip2 read /tmp/upload.tar.")
+        parser = RuleDependencyParser()
+        from repro.nlp.sentences import split_sentences
+        consumed = 0
+        restored = []
+        for sentence in split_sentences(protected.text):
+            tree = parser.parse(sentence.text)
+            consumed = restore_tree(tree, protected, consumed)
+            restored += [n.text for n in tree.nodes
+                         if "ioc_value" in n.annotations]
+        assert restored == ["/bin/tar", "/etc/passwd", "/bin/bzip2",
+                            "/tmp/upload.tar"]
+
+    @given(st.lists(st.sampled_from(["/etc/passwd", "/bin/tar",
+                                     "192.168.1.7", "payload.exe",
+                                     "com.android.email"]),
+                    min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_protection_roundtrip_property(self, iocs):
+        text = "the tool " + " touched ".join(iocs) + " today"
+        protected = protect_iocs(text)
+        assert len(protected.records) == len(iocs)
+        assert [record.ioc.value for record in protected.records] == iocs

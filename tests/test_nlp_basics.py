@@ -1,0 +1,227 @@
+"""Unit and property tests for tokenization, sentences, POS, lemmas, vectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.lemmatizer import lemmatize
+from repro.nlp.pos import POSTagger
+from repro.nlp.sentences import split_blocks, split_sentences
+from repro.nlp.tokenizer import detokenize, tokenize, tokenize_whitespace
+from repro.nlp.vectors import character_overlap, cosine_similarity, embed
+
+
+class TestGeneralTokenizer:
+    def test_splits_punctuation(self):
+        texts = [token.text for token in tokenize("read /etc/passwd now.")]
+        assert "/" in texts and "etc" in texts and "passwd" in texts
+
+    def test_shreds_ip_addresses(self):
+        texts = [token.text for token in tokenize("connect to 192.168.1.1")]
+        assert "192.168.1.1" not in texts
+        assert len(texts) > 3
+
+    def test_offsets_are_correct(self):
+        text = "read file"
+        for token in tokenize(text):
+            assert text[token.start:token.end] == token.text
+
+    def test_is_punct_flag(self):
+        tokens = tokenize("a, b")
+        assert [t.is_punct for t in tokens] == [False, True, False]
+
+
+class TestWhitespaceTokenizer:
+    def test_keeps_paths_intact(self):
+        texts = [t.text for t in tokenize_whitespace("read /etc/passwd now")]
+        assert "/etc/passwd" in texts
+
+    def test_keeps_ips_intact(self):
+        texts = [t.text for t in
+                 tokenize_whitespace("connect to 192.168.29.128.")]
+        assert "192.168.29.128" in texts
+        assert "." in texts            # trailing period split off
+
+    def test_splits_trailing_punctuation(self):
+        texts = [t.text for t in tokenize_whitespace("something, done.")]
+        assert texts == ["something", ",", "done", "."]
+
+    def test_splits_leading_quote(self):
+        texts = [t.text for t in tokenize_whitespace('"quoted" word')]
+        assert texts[0] == '"'
+
+    def test_detokenize_readable(self):
+        tokens = tokenize_whitespace("read /etc/passwd.")
+        assert detokenize(tokens) == "read /etc/passwd."
+
+    @given(st.text(alphabet=st.characters(whitelist_categories=("Ll", "Lu"),
+                                          whitelist_characters=" ./-_"),
+                   max_size=80))
+    @settings(max_examples=80, deadline=None)
+    def test_tokens_cover_all_non_space_text(self, text):
+        tokens = tokenize_whitespace(text)
+        reconstructed = "".join(token.text for token in tokens)
+        assert reconstructed == text.replace(" ", "")
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_never_crashes_and_indices_sequential(self, text):
+        tokens = tokenize_whitespace(text)
+        assert [t.index for t in tokens] == list(range(len(tokens)))
+
+
+class TestSentenceSegmentation:
+    def test_splits_on_period(self):
+        sentences = split_sentences("First sentence. Second sentence.")
+        assert len(sentences) == 2
+        assert sentences[0].text == "First sentence."
+
+    def test_keeps_abbreviations(self):
+        sentences = split_sentences("Use tools, e.g. tar and gzip. Done.")
+        assert len(sentences) == 2
+
+    def test_keeps_decimal_numbers(self):
+        sentences = split_sentences("It took 3.5 seconds. Then it stopped.")
+        assert len(sentences) == 2
+
+    def test_question_and_exclamation(self):
+        sentences = split_sentences("Was it malicious? Yes! Indeed.")
+        assert len(sentences) == 3
+
+    def test_offsets_match_source(self):
+        text = "Alpha beta. Gamma delta."
+        for sentence in split_sentences(text):
+            assert text[sentence.start:sentence.end] == sentence.text
+
+    def test_no_trailing_period(self):
+        assert len(split_sentences("no trailing period here")) == 1
+
+    def test_split_blocks_on_blank_lines(self):
+        blocks = split_blocks("para one line one\nline two\n\npara two")
+        assert blocks == ["para one line one line two", "para two"]
+
+    def test_split_blocks_collapses_whitespace(self):
+        assert split_blocks("a   b\n\n\n  c ") == ["a b", "c"]
+
+
+class TestPOSTagger:
+    def setup_method(self):
+        self.tagger = POSTagger()
+
+    def _tags(self, sentence):
+        tokens = tokenize_whitespace(sentence)
+        return dict(zip([t.text for t in tokens], self.tagger.tag(tokens)))
+
+    def test_basic_sentence(self):
+        tags = self._tags("the attacker used something to read credentials")
+        assert tags["the"] == "DET"
+        assert tags["attacker"] == "NOUN"
+        assert tags["used"] == "VERB"
+        assert tags["something"] == "NOUN"
+        assert tags["read"] == "VERB"
+
+    def test_protection_word_is_nounish(self):
+        tags = self._tags("something read from something")
+        assert tags["something"] == "NOUN"
+
+    def test_participle_before_noun_is_adjective(self):
+        tags = self._tags("it wrote the gathered information")
+        assert tags["gathered"] == "ADJ"
+        tags = self._tags("he leaked the stolen data")
+        assert tags["stolen"] == "ADJ"
+
+    def test_path_like_token_is_propn(self):
+        tags = self._tags("then /usr/bin/curl connected")
+        assert tags["/usr/bin/curl"] == "PROPN"
+
+    def test_pronoun_and_preposition(self):
+        tags = self._tags("it wrote data to a file")
+        assert tags["it"] == "PRON"
+        assert tags["to"] == "ADP"
+
+    def test_infinitive_to_is_particle(self):
+        tags = self._tags("the attacker used something to read data")
+        assert tags["to"] == "PART"
+
+    def test_numbers(self):
+        tags = self._tags("stage 2 malware")
+        assert tags["2"] == "NUM"
+
+    def test_punctuation(self):
+        tags = self._tags("done .")
+        assert tags["."] == "PUNCT"
+
+
+class TestLemmatizer:
+    def test_irregular_verbs(self):
+        assert lemmatize("wrote") == "write"
+        assert lemmatize("sent") == "send"
+        assert lemmatize("stole") == "steal"
+        assert lemmatize("ran") == "run"
+
+    def test_regular_past_tense(self):
+        assert lemmatize("downloaded") == "download"
+        assert lemmatize("connected") == "connect"
+        assert lemmatize("used") == "use"
+        assert lemmatize("executed") == "execute"
+        assert lemmatize("leveraged") == "leverage"
+
+    def test_gerunds(self):
+        assert lemmatize("reading") == "read"
+        assert lemmatize("running") == "run"
+
+    def test_plural_nouns(self):
+        assert lemmatize("credentials") == "credential"
+        assert lemmatize("processes") == "processe" or \
+            lemmatize("processes") == "process"
+
+    def test_short_words_untouched(self):
+        assert lemmatize("is") == "be"
+        assert lemmatize("cat") == "cat"
+
+    def test_already_base_form(self):
+        assert lemmatize("read") == "read"
+        assert lemmatize("connect") == "connect"
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1,
+                   max_size=15))
+    @settings(max_examples=100, deadline=None)
+    def test_always_returns_lowercase_nonempty(self, word):
+        lemma = lemmatize(word)
+        assert lemma
+        assert lemma == lemma.lower()
+
+
+class TestVectors:
+    def test_identical_strings_similarity_one(self):
+        assert cosine_similarity("/tmp/upload.tar", "/tmp/upload.tar") == \
+            1.0
+
+    def test_similar_strings_high_similarity(self):
+        assert cosine_similarity("upload.tar", "/tmp/upload.tar") > 0.6
+
+    def test_different_strings_low_similarity(self):
+        assert cosine_similarity("/etc/passwd", "192.168.29.128") < 0.5
+
+    def test_empty_string_zero_vector(self):
+        assert not embed("").any()
+
+    def test_character_overlap_containment(self):
+        assert character_overlap("upload.tar", "/tmp/upload.tar") > 0.6
+        assert character_overlap("", "abc") == 0.0
+
+    def test_character_overlap_symmetric(self):
+        assert character_overlap("abcd", "bcde") == \
+            character_overlap("bcde", "abcd")
+
+    @given(st.text(max_size=30), st.text(max_size=30))
+    @settings(max_examples=80, deadline=None)
+    def test_similarity_bounded(self, left, right):
+        value = cosine_similarity(left, right)
+        assert -1.0001 <= value <= 1.0001
+
+    @given(st.text(min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_self_similarity_is_one(self, text):
+        if embed(text).any():
+            assert cosine_similarity(text, text) == pytest.approx(1.0)

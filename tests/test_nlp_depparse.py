@@ -1,0 +1,155 @@
+"""Unit tests for the rule-based dependency parser."""
+
+from repro.nlp.depparse import RuleDependencyParser
+
+
+def parse(sentence):
+    return RuleDependencyParser().parse(sentence)
+
+
+def rel_of(tree, word):
+    for node in tree.nodes:
+        if node.text == word:
+            return node.deprel
+    raise AssertionError(f"{word!r} not in tree")
+
+
+def head_of(tree, word):
+    for node in tree.nodes:
+        if node.text == word:
+            if node.head == -1:
+                return None
+            return tree.nodes_by_index(node.head).text
+    raise AssertionError(f"{word!r} not in tree")
+
+
+class TestBasicStructure:
+    def test_simple_svo(self):
+        tree = parse("something read something.")
+        assert rel_of(tree, "read") == "root"
+        subjects = [n.text for n in tree.nodes if n.deprel == "nsubj"]
+        objects = [n.text for n in tree.nodes if n.deprel == "dobj"]
+        assert subjects == ["something"]
+        assert objects == ["something"]
+
+    def test_subject_detection(self):
+        tree = parse("the attacker used something to read credentials.")
+        assert rel_of(tree, "attacker") == "nsubj"
+        assert head_of(tree, "attacker") == "used"
+
+    def test_instrument_object_of_use(self):
+        tree = parse("the attacker used something to read credentials.")
+        assert rel_of(tree, "something") == "dobj"
+        assert head_of(tree, "something") == "used"
+
+    def test_infinitive_complement(self):
+        tree = parse("the attacker used something to read credentials.")
+        assert rel_of(tree, "read") == "xcomp"
+        assert head_of(tree, "read") == "used"
+
+    def test_prepositional_object(self):
+        tree = parse("something read credentials from something.")
+        assert rel_of(tree, "from") == "prep"
+        nodes = [n for n in tree.nodes if n.deprel == "pobj"]
+        assert len(nodes) == 1
+        assert tree.nodes_by_index(nodes[0].head).text == "from"
+
+    def test_coordinated_verbs(self):
+        tree = parse("something read from something and wrote to something.")
+        assert rel_of(tree, "wrote") == "conj"
+        assert head_of(tree, "wrote") == "read"
+        assert rel_of(tree, "and") == "cc"
+
+    def test_determiner_and_adjective_attachment(self):
+        tree = parse("it wrote the gathered information to a file.")
+        assert rel_of(tree, "the") == "det"
+        assert head_of(tree, "the") == "information"
+        assert rel_of(tree, "gathered") == "amod"
+
+    def test_noun_compound(self):
+        tree = parse("something read user credentials.")
+        assert rel_of(tree, "user") == "compound"
+        assert head_of(tree, "user") == "credentials"
+
+    def test_pronoun_subject(self):
+        tree = parse("It wrote the data to something.")
+        assert rel_of(tree, "It") == "nsubj"
+
+    def test_punctuation_attached(self):
+        tree = parse("something read something.")
+        assert rel_of(tree, ".") == "punct"
+
+    def test_every_node_has_single_head(self):
+        tree = parse("the attacker leveraged something utility to compress "
+                     "the tar file and wrote the result to something.")
+        roots = [n for n in tree.nodes if n.head == -1]
+        assert len(roots) == 1
+        for node in tree.nodes:
+            if node.head != -1:
+                assert node.head in {n.index for n in tree.nodes}
+
+    def test_verbless_sentence_has_noun_root(self):
+        tree = parse("the malicious payload something")
+        root = tree.root()
+        assert root is not None
+        assert root.pos in ("NOUN", "PROPN")
+
+    def test_empty_sentence(self):
+        tree = parse("")
+        assert len(tree) == 0
+        assert tree.root() is None
+
+
+class TestTreeUtilities:
+    def test_path_to_root(self):
+        tree = parse("something read credentials from something.")
+        pobj = next(n for n in tree.nodes if n.deprel == "pobj")
+        path_texts = [n.text for n in tree.path_to_root(pobj.index)]
+        assert path_texts[0] == pobj.text
+        assert path_texts[-1] == "read"
+
+    def test_lowest_common_ancestor(self):
+        tree = parse("the attacker used something to read data from "
+                     "something.")
+        iocs = [n for n in tree.nodes if n.text == "something"]
+        lca = tree.lowest_common_ancestor(iocs[0].index, iocs[1].index)
+        assert lca.text == "used"
+
+    def test_path_between_passes_through_lca(self):
+        tree = parse("the attacker used something to read data from "
+                     "something.")
+        iocs = [n for n in tree.nodes if n.text == "something"]
+        path = tree.path_between(iocs[0].index, iocs[1].index)
+        assert "used" in [n.text for n in path]
+        assert path[0].text == "something"
+
+    def test_children(self):
+        tree = parse("something read user credentials.")
+        read_node = next(n for n in tree.nodes if n.text == "read")
+        child_texts = {n.text for n in tree.children(read_node.index)}
+        assert "credentials" in child_texts
+
+    def test_remove_nodes_keeps_connectivity(self):
+        tree = parse("then, the attacker used something to read data.")
+        removable = {n.index for n in tree.nodes if n.pos == "PUNCT"}
+        pruned = tree.remove_nodes(removable)
+        assert len(pruned) == len(tree) - len(removable)
+        for node in pruned.nodes:
+            assert node.head == -1 or node.head in {n.index
+                                                    for n in pruned.nodes}
+
+    def test_remove_nodes_preserves_indices(self):
+        tree = parse("the attacker used something to read data.")
+        kept_indices = {n.index for n in tree.nodes if n.pos != "PUNCT"}
+        pruned = tree.remove_nodes({n.index for n in tree.nodes
+                                    if n.pos == "PUNCT"})
+        assert {n.index for n in pruned.nodes} == kept_indices
+
+    def test_to_triples(self):
+        tree = parse("something read something.")
+        triples = tree.to_triples()
+        assert ("ROOT", "root", "read") in triples
+
+    def test_verbs_listing(self):
+        tree = parse("something read from something and wrote to something.")
+        assert {v.text for v in tree.verbs()} == {"read", "wrote"}

@@ -1,0 +1,175 @@
+"""Tests for the fuzzy search mode, the Poirot baseline, and conciseness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tbql.conciseness import (compare_conciseness, measure_conciseness,
+                                    strip_comments)
+from repro.tbql.fuzzy import (FuzzySearcher, GraphAligner, ProvenanceIndex,
+                              QueryGraph, levenshtein_distance,
+                              string_similarity)
+from repro.tbql.parser import parse_tbql
+from repro.tbql.poirot import PoirotSearcher
+from repro.tbql.semantics import resolve_query
+
+
+class TestLevenshtein:
+    def test_known_distances(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+        assert levenshtein_distance("abc", "abc") == 0
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+
+    def test_similarity_range_and_symmetry(self):
+        assert string_similarity("pass_mgr.exe", "pass_mgr_v2.exe") > 0.6
+        assert string_similarity("abc", "xyz") < 0.5
+        assert string_similarity("a", "a") == 1.0
+
+    def test_substring_containment_boost(self):
+        assert string_similarity("upload.tar", "/tmp/upload.tar") >= 0.9
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    @settings(max_examples=80, deadline=None)
+    def test_distance_symmetric_and_triangle_with_empty(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+        assert levenshtein_distance(a, b) <= max(len(a), len(b))
+
+    @given(st.text(max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_identity(self, a):
+        assert levenshtein_distance(a, a) == 0
+
+
+class TestQueryGraph:
+    def test_built_from_resolved_query(self):
+        resolved = resolve_query(parse_tbql(
+            'proc p["%/bin/tar%"] read file f["%/etc/passwd%"] as e1 '
+            'proc p connect ip i["1.2.3.4"] as e2 return p'))
+        graph = QueryGraph.from_resolved(resolved)
+        assert len(graph.nodes) == 3
+        assert len(graph.edges) == 2
+        search_strings = {node.entity_id: node.search_string
+                          for node in graph.nodes}
+        assert search_strings["p"] == "/bin/tar"
+        assert search_strings["i"] == "1.2.3.4"
+
+
+class TestProvenanceIndex:
+    def _index(self, store):
+        index = ProvenanceIndex()
+        for row in store.relational.all_events():
+            index.add_event(row)
+        return index
+
+    def test_candidates_by_similarity(self, data_leak_store):
+        index = self._index(data_leak_store)
+        resolved = resolve_query(parse_tbql(
+            'proc p["%/bin/tar%"] read file f return p'))
+        graph = QueryGraph.from_resolved(resolved)
+        candidates = index.candidates_for(graph.nodes[0])
+        assert candidates
+        names = {index.node_names[node_id] for node_id, _ in candidates}
+        assert "/bin/tar" in names
+
+    def test_flow_score_direct_edge(self, data_leak_store):
+        index = self._index(data_leak_store)
+        tar_id = next(node_id for node_id, name in index.node_names.items()
+                      if name == "/bin/tar" and
+                      index.node_types[node_id] == "proc")
+        passwd_id = next(node_id for node_id, name in
+                         index.node_names.items() if name == "/etc/passwd")
+        assert index.flow_score(tar_id, passwd_id, frozenset({"read"})) == 1.0
+        assert index.flow_score(passwd_id, tar_id, None) == 0.0
+
+
+class TestFuzzyAndPoirot:
+    QUERY = ('proc p["%/bin/tar%"] read file f["%/etc/passwd%"] as evt1 '
+             'proc p write file g["%/tmp/upload.tar%"] as evt2 '
+             'return p, f, g')
+
+    def test_exact_alignment_found(self, data_leak_store):
+        result = FuzzySearcher(data_leak_store).search(self.QUERY)
+        assert result.alignments
+        best = result.best
+        assert best.score > 0.9
+        assert best.node_names["p"] == "/bin/tar"
+        assert best.node_names["f"] == "/etc/passwd"
+
+    def test_fuzzy_tolerates_ioc_deviation(self, data_leak_store):
+        deviated = self.QUERY.replace("/bin/tar", "/bin/tarr").replace(
+            "/etc/passwd", "/etc/passwd0")
+        result = FuzzySearcher(data_leak_store).search(deviated)
+        assert result.alignments
+        assert result.best.node_names["p"] == "/bin/tar"
+
+    def test_exact_mode_misses_deviated_iocs(self, data_leak_store):
+        from repro.tbql.executor import TBQLExecutor
+        deviated = self.QUERY.replace("/bin/tar", "/bin/tarr")
+        assert TBQLExecutor(data_leak_store).execute(deviated).rows == []
+
+    def test_poirot_stops_at_first_alignment(self, data_leak_store):
+        fuzzy = FuzzySearcher(data_leak_store).search(self.QUERY)
+        poirot = PoirotSearcher(data_leak_store).search(self.QUERY)
+        assert len(poirot.alignments) == 1
+        assert len(fuzzy.alignments) >= len(poirot.alignments)
+
+    def test_timing_breakdown_present(self, data_leak_store):
+        result = FuzzySearcher(data_leak_store).search(self.QUERY)
+        assert result.loading_seconds >= 0
+        assert result.preprocessing_seconds >= 0
+        assert result.searching_seconds >= 0
+        assert result.total_seconds == pytest.approx(
+            result.loading_seconds + result.preprocessing_seconds +
+            result.searching_seconds)
+
+    def test_candidate_counts_reported(self, data_leak_store):
+        result = FuzzySearcher(data_leak_store).search(self.QUERY)
+        assert set(result.candidate_counts) == {"p", "f", "g"}
+
+    def test_no_alignment_when_nothing_similar(self, data_leak_store):
+        query = ('proc p["%/opt/totally/unknown/binary%"] read file '
+                 'f["%/zzz/not/here%"] return p')
+        result = FuzzySearcher(data_leak_store).search(query)
+        assert result.best is None
+
+    def test_aligner_respects_score_threshold(self, data_leak_store):
+        resolved = resolve_query(parse_tbql(self.QUERY))
+        index = ProvenanceIndex()
+        for row in data_leak_store.relational.all_events():
+            index.add_event(row)
+        aligner = GraphAligner(QueryGraph.from_resolved(resolved), index,
+                               score_threshold=1.01)
+        assert list(aligner.alignments()) == []
+
+
+class TestConciseness:
+    def test_counts_exclude_whitespace(self):
+        metrics = measure_conciseness("proc p read file f\nreturn p")
+        assert metrics.characters == len("procpreadfilefreturnp")
+        assert metrics.words == 7
+
+    def test_comments_stripped(self):
+        assert strip_comments("SELECT 1 -- trailing").strip() == "SELECT 1"
+        assert "comment" not in strip_comments("/* comment */ MATCH (n)")
+
+    def test_ratio(self):
+        tbql = measure_conciseness("proc p read file f return p")
+        sql = measure_conciseness("SELECT something FROM events e JOIN "
+                                  "entities s ON e.subject_id = s.id")
+        assert tbql.ratio_to(sql) > 1.0
+
+    def test_compare_conciseness_keys(self):
+        result = compare_conciseness({"TBQL": "a b", "SQL": "longer query"})
+        assert set(result) == {"TBQL", "SQL"}
+
+    def test_tbql_more_concise_than_sql_and_cypher(self, data_leak_store,
+                                                   data_leak_extraction):
+        from repro.benchmark.queries import build_case_queries
+        from repro.benchmark import get_case
+        queries = build_case_queries(get_case("data_leak"))
+        tbql = measure_conciseness(queries.tbql)
+        sql = measure_conciseness(queries.sql)
+        cypher = measure_conciseness(queries.cypher)
+        assert sql.characters > 2.8 * tbql.characters
+        assert cypher.characters > 1.5 * tbql.characters

@@ -1,0 +1,221 @@
+"""Unit tests for the TBQL lexer and parser (Grammar 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audit.entities import EntityType
+from repro.errors import TBQLSyntaxError
+from repro.tbql.ast import (AttributeComparison, AttributeRelation,
+                            BareValueFilter, BooleanFilter, MembershipFilter,
+                            OperationAtom, OperationBoolean,
+                            OperationNegation, TemporalRelation)
+from repro.tbql.lexer import tokenize, unescape_string
+from repro.tbql.parser import parse_tbql
+
+FIG2_QUERY = """
+proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1
+proc p1 write file f2["%/tmp/upload.tar%"] as evt2
+proc p2["%/bin/bzip2%"] read file f2 as evt3
+proc p2 write file f3["%/tmp/upload.tar.bz2%"] as evt4
+proc p3["%/usr/bin/gpg%"] read file f3 as evt5
+proc p3 write file f4["%/tmp/upload%"] as evt6
+proc p4["%/usr/bin/curl%"] read file f4 as evt7
+proc p4 connect ip i1["192.168.29.128"] as evt8
+with evt1 before evt2, evt2 before evt3, evt3 before evt4,
+     evt4 before evt5, evt5 before evt6, evt6 before evt7, evt7 before evt8
+return distinct p1, f1, f2, p2, f3, p3, f4, p4, i1
+"""
+
+
+class TestLexer:
+    def test_tokenizes_strings_and_symbols(self):
+        tokens = tokenize('proc p["%/bin/tar%"] read file f')
+        kinds = [token.kind for token in tokens]
+        assert kinds.count("string") == 1
+        assert kinds[-1] == "eof"
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("proc p\nread file f")
+        read_token = next(t for t in tokens if t.text == "read")
+        assert read_token.line == 2
+        assert read_token.column == 1
+
+    def test_comments_ignored(self):
+        tokens = tokenize("proc p // a comment\nread file f")
+        assert all(token.kind != "comment" for token in tokens)
+        assert "comment" not in [t.text for t in tokens]
+
+    def test_unexpected_character_raises_with_position(self):
+        with pytest.raises(TBQLSyntaxError):
+            tokenize("proc p @ read")
+
+    def test_unescape_string(self):
+        assert unescape_string('"a\\"b"') == 'a"b'
+
+
+class TestParserBasics:
+    def test_figure2_query_parses(self):
+        query = parse_tbql(FIG2_QUERY)
+        assert len(query.patterns) == 8
+        assert len(query.relations) == 7
+        assert query.return_clause.distinct
+        assert len(query.return_clause.items) == 9
+
+    def test_entity_types(self):
+        query = parse_tbql("proc p read file f return p")
+        assert query.patterns[0].subject.entity_type is EntityType.PROCESS
+        assert query.patterns[0].obj.entity_type is EntityType.FILE
+
+    def test_bare_value_filter(self):
+        query = parse_tbql('proc p["%/bin/tar%"] read file f return p')
+        assert isinstance(query.patterns[0].subject.attr_filter,
+                          BareValueFilter)
+
+    def test_attribute_comparison_filter(self):
+        query = parse_tbql('proc p[pid = 42] read file f return p')
+        filt = query.patterns[0].subject.attr_filter
+        assert isinstance(filt, AttributeComparison)
+        assert filt.attribute == "pid" and filt.value == 42
+
+    def test_boolean_filter(self):
+        query = parse_tbql(
+            'proc p[pid = 1 && exename = "%chrome%"] read file f return p')
+        assert isinstance(query.patterns[0].subject.attr_filter,
+                          BooleanFilter)
+
+    def test_membership_filter(self):
+        query = parse_tbql(
+            'proc p[exename in {"/bin/sh", "/bin/bash"}] read file f '
+            'return p')
+        filt = query.patterns[0].subject.attr_filter
+        assert isinstance(filt, MembershipFilter)
+        assert filt.values == ("/bin/sh", "/bin/bash")
+
+    def test_not_in_filter(self):
+        query = parse_tbql(
+            'proc p read file f[name not in {"/tmp/a"}] return p')
+        assert query.patterns[0].obj.attr_filter.negated
+
+    def test_operation_boolean(self):
+        query = parse_tbql("proc p read || write file f return p")
+        operation = query.patterns[0].operation
+        assert isinstance(operation, OperationBoolean)
+        assert operation.operator == "||"
+
+    def test_operation_negation(self):
+        query = parse_tbql("proc p !read file f return p")
+        assert isinstance(query.patterns[0].operation, OperationNegation)
+
+    def test_unknown_operation_raises(self):
+        with pytest.raises(TBQLSyntaxError):
+            parse_tbql("proc p teleport file f return p")
+
+    def test_pattern_id_and_event_filter(self):
+        query = parse_tbql(
+            "proc p read file f as evt1[data_amount > 100] return p")
+        assert query.patterns[0].pattern_id == "evt1"
+        assert isinstance(query.patterns[0].pattern_filter,
+                          AttributeComparison)
+
+    def test_missing_pattern_raises(self):
+        with pytest.raises(TBQLSyntaxError):
+            parse_tbql("return distinct p")
+
+    def test_garbage_after_query_raises(self):
+        with pytest.raises(TBQLSyntaxError):
+            parse_tbql("proc p read file f return p garbage")
+
+
+class TestPathPatterns:
+    def test_fuzzy_arrow_defaults(self):
+        query = parse_tbql("proc p ~> file f return p")
+        path = query.patterns[0].path
+        assert path.fuzzy_arrow
+        assert path.min_length == 1 and path.max_length is None
+        assert path.operation is None
+
+    def test_bounded_range(self):
+        path = parse_tbql("proc p ~>(2~4)[read] file f return p") \
+            .patterns[0].path
+        assert (path.min_length, path.max_length) == (2, 4)
+        assert isinstance(path.operation, OperationAtom)
+
+    def test_min_only_range(self):
+        path = parse_tbql("proc p ~>(2~) file f return p").patterns[0].path
+        assert (path.min_length, path.max_length) == (2, None)
+
+    def test_max_only_range(self):
+        path = parse_tbql("proc p ~>(~4) file f return p").patterns[0].path
+        assert (path.min_length, path.max_length) == (1, 4)
+
+    def test_length_one_arrow(self):
+        path = parse_tbql("proc p ->[open] file f return p").patterns[0].path
+        assert not path.fuzzy_arrow
+        assert (path.min_length, path.max_length) == (1, 1)
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(TBQLSyntaxError):
+            parse_tbql("proc p ~>(4~2) file f return p")
+
+
+class TestWindowsAndRelations:
+    def test_global_last_window(self):
+        query = parse_tbql("last 2 hours proc p read file f return p")
+        window = query.global_filters[0].window
+        assert window.kind == "last" and window.amount == 2.0
+
+    def test_pattern_range_window(self):
+        query = parse_tbql('proc p read file f as e1 from "2018-04-10" to '
+                           '"2018-04-12" return p')
+        assert query.patterns[0].window.kind == "range"
+
+    def test_temporal_relation_with_bound(self):
+        query = parse_tbql("proc p read file f as e1 "
+                           "proc p write file g as e2 "
+                           "with e1 before[0-5 min] e2 return p")
+        relation = query.relations[0]
+        assert isinstance(relation, TemporalRelation)
+        assert relation.max_gap == 5.0 and relation.unit == "min"
+
+    def test_attribute_relation(self):
+        query = parse_tbql("proc p read file f as e1 "
+                           "proc q write file g as e2 "
+                           "with p.pid = q.pid return p")
+        relation = query.relations[0]
+        assert isinstance(relation, AttributeRelation)
+        assert relation.left == "p.pid" and relation.right == "q.pid"
+
+    def test_multiple_with_clauses(self):
+        query = parse_tbql("proc p read file f as e1 "
+                           "proc p write file g as e2 "
+                           "with e1 before e2 with p.pid = p.pid return p")
+        assert len(query.relations) == 2
+
+    def test_entity_and_pattern_id_listing(self):
+        query = parse_tbql(FIG2_QUERY)
+        assert query.entity_ids()[:3] == ["p1", "f1", "f2"]
+        assert query.pattern_ids() == [f"evt{i}" for i in range(1, 9)]
+
+
+class TestParserRobustness:
+    @given(st.text(max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_arbitrary_text_never_crashes_uncontrolled(self, text):
+        try:
+            parse_tbql(text)
+        except TBQLSyntaxError:
+            pass
+
+    @given(st.sampled_from(["read", "write", "execute", "connect"]),
+           st.sampled_from(["file", "ip"]),
+           st.text(alphabet="abcdefghij/._", min_size=1, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_generated_single_pattern_roundtrip(self, operation, obj_type,
+                                                value):
+        if obj_type == "ip":
+            operation = "connect"
+        text = (f'proc p["%{value}%"] {operation} {obj_type} '
+                f'x["%{value}%"] as e1 return distinct p, x')
+        query = parse_tbql(text)
+        assert query.patterns[0].pattern_id == "e1"

@@ -1,0 +1,140 @@
+"""Unit tests for TBQL semantic resolution (sugar expansion, validation)."""
+
+import pytest
+
+from repro.audit.entities import EntityType
+from repro.errors import TBQLSemanticError
+from repro.tbql.ast import AttributeComparison
+from repro.tbql.parser import parse_tbql
+from repro.tbql.semantics import (evaluate_operation_expr, parse_datetime,
+                                  resolve_query, resolve_window)
+
+
+def resolve(text, now=None):
+    return resolve_query(parse_tbql(text), now=now)
+
+
+class TestDefaultAttributes:
+    def test_bare_value_uses_default_attribute(self):
+        resolved = resolve('proc p["%/bin/tar%"] read file f["%/etc/p%"] '
+                           'return p')
+        subject_filter = resolved.patterns[0].subject.attr_filter
+        object_filter = resolved.patterns[0].obj.attr_filter
+        assert isinstance(subject_filter, AttributeComparison)
+        assert subject_filter.attribute == "exename"
+        assert object_filter.attribute == "name"
+
+    def test_network_default_is_dstip(self):
+        resolved = resolve('proc p connect ip i["1.2.3.4"] return i')
+        assert resolved.patterns[0].obj.attr_filter.attribute == "dstip"
+
+    def test_return_items_get_default_attributes(self):
+        resolved = resolve('proc p["%x%"] read file f return p, f')
+        assert resolved.return_items == [("p", "exename"), ("f", "name")]
+
+    def test_explicit_return_attribute_kept(self):
+        resolved = resolve('proc p read file f return p.pid')
+        assert resolved.return_items == [("p", "pid")]
+
+    def test_missing_return_defaults_to_all_entities(self):
+        resolved = resolve('proc p read file f')
+        assert ("p", "exename") in resolved.return_items
+        assert ("f", "name") in resolved.return_items
+
+
+class TestPatternResolution:
+    def test_pattern_ids_auto_assigned(self):
+        resolved = resolve("proc p read file f proc p write file g")
+        assert [p.pattern_id for p in resolved.patterns] == ["evt1", "evt2"]
+
+    def test_explicit_ids_kept_and_not_reused(self):
+        resolved = resolve("proc p read file f as evt1 proc p write file g")
+        ids = [p.pattern_id for p in resolved.patterns]
+        assert ids[0] == "evt1" and ids[1] != "evt1"
+
+    def test_operation_sets(self):
+        resolved = resolve("proc p read || write file f return p")
+        assert resolved.patterns[0].operations == {"read", "write"}
+
+    def test_operation_negation_set(self):
+        resolved = resolve("proc p !read file f return p")
+        operations = resolved.patterns[0].operations
+        assert "read" not in operations and "write" in operations
+
+    def test_any_operation_for_bare_path(self):
+        resolved = resolve("proc p ~> file f return p")
+        assert resolved.patterns[0].operations is None
+        assert resolved.patterns[0].is_path
+
+    def test_path_lengths_resolved(self):
+        resolved = resolve("proc p ~>(2~4)[read] file f return p")
+        pattern = resolved.patterns[0]
+        assert (pattern.min_length, pattern.max_length) == (2, 4)
+
+    def test_constraint_count(self):
+        resolved = resolve('proc p["%tar%"] read file f["%passwd%"] '
+                           'as e1[data_amount > 10] return p')
+        assert resolved.patterns[0].constraint_count == 4
+
+    def test_subject_must_be_process(self):
+        with pytest.raises(TBQLSemanticError):
+            resolve("file f read file g return f")
+
+    def test_entity_type_conflict_rejected(self):
+        with pytest.raises(TBQLSemanticError):
+            resolve("proc x read file f proc p write file x return p")
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(TBQLSemanticError):
+            resolve('proc p[color = "red"] read file f return p')
+
+    def test_unknown_return_entity_rejected(self):
+        with pytest.raises(TBQLSemanticError):
+            resolve("proc p read file f return q")
+
+    def test_unknown_pattern_in_with_rejected(self):
+        with pytest.raises(TBQLSemanticError):
+            resolve("proc p read file f as e1 with e1 before e9 return p")
+
+    def test_shared_entities_map(self):
+        resolved = resolve("proc p read file f as e1 "
+                           "proc p write file g as e2 return p")
+        sharing = resolved.shared_entities()
+        assert sharing["p"] == ["e1", "e2"]
+
+    def test_pattern_by_id_unknown_raises(self):
+        resolved = resolve("proc p read file f as e1 return p")
+        with pytest.raises(TBQLSemanticError):
+            resolved.pattern_by_id("nope")
+
+
+class TestWindowsAndDatetimes:
+    def test_parse_datetime_formats(self):
+        assert parse_datetime("1523450000") == 1523450000.0
+        assert parse_datetime("2018-04-10") < parse_datetime(
+            "2018-04-11 12:30")
+        with pytest.raises(TBQLSemanticError):
+            parse_datetime("not a date")
+
+    def test_range_window(self):
+        resolved = resolve('proc p read file f as e1 from "2018-04-10" to '
+                           '"2018-04-12" return p')
+        earliest, latest = resolved.patterns[0].window
+        assert earliest < latest
+
+    def test_last_window_uses_now(self):
+        resolved = resolve("last 1 hours proc p read file f return p",
+                           now=10_000.0)
+        earliest, latest = resolved.global_window
+        assert latest == 10_000.0
+        assert earliest == 10_000.0 - 3600.0
+
+    def test_before_after_windows(self):
+        from repro.tbql.ast import TimeWindow
+        before = resolve_window(TimeWindow(kind="before", start="100"))
+        after = resolve_window(TimeWindow(kind="after", start="100"))
+        assert before == (None, 100.0)
+        assert after == (100.0, None)
+
+    def test_evaluate_operation_expr_none(self):
+        assert evaluate_operation_expr(None) is None

@@ -1,0 +1,191 @@
+"""Unit tests for TBQL query synthesis from threat behavior graphs."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.extraction.behavior_graph import (BehaviorEdge, BehaviorNode,
+                                             ThreatBehaviorGraph)
+from repro.extraction.ioc import IOCType
+from repro.tbql.parser import parse_tbql
+from repro.tbql.semantics import resolve_query
+from repro.tbql.synthesis import (SynthesisPlan, TBQLSynthesizer,
+                                  synthesize_tbql)
+
+
+def graph_of(nodes, edges):
+    graph = ThreatBehaviorGraph()
+    graph.nodes = [BehaviorNode(ioc=ioc, ioc_type=ioc_type)
+                   for ioc, ioc_type in nodes]
+    graph.edges = [BehaviorEdge(source=s, target=t, relation=r,
+                                sequence=i + 1)
+                   for i, (s, r, t) in enumerate(edges)]
+    return graph
+
+
+SIMPLE_GRAPH = graph_of(
+    [("/bin/tar", IOCType.FILEPATH), ("/etc/passwd", IOCType.FILEPATH),
+     ("192.168.29.128", IOCType.IP)],
+    [("/bin/tar", "read", "/etc/passwd"),
+     ("/bin/tar", "connect", "192.168.29.128")])
+
+
+class TestDefaultPlan:
+    def test_event_patterns_and_wildcards(self):
+        result = synthesize_tbql(SIMPLE_GRAPH)
+        assert 'proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1' \
+            in result.text
+        assert result.pattern_count == 2
+
+    def test_temporal_order_clause(self):
+        result = synthesize_tbql(SIMPLE_GRAPH)
+        assert "with evt1 before evt2" in result.text
+
+    def test_return_clause_lists_all_entities(self):
+        result = synthesize_tbql(SIMPLE_GRAPH)
+        assert result.text.splitlines()[-1].startswith("return distinct ")
+
+    def test_network_attribute_without_wildcards(self):
+        result = synthesize_tbql(SIMPLE_GRAPH)
+        assert 'ip i1["192.168.29.128"]' in result.text
+
+    def test_output_parses_and_resolves(self):
+        result = synthesize_tbql(SIMPLE_GRAPH)
+        resolved = resolve_query(parse_tbql(result.text))
+        assert len(resolved.patterns) == 2
+        assert resolved.distinct
+
+    def test_entity_id_reuse_for_repeated_file(self):
+        graph = graph_of(
+            [("/bin/tar", IOCType.FILEPATH), ("/bin/bzip2", IOCType.FILEPATH),
+             ("/tmp/upload.tar", IOCType.FILEPATH)],
+            [("/bin/tar", "write", "/tmp/upload.tar"),
+             ("/bin/bzip2", "read", "/tmp/upload.tar")])
+        text = synthesize_tbql(graph).text
+        assert text.count('"%/tmp/upload.tar%"') == 1
+        assert "read file f1 as evt2" in text
+
+    def test_network_entities_not_reused(self):
+        graph = graph_of(
+            [("/bin/a", IOCType.FILEPATH), ("/bin/b", IOCType.FILEPATH),
+             ("1.2.3.4", IOCType.IP)],
+            [("/bin/a", "connect", "1.2.3.4"),
+             ("/bin/b", "connect", "1.2.3.4")])
+        text = synthesize_tbql(graph).text
+        assert 'i1["1.2.3.4"]' in text and 'i2["1.2.3.4"]' in text
+
+
+class TestScreeningAndMapping:
+    def test_unauditable_nodes_screened_out(self):
+        graph = graph_of(
+            [("/bin/tar", IOCType.FILEPATH),
+             ("http://evil.com/x", IOCType.URL),
+             ("/etc/passwd", IOCType.FILEPATH)],
+            [("/bin/tar", "download", "http://evil.com/x"),
+             ("/bin/tar", "read", "/etc/passwd")])
+        result = synthesize_tbql(graph)
+        assert result.pattern_count == 1
+        assert "http" not in result.text
+        assert len(result.skipped_edges) == 1
+        assert "http://evil.com/x" in result.skipped_nodes
+
+    def test_download_to_file_becomes_write(self):
+        graph = graph_of([("/usr/bin/wget", IOCType.FILEPATH),
+                          ("/tmp/john", IOCType.FILEPATH)],
+                         [("/usr/bin/wget", "download", "/tmp/john")])
+        assert " write file " in synthesize_tbql(graph).text
+
+    def test_download_from_ip_becomes_receive(self):
+        graph = graph_of([("/usr/bin/wget", IOCType.FILEPATH),
+                          ("1.2.3.4", IOCType.IP)],
+                         [("/usr/bin/wget", "download", "1.2.3.4")])
+        assert " receive ip " in synthesize_tbql(graph).text
+
+    def test_exfiltration_verbs_to_ip_become_send(self):
+        graph = graph_of([("/bin/nc", IOCType.FILEPATH),
+                          ("1.2.3.4", IOCType.IP)],
+                         [("/bin/nc", "exfiltrate", "1.2.3.4")])
+        assert " send ip " in synthesize_tbql(graph).text
+
+    def test_run_relation_becomes_execute_file(self):
+        graph = graph_of([("/home/admin/cache", IOCType.FILEPATH)],
+                         [("/home/admin/cache", "run", "/home/admin/cache")])
+        assert " execute file " in synthesize_tbql(graph).text
+
+    def test_unmappable_relation_skipped(self):
+        graph = graph_of([("/bin/tar", IOCType.FILEPATH),
+                          ("/etc/passwd", IOCType.FILEPATH)],
+                         [("/bin/tar", "contemplate", "/etc/passwd"),
+                          ("/bin/tar", "read", "/etc/passwd")])
+        result = synthesize_tbql(graph)
+        assert result.pattern_count == 1
+
+    def test_ip_source_edge_skipped(self):
+        graph = graph_of([("1.2.3.4", IOCType.IP),
+                          ("/tmp/x", IOCType.FILEPATH)],
+                         [("1.2.3.4", "write", "/tmp/x"),
+                          ("/tmp/x", "read", "/tmp/x")])
+        result = synthesize_tbql(graph)
+        # The edge whose source is an IP cannot be expressed (a connection
+        # is never the subject of a system event) and is screened out.
+        assert len(result.skipped_edges) == 1
+        assert result.skipped_edges[0].source == "1.2.3.4"
+        assert result.pattern_count == 1
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(SynthesisError):
+            synthesize_tbql(graph_of([], []))
+
+    def test_fully_screened_graph_raises(self):
+        graph = graph_of([("http://a", IOCType.URL), ("b.com", IOCType.DOMAIN)],
+                         [("http://a", "connect", "b.com")])
+        with pytest.raises(SynthesisError):
+            synthesize_tbql(graph)
+
+
+class TestCustomPlans:
+    def test_path_pattern_plan(self):
+        plan = SynthesisPlan(use_path_patterns=True, fuzzy_paths=True,
+                             max_path_length=3)
+        text = TBQLSynthesizer(plan).synthesize(SIMPLE_GRAPH).text
+        assert "~>(~3)[read]" in text
+        assert "with " not in text          # no temporal clause for paths
+
+    def test_length1_path_plan(self):
+        plan = SynthesisPlan(use_path_patterns=True, fuzzy_paths=False)
+        text = TBQLSynthesizer(plan).synthesize(SIMPLE_GRAPH).text
+        assert "->[read]" in text
+
+    def test_no_wildcards_plan(self):
+        plan = SynthesisPlan(wildcards=False)
+        text = TBQLSynthesizer(plan).synthesize(SIMPLE_GRAPH).text
+        assert '"%/bin/tar%"' not in text
+        assert '"/bin/tar"' in text
+
+    def test_global_clauses_prepended(self):
+        plan = SynthesisPlan(global_clauses=["last 2 hours"])
+        text = TBQLSynthesizer(plan).synthesize(SIMPLE_GRAPH).text
+        assert text.startswith("last 2 hours")
+        resolve_query(parse_tbql(text), now=1_000_000.0)
+
+    def test_no_temporal_plan(self):
+        plan = SynthesisPlan(temporal_order=False)
+        text = TBQLSynthesizer(plan).synthesize(SIMPLE_GRAPH).text
+        assert "with" not in text
+
+    def test_path_plan_parses_and_resolves(self):
+        plan = SynthesisPlan(use_path_patterns=True, fuzzy_paths=False)
+        text = TBQLSynthesizer(plan).synthesize(SIMPLE_GRAPH).text
+        resolved = resolve_query(parse_tbql(text))
+        assert all(p.is_path for p in resolved.patterns)
+
+
+class TestEndToEndSynthesis:
+    def test_figure2_synthesis(self, data_leak_extraction):
+        result = synthesize_tbql(data_leak_extraction.graph)
+        assert result.pattern_count == 8
+        assert 'proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1' \
+            in result.text
+        assert 'connect ip i1["192.168.29.128"] as evt8' in result.text
+        assert "with evt1 before evt2" in result.text
+        resolved = resolve_query(parse_tbql(result.text))
+        assert len(resolved.patterns) == 8
