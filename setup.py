@@ -1,4 +1,9 @@
-"""Setuptools entry point (kept for environments without PEP 660 support)."""
+"""Setuptools entry point (kept for environments without PEP 660 support).
+
+All package metadata lives in ``pyproject.toml`` (src layout, name, version,
+``python_requires``); this shim only exists so legacy ``python setup.py``
+workflows keep functioning.
+"""
 from setuptools import setup
 
 setup()

@@ -43,6 +43,28 @@ def _print_events(events: list[dict]) -> None:
               f"--{event['operation']}--> {event['object']}")
 
 
+def _print_plan(result) -> None:
+    """Render the structured per-step execution report (``--explain``)."""
+    print("\n=== execution plan ===")
+    for position, step in enumerate(result.plan, start=1):
+        candidates = []
+        for side, count, pushed in (
+                ("subj", step.subject_candidates, step.pushed_subject),
+                ("obj", step.object_candidates, step.pushed_object)):
+            if count is not None:
+                suffix = " pushed" if pushed else ""
+                candidates.append(f"{side}={count}{suffix}")
+        candidate_text = ", ".join(candidates) if candidates else "none"
+        millis = sum(step.seconds.values()) * 1000.0
+        print(f"  {position}. {step.pattern_id} [{step.backend}] "
+              f"score={step.score:.2f} candidates({candidate_text}) "
+              f"rows {step.rows_in} -> {step.rows_out} "
+              f"hydration_queries={step.hydration_queries} "
+              f"{millis:.2f}ms")
+    print(f"  join: {result.join_seconds * 1000.0:.2f}ms, "
+          f"total: {result.elapsed_seconds * 1000.0:.2f}ms")
+
+
 def cmd_extract(args: argparse.Namespace) -> int:
     result = ThreatBehaviorExtractor().extract(_read_text(args.report))
     print(result.graph.summary())
@@ -89,6 +111,8 @@ def cmd_query(args: argparse.Namespace) -> int:
         print(" ", row)
     print("\n=== matched events ===")
     _print_events(result.matched_events)
+    if args.explain:
+        _print_plan(result)
     raptor.store.close()
     return 0 if result.rows else 1
 
@@ -133,6 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--tbql", help="TBQL query text")
     group.add_argument("--query-file", help="path to a file with TBQL text")
     query.add_argument("--no-reduction", action="store_true")
+    query.add_argument("--explain", action="store_true",
+                       help="print the structured per-step execution plan "
+                            "(backend, pruning score, candidate pushdown, "
+                            "rows in/out, stage timings)")
     query.set_defaults(func=cmd_query)
     return parser
 

@@ -40,13 +40,23 @@ class DualStore:
         self._events: list[SystemEvent] = []
 
     def load_events(self, events: Iterable[SystemEvent]) -> int:
-        """Load events into both backends; returns stored event count."""
+        """Load events into both backends; returns stored event count.
+
+        Loading *replaces* the stored data: the graph backend rebuilds from
+        scratch on every load, so the relational backend is cleared first to
+        keep both id spaces aligned (relational entity id == graph node id,
+        the invariant candidate pushdown relies on).  Without the clear, a
+        second load would leave the relational store counting entity ids
+        past the rebuilt graph's, and pushed-down id allowlists would
+        silently select the wrong nodes.
+        """
         event_list = list(events)
         if self.reduce:
             event_list, stats = reduce_events(event_list,
                                               self.merge_threshold)
             self.last_reduction = stats
         self._events = event_list
+        self.relational.clear()
         self.relational.load_events(event_list)
         self.graph.load_events(event_list)
         return len(event_list)
@@ -62,6 +72,18 @@ class DualStore:
     def execute_cypher(self, cypher: str) -> list[dict]:
         """Run mini-Cypher against the graph backend."""
         return self.graph.execute(cypher)
+
+    def entity_by_ids(self, entity_ids) -> dict[int, dict]:
+        """Batch-fetch entity rows by id from the relational backend.
+
+        Both backends are loaded from the same (reduced) event stream and
+        register entities in identical order, so relational entity ids and
+        graph node ids refer to the same entities; callers may use either id
+        source.  Callers that also need the issued-statement count use
+        :meth:`RelationalStore.entity_by_ids` directly.
+        """
+        rows_by_id, _statements = self.relational.entity_by_ids(entity_ids)
+        return rows_by_id
 
     def statistics(self) -> dict:
         """Return entity/event counts per backend plus reduction stats."""

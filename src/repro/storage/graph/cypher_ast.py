@@ -8,7 +8,10 @@ hand-written Cypher baseline queries in the evaluation use:
 * relationship patterns ``-[var:TYPE]->`` and variable length
   ``-[var:TYPE*min..max]->``,
 * ``WHERE`` with comparisons, ``CONTAINS`` / ``STARTS WITH`` / ``ENDS WITH``,
-  regular-expression matching ``=~``, boolean connectives, parentheses,
+  regular-expression matching ``=~``, list membership ``IN [lit, ...]``
+  (a top-level ``var.id IN [...]`` conjunct doubles as a candidate allowlist
+  that the evaluator enumerates directly by node id), boolean connectives,
+  parentheses,
 * ``RETURN [DISTINCT] item, ...`` with ``var`` or ``var.prop`` items,
 * optional ``LIMIT n``.
 

@@ -68,6 +68,8 @@ def _compare(left: Any, operator: str, right: Any) -> bool:
     if operator == "=~":
         return left is not None and \
             re.search(str(right), str(left)) is not None
+    if operator == "IN":
+        return isinstance(right, (list, tuple)) and left in right
     if left is None or right is None:
         return False
     try:
@@ -136,6 +138,10 @@ class CypherEvaluator:
 
     def __init__(self, graph: PropertyGraph) -> None:
         self.graph = graph
+        #: Per-variable node-id allowlists harvested from top-level WHERE
+        #: conjuncts of the form ``var.id IN [...]`` / ``var.id = n``; used to
+        #: enumerate candidates directly by id instead of scanning a label.
+        self._id_restrictions: dict[str, set[int]] = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -144,6 +150,7 @@ class CypherEvaluator:
         """Execute a query and return result rows keyed by output name."""
         conjuncts = _split_conjuncts(query.where)
         conjunct_vars = [(_expression_variables(c), c) for c in conjuncts]
+        self._id_restrictions = _harvest_id_restrictions(conjuncts)
         results: list[dict[str, Any]] = []
         seen: set[tuple] = set()
         for binding in self._match_patterns(list(query.patterns), {},
@@ -272,6 +279,16 @@ class CypherEvaluator:
                     yield node, binding
 
     def _indexed_candidates(self, pattern: NodePattern) -> Iterator[GraphNode]:
+        # An id allowlist (candidate pushdown from the TBQL scheduler) beats
+        # any index scan: enumerate exactly the allowed nodes.
+        if pattern.variable:
+            allowed_ids = self._id_restrictions.get(pattern.variable)
+            if allowed_ids is not None:
+                nodes = self.graph.nodes_by_ids(sorted(allowed_ids))
+                if pattern.label:
+                    nodes = [node for node in nodes
+                             if node.label == pattern.label]
+                return iter(nodes)
         # Use a property index when an exact (non-wildcard) value is given.
         for key, value in pattern.properties.items():
             if isinstance(value, str) and "%" in value:
@@ -343,6 +360,35 @@ class CypherEvaluator:
                         self._properties_match(edge, pattern.properties):
                     yield new_path, self.graph.node(edge.target)
                 stack.append((edge.target, new_path))
+
+
+def _harvest_id_restrictions(conjuncts: list[WhereExpr]
+                             ) -> dict[str, set[int]]:
+    """Collect per-variable node-id allowlists from top-level conjuncts.
+
+    Only ``var.id IN [literals]`` and ``var.id = literal`` forms restrict
+    enumeration; anything else is left to normal WHERE evaluation.  Multiple
+    restrictions on one variable intersect.
+    """
+    restrictions: dict[str, set[int]] = {}
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, Comparison):
+            continue
+        ref, literal = conjunct.left, conjunct.right
+        if not isinstance(ref, PropertyRef) or ref.key != "id" or \
+                not isinstance(literal, Literal):
+            continue
+        if conjunct.operator == "IN" and \
+                isinstance(literal.value, (list, tuple)):
+            ids = {value for value in literal.value if isinstance(value, int)}
+        elif conjunct.operator == "=" and isinstance(literal.value, int):
+            ids = {literal.value}
+        else:
+            continue
+        existing = restrictions.get(ref.variable)
+        restrictions[ref.variable] = ids if existing is None \
+            else existing & ids
+    return restrictions
 
 
 def _hashable(value: Any) -> Any:

@@ -212,6 +212,8 @@ class CypherParser:
 
     def _literal_value(self) -> Any:
         token = self._peek()
+        if token.kind == "symbol" and token.text == "[":
+            return self._list_literal()
         if token.kind == "string":
             self._advance()
             return _unescape(token.text)
@@ -227,6 +229,18 @@ class CypherParser:
             return None
         raise CypherError(f"expected a literal, found {token.text!r}",
                           token.position)
+
+    def _list_literal(self) -> tuple:
+        """Parse a ``[lit, lit, ...]`` list literal (used with ``IN``)."""
+        self._expect("symbol", "[")
+        values: list[Any] = []
+        if not self._check("symbol", "]"):
+            while True:
+                values.append(self._literal_value())
+                if not self._accept("symbol", ","):
+                    break
+        self._expect("symbol", "]")
+        return tuple(values)
 
     # -- WHERE expressions ---------------------------------------------
     def _expression(self) -> WhereExpr:
@@ -265,6 +279,8 @@ class CypherParser:
                 "=", "<>", "!=", "<", "<=", ">", ">=", "=~"):
             operator = "<>" if token.text == "!=" else token.text
             self._advance()
+        elif self._accept("keyword", "IN"):
+            operator = "IN"
         elif self._accept("keyword", "CONTAINS"):
             operator = "CONTAINS"
         elif self._accept("keyword", "STARTS"):

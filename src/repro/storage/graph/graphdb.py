@@ -141,6 +141,11 @@ class PropertyGraph:
     def edges(self) -> Iterator[GraphEdge]:
         yield from self._edges.values()
 
+    def nodes_by_ids(self, node_ids: Iterable[int]) -> list[GraphNode]:
+        """Return the existing nodes among ``node_ids`` (unknown ids skipped)."""
+        return [self._nodes[node_id] for node_id in node_ids
+                if node_id in self._nodes]
+
     def num_nodes(self) -> int:
         return len(self._nodes)
 

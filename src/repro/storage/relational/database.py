@@ -20,6 +20,7 @@ from ...audit.entities import (EntityType, FileEntity, NetworkEntity,
                                ProcessEntity, SystemEntity, SystemEvent)
 from ...errors import StorageError
 from .schema import ENTITY_COLUMNS, EVENT_COLUMNS, all_ddl
+from .sqlgen import in_list
 
 
 def _entity_row(entity_id: int, entity: SystemEntity) -> tuple:
@@ -158,6 +159,36 @@ class RelationalStore:
         rows = self.execute("SELECT * FROM entities WHERE id = ?",
                             (entity_id,))
         return rows[0] if rows else None
+
+    #: Maximum ids per batched ``IN`` list; stays well below SQLite's bound
+    #: variable limit (999 in older builds).
+    BATCH_CHUNK_SIZE = 900
+
+    def entity_by_ids(self, entity_ids: Iterable[int]
+                      ) -> tuple[dict[int, dict], int]:
+        """Fetch many entity rows in one query (batched hydration).
+
+        Returns ``(rows_by_id, statements)``: a mapping ``id -> row``
+        containing only the ids that exist (duplicates in the input are
+        collapsed), plus the number of SQL statements issued.  Inputs larger
+        than :attr:`BATCH_CHUNK_SIZE` are split into multiple ``IN`` lists,
+        so one logical batch never exceeds the engine's bound-variable
+        limit; the statement count reports that chunking to callers (the
+        execution plan shows it per pattern).
+        """
+        unique_ids = sorted(set(entity_ids))
+        rows_by_id: dict[int, dict] = {}
+        statements = 0
+        for start in range(0, len(unique_ids), self.BATCH_CHUNK_SIZE):
+            chunk = unique_ids[start:start + self.BATCH_CHUNK_SIZE]
+            params: list[Any] = []
+            clause = in_list("id", chunk, False, params)
+            rows = self.execute(
+                f"SELECT * FROM entities WHERE {clause}", params)
+            statements += 1
+            for row in rows:
+                rows_by_id[row["id"]] = row
+        return rows_by_id, statements
 
     def entities_matching(self, entity_type: EntityType | None = None,
                           where_sql: str = "", params: Sequence[Any] = ()

@@ -12,7 +12,7 @@ the graph backend.  As with SQL there are two code paths:
 from __future__ import annotations
 
 import re
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..audit.entities import EntityType
 from ..errors import TBQLSemanticError
@@ -148,15 +148,35 @@ def _pattern_match_and_where(pattern: ResolvedPattern, query: ResolvedQuery,
     return match, where
 
 
-def compile_pattern_cypher(pattern: ResolvedPattern, query: ResolvedQuery
+def _candidate_clause(var: str, candidate_ids: Sequence[int]) -> str:
+    """Render an entity-candidate allowlist as a ``var.id IN [...]`` test.
+
+    The evaluator recognizes this form and enumerates the listed node ids
+    directly instead of scanning a label, so candidates injected by the
+    scheduler prune graph traversal the same way they prune SQL.
+    """
+    rendered = ", ".join(str(int(node_id)) for node_id in candidate_ids)
+    return f"{var}.id IN [{rendered}]"
+
+
+def compile_pattern_cypher(pattern: ResolvedPattern, query: ResolvedQuery,
+                           subject_candidates: Sequence[int] | None = None,
+                           object_candidates: Sequence[int] | None = None
                            ) -> str:
     """Compile one pattern into a small Cypher data query.
 
     The query returns the matched subject/object node ids plus the edge (or
     edge path) id(s) and the final-hop timing, which is what the scheduler's
-    join needs.
+    join needs.  ``subject_candidates`` / ``object_candidates`` are node-id
+    restrictions injected from previously executed patterns (the graph twin
+    of :func:`~repro.tbql.compiler_sql.compile_pattern_sql`'s candidate
+    parameters).
     """
     match, where = _pattern_match_and_where(pattern, query, "s", "o", "e")
+    if subject_candidates is not None:
+        where.append(_candidate_clause("s", subject_candidates))
+    if object_candidates is not None:
+        where.append(_candidate_clause("o", object_candidates))
     where_text = f" WHERE {' AND '.join(where)}" if where else ""
     return (f"MATCH {match}{where_text} "
             "RETURN s.id AS subject_id, o.id AS object_id, "

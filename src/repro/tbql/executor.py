@@ -5,11 +5,34 @@ in three stages:
 
 1. compile every pattern into a data query — SQL for event patterns,
    Cypher for (variable-length) path patterns;
-2. execute the data queries in the order chosen by the scheduler, injecting
-   entity-candidate constraints from previously executed patterns;
-3. join the per-pattern match lists on shared entity IDs, apply temporal and
-   attribute relationships from the ``with`` clause, and produce the return
-   rows plus the set of matched system events.
+2. execute the data queries in the order chosen by the scheduler, pushing
+   entity-candidate restrictions from previously executed patterns down into
+   both backends (``id IN (...)`` lists in SQL, ``var.id IN [...]``
+   allowlists in Cypher) and hydrating all entity attributes of a pattern's
+   result rows with one batched lookup per pattern;
+3. join the per-pattern match lists on shared entity IDs with a pipelined
+   hash join — each pattern's matches are indexed by the entity keys already
+   bound by earlier join levels and probed instead of enumerated, replacing
+   the seed's worst-case ``O(∏|matches_i|)`` cross-product backtracking with
+   near-linear multi-way joins — apply temporal and attribute relationships
+   from the ``with`` clause incrementally as soon as both sides are bound,
+   and produce the return rows plus the set of matched system events.
+
+Execution leaves behind a structured plan: :attr:`QueryResult.plan` is a list
+of :class:`PlanStep` objects, one per scheduled pattern, carrying the pruning
+score, backend, candidate counts, pushdown decisions, rows in/out, and
+per-stage timings.  ``PlanStep`` subclasses :class:`str` (its value is the
+pattern id) so existing consumers that treat the plan as a list of pattern
+ids keep working unchanged.
+
+Candidate pushdown relies on the dual-store invariant that relational entity
+ids and graph node ids coincide (both backends register entities from the
+same reduced event stream in the same order); the key-based post-filter is
+kept as a correctness backstop, so pushdown can only ever narrow a pattern's
+match list, never widen it.
+
+The seed's backtracking join is retained as a reference implementation
+(``join_strategy="backtracking"``) for the equivalence test corpus.
 """
 
 from __future__ import annotations
@@ -27,6 +50,14 @@ from .parser import TIME_UNIT_SECONDS, parse_tbql
 from .scheduler import ScheduledStep, naive_schedule, schedule
 from .semantics import ResolvedPattern, ResolvedQuery, resolve_query
 
+#: Largest candidate set pushed down into a data query, per side.  Bigger
+#: sets are cheaper to apply as the post-execution key filter than to
+#: serialize into an ``IN`` list; the cap also keeps a pattern query with
+#: both a subject and an object allowlist (2 x 450 ids plus the pattern's
+#: own parameters) under the 999 bound-variable limit of older SQLite
+#: builds.
+MAX_CANDIDATE_PUSHDOWN = 450
+
 
 @dataclass(frozen=True)
 class PatternMatch:
@@ -40,6 +71,71 @@ class PatternMatch:
     start_time: float
     end_time: float
     event_ids: tuple = ()
+    #: Backend entity ids (relational row id == graph node id); used for
+    #: candidate pushdown into subsequent data queries.
+    subject_id: Optional[int] = None
+    object_id: Optional[int] = None
+
+
+class PlanStep(str):
+    """Structured report for one scheduled execution step.
+
+    Compares and renders as the pattern id (``str`` value) for backward
+    compatibility, while exposing the per-step statistics the benchmarks and
+    ``cli.py --explain`` consume.
+    """
+
+    pattern_id: str
+    backend: str
+    score: float
+    subject_candidates: Optional[int]
+    object_candidates: Optional[int]
+    pushed_subject: bool
+    pushed_object: bool
+    rows_in: int
+    rows_out: int
+    hydration_queries: int
+    seconds: dict[str, float]
+
+    def __new__(cls, pattern_id: str, **_stats) -> "PlanStep":
+        return super().__new__(cls, pattern_id)
+
+    def __init__(self, pattern_id: str, *, backend: str = "sql",
+                 score: float = 0.0,
+                 subject_candidates: Optional[int] = None,
+                 object_candidates: Optional[int] = None,
+                 pushed_subject: bool = False, pushed_object: bool = False,
+                 rows_in: int = 0, rows_out: int = 0,
+                 hydration_queries: int = 0,
+                 seconds: Optional[dict[str, float]] = None) -> None:
+        super().__init__()
+        self.pattern_id = pattern_id
+        self.backend = backend
+        self.score = score
+        self.subject_candidates = subject_candidates
+        self.object_candidates = object_candidates
+        self.pushed_subject = pushed_subject
+        self.pushed_object = pushed_object
+        self.rows_in = rows_in
+        self.rows_out = rows_out
+        self.hydration_queries = hydration_queries
+        self.seconds = seconds or {}
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-data view (for tables, JSON dumps, and assertions)."""
+        return {
+            "pattern_id": self.pattern_id,
+            "backend": self.backend,
+            "score": self.score,
+            "subject_candidates": self.subject_candidates,
+            "object_candidates": self.object_candidates,
+            "pushed_subject": self.pushed_subject,
+            "pushed_object": self.pushed_object,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "hydration_queries": self.hydration_queries,
+            "seconds": dict(self.seconds),
+        }
 
 
 @dataclass
@@ -48,9 +144,12 @@ class QueryResult:
 
     rows: list[dict[str, Any]] = field(default_factory=list)
     matched_events: list[dict[str, Any]] = field(default_factory=list)
-    plan: list[str] = field(default_factory=list)
+    #: Structured per-step execution report; each element is a
+    #: :class:`PlanStep` whose string value is the pattern id.
+    plan: list[PlanStep] = field(default_factory=list)
     per_pattern_matches: dict[str, int] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
+    join_seconds: float = 0.0
 
     @property
     def matched_event_signatures(self) -> set[tuple[str, str, str]]:
@@ -62,12 +161,23 @@ class QueryResult:
         return len(self.rows)
 
 
+def _file_identity(attrs: dict) -> Optional[str]:
+    """File identity value: ``path`` first, then ``name``.
+
+    ``path`` is the file entity's unique key at ingestion and ``name``
+    defaults to the path, so path-first is the canonical precedence.  The
+    join key and the display name must agree on it — otherwise one file
+    entity splits into two join keys when only one attribute is set.
+    """
+    return attrs.get("path") or attrs.get("name")
+
+
 def _canonical_key(attrs: dict) -> str:
     entity_type = attrs.get("type", "")
     if entity_type == "proc":
         return f"proc:{attrs.get('exename')}:{attrs.get('pid')}"
     if entity_type == "file":
-        return f"file:{attrs.get('path') or attrs.get('name')}"
+        return f"file:{_file_identity(attrs)}"
     return (f"ip:{attrs.get('srcip')}:{attrs.get('srcport')}:"
             f"{attrs.get('dstip')}:{attrs.get('dstport')}:"
             f"{attrs.get('protocol')}")
@@ -78,16 +188,29 @@ def _display_name(attrs: dict) -> str:
     if entity_type == "proc":
         return str(attrs.get("exename"))
     if entity_type == "file":
-        return str(attrs.get("name") or attrs.get("path"))
+        return str(_file_identity(attrs))
     return str(attrs.get("dstip"))
 
 
 class TBQLExecutor:
-    """Executes TBQL queries against the dual storage backends."""
+    """Executes TBQL queries against the dual storage backends.
 
-    def __init__(self, store: DualStore, use_scheduler: bool = True) -> None:
+    Args:
+        store: the dual relational/graph store to query.
+        use_scheduler: order patterns by pruning score (Section III-F)
+            instead of declaration order.
+        join_strategy: ``"hash"`` (default) for the pipelined hash join, or
+            ``"backtracking"`` for the seed's cross-product enumeration,
+            kept as the reference implementation for equivalence tests.
+    """
+
+    def __init__(self, store: DualStore, use_scheduler: bool = True,
+                 join_strategy: str = "hash") -> None:
+        if join_strategy not in ("hash", "backtracking"):
+            raise ValueError(f"unknown join strategy: {join_strategy!r}")
         self.store = store
         self.use_scheduler = use_scheduler
+        self.join_strategy = join_strategy
         self._entity_cache: dict[int, dict] = {}
 
     # ------------------------------------------------------------------
@@ -101,15 +224,20 @@ class TBQLExecutor:
         steps = schedule(resolved) if self.use_scheduler \
             else naive_schedule(resolved)
         matches_by_pattern: dict[str, list[PatternMatch]] = {}
-        candidates: dict[str, set[str]] = {}
-        plan: list[str] = []
+        candidate_keys: dict[str, set[str]] = {}
+        candidate_ids: dict[str, set[int]] = {}
+        plan: list[PlanStep] = []
         for step in steps:
-            pattern = step.pattern
-            plan.append(pattern.pattern_id)
-            matches = self._execute_pattern(pattern, resolved, candidates)
-            matches_by_pattern[pattern.pattern_id] = matches
-            self._update_candidates(pattern, matches, candidates)
+            matches, plan_step = self._execute_step(step, resolved,
+                                                    candidate_keys,
+                                                    candidate_ids)
+            matches_by_pattern[step.pattern.pattern_id] = matches
+            self._update_candidates(step.pattern, matches, candidate_keys,
+                                    candidate_ids)
+            plan.append(plan_step)
+        join_start = time.perf_counter()
         rows, _joined_events = self._join(resolved, matches_by_pattern)
+        join_seconds = time.perf_counter() - join_start
         # Matched events are counted per pattern (after candidate-constraint
         # propagation), mirroring the paper's per-event precision/recall in
         # Table VI: a pattern that matched nothing does not erase the events
@@ -119,7 +247,8 @@ class TBQLExecutor:
             rows=rows, matched_events=matched_events, plan=plan,
             per_pattern_matches={pid: len(matches) for pid, matches
                                  in matches_by_pattern.items()},
-            elapsed_seconds=time.perf_counter() - start)
+            elapsed_seconds=time.perf_counter() - start,
+            join_seconds=join_seconds)
         return result
 
     def execute_giant_sql(self, query: str | ResolvedQuery,
@@ -148,32 +277,91 @@ class TBQLExecutor:
     # ------------------------------------------------------------------
     # per-pattern execution
     # ------------------------------------------------------------------
-    def _execute_pattern(self, pattern: ResolvedPattern,
-                         resolved: ResolvedQuery,
-                         candidates: dict[str, set[str]]
-                         ) -> list[PatternMatch]:
-        if pattern.is_path:
-            matches = self._execute_cypher_pattern(pattern, resolved)
+    @staticmethod
+    def _pushdown_ids(entity_id: str, candidate_ids: dict[str, set[int]]
+                      ) -> Optional[list[int]]:
+        """Candidate ids to inject for ``entity_id``, or None to skip.
+
+        Empty sets are not pushed down (``IN ()`` is not valid SQL); the
+        caller skips the data query entirely in that case because the key
+        post-filter would reject every row anyway.
+        """
+        ids = candidate_ids.get(entity_id)
+        if not ids or len(ids) > MAX_CANDIDATE_PUSHDOWN:
+            return None
+        return sorted(ids)
+
+    def _execute_step(self, step: ScheduledStep, resolved: ResolvedQuery,
+                      candidate_keys: dict[str, set[str]],
+                      candidate_ids: dict[str, set[int]]
+                      ) -> tuple[list[PatternMatch], PlanStep]:
+        pattern = step.pattern
+        seconds: dict[str, float] = {}
+        pushable = step.candidate_entities
+        subject_ids = self._pushdown_ids(pattern.subject.entity_id,
+                                         candidate_ids) \
+            if pattern.subject.entity_id in pushable else None
+        object_ids = self._pushdown_ids(pattern.obj.entity_id,
+                                        candidate_ids) \
+            if pattern.obj.entity_id in pushable else None
+        subject_known = candidate_ids.get(pattern.subject.entity_id)
+        object_known = candidate_ids.get(pattern.obj.entity_id)
+        subject_allowed = candidate_keys.get(pattern.subject.entity_id)
+        object_allowed = candidate_keys.get(pattern.obj.entity_id)
+        # An empty candidate set means an earlier pattern already proved no
+        # entity can match here; the data query cannot return anything the
+        # post-filter would keep, so skip the backend round-trip.
+        dead = (subject_allowed == set() or object_allowed == set())
+        start = time.perf_counter()
+        hydration_queries = 0
+        if dead:
+            matches: list[PatternMatch] = []
+        elif pattern.is_path:
+            matches = self._execute_cypher_pattern(pattern, resolved,
+                                                   subject_ids, object_ids)
         else:
-            matches = self._execute_sql_pattern(pattern, resolved, candidates)
-        # Enforce candidate restrictions produced by earlier patterns (the
-        # SQL path also injects them into the query; Cypher matches and any
-        # remaining cases are filtered here).
-        subject_allowed = candidates.get(pattern.subject.entity_id)
-        object_allowed = candidates.get(pattern.obj.entity_id)
+            matches, hydration_queries = self._execute_sql_pattern(
+                pattern, resolved, subject_ids, object_ids)
+        seconds["execute"] = time.perf_counter() - start
+        rows_in = len(matches)
+        # Enforce candidate restrictions produced by earlier patterns: the
+        # data queries receive id allowlists when the sets are small enough,
+        # and this key-based filter is the backstop for the rest.
+        start = time.perf_counter()
         filtered = [match for match in matches
                     if (subject_allowed is None or
                         match.subject_key in subject_allowed) and
                     (object_allowed is None or
                      match.object_key in object_allowed)]
-        return filtered
+        seconds["filter"] = time.perf_counter() - start
+        plan_step = PlanStep(
+            pattern.pattern_id,
+            backend="cypher" if pattern.is_path else "sql",
+            score=step.score,
+            subject_candidates=(len(subject_known)
+                                if subject_known is not None else None),
+            object_candidates=(len(object_known)
+                               if object_known is not None else None),
+            pushed_subject=subject_ids is not None,
+            pushed_object=object_ids is not None,
+            rows_in=rows_in, rows_out=len(filtered),
+            hydration_queries=hydration_queries, seconds=seconds)
+        return filtered, plan_step
 
     def _execute_sql_pattern(self, pattern: ResolvedPattern,
                              resolved: ResolvedQuery,
-                             candidates: dict[str, set[str]]
-                             ) -> list[PatternMatch]:
-        compiled = compile_pattern_sql(pattern, resolved)
+                             subject_ids: Optional[list[int]] = None,
+                             object_ids: Optional[list[int]] = None
+                             ) -> tuple[list[PatternMatch], int]:
+        compiled = compile_pattern_sql(pattern, resolved,
+                                       subject_candidates=subject_ids,
+                                       object_candidates=object_ids)
         rows = self.store.execute_sql(compiled.sql, compiled.params)
+        # Hydrate every subject/object entity of this pattern in one batched
+        # query instead of one lookup per result row (the seed's N+1).
+        needed = {row["subject_id"] for row in rows} | \
+            {row["object_id"] for row in rows}
+        hydration_queries = self._hydrate_entities(needed)
         matches = []
         for row in rows:
             subject_attrs = self._entity_attrs(row["subject_id"])
@@ -184,13 +372,18 @@ class TBQLExecutor:
                 subject_attrs=subject_attrs, object_attrs=object_attrs,
                 operation=row["operation"], start_time=row["start_time"],
                 end_time=row["end_time"],
-                event_ids=(row["event_id"],)))
-        return matches
+                event_ids=(row["event_id"],),
+                subject_id=row["subject_id"], object_id=row["object_id"]))
+        return matches, hydration_queries
 
     def _execute_cypher_pattern(self, pattern: ResolvedPattern,
-                                resolved: ResolvedQuery
+                                resolved: ResolvedQuery,
+                                subject_ids: Optional[list[int]] = None,
+                                object_ids: Optional[list[int]] = None
                                 ) -> list[PatternMatch]:
-        cypher = compile_pattern_cypher(pattern, resolved)
+        cypher = compile_pattern_cypher(pattern, resolved,
+                                        subject_candidates=subject_ids,
+                                        object_candidates=object_ids)
         rows = self.store.execute_cypher(cypher)
         graph = self.store.graph.graph
         matches = []
@@ -202,42 +395,72 @@ class TBQLExecutor:
                 event_ids = [event_ids]
             final_edge = graph.edge(event_ids[-1]) if event_ids else None
             operation = final_edge.get("operation") if final_edge else None
+            # Explicit None checks: a legitimate epoch-0 timestamp must not
+            # be conflated with a missing value.
+            start_time = row.get("start_time")
+            end_time = row.get("end_time")
             matches.append(PatternMatch(
                 subject_key=_canonical_key(subject_attrs),
                 object_key=_canonical_key(object_attrs),
                 subject_attrs=subject_attrs, object_attrs=object_attrs,
                 operation=operation,
-                start_time=row.get("start_time") or 0.0,
-                end_time=row.get("end_time") or 0.0,
-                event_ids=tuple(event_ids)))
+                start_time=0.0 if start_time is None else start_time,
+                end_time=0.0 if end_time is None else end_time,
+                event_ids=tuple(event_ids),
+                subject_id=row["subject_id"], object_id=row["object_id"]))
         return matches
+
+    def _hydrate_entities(self, entity_ids: set[int]) -> int:
+        """Batch-load uncached entity rows; returns the query count.
+
+        The count is the number of SQL statements the store actually issued:
+        0 when everything is cached, 1 for one batched ``IN`` list, more
+        only when the store chunks an oversized batch.
+        """
+        missing = [entity_id for entity_id in entity_ids
+                   if entity_id not in self._entity_cache]
+        if not missing:
+            return 0
+        rows_by_id, queries = self.store.relational.entity_by_ids(missing)
+        for entity_id in missing:
+            row = rows_by_id.get(entity_id)
+            if row is None:
+                raise ExecutionError(f"dangling entity id {entity_id} in "
+                                     "events table")
+            attrs = dict(row)
+            attrs["group"] = attrs.pop("grp", None)
+            self._entity_cache[entity_id] = attrs
+        return queries
 
     def _entity_attrs(self, entity_id: int) -> dict:
         cached = self._entity_cache.get(entity_id)
         if cached is not None:
             return cached
-        row = self.store.relational.entity_by_id(entity_id)
-        if row is None:
-            raise ExecutionError(f"dangling entity id {entity_id} in events "
-                                 "table")
-        attrs = dict(row)
-        attrs["group"] = attrs.pop("grp", None)
-        self._entity_cache[entity_id] = attrs
-        return attrs
+        self._hydrate_entities({entity_id})
+        return self._entity_cache[entity_id]
 
     @staticmethod
     def _update_candidates(pattern: ResolvedPattern,
                            matches: list[PatternMatch],
-                           candidates: dict[str, set[str]]) -> None:
-        for entity_id, keys in (
+                           candidate_keys: dict[str, set[str]],
+                           candidate_ids: dict[str, set[int]]) -> None:
+        for entity_id, keys, ids in (
                 (pattern.subject.entity_id,
-                 {match.subject_key for match in matches}),
+                 {match.subject_key for match in matches},
+                 {match.subject_id for match in matches
+                  if match.subject_id is not None}),
                 (pattern.obj.entity_id,
-                 {match.object_key for match in matches})):
-            if entity_id in candidates:
-                candidates[entity_id] &= keys
+                 {match.object_key for match in matches},
+                 {match.object_id for match in matches
+                  if match.object_id is not None})):
+            if entity_id in candidate_keys:
+                candidate_keys[entity_id] &= keys
             else:
-                candidates[entity_id] = set(keys)
+                candidate_keys[entity_id] = set(keys)
+            if entity_id in candidate_ids:
+                candidate_ids[entity_id] &= ids
+            else:
+                candidate_ids[entity_id] = set(ids)
 
     @staticmethod
     def _collect_events(matches_by_pattern: dict[str, list[PatternMatch]]
@@ -267,15 +490,132 @@ class TBQLExecutor:
     def _join(self, resolved: ResolvedQuery,
               matches_by_pattern: dict[str, list[PatternMatch]]
               ) -> tuple[list[dict], list[dict]]:
-        pattern_order = [pattern.pattern_id for pattern in resolved.patterns]
-        # Join in ascending match-list size for efficiency.
-        pattern_order.sort(key=lambda pid: len(matches_by_pattern[pid]))
+        if self.join_strategy == "backtracking":
+            return self._join_backtracking(resolved, matches_by_pattern)
+        return self._join_hash(resolved, matches_by_pattern)
+
+    @staticmethod
+    def _join_order(resolved: ResolvedQuery,
+                    matches_by_pattern: dict[str, list[PatternMatch]]
+                    ) -> list[str]:
+        """Join in ascending match-list size for efficiency."""
+        order = [pattern.pattern_id for pattern in resolved.patterns]
+        order.sort(key=lambda pid: len(matches_by_pattern[pid]))
+        return order
+
+    def _join_hash(self, resolved: ResolvedQuery,
+                   matches_by_pattern: dict[str, list[PatternMatch]]
+                   ) -> tuple[list[dict], list[dict]]:
+        """Pipelined multi-way hash join over the per-pattern match lists.
+
+        Each join level indexes its pattern's matches by the subject/object
+        entity keys already bound at that level and probes the index with the
+        partial binding, so compatible matches are found in O(1) instead of
+        scanning the whole list.  ``with``-clause relations are applied
+        incrementally at the earliest level where their evaluation is
+        guaranteed to equal evaluation on the complete assignment, so doomed
+        partial joins are discarded as soon as possible.  Enumeration order
+        (and therefore row and matched-event order) is identical to the
+        reference backtracking join.
+        """
+        rows: list[dict] = []
+        seen_rows: set[tuple] = set()
+        matched_events: list[dict] = []
+        seen_events: set[tuple] = set()
+        order = self._join_order(resolved, matches_by_pattern)
+        position_of = {pid: index for index, pid in enumerate(order)}
+
+        # A relation is checked at the first level where every pattern its
+        # evaluation reads is assigned.  Temporal relations read their two
+        # pattern ids.  Attribute relations read, per side, the
+        # first-declared pattern binding the side's entity (that is the one
+        # _relation_value resolves against on a complete assignment); a side
+        # whose entity no pattern binds makes the relation vacuously true.
+        checks: list[list[tuple[str, Any]]] = [[] for _ in order]
+        for relation in resolved.temporal_relations:
+            trigger = max(position_of[relation.left],
+                          position_of[relation.right])
+            checks[trigger].append(("temporal", relation))
+        for relation in resolved.attribute_relations:
+            binder_positions = []
+            for side in (relation.left, relation.right):
+                entity_id = side.split(".", 1)[0]
+                binder = next(
+                    (pattern for pattern in resolved.patterns
+                     if entity_id in (pattern.subject.entity_id,
+                                      pattern.obj.entity_id)), None)
+                if binder is None:
+                    break
+                binder_positions.append(position_of[binder.pattern_id])
+            else:
+                checks[max(binder_positions)].append(("attribute", relation))
+
+        # Per-level probe structure: which of the pattern's entities are
+        # already bound, and its matches indexed by the bound keys.
+        levels: list[tuple[ResolvedPattern, bool, bool,
+                           dict[tuple, list[PatternMatch]]]] = []
+        bound: set[str] = set()
+        for pattern_id in order:
+            pattern = resolved.pattern_by_id(pattern_id)
+            check_subject = pattern.subject.entity_id in bound
+            check_object = pattern.obj.entity_id in bound
+            index: dict[tuple, list[PatternMatch]] = {}
+            for match in matches_by_pattern[pattern_id]:
+                key = (match.subject_key if check_subject else None,
+                       match.object_key if check_object else None)
+                index.setdefault(key, []).append(match)
+            levels.append((pattern, check_subject, check_object, index))
+            bound.update((pattern.subject.entity_id, pattern.obj.entity_id))
+
+        def extend(position: int, entity_binding: dict[str, str],
+                   assignment: dict[str, PatternMatch]) -> None:
+            if position == len(order):
+                self._emit(resolved, assignment, rows, seen_rows,
+                           matched_events, seen_events)
+                return
+            pattern, check_subject, check_object, index = levels[position]
+            probe = (entity_binding[pattern.subject.entity_id]
+                     if check_subject else None,
+                     entity_binding[pattern.obj.entity_id]
+                     if check_object else None)
+            for match in index.get(probe, ()):
+                new_binding = dict(entity_binding)
+                new_binding[pattern.subject.entity_id] = match.subject_key
+                new_binding[pattern.obj.entity_id] = match.object_key
+                new_assignment = dict(assignment)
+                new_assignment[pattern.pattern_id] = match
+                satisfied = True
+                for kind, relation in checks[position]:
+                    if kind == "temporal":
+                        if not self._temporal_holds(relation, new_assignment):
+                            satisfied = False
+                            break
+                    elif not self._attribute_holds(relation, resolved,
+                                                   new_assignment):
+                        satisfied = False
+                        break
+                if satisfied:
+                    extend(position + 1, new_binding, new_assignment)
+
+        extend(0, {}, {})
+        return rows, matched_events
+
+    def _join_backtracking(self, resolved: ResolvedQuery,
+                           matches_by_pattern: dict[str, list[PatternMatch]]
+                           ) -> tuple[list[dict], list[dict]]:
+        """The seed's cross-product backtracking join (reference only).
+
+        Worst-case ``O(∏|matches_i|)``: every level re-scans the pattern's
+        full match list against the partial binding.  Kept so equivalence
+        tests can assert the hash join produces bit-identical results.
+        """
+        pattern_order = self._join_order(resolved, matches_by_pattern)
         rows: list[dict] = []
         seen_rows: set[tuple] = set()
         matched_events: list[dict] = []
         seen_events: set[tuple] = set()
 
-        def backtrack(position: int, entity_binding: dict[str, PatternMatch],
+        def backtrack(position: int, entity_binding: dict[str, str],
                       assignment: dict[str, PatternMatch]) -> None:
             if position == len(pattern_order):
                 if not self._relations_hold(resolved, assignment):
@@ -406,4 +746,5 @@ class TBQLExecutor:
             })
 
 
-__all__ = ["PatternMatch", "QueryResult", "TBQLExecutor"]
+__all__ = ["PatternMatch", "PlanStep", "QueryResult", "TBQLExecutor",
+           "MAX_CANDIDATE_PUSHDOWN"]

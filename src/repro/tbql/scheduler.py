@@ -29,6 +29,17 @@ class ScheduledStep:
     #: Entity IDs already bound by earlier steps (candidates can be injected).
     bound_entities: frozenset[str]
 
+    @property
+    def candidate_entities(self) -> frozenset[str]:
+        """This pattern's entity IDs that earlier steps already bound.
+
+        The executor only considers these entities for candidate pushdown
+        into the pattern's data query (whether a restriction is actually
+        injected also depends on the candidate-set size cap).
+        """
+        return frozenset({self.pattern.subject.entity_id,
+                          self.pattern.obj.entity_id}) & self.bound_entities
+
 
 def pruning_score(pattern: ResolvedPattern) -> float:
     """Return the pruning score of one pattern.

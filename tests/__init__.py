@@ -1,0 +1,7 @@
+"""Test package marker.
+
+The test modules import shared fixtures with ``from .conftest import ...``,
+which requires the directory to be a real package; without this file pytest
+collection dies with ``attempted relative import with no known parent
+package``.
+"""

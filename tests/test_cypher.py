@@ -218,3 +218,62 @@ class TestWhereEvaluation:
 def _lit(value):
     from repro.storage.graph.cypher_ast import Literal
     return Literal(value)
+
+
+class TestInListSupport:
+    def test_parse_in_list(self):
+        query = parse_cypher(
+            "MATCH (s:proc)-[e:EVENT]->(o:file) "
+            "WHERE s.id IN [1, 2, 3] RETURN s.id AS sid")
+        comparison = query.where
+        assert isinstance(comparison, Comparison)
+        assert comparison.operator == "IN"
+        assert comparison.right.value == (1, 2, 3)
+
+    def test_parse_empty_and_string_lists(self):
+        query = parse_cypher(
+            "MATCH (f:file) WHERE f.name IN ['a', 'b'] RETURN f")
+        assert query.where.right.value == ("a", "b")
+        empty = parse_cypher("MATCH (f:file) WHERE f.id IN [] RETURN f")
+        assert empty.where.right.value == ()
+
+    def test_in_evaluation(self, chain_graph):
+        evaluator = CypherEvaluator(chain_graph)
+        rows = evaluator.execute(parse_cypher(
+            "MATCH (s:proc)-[e:EVENT]->(o) WHERE s.id IN [1] "
+            "RETURN DISTINCT s.exename AS name"))
+        assert rows == [{"name": "/bin/tar"}]
+
+    def test_in_with_no_match(self, chain_graph):
+        evaluator = CypherEvaluator(chain_graph)
+        rows = evaluator.execute(parse_cypher(
+            "MATCH (s:proc)-[e:EVENT]->(o) WHERE s.id IN [] "
+            "RETURN s.exename AS name"))
+        assert rows == []
+
+    def test_id_allowlist_restricts_enumeration(self, chain_graph):
+        evaluator = CypherEvaluator(chain_graph)
+        seen: list[int] = []
+        original = chain_graph.out_edges
+
+        def spying_out_edges(node_id):
+            seen.append(node_id)
+            return original(node_id)
+
+        chain_graph.out_edges = spying_out_edges
+        rows = evaluator.execute(parse_cypher(
+            "MATCH (s:proc)-[e:EVENT]->(o:file) WHERE s.id IN [4] "
+            "RETURN o.name AS name"))
+        # Only the allowlisted node (bzip2, id 4) is expanded — the
+        # restriction prunes enumeration, not just the WHERE filter.
+        assert set(seen) == {4}
+        assert {row["name"] for row in rows} == {"/tmp/upload.tar",
+                                                 "/tmp/upload.tar.bz2"}
+
+    def test_id_equality_restriction(self, chain_graph):
+        evaluator = CypherEvaluator(chain_graph)
+        rows = evaluator.execute(parse_cypher(
+            "MATCH (s:proc)-[e:EVENT]->(o:file) WHERE s.id = 1 "
+            "RETURN DISTINCT s.exename AS name"))
+        assert rows == [{"name": "/bin/tar"}]
+        assert evaluator._id_restrictions == {"s": {1}}
