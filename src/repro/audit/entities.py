@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field, replace
-from typing import Iterator, Optional, Union
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterator, Union
 
 
 class EntityType(enum.Enum):
@@ -123,8 +124,12 @@ class FileEntity:
     def entity_type(self) -> EntityType:
         return EntityType.FILE
 
-    @property
+    @cached_property
     def unique_key(self) -> tuple:
+        # cached_property: the key is recomputed per event during reduction
+        # keying and store loading; entities are frozen, so caching is safe
+        # (functools stores the value straight into __dict__, bypassing the
+        # frozen __setattr__).
         return (EntityType.FILE, self.path)
 
     def attributes(self) -> dict:
@@ -157,7 +162,7 @@ class ProcessEntity:
     def entity_type(self) -> EntityType:
         return EntityType.PROCESS
 
-    @property
+    @cached_property
     def unique_key(self) -> tuple:
         return (EntityType.PROCESS, self.exename, self.pid)
 
@@ -191,7 +196,7 @@ class NetworkEntity:
     def entity_type(self) -> EntityType:
         return EntityType.NETWORK
 
-    @property
+    @cached_property
     def unique_key(self) -> tuple:
         return (EntityType.NETWORK, self.srcip, self.srcport, self.dstip,
                 self.dstport, self.protocol)
@@ -259,18 +264,28 @@ class SystemEvent:
         return EventCategory.NETWORK_EVENT
 
     def attributes(self) -> dict:
-        return {
-            "operation": self.operation.value,
-            "start_time": self.start_time,
-            "end_time": self.end_time,
-            "duration": self.duration,
-            "subject_id": self.subject.entity_id,
-            "object_id": self.obj.entity_id,
-            "data_amount": self.data_amount,
-            "failure_code": self.failure_code,
-            "host": self.host,
-            "category": self.category.value,
-        }
+        """Return the attribute dictionary used by the storage backends.
+
+        The dictionary is computed once per event and cached (events are
+        frozen, so the attributes never change); callers must treat the
+        returned dictionary as read-only and copy it before mutating.
+        """
+        cached = self.__dict__.get("_attributes")
+        if cached is None:
+            cached = {
+                "operation": self.operation.value,
+                "start_time": self.start_time,
+                "end_time": self.end_time,
+                "duration": self.duration,
+                "subject_id": self.subject.entity_id,
+                "object_id": self.obj.entity_id,
+                "data_amount": self.data_amount,
+                "failure_code": self.failure_code,
+                "host": self.host,
+                "category": self.category.value,
+            }
+            self.__dict__["_attributes"] = cached
+        return cached
 
     def merged_with(self, later: "SystemEvent") -> "SystemEvent":
         """Return the reduction merge of this event with a later event.
@@ -278,11 +293,26 @@ class SystemEvent:
         The attributes follow Section III-B: start time from the earlier
         event, end time from the later event, data amounts summed.
         """
-        return replace(
-            self,
-            end_time=later.end_time,
-            data_amount=self.data_amount + later.data_amount,
-        )
+        return self.with_merged_span(later.end_time,
+                                     self.data_amount + later.data_amount)
+
+    def with_merged_span(self, end_time: float,
+                         data_amount: int) -> "SystemEvent":
+        """Copy of this event with a widened span and summed data amount.
+
+        The reduction hot path: built by copying the instance state directly
+        (skipping the dataclass constructor, whose field-by-field rebuild
+        dominates merge cost) — valid because every field but the two
+        overrides is shared and ``end_time`` only ever grows, so the
+        ``__post_init__`` ordering check cannot fail.
+        """
+        merged = object.__new__(SystemEvent)
+        state = dict(self.__dict__)
+        state.pop("_attributes", None)  # cached attrs describe the old span
+        state["end_time"] = end_time
+        state["data_amount"] = data_amount
+        merged.__dict__.update(state)
+        return merged
 
 
 def entity_matches_type(entity: SystemEntity, entity_type: EntityType) -> bool:

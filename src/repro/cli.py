@@ -1,11 +1,13 @@
 """Command-line interface for the ThreatRaptor reproduction.
 
-Four subcommands cover the workflows of Figure 1:
+Five subcommands cover the workflows of Figure 1:
 
 * ``extract``    — OSCTI report text -> threat behavior graph (printed),
 * ``synthesize`` — OSCTI report text -> TBQL query text,
 * ``hunt``       — OSCTI report + audit log -> matched malicious events,
-* ``query``      — hand-written TBQL + audit log -> query results.
+* ``query``      — hand-written TBQL + audit log -> query results,
+* ``ingest``     — audit log -> dual-store load report (``--stats`` breaks
+  the load down per stage: reduce, build, relational, graph).
 
 Usage::
 
@@ -102,6 +104,34 @@ def cmd_hunt(args: argparse.Namespace) -> int:
     return 0 if report.result.matched_events or report.fuzzy_result else 1
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    from .audit.parser import parse_audit_log
+    from .storage import DualStore
+
+    events = parse_audit_log(_read_text(args.log))
+    store = DualStore(reduce=not args.no_reduction)
+    stats = store.load_events(events, strategy=args.strategy)
+    print(f"ingested {stats.events} events "
+          f"({stats.input_events} before reduction, "
+          f"{stats.entities} entities)")
+    if args.stats:
+        print("\n=== ingestion statistics ===")
+        print(f"  strategy:           {stats.strategy}")
+        print(f"  input events:       {stats.input_events}")
+        print(f"  stored events:      {stats.events}")
+        print(f"  unique entities:    {stats.entities}")
+        print(f"  relational batches: {stats.relational_batches}")
+        if store.last_reduction is not None:
+            ratio = store.last_reduction.reduction_ratio
+            print(f"  reduction ratio:    {ratio:.2f}x")
+        for stage in ("reduce", "build", "relational", "graph"):
+            millis = stats.seconds.get(stage, 0.0) * 1000.0
+            print(f"  {stage + ' seconds:':<19} {millis:.2f}ms")
+        print(f"  total:              {stats.total_seconds * 1000.0:.2f}ms")
+    store.close()
+    return 0 if stats.events else 1
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     raptor = _load_raptor(args.log, args.no_reduction)
     tbql = args.tbql if args.tbql else _read_text(args.query_file)
@@ -149,6 +179,22 @@ def build_parser() -> argparse.ArgumentParser:
     hunt.add_argument("--no-reduction", action="store_true",
                       help="disable data reduction at ingestion time")
     hunt.set_defaults(func=cmd_hunt)
+
+    ingest = subparsers.add_parser(
+        "ingest", help="load an audit log into the dual store and report "
+                       "ingestion statistics")
+    ingest.add_argument("--log", required=True,
+                        help="path to an auditd-style log file")
+    ingest.add_argument("--stats", action="store_true",
+                        help="print the per-stage load breakdown (reduce, "
+                             "build, relational, graph)")
+    ingest.add_argument("--strategy", choices=["batched", "rowwise"],
+                        default="batched",
+                        help="load path: batched fast path (default) or the "
+                             "row-at-a-time reference")
+    ingest.add_argument("--no-reduction", action="store_true",
+                        help="disable data reduction at ingestion time")
+    ingest.set_defaults(func=cmd_ingest)
 
     query = subparsers.add_parser(
         "query", help="run a hand-written TBQL query against an audit log")

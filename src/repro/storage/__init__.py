@@ -1,11 +1,12 @@
 """Storage substrate: relational (SQL) and graph (Cypher) backends."""
 
-from .dualstore import DualStore
+from .dualstore import DualStore, IngestStats
 from .graph import GraphStore, PropertyGraph, graph_from_events, parse_cypher
 from .relational import RelationalStore
 
 __all__ = [
     "DualStore",
+    "IngestStats",
     "GraphStore",
     "PropertyGraph",
     "graph_from_events",

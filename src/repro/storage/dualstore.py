@@ -5,10 +5,22 @@ patterns can run as SQL and variable-length path patterns can run as Cypher.
 The :class:`DualStore` mirrors that arrangement — one load call populates both
 backends (optionally applying data reduction first) and exposes both query
 interfaces.
+
+Loading runs a *single pass* over the (streamed, reduced) events: entity
+deduplication happens once, producing the relational row batches and the
+graph node/edge batches together, which are then bulk-inserted into each
+backend.  The pre-batching loader (batch reduction, row-at-a-time entity
+inserts, item-wise graph construction) is retained as
+``strategy="rowwise"`` — the reference the ingestion benchmark and the
+equivalence tests compare against.
 """
 
 from __future__ import annotations
 
+import gc
+import time
+from collections import deque
+from operator import attrgetter
 from pathlib import Path
 from typing import Iterable
 
@@ -17,6 +29,209 @@ from ..audit.reduction import DEFAULT_MERGE_THRESHOLD, ReductionStats, \
     reduce_events
 from .graph import GraphStore
 from .relational import RelationalStore
+from .relational.database import entity_row
+
+#: Valid ``strategy`` arguments for :meth:`DualStore.load_events`.
+LOAD_STRATEGIES = ("batched", "rowwise")
+
+
+class IngestStats(int):
+    """Stored-event count enriched with ingestion statistics.
+
+    Instances *are* the stored event count (an ``int`` subclass), so every
+    caller that treated :meth:`DualStore.load_events`'s return value as a
+    plain count keeps working; the extra attributes carry the load telemetry
+    surfaced by ``repro ingest --stats``.
+    """
+
+    #: Events read before reduction.
+    input_events: int
+    #: Events stored after reduction (== ``int(self)``).
+    events: int
+    #: Unique entities registered.
+    entities: int
+    #: ``executemany`` batches issued by the relational backend.
+    relational_batches: int
+    #: Seconds per stage: ``reduce``, ``build``, ``relational``, ``graph``.
+    seconds: dict[str, float]
+    #: Load strategy used ("batched" or "rowwise").
+    strategy: str
+
+    def __new__(cls, events: int, *, input_events: int, entities: int,
+                relational_batches: int, seconds: dict[str, float],
+                strategy: str) -> "IngestStats":
+        self = super().__new__(cls, events)
+        self.events = events
+        self.input_events = input_events
+        self.entities = entities
+        self.relational_batches = relational_batches
+        self.seconds = seconds
+        self.strategy = strategy
+        return self
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of the per-stage timings."""
+        return sum(self.seconds.values())
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for programmatic consumers (logging, JSON)."""
+        return {
+            "strategy": self.strategy,
+            "input_events": self.input_events,
+            "events": self.events,
+            "entities": self.entities,
+            "relational_batches": self.relational_batches,
+            "seconds": dict(self.seconds),
+            "total_seconds": self.total_seconds,
+        }
+
+    def __str__(self) -> str:
+        # int defines no __str__ of its own, so without this the custom
+        # __repr__ would leak into f-strings printing the event count.
+        return str(int(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"IngestStats(events={self.events}, "
+                f"input_events={self.input_events}, "
+                f"entities={self.entities}, "
+                f"total_seconds={self.total_seconds:.4f})")
+
+
+class _BuildBatches:
+    """The fused build pass of the batched loader.
+
+    One scan over the (sorted) input events interleaves three jobs the
+    rowwise reference performs as separate passes:
+
+    * *streaming reduction* — merge-run state is accumulated per
+      ``(subject, object, operation)`` key and evicted as soon as a run
+      closes (the :class:`StreamingReducer` discipline, inlined);
+    * *entity interning* — each entity resolves to its store id once, via an
+      object-identity fast path backed by the unique-key map, emitting the
+      relational row and graph node on first sight;
+    * *row building* — each evicted run materializes its merged event and
+      appends the relational event row and the graph edge.
+
+    Entity and event ids are assigned in first-appearance order from 1,
+    matching both the rowwise loader's assignment and the node ids
+    ``add_nodes_bulk`` hands out on a fresh graph.
+    """
+
+    def __init__(self, merge_threshold: float) -> None:
+        self.merge_threshold = merge_threshold
+        self.entity_ids: dict[tuple, int] = {}
+        self._ids_by_object: dict[int, int] = {}
+        self.entity_rows: list[tuple] = []
+        self.event_rows: list[tuple] = []
+        self.nodes: list[tuple[str, dict]] = []
+        self.edges: list[tuple[int, int, str, dict]] = []
+        self.reduced: list[SystemEvent] = []
+
+    def _intern(self, entity) -> int:
+        # Object-identity fast path: collectors reuse entity instances
+        # across events, so most lookups never hash the unique key.
+        marker = id(entity)
+        entity_id = self._ids_by_object.get(marker)
+        if entity_id is None:
+            key = entity.unique_key
+            entity_id = self.entity_ids.get(key)
+            if entity_id is None:
+                entity_id = len(self.entity_rows) + 1
+                self.entity_ids[key] = entity_id
+                self.entity_rows.append(entity_row(entity_id, entity))
+                self.nodes.append((entity.entity_type.value,
+                                   entity.attributes()))
+            self._ids_by_object[marker] = entity_id
+        return entity_id
+
+    def _emit(self, event: SystemEvent, subject_id: int,
+              object_id: int) -> None:
+        # The edge adopts the event's cached attribute dict (no copy): the
+        # graph never mutates edge properties and SystemEvent.attributes()
+        # is documented read-only, so the two views may share one dict.
+        attrs = event.attributes()
+        self.event_rows.append(
+            (len(self.event_rows) + 1, subject_id, object_id,
+             attrs["operation"], attrs["category"], event.start_time,
+             event.end_time, attrs["duration"], event.data_amount,
+             event.failure_code, event.host))
+        self.edges.append((subject_id, object_id, "EVENT", attrs))
+        self.reduced.append(event)
+
+    def _emit_run(self, cell: list) -> None:
+        first = cell[0]
+        if cell[3]:
+            merged = first.with_merged_span(cell[1], cell[2])
+            # Derive the merged event's attribute cache from the first
+            # event's instead of rebuilding it field by field — only the
+            # span-dependent entries change.
+            attrs = dict(first.attributes())
+            attrs["end_time"] = cell[1]
+            attrs["duration"] = cell[1] - first.start_time
+            attrs["data_amount"] = cell[2]
+            merged.__dict__["_attributes"] = attrs
+            first = merged
+        self._emit(first, cell[5], cell[6])
+
+    def consume(self, event_list: list[SystemEvent]) -> None:
+        """Build batches without reduction (events in given order)."""
+        intern = self._intern
+        for event in event_list:
+            self._emit(event, intern(event.subject), intern(event.obj))
+
+    def consume_reducing(self, event_list: list[SystemEvent]
+                         ) -> ReductionStats:
+        """Build batches with streaming reduction (events must be sorted)."""
+        # Run cells: [first_event, end_time, data_amount, merge_count,
+        # closed, subject_id, object_id]; evicted in first-appearance order,
+        # exactly like StreamingReducer/reduce_events.  The merge key uses
+        # id(operation): enum members are singletons, so identity equals
+        # equality without the descriptor lookups.
+        threshold = self.merge_threshold
+        identity_ids = self._ids_by_object
+        intern = self._intern
+        open_runs: dict[tuple, list] = {}
+        run_queue: deque[tuple[tuple, list]] = deque()
+        merged_count = 0
+        for event in event_list:
+            subject = event.subject
+            subject_id = identity_ids.get(id(subject))
+            if subject_id is None:
+                subject_id = intern(subject)
+            obj = event.obj
+            object_id = identity_ids.get(id(obj))
+            if object_id is None:
+                object_id = intern(obj)
+            start = event.start_time
+            key = (subject_id, object_id, id(event.operation))
+            cell = open_runs.get(key)
+            if cell is not None and not cell[4] and \
+                    0 <= start - cell[1] <= threshold:
+                cell[1] = event.end_time
+                cell[2] += event.data_amount
+                cell[3] += 1
+                merged_count += 1
+            else:
+                if cell is not None:
+                    cell[4] = True
+                cell = [event, event.end_time, event.data_amount, 0,
+                        False, subject_id, object_id]
+                open_runs[key] = cell
+                run_queue.append((key, cell))
+            while run_queue:
+                head_key, head = run_queue[0]
+                if not head[4] and head[1] + threshold >= start:
+                    break
+                run_queue.popleft()
+                if open_runs.get(head_key) is head:
+                    del open_runs[head_key]
+                self._emit_run(head)
+        for _key, cell in run_queue:
+            self._emit_run(cell)
+        return ReductionStats(input_events=len(event_list),
+                              output_events=len(self.reduced),
+                              merged_events=merged_count)
 
 
 class DualStore:
@@ -37,10 +252,16 @@ class DualStore:
         self.reduce = reduce
         self.merge_threshold = merge_threshold
         self.last_reduction: ReductionStats | None = None
+        self.last_ingest: IngestStats | None = None
         self._events: list[SystemEvent] = []
 
-    def load_events(self, events: Iterable[SystemEvent]) -> int:
-        """Load events into both backends; returns stored event count.
+    def load_events(self, events: Iterable[SystemEvent],
+                    strategy: str = "batched") -> IngestStats:
+        """Load events into both backends; returns ingestion statistics.
+
+        The return value is an :class:`IngestStats` — an ``int`` holding the
+        stored event count, annotated with per-stage timings and batch
+        counts.
 
         Loading *replaces* the stored data: the graph backend rebuilds from
         scratch on every load, so the relational backend is cleared first to
@@ -49,17 +270,117 @@ class DualStore:
         second load would leave the relational store counting entity ids
         past the rebuilt graph's, and pushed-down id allowlists would
         silently select the wrong nodes.
+
+        Args:
+            events: the system events to store.
+            strategy: ``"batched"`` (default) streams the reduction and
+                bulk-loads both backends from one build pass;
+                ``"rowwise"`` is the retained pre-batching reference path.
         """
+        if strategy not in LOAD_STRATEGIES:
+            raise ValueError(f"unknown load strategy: {strategy!r} "
+                             f"(expected one of {LOAD_STRATEGIES})")
+        loader = self._load_batched if strategy == "batched" else \
+            self._load_rowwise
+        stats = loader(events)
+        self.last_ingest = stats
+        return stats
+
+    # ------------------------------------------------------------------
+    # batched fast path: fused streaming reduction + single build pass
+    # ------------------------------------------------------------------
+    def _load_batched(self, events: Iterable[SystemEvent]) -> IngestStats:
+        """Sort, run the fused build pass, then bulk-load both backends.
+
+        The fused pass (see :class:`_BuildBatches`) produces the relational
+        row batches and graph node/edge batches in one scan; the relational
+        side then loads with multi-row inserts under a deferred index
+        rebuild and the graph side with ``add_nodes_bulk`` /
+        ``add_edges_bulk``.  Stage timings: ``reduce`` is the input ordering
+        (sort), ``build`` the fused pass, then ``relational`` and ``graph``
+        the bulk inserts.
+        """
+        reduce_start = time.perf_counter()
         event_list = list(events)
+        input_count = len(event_list)
+        do_reduce = self.reduce
+        if do_reduce:
+            event_list.sort(key=attrgetter("start_time", "event_id"))
+        reduce_seconds = time.perf_counter() - reduce_start
+
+        # The load allocates hundreds of thousands of long-lived tuples and
+        # dictionaries; pausing the cyclic collector avoids repeated full
+        # generation scans mid-load (nothing built here contains cycles).
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            build_start = time.perf_counter()
+            batches = _BuildBatches(self.merge_threshold)
+            if do_reduce:
+                reduction = batches.consume_reducing(event_list)
+                self.last_reduction = reduction
+            else:
+                batches.consume(event_list)
+            build_seconds = time.perf_counter() - build_start
+
+            relational_start = time.perf_counter()
+            statements = self.relational.reload_rows(batches.entity_rows,
+                                                     batches.event_rows)
+            self.relational.adopt_entity_ids(batches.entity_ids,
+                                             len(batches.event_rows) + 1)
+            relational_seconds = time.perf_counter() - relational_start
+
+            graph_start = time.perf_counter()
+            self.graph.load_prepared(batches.nodes, batches.edges)
+            graph_seconds = time.perf_counter() - graph_start
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+        self._events = batches.reduced
+        return IngestStats(
+            len(batches.reduced), input_events=input_count,
+            entities=len(batches.entity_rows),
+            relational_batches=statements,
+            seconds={"reduce": reduce_seconds, "build": build_seconds,
+                     "relational": relational_seconds,
+                     "graph": graph_seconds},
+            strategy="batched")
+
+    # ------------------------------------------------------------------
+    # rowwise reference path (the pre-batching loader)
+    # ------------------------------------------------------------------
+    def _load_rowwise(self, events: Iterable[SystemEvent]) -> IngestStats:
+        reduce_start = time.perf_counter()
+        event_list = list(events)
+        input_count = len(event_list)
         if self.reduce:
             event_list, stats = reduce_events(event_list,
                                               self.merge_threshold)
             self.last_reduction = stats
-        self._events = event_list
+        reduce_seconds = time.perf_counter() - reduce_start
+
+        relational_start = time.perf_counter()
         self.relational.clear()
-        self.relational.load_events(event_list)
-        self.graph.load_events(event_list)
-        return len(event_list)
+        self.relational.load_events_rowwise(event_list)
+        relational_seconds = time.perf_counter() - relational_start
+
+        graph_start = time.perf_counter()
+        self.graph.load_events(event_list, itemwise=True)
+        graph_seconds = time.perf_counter() - graph_start
+
+        self._events = event_list
+        entities = self.relational.count_entities()
+        # One INSERT per entity plus one executemany for the events.
+        statements = entities + (1 if event_list else 0)
+        return IngestStats(
+            len(event_list), input_events=input_count, entities=entities,
+            relational_batches=statements,
+            seconds={"reduce": reduce_seconds, "build": 0.0,
+                     "relational": relational_seconds,
+                     "graph": graph_seconds},
+            strategy="rowwise")
 
     def events(self) -> list[SystemEvent]:
         """Return the (reduced) events currently stored."""
@@ -108,4 +429,4 @@ class DualStore:
         self.close()
 
 
-__all__ = ["DualStore"]
+__all__ = ["DualStore", "IngestStats", "LOAD_STRATEGIES"]

@@ -5,7 +5,8 @@ from .cypher_ast import (BooleanExpr, Comparison, CypherQuery, Literal,
                          RelationshipPattern, ReturnItem)
 from .cypher_eval import CypherEvaluator, evaluate_where
 from .cypher_parser import CypherParser, parse_cypher, tokenize
-from .graphdb import (GraphEdge, GraphNode, PropertyGraph, graph_from_events)
+from .graphdb import (GraphEdge, GraphNode, PropertyGraph, graph_from_events,
+                      graph_from_events_itemwise)
 
 
 class GraphStore:
@@ -14,10 +15,30 @@ class GraphStore:
     def __init__(self) -> None:
         self.graph = PropertyGraph()
 
-    def load_events(self, events) -> int:
-        """Load a system event stream into the property graph."""
-        self.graph = graph_from_events(events)
+    def load_events(self, events, itemwise: bool = False) -> int:
+        """Load a system event stream into the property graph.
+
+        ``itemwise=True`` uses the retained one-call-per-item reference
+        construction instead of the bulk insert path.
+        """
+        builder = graph_from_events_itemwise if itemwise else \
+            graph_from_events
+        self.graph = builder(events)
         return self.graph.num_edges()
+
+    def load_prepared(self, nodes, edges) -> int:
+        """Rebuild the graph from pre-flattened node/edge batches.
+
+        ``nodes`` are ``(label, properties)`` pairs and ``edges`` are
+        ``(source, target, label, properties)`` tuples whose endpoints refer
+        to the 1-based position of the node in ``nodes`` — the contract of
+        the dual store's single-pass loader.  Returns the edge count.
+        """
+        graph = PropertyGraph()
+        graph.add_nodes_bulk(nodes)
+        graph.add_edges_bulk(edges)
+        self.graph = graph
+        return graph.num_edges()
 
     def execute(self, cypher: str) -> list[dict]:
         """Parse and evaluate a mini-Cypher query, returning result rows."""
@@ -54,5 +75,6 @@ __all__ = [
     "GraphNode",
     "PropertyGraph",
     "graph_from_events",
+    "graph_from_events_itemwise",
     "GraphStore",
 ]

@@ -16,13 +16,16 @@ from ...audit.entities import SystemEvent
 from ...errors import StorageError
 
 #: Node properties indexed for equality lookups (mirrors the relational
-#: indexes created in Section III-B).
-INDEXED_NODE_PROPERTIES = ("type", "name", "exename", "dstip", "srcip")
+#: indexes created in Section III-B).  ``path`` is indexed because file
+#: entity keys are path-first: path lookups would otherwise fall back to a
+#: full node scan.
+INDEXED_NODE_PROPERTIES = ("type", "name", "path", "exename", "dstip",
+                           "srcip")
 #: Edge properties indexed for equality lookups.
 INDEXED_EDGE_PROPERTIES = ("operation",)
 
 
-@dataclass
+@dataclass(slots=True)
 class GraphNode:
     """A node of the property graph."""
 
@@ -36,7 +39,7 @@ class GraphNode:
         return self.properties.get(key, default)
 
 
-@dataclass
+@dataclass(slots=True)
 class GraphEdge:
     """A directed edge of the property graph."""
 
@@ -111,9 +114,98 @@ class PropertyGraph:
                     (key, edge.properties[key]), set()).add(edge_id)
         return edge_id
 
+    def add_nodes_bulk(self, nodes: Iterable[tuple[str, dict[str, Any]]]
+                       ) -> list[int]:
+        """Add many ``(label, properties)`` nodes; returns their ids.
+
+        The fast path behind bulk loading: ids are assigned sequentially,
+        adjacency lists and the label/property indexes are maintained with
+        bound locals, and the property dictionaries are adopted as-is (no
+        defensive copy) — callers hand over ownership and must not mutate
+        them afterwards.
+        """
+        node_map = self._nodes
+        outgoing = self._outgoing
+        incoming = self._incoming
+        label_index = self._node_label_index
+        property_index = self._node_property_index
+        indexed = INDEXED_NODE_PROPERTIES
+        node_id = self._next_node_id
+        ids: list[int] = []
+        for label, properties in nodes:
+            node_map[node_id] = GraphNode(node_id, label, properties)
+            outgoing[node_id] = []
+            incoming[node_id] = []
+            bucket = label_index.get(label)
+            if bucket is None:
+                bucket = label_index[label] = set()
+            bucket.add(node_id)
+            for key in indexed:
+                if key in properties:
+                    entry = (key, properties[key])
+                    values = property_index.get(entry)
+                    if values is None:
+                        values = property_index[entry] = set()
+                    values.add(node_id)
+            ids.append(node_id)
+            node_id += 1
+        self._next_node_id = node_id
+        return ids
+
+    def add_edges_bulk(self, edges: Iterable[tuple[int, int, str,
+                                                   dict[str, Any]]]
+                       ) -> list[int]:
+        """Add many ``(source, target, label, properties)`` edges.
+
+        Endpoints must already exist (unknown endpoints raise
+        :class:`StorageError` before anything is inserted).  As with
+        :meth:`add_nodes_bulk`, property dictionaries are adopted without
+        copying and index maintenance is amortized across the batch.
+        """
+        edge_map = self._edges
+        outgoing = self._outgoing
+        incoming = self._incoming
+        property_index = self._edge_property_index
+        indexed = INDEXED_EDGE_PROPERTIES
+        edge_id = self._next_edge_id
+        ids: list[int] = []
+        for source, target, label, properties in edges:
+            source_out = outgoing.get(source)
+            target_in = incoming.get(target)
+            if source_out is None or target_in is None:
+                raise StorageError(
+                    f"edge endpoints must exist: {source} -> {target}")
+            edge_map[edge_id] = GraphEdge(edge_id, source, target, label,
+                                          properties)
+            source_out.append(edge_id)
+            target_in.append(edge_id)
+            for key in indexed:
+                if key in properties:
+                    entry = (key, properties[key])
+                    values = property_index.get(entry)
+                    if values is None:
+                        values = property_index[entry] = set()
+                    values.add(edge_id)
+            ids.append(edge_id)
+            edge_id += 1
+        self._next_edge_id = edge_id
+        return ids
+
     def clear(self) -> None:
-        """Remove every node and edge."""
-        self.__init__()
+        """Remove every node and edge.
+
+        Each structure is reset explicitly (not via ``__init__`` on the live
+        instance, which would break subclasses that extend the constructor).
+        """
+        self._nodes.clear()
+        self._edges.clear()
+        self._outgoing.clear()
+        self._incoming.clear()
+        self._node_label_index.clear()
+        self._node_property_index.clear()
+        self._edge_property_index.clear()
+        self._next_node_id = 1
+        self._next_edge_id = 1
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -195,6 +287,38 @@ def graph_from_events(events: Iterable[SystemEvent]) -> PropertyGraph:
 
     Nodes are deduplicated by the entity unique keys of Section III-A; each
     event becomes one edge labeled ``EVENT`` carrying the event attributes.
+    The stream is flattened into node/edge batches first and inserted through
+    the bulk paths; :func:`graph_from_events_itemwise` keeps the one-call-per
+    item reference construction.
+    """
+    nodes: list[tuple[str, dict]] = []
+    edges: list[tuple[int, int, str, dict]] = []
+    node_ids: dict[tuple, int] = {}
+    next_node_id = 1
+    for event in events:
+        endpoints = []
+        for entity in (event.subject, event.obj):
+            key = entity.unique_key
+            node_id = node_ids.get(key)
+            if node_id is None:
+                node_id = node_ids[key] = next_node_id
+                next_node_id += 1
+                nodes.append((entity.entity_type.value, entity.attributes()))
+            endpoints.append(node_id)
+        edges.append((endpoints[0], endpoints[1], "EVENT",
+                      event.attributes()))
+    graph = PropertyGraph()
+    graph.add_nodes_bulk(nodes)
+    graph.add_edges_bulk(edges)
+    return graph
+
+
+def graph_from_events_itemwise(events: Iterable[SystemEvent]
+                               ) -> PropertyGraph:
+    """Reference graph construction: one add_node/add_edge call per item.
+
+    Retained as the baseline for the ingestion benchmark and the
+    bulk-vs-itemwise equivalence tests.
     """
     graph = PropertyGraph()
     node_ids: dict[tuple, int] = {}
@@ -218,6 +342,7 @@ __all__ = [
     "GraphEdge",
     "PropertyGraph",
     "graph_from_events",
+    "graph_from_events_itemwise",
     "INDEXED_NODE_PROPERTIES",
     "INDEXED_EDGE_PROPERTIES",
 ]

@@ -63,6 +63,10 @@ INDEX_DDL = [
     "CREATE INDEX IF NOT EXISTS idx_events_start ON events(start_time)",
 ]
 
+#: Names of the indexes in :data:`INDEX_DDL` (so bulk loads can drop and
+#: rebuild them around large inserts).
+INDEX_NAMES = [ddl.split(" ON ")[0].rsplit(" ", 1)[-1] for ddl in INDEX_DDL]
+
 #: Columns accepted by the entity table, in insertion order.
 ENTITY_COLUMNS = [
     "id", "type", "name", "path", "exename", "pid", "user", "grp",
@@ -116,6 +120,7 @@ __all__ = [
     "ENTITY_TABLE_DDL",
     "EVENT_TABLE_DDL",
     "INDEX_DDL",
+    "INDEX_NAMES",
     "ENTITY_COLUMNS",
     "EVENT_COLUMNS",
     "ENTITY_ATTRIBUTE_COLUMNS",

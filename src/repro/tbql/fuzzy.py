@@ -17,11 +17,27 @@ deviations:
 :class:`FuzzySearcher` (ThreatRaptor-Fuzzy) enumerates *all* acceptable
 alignments exhaustively; :class:`PoirotSearcher` (the baseline, see
 :mod:`repro.tbql.poirot`) stops at the first acceptable alignment.
+
+Two search strategies are available (mirroring the executor's
+``join_strategy``):
+
+* ``"indexed"`` (default) — the fast path: node candidates come from a
+  character-bigram inverted index over the unique entity names (a lossless
+  prefilter, so no similarity above the threshold is missed), edit distances
+  use a banded early-exit Levenshtein, information flows come from a cached
+  bounded-hop flow-closure per source node, and alignment enumeration is
+  pruned with an admissible branch-and-bound upper bound on the remaining
+  score.
+* ``"bruteforce"`` — the seed reference: a full Levenshtein DP against every
+  store entity per query node and a fresh bounded BFS per query edge per
+  partial alignment.  Kept for the equivalence tests and as the benchmark
+  baseline; both strategies return identical alignments and scores.
 """
 
 from __future__ import annotations
 
 import time
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
@@ -37,6 +53,12 @@ NODE_SIMILARITY_THRESHOLD = 0.6
 ALIGNMENT_SCORE_THRESHOLD = 0.7
 #: Maximum flow length explored between two aligned nodes.
 MAX_FLOW_LENGTH = 4
+
+#: Valid ``strategy`` arguments for the fuzzy searchers.
+FUZZY_STRATEGIES = ("indexed", "bruteforce")
+
+#: Character n-gram size of the candidate prefilter index.
+_NGRAM = 2
 
 
 def levenshtein_distance(left: str, right: str) -> int:
@@ -59,6 +81,50 @@ def levenshtein_distance(left: str, right: str) -> int:
     return previous[-1]
 
 
+def levenshtein_within(left: str, right: str, bound: int) -> Optional[int]:
+    """Banded Levenshtein: the exact distance if ``<= bound``, else ``None``.
+
+    Only the diagonal band of DP cells with ``|i - j| <= bound`` is
+    evaluated, and the computation aborts as soon as every cell of a row
+    exceeds the bound — the early exit that makes threshold-filtered
+    similarity cheap for dissimilar strings.
+    """
+    if bound < 0:
+        return None
+    if left == right:
+        return 0
+    if len(left) > len(right):
+        left, right = right, left
+    short, long_ = len(left), len(right)
+    if long_ - short > bound:
+        return None
+    if bound == 0:
+        return None  # left != right, so the distance is at least 1
+    if short == 0:
+        return long_  # already known to be <= bound
+    infinity = bound + 1
+    previous = [j if j <= bound else infinity for j in range(long_ + 1)]
+    for i in range(1, short + 1):
+        low = max(1, i - bound)
+        high = min(long_, i + bound)
+        current = [infinity] * (long_ + 1)
+        if i <= bound:
+            current[0] = i
+        left_char = left[i - 1]
+        row_min = current[0] if low == 1 else infinity
+        for j in range(low, high + 1):
+            cost = min(previous[j] + 1, current[j - 1] + 1,
+                       previous[j - 1] + (left_char != right[j - 1]))
+            current[j] = cost
+            if cost < row_min:
+                row_min = cost
+        if row_min > bound:
+            return None
+        previous = current
+    distance = previous[long_]
+    return distance if distance <= bound else None
+
+
 def string_similarity(left: str, right: str) -> float:
     """Normalized Levenshtein similarity in [0, 1]."""
     if not left and not right:
@@ -71,6 +137,40 @@ def string_similarity(left: str, right: str) -> float:
     if left and right and (left in right or right in left):
         return max(0.9, 1.0 - levenshtein_distance(left, right) / longest)
     return 1.0 - levenshtein_distance(left, right) / longest
+
+
+def _similarity_within(needle: str, name: str, threshold: float
+                       ) -> Optional[float]:
+    """:func:`string_similarity` with banded early exit below ``threshold``.
+
+    Returns exactly ``string_similarity(needle, name)`` when that value is
+    ``>= threshold`` and ``None`` otherwise, but without running the full
+    DP for clearly dissimilar strings.  The Levenshtein bands carry a ``+1``
+    margin so the final acceptance is decided by the same float comparison
+    the brute-force path performs.
+    """
+    if not needle and not name:
+        return 1.0 if 1.0 >= threshold else None
+    longest = max(len(needle), len(name))
+    if needle and name and (needle in name or name in needle):
+        # Beyond d > longest/10 the containment floor of 0.9 dominates, so
+        # the exact distance is only needed inside that band.
+        distance = levenshtein_within(needle, name, int(0.1 * longest) + 1)
+        similarity = max(0.9, 1.0 - distance / longest) \
+            if distance is not None else 0.9
+        return similarity if similarity >= threshold else None
+    allowed = int((1.0 - threshold) * longest) + 1
+    distance = levenshtein_within(needle, name, allowed)
+    if distance is None:
+        return None
+    similarity = 1.0 - distance / longest
+    return similarity if similarity >= threshold else None
+
+
+def _ngrams(text: str) -> Counter:
+    """Bag of character n-grams (size :data:`_NGRAM`) of ``text``."""
+    return Counter(text[i:i + _NGRAM]
+                   for i in range(len(text) - _NGRAM + 1))
 
 
 # ---------------------------------------------------------------------------
@@ -141,6 +241,80 @@ def _search_string(attr_filter) -> str:
     return ""
 
 
+class _NameIndex:
+    """Character-bigram inverted index over the unique entity names.
+
+    Provides a *lossless* candidate prefilter for threshold-bounded
+    Levenshtein similarity: two strings within edit distance ``d`` share at
+    least ``max(|a|, |b|) - n + 1 - n*d`` n-grams, and a containment match
+    (the substring boost of :func:`string_similarity`) shares every n-gram
+    of the shorter string.  Names whose length makes either lower bound
+    non-positive cannot be pruned by gram counting and are kept in
+    per-length fallback buckets that are always scanned.
+    """
+
+    def __init__(self, node_names: dict[int, str]) -> None:
+        self.names: list[str] = []
+        self.nodes_by_name: dict[str, list[int]] = {}
+        nodes_by_name = self.nodes_by_name
+        for node_id, name in node_names.items():
+            bucket = nodes_by_name.get(name)
+            if bucket is None:
+                bucket = nodes_by_name[name] = []
+                self.names.append(name)
+            bucket.append(node_id)
+        # gram -> [(name index, occurrences), ...]
+        self.postings: dict[str, list[tuple[int, int]]] = {}
+        self.names_by_length: dict[int, list[int]] = {}
+        for name_index, name in enumerate(self.names):
+            self.names_by_length.setdefault(len(name), []).append(name_index)
+            for gram, count in _ngrams(name).items():
+                self.postings.setdefault(gram, []).append((name_index,
+                                                           count))
+
+    @staticmethod
+    def _required_shared(needle_len: int, name_len: int,
+                         threshold: float) -> int:
+        """Minimum shared bigrams an admissible name must have.
+
+        Admissible means either normalized distance above the threshold
+        (``d <= (1 - threshold) * L`` with the same ``+1`` float margin the
+        banded DP uses) or substring containment (which shares all
+        ``min_len - n + 1`` grams of the shorter string) — the two ways
+        :func:`string_similarity` can reach the threshold.
+        """
+        longest = max(needle_len, name_len)
+        allowed = int((1.0 - threshold) * longest) + 1
+        by_distance = longest - _NGRAM + 1 - _NGRAM * allowed
+        if threshold <= 0.9:
+            by_containment = min(needle_len, name_len) - _NGRAM + 1
+            return min(by_distance, by_containment)
+        return by_distance
+
+    def candidate_names(self, needle: str, threshold: float) -> list[int]:
+        """Return indexes of names the prefilter cannot rule out."""
+        needle_len = len(needle)
+        shared: dict[int, int] = {}
+        for gram, count in _ngrams(needle).items():
+            for name_index, occurrences in self.postings.get(gram, ()):
+                shared[name_index] = shared.get(name_index, 0) + \
+                    min(count, occurrences)
+        required_by_length = {
+            length: self._required_shared(needle_len, length, threshold)
+            for length in self.names_by_length}
+        candidates: list[int] = []
+        for length, indexes in self.names_by_length.items():
+            if required_by_length[length] <= 0:
+                # Too short to be prunable by gram counts: always checked.
+                candidates.extend(indexes)
+        names = self.names
+        for name_index, count in shared.items():
+            required = required_by_length[len(names[name_index])]
+            if required > 0 and count >= required:
+                candidates.append(name_index)
+        return candidates
+
+
 @dataclass
 class ProvenanceIndex:
     """In-memory provenance graph built from the stored events."""
@@ -150,6 +324,12 @@ class ProvenanceIndex:
     out_edges: dict[int, list[tuple[int, str, float]]] = field(
         default_factory=dict)
     num_edges: int = 0
+    # Lazily-built acceleration structures (dropped on mutation; excluded
+    # from equality so two value-identical indexes still compare equal).
+    _name_index: Optional[_NameIndex] = field(default=None, repr=False,
+                                              compare=False)
+    _flow_closure: dict = field(default_factory=dict, repr=False,
+                                compare=False)
 
     def add_event(self, row: dict) -> None:
         subject_id = row["subject_id"]
@@ -166,10 +346,91 @@ class ProvenanceIndex:
         self.out_edges.setdefault(subject_id, []).append(
             (object_id, row.get("operation", ""), row.get("start_time", 0.0)))
         self.num_edges += 1
+        self._name_index = None
+        if self._flow_closure:
+            self._flow_closure = {}
 
-    def candidates_for(self, query_node: QueryNode
+    @classmethod
+    def from_graph(cls, graph) -> "ProvenanceIndex":
+        """Build the index straight from the loaded property graph.
+
+        Skips the relational round trip (the joined ``all_events()`` query
+        plus one dictionary per row) the row-based construction pays; the
+        resulting index is identical — node names follow the same
+        ``dstip -> path -> exename -> name`` attribute precedence.
+        """
+        index = cls()
+        node_names = index.node_names
+        node_types = index.node_types
+        for node in graph.nodes():
+            properties = node.properties
+            node_names[node.node_id] = (
+                properties.get("dstip") or properties.get("path") or
+                properties.get("exename") or properties.get("name") or "")
+            node_types[node.node_id] = properties.get("type", "")
+        out_edges = index.out_edges
+        count = 0
+        for edge in graph.edges():
+            properties = edge.properties
+            bucket = out_edges.get(edge.source)
+            if bucket is None:
+                bucket = out_edges[edge.source] = []
+            bucket.append((edge.target, properties.get("operation", ""),
+                           properties.get("start_time", 0.0)))
+            count += 1
+        index.num_edges = count
+        return index
+
+    # ------------------------------------------------------------------
+    # node candidates
+    # ------------------------------------------------------------------
+    def candidates_for(self, query_node: QueryNode,
+                       threshold: Optional[float] = None
                        ) -> list[tuple[int, float]]:
-        """Return (node id, similarity) candidates above the threshold."""
+        """Return (node id, similarity) candidates above the threshold.
+
+        The fast path: unique names are prefiltered through the bigram
+        inverted index, then scored with the banded Levenshtein; the result
+        set (ids and similarity values) is identical to
+        :meth:`candidates_for_bruteforce`.
+        """
+        if threshold is None:
+            threshold = NODE_SIMILARITY_THRESHOLD
+        needle = query_node.search_string
+        query_type = query_node.entity_type
+        node_types = self.node_types
+        results: list[tuple[int, float]] = []
+        if not needle:
+            if 0.5 >= threshold:
+                for node_id in self.node_names:
+                    if query_type and node_types.get(node_id) != query_type:
+                        continue
+                    results.append((node_id, 0.5))
+            results.sort(key=lambda item: (-item[1], item[0]))
+            return results
+        index = self._name_index
+        if index is None:
+            index = self._name_index = _NameIndex(self.node_names)
+        names = index.names
+        nodes_by_name = index.nodes_by_name
+        for name_index in index.candidate_names(needle, threshold):
+            name = names[name_index]
+            similarity = _similarity_within(needle, name, threshold)
+            if similarity is None:
+                continue
+            for node_id in nodes_by_name[name]:
+                if query_type and node_types.get(node_id) != query_type:
+                    continue
+                results.append((node_id, similarity))
+        results.sort(key=lambda item: (-item[1], item[0]))
+        return results
+
+    def candidates_for_bruteforce(self, query_node: QueryNode,
+                                  threshold: Optional[float] = None
+                                  ) -> list[tuple[int, float]]:
+        """Reference candidate scan: full Levenshtein DP per store entity."""
+        if threshold is None:
+            threshold = NODE_SIMILARITY_THRESHOLD
         results: list[tuple[int, float]] = []
         needle = query_node.search_string
         for node_id, name in self.node_names.items():
@@ -178,10 +439,49 @@ class ProvenanceIndex:
                 continue
             similarity = string_similarity(needle, name or "") if needle \
                 else 0.5
-            if similarity >= NODE_SIMILARITY_THRESHOLD:
+            if similarity >= threshold:
                 results.append((node_id, similarity))
-        results.sort(key=lambda item: -item[1])
+        results.sort(key=lambda item: (-item[1], item[0]))
         return results
+
+    # ------------------------------------------------------------------
+    # information flows
+    # ------------------------------------------------------------------
+    def flows_from(self, source: int) -> dict[int, dict[str, int]]:
+        """Bounded-hop flow closure from ``source``.
+
+        Maps each node reachable within :data:`MAX_FLOW_LENGTH` hops to
+        ``{final-hop operation: minimum hop count}`` — everything
+        :meth:`flow_score` needs for *any* target and operation filter, so
+        one BFS per source node replaces one BFS per query edge per partial
+        alignment.  Closures are cached until the index is mutated.
+        """
+        max_length = MAX_FLOW_LENGTH
+        cached = self._flow_closure.get(source)
+        if cached is not None and cached[0] == max_length:
+            return cached[1]
+        flows: dict[int, dict[str, int]] = {}
+        out_edges = self.out_edges
+        seen = {source}
+        frontier = [source]
+        depth = 0
+        while frontier and depth < max_length:
+            hop = depth + 1
+            next_frontier: list[int] = []
+            for node in frontier:
+                for neighbor, operation, _ in out_edges.get(node, ()):
+                    operations = flows.get(neighbor)
+                    if operations is None:
+                        flows[neighbor] = {operation: hop}
+                    elif operation not in operations:
+                        operations[operation] = hop
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+            depth = hop
+        self._flow_closure[source] = (max_length, flows)
+        return flows
 
     def flow_score(self, source: int, target: int,
                    operations: Optional[frozenset[str]]) -> float:
@@ -191,8 +491,22 @@ class ProvenanceIndex:
         matches the requested operations, or 0 when no such flow exists
         within :data:`MAX_FLOW_LENGTH` hops.  Shorter flows mean fewer
         intermediate (potentially compromised) processes, mirroring Poirot's
-        ancestor-influence score.
+        ancestor-influence score.  Served from the cached flow closure; the
+        per-call BFS is retained as :meth:`flow_score_bruteforce`.
         """
+        flows = self.flows_from(source).get(target)
+        if not flows:
+            return 0.0
+        if operations:
+            hops = min((hop for operation, hop in flows.items()
+                        if operation in operations), default=0)
+        else:
+            hops = min(flows.values())
+        return 1.0 / hops if hops else 0.0
+
+    def flow_score_bruteforce(self, source: int, target: int,
+                              operations: Optional[frozenset[str]]) -> float:
+        """Reference flow scoring: one bounded BFS per call."""
         frontier = [(source, 0)]
         visited = {source}
         best = 0.0
@@ -249,35 +563,74 @@ class FuzzySearchResult:
 
 
 class GraphAligner:
-    """Backtracking aligner shared by the fuzzy mode and the Poirot baseline."""
+    """Backtracking aligner shared by the fuzzy mode and the Poirot baseline.
+
+    With ``strategy="indexed"`` the aligner scores flows through the cached
+    closure, checks each query edge exactly once (when its second endpoint
+    is mapped), and prunes subtrees whose admissible score upper bound —
+    current flow total plus 1.0 for every unscored edge — cannot reach the
+    acceptance threshold.  ``strategy="bruteforce"`` reproduces the seed
+    behaviour (BFS per edge per partial alignment, no bounding); both yield
+    the same acceptable alignments in the same order.
+    """
 
     def __init__(self, query_graph: QueryGraph, index: ProvenanceIndex,
                  score_threshold: float = ALIGNMENT_SCORE_THRESHOLD,
-                 max_expansions: int = 200_000) -> None:
+                 max_expansions: int = 200_000,
+                 strategy: str = "indexed") -> None:
+        if strategy not in FUZZY_STRATEGIES:
+            raise ValueError(f"unknown fuzzy strategy: {strategy!r} "
+                             f"(expected one of {FUZZY_STRATEGIES})")
         self.query_graph = query_graph
         self.index = index
         self.score_threshold = score_threshold
         self.max_expansions = max_expansions
+        self.strategy = strategy
+        if strategy == "indexed":
+            self._candidates = index.candidates_for
+            self._flow = index.flow_score
+            self._branch_and_bound = True
+        else:
+            self._candidates = index.candidates_for_bruteforce
+            self._flow = index.flow_score_bruteforce
+            self._branch_and_bound = False
         self._expansions = 0
+        self._last_candidates: Optional[dict[str, list]] = None
 
     def alignments(self, stop_after_first: bool = False
                    ) -> Iterator[Alignment]:
         """Yield acceptable alignments (all of them, or just the first)."""
-        candidates = {node.entity_id: self.index.candidates_for(node)
+        candidates = {node.entity_id: self._candidates(node)
                       for node in self.query_graph.nodes}
+        self._last_candidates = candidates
         # Align the most selective query node first.
         order = sorted(self.query_graph.nodes,
                        key=lambda node: len(candidates[node.entity_id]))
+        position_of = {node.entity_id: position
+                       for position, node in enumerate(order)}
+        # Edges become scorable at the position where their second endpoint
+        # is assigned; each edge is checked exactly once per partial branch.
+        ready_edges: list[list[QueryEdge]] = [[] for _ in order]
+        for edge in self.query_graph.edges:
+            position = max(position_of[edge.source],
+                           position_of[edge.target])
+            ready_edges[position].append(edge)
         self._expansions = 0
-        yield from self._extend(order, 0, {}, candidates, stop_after_first)
+        yield from self._extend(order, 0, {}, candidates, ready_edges,
+                                0.0, 0, stop_after_first)
 
     def candidate_counts(self) -> dict[str, int]:
-        return {node.entity_id: len(self.index.candidates_for(node))
+        if self._last_candidates is not None:
+            return {entity_id: len(found)
+                    for entity_id, found in self._last_candidates.items()}
+        return {node.entity_id: len(self._candidates(node))
                 for node in self.query_graph.nodes}
 
     def _extend(self, order: list[QueryNode], position: int,
                 mapping: dict[str, int],
                 candidates: dict[str, list[tuple[int, float]]],
+                ready_edges: list[list[QueryEdge]],
+                flow_total: float, scored_edges: int,
                 stop_after_first: bool) -> Iterator[Alignment]:
         if self._expansions > self.max_expansions:
             return
@@ -288,41 +641,49 @@ class GraphAligner:
             return
         node = order[position]
         used = set(mapping.values())
+        num_edges = len(self.query_graph.edges)
+        newly_ready = ready_edges[position]
         for candidate_id, _similarity in candidates[node.entity_id]:
             if candidate_id in used:
                 continue
             self._expansions += 1
             mapping[node.entity_id] = candidate_id
-            if self._partial_consistent(mapping):
-                produced = False
-                for alignment in self._extend(order, position + 1, mapping,
-                                              candidates, stop_after_first):
-                    produced = True
+            consistent = True
+            added = 0.0
+            for edge in newly_ready:
+                score = self._flow(mapping[edge.source],
+                                   mapping[edge.target], edge.operations)
+                if score == 0.0:
+                    consistent = False
+                    break
+                added += score
+            if consistent and self._branch_and_bound:
+                # Admissible upper bound: every still-unscored edge can
+                # contribute at most a direct flow (1.0).  Subtrees that
+                # cannot reach the acceptance threshold are cut; the small
+                # epsilon keeps borderline float sums on the safe side.
+                scored = scored_edges + len(newly_ready)
+                bound = flow_total + added + (num_edges - scored)
+                if bound < self.score_threshold * num_edges - 1e-9:
+                    consistent = False
+            if consistent:
+                for alignment in self._extend(
+                        order, position + 1, mapping, candidates,
+                        ready_edges, flow_total + added,
+                        scored_edges + len(newly_ready), stop_after_first):
                     yield alignment
                     if stop_after_first:
                         del mapping[node.entity_id]
                         return
-                _ = produced
             del mapping[node.entity_id]
-
-    def _partial_consistent(self, mapping: dict[str, int]) -> bool:
-        """Check flows for every query edge whose endpoints are both mapped."""
-        for edge in self.query_graph.edges:
-            if edge.source in mapping and edge.target in mapping:
-                if self.index.flow_score(mapping[edge.source],
-                                         mapping[edge.target],
-                                         edge.operations) == 0.0:
-                    return False
-        return True
 
     def _score(self, mapping: dict[str, int]) -> Optional[Alignment]:
         if not self.query_graph.edges:
             return None
         total = 0.0
         for edge in self.query_graph.edges:
-            total += self.index.flow_score(mapping[edge.source],
-                                           mapping[edge.target],
-                                           edge.operations)
+            total += self._flow(mapping[edge.source], mapping[edge.target],
+                                edge.operations)
         score = total / len(self.query_graph.edges)
         if score < self.score_threshold:
             return None
@@ -338,28 +699,53 @@ class FuzzySearcher:
     stop_after_first = False
 
     def __init__(self, store: DualStore,
-                 score_threshold: float = ALIGNMENT_SCORE_THRESHOLD) -> None:
+                 score_threshold: float = ALIGNMENT_SCORE_THRESHOLD,
+                 strategy: str = "indexed") -> None:
+        if strategy not in FUZZY_STRATEGIES:
+            raise ValueError(f"unknown fuzzy strategy: {strategy!r} "
+                             f"(expected one of {FUZZY_STRATEGIES})")
         self.store = store
         self.score_threshold = score_threshold
+        self.strategy = strategy
 
     def search(self, query: str | ResolvedQuery) -> FuzzySearchResult:
         """Run the fuzzy search for a TBQL query."""
         resolved = query if isinstance(query, ResolvedQuery) else \
             resolve_query(parse_tbql(query))
-        load_start = time.perf_counter()
-        rows = self.store.relational.all_events()
-        loading = time.perf_counter() - load_start
-
-        prep_start = time.perf_counter()
-        index = ProvenanceIndex()
-        for row in rows:
-            index.add_event(row)
-        preprocessing = time.perf_counter() - prep_start
+        if self.strategy == "indexed":
+            # The provenance index builds straight from the in-memory
+            # property graph; there is no relational load phase.  When the
+            # backends have drifted apart (e.g. an incremental
+            # relational-only load), fall back to the relational rows so
+            # both strategies always search the same data.
+            load_start = time.perf_counter()
+            graph = self.store.graph.graph
+            in_sync = graph.num_edges() == self.store.relational.count_events()
+            rows = None if in_sync else self.store.relational.all_events()
+            loading = time.perf_counter() - load_start
+            prep_start = time.perf_counter()
+            if in_sync:
+                index = ProvenanceIndex.from_graph(graph)
+            else:
+                index = ProvenanceIndex()
+                for row in rows:
+                    index.add_event(row)
+            preprocessing = time.perf_counter() - prep_start
+        else:
+            load_start = time.perf_counter()
+            rows = self.store.relational.all_events()
+            loading = time.perf_counter() - load_start
+            prep_start = time.perf_counter()
+            index = ProvenanceIndex()
+            for row in rows:
+                index.add_event(row)
+            preprocessing = time.perf_counter() - prep_start
 
         search_start = time.perf_counter()
         query_graph = QueryGraph.from_resolved(resolved)
         aligner = GraphAligner(query_graph, index,
-                               score_threshold=self.score_threshold)
+                               score_threshold=self.score_threshold,
+                               strategy=self.strategy)
         alignments = list(aligner.alignments(
             stop_after_first=self.stop_after_first))
         searching = time.perf_counter() - search_start
@@ -372,6 +758,7 @@ class FuzzySearcher:
 
 __all__ = [
     "levenshtein_distance",
+    "levenshtein_within",
     "string_similarity",
     "QueryNode",
     "QueryEdge",
@@ -381,6 +768,7 @@ __all__ = [
     "FuzzySearchResult",
     "GraphAligner",
     "FuzzySearcher",
+    "FUZZY_STRATEGIES",
     "NODE_SIMILARITY_THRESHOLD",
     "ALIGNMENT_SCORE_THRESHOLD",
     "MAX_FLOW_LENGTH",

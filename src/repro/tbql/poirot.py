@@ -18,8 +18,10 @@ class PoirotSearcher(FuzzySearcher):
     stop_after_first = True
 
     def __init__(self, store, score_threshold: float =
-                 ALIGNMENT_SCORE_THRESHOLD) -> None:
-        super().__init__(store, score_threshold=score_threshold)
+                 ALIGNMENT_SCORE_THRESHOLD,
+                 strategy: str = "indexed") -> None:
+        super().__init__(store, score_threshold=score_threshold,
+                         strategy=strategy)
 
 
 __all__ = ["PoirotSearcher"]

@@ -7,8 +7,8 @@ from hypothesis import strategies as st
 from repro.tbql.conciseness import (compare_conciseness, measure_conciseness,
                                     strip_comments)
 from repro.tbql.fuzzy import (FuzzySearcher, GraphAligner, ProvenanceIndex,
-                              QueryGraph, levenshtein_distance,
-                              string_similarity)
+                              QueryGraph, QueryNode, levenshtein_distance,
+                              levenshtein_within, string_similarity)
 from repro.tbql.parser import parse_tbql
 from repro.tbql.poirot import PoirotSearcher
 from repro.tbql.semantics import resolve_query
@@ -39,6 +39,27 @@ class TestLevenshtein:
     @settings(max_examples=40, deadline=None)
     def test_identity(self, a):
         assert levenshtein_distance(a, a) == 0
+
+    @given(st.text(max_size=16), st.text(max_size=16),
+           st.integers(min_value=0, max_value=18))
+    @settings(max_examples=150, deadline=None)
+    def test_banded_matches_full_dp(self, a, b, bound):
+        """levenshtein_within returns the exact distance iff within bound."""
+        full = levenshtein_distance(a, b)
+        banded = levenshtein_within(a, b, bound)
+        if full <= bound:
+            assert banded == full
+        else:
+            assert banded is None
+
+    def test_banded_early_exit_cases(self):
+        assert levenshtein_within("kitten", "sitting", 3) == 3
+        assert levenshtein_within("kitten", "sitting", 2) is None
+        assert levenshtein_within("abc", "abc", 0) == 0
+        assert levenshtein_within("abc", "abd", 0) is None
+        assert levenshtein_within("", "abcd", 3) is None
+        assert levenshtein_within("", "abcd", 4) == 4
+        assert levenshtein_within("x", "y", -1) is None
 
 
 class TestQueryGraph:
@@ -81,6 +102,203 @@ class TestProvenanceIndex:
                          index.node_names.items() if name == "/etc/passwd")
         assert index.flow_score(tar_id, passwd_id, frozenset({"read"})) == 1.0
         assert index.flow_score(passwd_id, tar_id, None) == 0.0
+
+
+#: Alphabet with heavy collisions so random names share bigrams often.
+_NAME_ALPHABET = "ab/.t"
+
+
+def _index_from_names(names):
+    index = ProvenanceIndex()
+    for node_id, (name, node_type) in enumerate(names, start=1):
+        index.node_names[node_id] = name
+        index.node_types[node_id] = node_type
+    return index
+
+
+class TestCandidatePrefilterEquivalence:
+    """The bigram prefilter is lossless: indexed == brute-force candidates."""
+
+    @given(st.lists(st.tuples(st.text(_NAME_ALPHABET, max_size=12),
+                              st.sampled_from(["proc", "file", "ip"])),
+                    max_size=25),
+           st.text(_NAME_ALPHABET, max_size=12),
+           st.sampled_from(["proc", "file", ""]),
+           st.sampled_from([0.3, 0.5, 0.6, 0.7, 0.9, 0.95]))
+    @settings(max_examples=200, deadline=None)
+    def test_candidate_sets_identical(self, names, needle, query_type,
+                                      threshold):
+        index = _index_from_names(names)
+        query_node = QueryNode(entity_id="q", entity_type=query_type,
+                               search_string=needle)
+        fast = index.candidates_for(query_node, threshold=threshold)
+        slow = index.candidates_for_bruteforce(query_node,
+                                               threshold=threshold)
+        assert fast == slow
+
+    def test_boundary_similarity_not_dropped(self):
+        # "abcde" vs "abxye": distance 2 over length 5 -> similarity exactly
+        # 0.6, the NODE_SIMILARITY_THRESHOLD boundary; the prefilter must
+        # keep it (>= comparison, like the brute force).
+        index = _index_from_names([("abxye", "proc"), ("zzzzz", "proc")])
+        query_node = QueryNode(entity_id="q", entity_type="proc",
+                               search_string="abcde")
+        fast = index.candidates_for(query_node, threshold=0.6)
+        slow = index.candidates_for_bruteforce(query_node, threshold=0.6)
+        assert fast == slow == [(1, 0.6)]
+
+    def test_containment_candidates_survive_prefilter(self):
+        # A short IOC inside a much longer path passes only through the
+        # containment boost; the gram count filter must not prune it.
+        long_path = "/var/spool/deep/nested/dirs/upload.tar"
+        index = _index_from_names([(long_path, "file"),
+                                   ("/other/file", "file")])
+        query_node = QueryNode(entity_id="q", entity_type="file",
+                               search_string="upload.tar")
+        fast = index.candidates_for(query_node, threshold=0.6)
+        slow = index.candidates_for_bruteforce(query_node, threshold=0.6)
+        assert fast == slow
+        assert fast and fast[0][0] == 1 and fast[0][1] >= 0.9
+
+    def test_empty_needle_matches_bruteforce(self):
+        index = _index_from_names([("/bin/tar", "proc"), ("/etc", "file")])
+        query_node = QueryNode(entity_id="q", entity_type="proc",
+                               search_string="")
+        for threshold in (0.4, 0.5, 0.6):
+            assert index.candidates_for(query_node, threshold=threshold) == \
+                index.candidates_for_bruteforce(query_node,
+                                                threshold=threshold)
+
+    def test_mutation_invalidates_name_index(self, data_leak_store):
+        index = ProvenanceIndex()
+        rows = data_leak_store.relational.all_events()
+        for row in rows[:-1]:
+            index.add_event(row)
+        query_node = QueryNode(entity_id="q", entity_type="",
+                               search_string="/bin/tar")
+        first = index.candidates_for(query_node)
+        index.add_event(rows[-1])
+        assert index.candidates_for(query_node) == \
+            index.candidates_for_bruteforce(query_node)
+        assert first  # the pre-mutation query found something
+
+
+class TestFlowClosureEquivalence:
+    """The cached flow closure scores exactly like the per-edge BFS."""
+
+    @given(st.lists(st.tuples(st.integers(1, 8), st.integers(1, 8),
+                              st.sampled_from(["read", "write", "connect"])),
+                    max_size=30))
+    @settings(max_examples=150, deadline=None)
+    def test_flow_scores_identical(self, edge_specs):
+        index = ProvenanceIndex()
+        for node in range(1, 9):
+            index.node_names[node] = f"n{node}"
+            index.node_types[node] = "proc"
+        for source, target, operation in edge_specs:
+            index.out_edges.setdefault(source, []).append(
+                (target, operation, 0.0))
+            index.num_edges += 1
+        operation_filters = [None, frozenset(), frozenset({"read"}),
+                             frozenset({"write", "connect"})]
+        for source in range(1, 9):
+            for target in range(1, 9):
+                for operations in operation_filters:
+                    assert index.flow_score(source, target, operations) == \
+                        index.flow_score_bruteforce(source, target,
+                                                    operations), \
+                        (source, target, operations)
+
+    def test_closure_cache_invalidated_by_add_event(self, data_leak_store):
+        index = ProvenanceIndex()
+        rows = data_leak_store.relational.all_events()
+        for row in rows:
+            index.add_event(row)
+        tar_id = next(node_id for node_id, name in index.node_names.items()
+                      if name == "/bin/tar" and
+                      index.node_types[node_id] == "proc")
+        before = index.flows_from(tar_id)
+        assert before  # closure materialized and cached
+        synthetic = dict(rows[0])
+        synthetic["subject_id"] = tar_id
+        synthetic["object_id"] = max(index.node_names) + 1
+        synthetic["operation"] = "write"
+        index.add_event(synthetic)
+        after = index.flows_from(tar_id)
+        assert synthetic["object_id"] in after
+
+
+class TestStrategyEquivalence:
+    """indexed and bruteforce searches return identical alignments."""
+
+    QUERY = ('proc p["%/bin/tarr%"] read file f["%/etc/passwd0%"] as evt1 '
+             'proc p write file g["%/tmp/upload.tar%"] as evt2 '
+             'return p, f, g')
+
+    @staticmethod
+    def _alignment_key(alignment):
+        return (sorted(alignment.mapping.items()), alignment.score)
+
+    def test_fuzzy_strategies_agree(self, data_leak_store):
+        fast = FuzzySearcher(data_leak_store, strategy="indexed").search(
+            self.QUERY)
+        slow = FuzzySearcher(data_leak_store, strategy="bruteforce").search(
+            self.QUERY)
+        assert [self._alignment_key(a) for a in fast.alignments] == \
+               [self._alignment_key(a) for a in slow.alignments]
+        assert fast.candidate_counts == slow.candidate_counts
+        assert fast.alignments  # the deviated IOCs still align
+
+    def test_poirot_strategies_agree(self, data_leak_store):
+        fast = PoirotSearcher(data_leak_store, strategy="indexed").search(
+            self.QUERY)
+        slow = PoirotSearcher(data_leak_store, strategy="bruteforce").search(
+            self.QUERY)
+        assert [self._alignment_key(a) for a in fast.alignments] == \
+               [self._alignment_key(a) for a in slow.alignments]
+        assert len(fast.alignments) == 1
+
+    def test_unknown_strategy_rejected(self, data_leak_store):
+        with pytest.raises(ValueError):
+            FuzzySearcher(data_leak_store, strategy="psychic")
+        resolved = resolve_query(parse_tbql(self.QUERY))
+        index = ProvenanceIndex()
+        with pytest.raises(ValueError):
+            GraphAligner(QueryGraph.from_resolved(resolved), index,
+                         strategy="psychic")
+
+    def test_indexed_sees_relational_only_loads(self):
+        # After an incremental relational-only load the backends drift; the
+        # indexed strategy must fall back to the relational rows so both
+        # strategies still search the same data.
+        from repro.audit import AuditCollector
+        from repro.storage import DualStore
+
+        collector = AuditCollector()
+        tar = collector.spawn_process("/bin/tar")
+        collector.read_file(tar, "/etc/passwd")
+        with DualStore() as store:
+            store.load_events(collector.events())
+            late = AuditCollector()
+            curl = late.spawn_process("/usr/bin/curl")
+            late.connect_ip(curl, "192.168.29.128")
+            store.relational.load_events(late.events())
+            query = ('proc p["%/usr/bin/curl%"] connect ip '
+                     'i["%192.168.29.128%"] return p')
+            fast = FuzzySearcher(store, strategy="indexed").search(query)
+            slow = FuzzySearcher(store, strategy="bruteforce").search(query)
+            assert [self._alignment_key(a) for a in fast.alignments] == \
+                   [self._alignment_key(a) for a in slow.alignments]
+            assert fast.alignments  # the relational-only events were seen
+
+    def test_branch_and_bound_prunes_like_threshold(self, data_leak_store):
+        # With an impossible threshold the bounded search must agree with
+        # the brute force: no alignments, regardless of pruning.
+        fast = FuzzySearcher(data_leak_store, score_threshold=1.01,
+                             strategy="indexed").search(self.QUERY)
+        slow = FuzzySearcher(data_leak_store, score_threshold=1.01,
+                             strategy="bruteforce").search(self.QUERY)
+        assert fast.alignments == slow.alignments == []
 
 
 class TestFuzzyAndPoirot:
