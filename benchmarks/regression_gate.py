@@ -1,0 +1,189 @@
+"""Benchmark regression gate: small-workload smoke vs committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/regression_gate.py --check
+    PYTHONPATH=src python benchmarks/regression_gate.py --write-baseline
+
+Absolute timings do not transfer between machines, so the gate compares
+*normalized* metrics: each optimized path is timed against its retained
+in-tree reference implementation on the same machine and workload, and the
+gate fails when the optimized/reference time ratio regresses by more than
+``BENCH_GATE_TOLERANCE`` (default 30%) versus the ratio committed in
+``benchmarks/results/baseline_small.json``.  The reference path acts as the
+machine-speed normalizer:
+
+* *ingest*  — ``DualStore.load_events(strategy="batched")`` (the PR 2 fast
+  path) vs ``strategy="rowwise"`` (the retained pre-batching reference);
+* *fuzzy*   — ``FuzzySearcher(strategy="indexed")`` vs
+  ``strategy="bruteforce"`` on the data-leak case store.
+
+Absolute seconds are recorded in the baseline for information only.
+
+To verify the gate actually trips, inject an artificial slowdown into the
+optimized paths and expect a non-zero exit::
+
+    REPRO_BENCH_INJECT_SLOWDOWN=2.0 PYTHONPATH=src \
+        python benchmarks/regression_gate.py --check && echo GATE BROKEN
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.audit.workload import generate_benign_noise    # noqa: E402
+from repro.benchmark import get_case                      # noqa: E402
+from repro.benchmark.evaluation import build_case_store   # noqa: E402
+from repro.benchmark.queries import build_case_queries    # noqa: E402
+from repro.storage import DualStore                       # noqa: E402
+from repro.tbql.fuzzy import FuzzySearcher                # noqa: E402
+
+BASELINE_PATH = Path(__file__).parent / "results" / "baseline_small.json"
+
+#: Benign sessions in the smoke workload (matches the CI benchmark smoke).
+SESSIONS = int(os.environ.get("BENCH_GATE_SESSIONS", "120"))
+#: Allowed relative worsening of an optimized/reference ratio.
+TOLERANCE = float(os.environ.get("BENCH_GATE_TOLERANCE", "0.30"))
+#: Timed rounds per path; the best round is used (noise suppression).
+ROUNDS = int(os.environ.get("BENCH_GATE_ROUNDS", "3"))
+#: Artificial multiplier on the optimized paths' measured time — used to
+#: prove the gate fails when a real slowdown lands.
+INJECTED_SLOWDOWN = float(os.environ.get("REPRO_BENCH_INJECT_SLOWDOWN",
+                                         "1.0"))
+
+
+def _best_of(rounds: int, run) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_ingest() -> dict:
+    """Batched fast-path load vs the rowwise reference load."""
+    events = generate_benign_noise(SESSIONS, seed=29)
+
+    def load(strategy: str) -> float:
+        def run() -> None:
+            with DualStore() as store:
+                store.load_events(events, strategy=strategy)
+        return _best_of(ROUNDS, run)
+
+    optimized = load("batched") * INJECTED_SLOWDOWN
+    reference = load("rowwise")
+    return {
+        "optimized_seconds": optimized,
+        "reference_seconds": reference,
+        "ratio": optimized / reference,
+    }
+
+
+def measure_fuzzy() -> dict:
+    """Indexed fuzzy search vs the brute-force reference search."""
+    case = get_case("data_leak")
+    store, _truth = build_case_store(case, benign_sessions=SESSIONS)
+    queries = build_case_queries(case)
+    try:
+        def search(strategy: str) -> float:
+            return _best_of(ROUNDS, lambda: FuzzySearcher(
+                store, strategy=strategy).search(queries.tbql))
+
+        optimized = search("indexed") * INJECTED_SLOWDOWN
+        reference = search("bruteforce")
+    finally:
+        store.close()
+    return {
+        "optimized_seconds": optimized,
+        "reference_seconds": reference,
+        "ratio": optimized / reference,
+    }
+
+
+MEASUREMENTS = {
+    "ingest": measure_ingest,
+    "fuzzy": measure_fuzzy,
+}
+
+
+def collect() -> dict:
+    metrics = {name: measure() for name, measure in MEASUREMENTS.items()}
+    return {
+        "sessions": SESSIONS,
+        "rounds": ROUNDS,
+        "metrics": metrics,
+    }
+
+
+def write_baseline() -> int:
+    current = collect()
+    BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    BASELINE_PATH.write_text(json.dumps(current, indent=2, sort_keys=True) +
+                             "\n", encoding="utf-8")
+    print(f"baseline written to {BASELINE_PATH}")
+    for name, metric in current["metrics"].items():
+        print(f"  {name}: ratio={metric['ratio']:.4f} "
+              f"(optimized {metric['optimized_seconds']:.4f}s, "
+              f"reference {metric['reference_seconds']:.4f}s)")
+    return 0
+
+
+def check() -> int:
+    if not BASELINE_PATH.is_file():
+        print(f"ERROR: no baseline at {BASELINE_PATH}; run "
+              f"--write-baseline first", file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    current = collect()
+    failures = []
+    print(f"benchmark regression gate (sessions={SESSIONS}, "
+          f"tolerance={TOLERANCE:.0%}"
+          + (f", injected slowdown x{INJECTED_SLOWDOWN}"
+             if INJECTED_SLOWDOWN != 1.0 else "") + ")")
+    for name, metric in current["metrics"].items():
+        recorded = baseline["metrics"].get(name)
+        if recorded is None:
+            print(f"  {name}: no baseline entry, skipping")
+            continue
+        allowed = recorded["ratio"] * (1.0 + TOLERANCE)
+        status = "ok" if metric["ratio"] <= allowed else "REGRESSION"
+        print(f"  {name}: ratio {metric['ratio']:.4f} vs baseline "
+              f"{recorded['ratio']:.4f} (allowed <= {allowed:.4f}) "
+              f"[{status}] — optimized {metric['optimized_seconds']:.4f}s, "
+              f"reference {metric['reference_seconds']:.4f}s")
+        if status != "ok":
+            failures.append(name)
+    if failures:
+        print(f"FAIL: regression beyond {TOLERANCE:.0%} tolerance in: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("PASS: no benchmark regression beyond tolerance")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--check", action="store_true", default=True,
+                       help="compare against the committed baseline "
+                            "(default)")
+    group.add_argument("--write-baseline", action="store_true",
+                       help="measure and (re)write the committed baseline")
+    args = parser.parse_args(argv)
+    if args.write_baseline:
+        return write_baseline()
+    return check()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

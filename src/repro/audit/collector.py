@@ -19,9 +19,9 @@ collector, which:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from .entities import (EntityType, FileEntity, NetworkEntity, Operation,
+from .entities import (FileEntity, NetworkEntity, Operation,
                        ProcessEntity, SystemEntity, SystemEvent)
 from .logfmt import format_log
 

@@ -16,7 +16,7 @@ where the target is ``file:<path>``, ``proc:<exe>``, or ``ip:<address>``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..audit.collector import AuditCollector, CollectorConfig
 from ..audit.entities import SystemEvent

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import statistics
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from ..extraction.openie import ClauseOpenIE, PatternOpenIE
@@ -45,7 +45,7 @@ from .queries import CaseQueries, build_case_queries
 def build_case_store(case: AttackCase,
                      benign_sessions: int | None = None) -> tuple[DualStore,
                                                                   set]:
-    """Materialize a case into a loaded dual store plus hunting ground truth."""
+    """Materialize a case into a loaded store plus hunting ground truth."""
     built = CaseBuilder().build(case, benign_sessions=benign_sessions)
     store = DualStore()
     store.load_events(built.events)
@@ -111,7 +111,7 @@ def default_approaches() -> list[ExtractionApproach]:
 def run_extraction_accuracy(cases: Sequence[AttackCase] = ALL_CASES,
                             approaches: Iterable[ExtractionApproach] | None
                             = None) -> list[dict]:
-    """Regenerate Table V: entity and relation extraction P/R/F1 per approach."""
+    """Regenerate Table V: entity/relation extraction P/R/F1 per approach."""
     rows = []
     for approach in (approaches or default_approaches()):
         entity_scores: list[PRF] = []

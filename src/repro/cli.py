@@ -1,18 +1,25 @@
 """Command-line interface for the ThreatRaptor reproduction.
 
-Five subcommands cover the workflows of Figure 1:
+Seven subcommands cover the workflows of Figure 1 plus the serving layer:
 
 * ``extract``    — OSCTI report text -> threat behavior graph (printed),
 * ``synthesize`` — OSCTI report text -> TBQL query text,
 * ``hunt``       — OSCTI report + audit log -> matched malicious events,
 * ``query``      — hand-written TBQL + audit log -> query results,
 * ``ingest``     — audit log -> dual-store load report (``--stats`` breaks
-  the load down per stage: reduce, build, relational, graph).
+  the load down per stage: reduce, build, relational, graph),
+* ``snapshot``   — audit log -> persistent on-disk snapshot directory
+  (ingest once, query many times),
+* ``serve``      — snapshot (or audit log) -> concurrent HTTP query service
+  (``/query``, ``/hunt``, ``/stats``, ``/healthz``).
 
 Usage::
 
     python -m repro.cli hunt --report report.txt --log audit.log
-    python -m repro.cli query --log audit.log --tbql 'proc p read file f["%/etc/shadow%"] return p'
+    python -m repro.cli query --log audit.log \\
+        --tbql 'proc p read file f["%/etc/shadow%"] return p'
+    python -m repro.cli snapshot --log audit.log --out snap/
+    python -m repro.cli serve --snapshot snap/ --port 8787
 """
 
 from __future__ import annotations
@@ -132,6 +139,54 @@ def cmd_ingest(args: argparse.Namespace) -> int:
     return 0 if stats.events else 1
 
 
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    from .audit.parser import parse_audit_log
+    from .storage import DualStore
+
+    events = parse_audit_log(_read_text(args.log))
+    with DualStore(reduce=not args.no_reduction) as store:
+        stats = store.load_events(events, strategy=args.strategy)
+        manifest = store.save(args.out)
+    print(f"snapshot written to {args.out}: "
+          f"{manifest['relational_events']} events, "
+          f"{manifest['relational_entities']} entities "
+          f"(format v{manifest['format_version']})")
+    return 0 if stats.events else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+    from .storage import DualStore
+
+    if args.snapshot:
+        store = DualStore.open(args.snapshot)
+        print(f"[repro] opened snapshot {args.snapshot} "
+              f"({store.relational.count_events()} events, read-only)",
+              file=sys.stderr)
+    else:
+        from .audit.parser import parse_audit_log
+        store = DualStore(reduce=not args.no_reduction)
+        count = store.load_events(parse_audit_log(_read_text(args.log)))
+        print(f"[repro] ingested {count} events from {args.log}",
+              file=sys.stderr)
+    server = serve(store, host=args.host, port=args.port,
+                   plan_cache_size=args.plan_cache,
+                   result_cache_size=args.result_cache,
+                   verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(f"[repro] serving on http://{host}:{port} "
+          f"(POST /query, POST /hunt, GET /stats, GET /healthz)",
+          file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:   # pragma: no cover - interactive shutdown
+        print("[repro] shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+        store.close()
+    return 0
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     raptor = _load_raptor(args.log, args.no_reduction)
     tbql = args.tbql if args.tbql else _read_text(args.query_file)
@@ -195,6 +250,51 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--no-reduction", action="store_true",
                         help="disable data reduction at ingestion time")
     ingest.set_defaults(func=cmd_ingest)
+
+    snapshot = subparsers.add_parser(
+        "snapshot", help="ingest an audit log once and persist the dual "
+                         "store as an on-disk snapshot directory")
+    snapshot.add_argument("--log", required=True,
+                          help="path to an auditd-style log file")
+    snapshot.add_argument("--out", required=True,
+                          help="snapshot directory to write (created if "
+                               "missing); holds the relational SQLite "
+                               "database, the binary graph snapshot, and a "
+                               "JSON manifest")
+    snapshot.add_argument("--strategy", choices=["batched", "rowwise"],
+                          default="batched",
+                          help="ingestion load path (see 'ingest')")
+    snapshot.add_argument("--no-reduction", action="store_true",
+                          help="disable data reduction at ingestion time")
+    snapshot.set_defaults(func=cmd_snapshot)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve TBQL queries and OSCTI hunts concurrently "
+                      "over HTTP from a snapshot (or a freshly ingested "
+                      "audit log)")
+    source = serve.add_mutually_exclusive_group(required=True)
+    source.add_argument("--snapshot",
+                        help="snapshot directory written by 'repro "
+                             "snapshot'; opened read-only and shared by "
+                             "all request threads")
+    source.add_argument("--log",
+                        help="audit log to ingest into an in-memory store "
+                             "before serving (no persistence)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="TCP port (default: 8787; 0 picks a free port)")
+    serve.add_argument("--plan-cache", type=int, default=128,
+                       help="LRU entries for compiled TBQL plans "
+                            "(default: 128; 0 disables)")
+    serve.add_argument("--result-cache", type=int, default=256,
+                       help="LRU entries for query results, keyed by query "
+                            "text (default: 256; 0 disables)")
+    serve.add_argument("--no-reduction", action="store_true",
+                       help="with --log: disable data reduction")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+    serve.set_defaults(func=cmd_serve)
 
     query = subparsers.add_parser(
         "query", help="run a hand-written TBQL query against an audit log")

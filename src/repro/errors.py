@@ -71,3 +71,16 @@ class ExecutionError(TBQLError):
 
 class BenchmarkError(ReproError):
     """Raised by the evaluation benchmark when a case is misconfigured."""
+
+
+class ServiceError(ReproError):
+    """Raised by the HTTP query-service client on transport or API errors.
+
+    Attributes:
+        status: the HTTP status code when the server answered with an error
+            response, ``None`` for transport-level failures.
+    """
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status

@@ -47,8 +47,8 @@ def annotate_tree(tree: DependencyTree) -> DependencyTree:
         if node.pos == "PRON" and node.text.lower() in COREF_PRONOUNS:
             node.annotations["coref_pronoun"] = True
         if node.pos in ("NOUN", "PROPN") and \
-                node.lemma in COREF_NOUNS and _has_definite_article(tree,
-                                                                    node.index):
+                node.lemma in COREF_NOUNS and \
+                _has_definite_article(tree, node.index):
             node.annotations["coref_nominal"] = True
     return tree
 
@@ -60,7 +60,7 @@ def _has_definite_article(tree: DependencyTree, index: int) -> bool:
 
 
 def has_candidate_verb(tree: DependencyTree) -> bool:
-    """Return whether the tree contains at least one candidate relation verb."""
+    """Return whether the tree contains a candidate relation verb."""
     return any("relation_verb" in node.annotations for node in tree.nodes)
 
 

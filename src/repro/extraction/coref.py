@@ -63,7 +63,7 @@ def resolve_coreferences(trees: list[DependencyTree]) -> int:
     of references resolved.
     """
     resolved = 0
-    actor_history: list[tuple[str, object]] = []   # (value, type), most recent last
+    actor_history: list[tuple[str, object]] = []   # (value, type) pairs
     object_history: list[tuple[str, object]] = []
     for tree in trees:
         # First resolve references in this tree against *earlier* mentions.

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..nlp.lemmatizer import lemmatize
 from ..nlp.pos import POSTagger
 from ..nlp.sentences import split_sentences
 from ..nlp.tokenizer import tokenize

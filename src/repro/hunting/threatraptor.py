@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Optional
 
 from ..audit.entities import SystemEvent
 from ..audit.parser import parse_audit_log
-from ..extraction.pipeline import (ExtractionResult, PipelineConfig,
+from ..extraction.pipeline import (ExtractionResult,
                                    ThreatBehaviorExtractor)
 from ..storage.dualstore import DualStore
 from ..tbql.executor import QueryResult, TBQLExecutor
@@ -50,6 +51,15 @@ class ThreatRaptor:
         default_factory=ThreatBehaviorExtractor)
     synthesis_plan: SynthesisPlan = field(default_factory=SynthesisPlan)
     use_scheduler: bool = True
+
+    @classmethod
+    def open_snapshot(cls, path: str | Path, **kwargs) -> "ThreatRaptor":
+        """Hunt against a persisted dual-store snapshot (read-only).
+
+        The snapshot must have been written by :meth:`DualStore.save`
+        (``repro snapshot``); the opened store serves queries only.
+        """
+        return cls(store=DualStore.open(path), **kwargs)
 
     # ------------------------------------------------------------------
     # data ingestion
@@ -107,9 +117,23 @@ class ThreatRaptor:
     # ------------------------------------------------------------------
     def execute_tbql(self, query_text: str,
                      now: Optional[float] = None) -> QueryResult:
-        """Execute a TBQL query in exact search mode."""
-        executor = TBQLExecutor(self.store, use_scheduler=self.use_scheduler)
-        return executor.execute(query_text, now=now)
+        """Execute a TBQL query in exact search mode.
+
+        The executor is reused across calls, so its hydrated-entity cache
+        stays warm over a hunting session; it invalidates itself when the
+        store's data is replaced (``DualStore.data_version``).
+        """
+        return self._executor().execute(query_text, now=now)
+
+    def _executor(self) -> TBQLExecutor:
+        executor: Optional[TBQLExecutor] = \
+            self.__dict__.get("_cached_executor")
+        if executor is None or executor.store is not self.store or \
+                executor.use_scheduler != self.use_scheduler:
+            executor = TBQLExecutor(self.store,
+                                    use_scheduler=self.use_scheduler)
+            self.__dict__["_cached_executor"] = executor
+        return executor
 
     def fuzzy_search(self, query_text: str) -> FuzzySearchResult:
         """Execute a TBQL query in fuzzy (inexact graph matching) mode."""

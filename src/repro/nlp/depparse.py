@@ -22,7 +22,7 @@ from typing import Iterator, Optional
 
 from .lemmatizer import lemmatize
 from .pos import POSTagger
-from .tokenizer import Token, tokenize_whitespace
+from .tokenizer import tokenize_whitespace
 
 _NOUN_TAGS = {"NOUN", "PROPN", "PRON", "NUM"}
 #: Pure linking verbs: their direct object is only the *instrument* the actor
@@ -86,7 +86,7 @@ class DependencyTree:
         return [node for node in self.nodes if node.head == index]
 
     def path_to_root(self, index: int) -> list[DepNode]:
-        """Return the node list from ``index`` up to (and including) the root."""
+        """Return the nodes from ``index`` up to (and including) the root."""
         path = []
         current = index
         seen = set()

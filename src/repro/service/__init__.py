@@ -1,0 +1,25 @@
+"""Serving subsystem: persistent snapshots answered concurrently over HTTP.
+
+``repro snapshot`` persists an ingested dual store once;
+``repro serve`` then answers many TBQL hunts against the shared read-only
+store — the always-on arrangement the paper's system is built for.
+"""
+
+from .cache import LRUCache
+from .client import ServiceClient
+from .server import (DEFAULT_PLAN_CACHE_SIZE, DEFAULT_RESULT_CACHE_SIZE,
+                     QueryService, ServiceRequestHandler, ThreatHuntingServer,
+                     query_is_time_dependent, result_payload, serve)
+
+__all__ = [
+    "LRUCache",
+    "ServiceClient",
+    "QueryService",
+    "ServiceRequestHandler",
+    "ThreatHuntingServer",
+    "serve",
+    "query_is_time_dependent",
+    "result_payload",
+    "DEFAULT_PLAN_CACHE_SIZE",
+    "DEFAULT_RESULT_CACHE_SIZE",
+]

@@ -1,0 +1,78 @@
+"""Bounded thread-safe LRU cache used by the query service.
+
+Two instances back the service: the *compiled-plan cache* (query text ->
+parsed/resolved TBQL) and the *result cache* (query text -> response
+payload).  Both are small, hot, and shared by every request-handler thread,
+so the implementation is a plain ``OrderedDict`` under a lock — no
+per-entry timestamps, no background eviction.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+#: Internal miss marker, so ``None`` values are cacheable.
+_MISSING = object()
+
+
+class LRUCache:
+    """A bounded least-recently-used cache safe for concurrent access.
+
+    ``maxsize <= 0`` disables the cache entirely: every :meth:`get` misses
+    and :meth:`put` is a no-op (useful to turn a cache knob off without
+    branching at every call site).
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value for ``key`` (marking it recently used)."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting the least recently used."""
+        if self.maxsize <= 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counters plus current occupancy."""
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+__all__ = ["LRUCache"]

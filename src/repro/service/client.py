@@ -1,0 +1,88 @@
+"""Stdlib HTTP client for the ``repro serve`` JSON API.
+
+A thin convenience wrapper over :mod:`urllib.request` — no sessions, no
+retries — matching the four endpoints of
+:class:`~repro.service.server.ThreatHuntingServer`.  Server-side errors
+(HTTP 4xx/5xx with a JSON ``{"error": ...}`` body) and transport failures
+both surface as :class:`~repro.errors.ServiceError`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+from urllib import error as urllib_error
+from urllib import request as urllib_request
+
+from ..errors import ServiceError
+
+
+class ServiceClient:
+    """Client for a running threat-hunting query service.
+
+    Args:
+        base_url: e.g. ``"http://127.0.0.1:8787"``.
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        """Liveness probe; returns ``{"status": "ok"}``."""
+        return self._get("/healthz")
+
+    def stats(self) -> dict:
+        """Service statistics (store counts, caches, request counters)."""
+        return self._get("/stats")
+
+    def query(self, tbql: str, use_cache: bool = True) -> dict:
+        """Execute TBQL text; returns the full response payload."""
+        return self._post("/query", {"tbql": tbql, "use_cache": use_cache})
+
+    def hunt(self, report: str, fuzzy_fallback: bool = False) -> dict:
+        """Run the OSCTI pipeline server-side against the served store."""
+        return self._post("/hunt", {"report": report,
+                                    "fuzzy_fallback": fuzzy_fallback})
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _get(self, path: str) -> dict:
+        return self._send(urllib_request.Request(self.base_url + path))
+
+    def _post(self, path: str, payload: dict) -> dict:
+        data = json.dumps(payload).encode("utf-8")
+        request = urllib_request.Request(
+            self.base_url + path, data=data,
+            headers={"Content-Type": "application/json"}, method="POST")
+        return self._send(request)
+
+    def _send(self, request: urllib_request.Request) -> Any:
+        try:
+            with urllib_request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib_error.HTTPError as exc:
+            detail = self._error_detail(exc)
+            raise ServiceError(f"HTTP {exc.code}: {detail}",
+                               status=exc.code) from exc
+        except urllib_error.URLError as exc:
+            raise ServiceError(
+                f"service unreachable at {self.base_url}: "
+                f"{exc.reason}") from exc
+
+    @staticmethod
+    def _error_detail(exc: urllib_error.HTTPError) -> str:
+        try:
+            body = json.loads(exc.read().decode("utf-8"))
+            return str(body.get("error", body))
+        except (ValueError, OSError):
+            return exc.reason or "unknown error"
+
+
+__all__ = ["ServiceClient"]

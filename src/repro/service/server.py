@@ -1,0 +1,364 @@
+"""Concurrent TBQL query service over one shared read-only store.
+
+The serving subsystem turns the reproduction from a batch tool into an
+always-on hunting service: an audit log is ingested (and snapshotted) once,
+then many clients hunt against the same provenance data concurrently.
+
+* :class:`QueryService` is the transport-agnostic core: it shares one
+  :class:`~repro.tbql.executor.TBQLExecutor` across threads, keeps an LRU
+  *compiled-plan cache* (query text -> parsed/resolved TBQL, skipping the
+  lexer/parser/semantic passes on repeat queries) and a bounded *result
+  cache* keyed by query text (time-dependent queries — ``last N`` windows —
+  are compiled per request and never result-cached).
+* :class:`ThreatHuntingServer` is a stdlib ``ThreadingHTTPServer`` exposing
+  the JSON API: ``POST /query``, ``POST /hunt``, ``GET /stats``,
+  ``GET /healthz``.
+
+Response payloads separate the deterministic query outcome (``result``:
+rows, matched events, per-step plan without timings) from the per-request
+volatile data (``timing``, ``cached``), so two executions of the same query
+— concurrent or serial, cached or not — produce byte-identical ``result``
+sections.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from ..errors import ReproError
+from ..storage.dualstore import DualStore
+from ..tbql.ast import TBQLQuery
+from ..tbql.executor import QueryResult, TBQLExecutor
+from ..tbql.fuzzy import FuzzySearcher
+from ..tbql.parser import parse_tbql
+from ..tbql.semantics import ResolvedQuery, resolve_query
+from ..tbql.synthesis import SynthesisPlan, TBQLSynthesizer
+from .cache import LRUCache
+
+#: Default cache sizes (overridable via ``repro serve --plan-cache /
+#: --result-cache``; zero disables the cache).
+DEFAULT_PLAN_CACHE_SIZE = 128
+DEFAULT_RESULT_CACHE_SIZE = 256
+
+
+def query_is_time_dependent(query: TBQLQuery) -> bool:
+    """True when resolving the query reads the wall clock.
+
+    A ``last N unit`` window resolves relative to *now*, so both its
+    resolved plan and its results go stale; such queries are re-resolved on
+    every request and excluded from the result cache.
+    """
+    for pattern in query.patterns:
+        window = getattr(pattern, "window", None)
+        if window is not None and window.kind == "last":
+            return True
+    for global_filter in query.global_filters:
+        window = global_filter.window
+        if window is not None and window.kind == "last":
+            return True
+    return False
+
+
+#: Per-step plan fields that depend on *when* a query ran rather than on the
+#: data: wall-clock timings and the hydration-query count (0 once the shared
+#: executor's entity cache is warm).  Excluded from response payloads so two
+#: executions of the same query produce byte-identical ``result`` sections.
+_VOLATILE_PLAN_FIELDS = ("seconds", "hydration_queries")
+
+
+def result_payload(result: QueryResult) -> dict:
+    """The deterministic, JSON-ready view of a query result."""
+    return {
+        "rows": result.rows,
+        "matched_events": result.matched_events,
+        "per_pattern_matches": result.per_pattern_matches,
+        "plan": [{key: value for key, value in step.as_dict().items()
+                  if key not in _VOLATILE_PLAN_FIELDS}
+                 for step in result.plan],
+    }
+
+
+class QueryService:
+    """Thread-safe TBQL execution shared by every request handler.
+
+    Args:
+        store: the dual store to serve (typically ``DualStore.open()`` of a
+            snapshot; a freshly loaded writable store works too).
+        use_scheduler: forwarded to the shared executor.
+        plan_cache_size: LRU entries for compiled plans (0 disables).
+        result_cache_size: LRU entries for query results (0 disables).
+    """
+
+    def __init__(self, store: DualStore, use_scheduler: bool = True,
+                 plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+                 result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE) -> None:
+        self.store = store
+        self.executor = TBQLExecutor(store, use_scheduler=use_scheduler)
+        self.plan_cache = LRUCache(plan_cache_size)
+        self.result_cache = LRUCache(result_cache_size)
+        self._hunt_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self._counters = {"queries": 0, "query_cache_hits": 0, "hunts": 0,
+                          "errors": 0}
+        self._started_at = time.time()
+        self._extractor_instance: Any = None
+        self._data_version = getattr(store, "data_version", None)
+
+    # ------------------------------------------------------------------
+    # compiled-plan cache
+    # ------------------------------------------------------------------
+    def compile(self, text: str) -> ResolvedQuery:
+        """Parse and resolve TBQL text through the compiled-plan cache."""
+        resolved, _time_independent = self._compile(text)
+        return resolved
+
+    def _compile(self, text: str) -> tuple[ResolvedQuery, bool]:
+        """Resolve through the plan cache; also reports time-independence.
+
+        Cache entries hold the parsed AST plus, for time-independent
+        queries, the fully resolved form; time-dependent queries reuse the
+        parse but re-resolve against the current clock (and must never be
+        result-cached).
+        """
+        entry = self.plan_cache.get(text)
+        if entry is None:
+            parsed = parse_tbql(text)
+            resolved = None if query_is_time_dependent(parsed) \
+                else resolve_query(parsed)
+            self.plan_cache.put(text, (parsed, resolved))
+        else:
+            parsed, resolved = entry
+        if resolved is None:
+            return resolve_query(parsed), False
+        return resolved, True
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def query(self, text: str, use_cache: bool = True) -> dict:
+        """Execute TBQL text; returns the JSON-ready response payload."""
+        self._bump("queries")
+        self._check_data_version()
+        if use_cache:
+            cached = self.result_cache.get(text)
+            if cached is not None:
+                self._bump("query_cache_hits")
+                response = dict(cached)
+                response["cached"] = True
+                return response
+        resolved, cacheable = self._compile(text)
+        start = time.perf_counter()
+        result = self.executor.execute(resolved)
+        elapsed = time.perf_counter() - start
+        response = {
+            "query": text,
+            "cached": False,
+            "result": result_payload(result),
+            "timing": {
+                "elapsed_seconds": elapsed,
+                "join_seconds": result.join_seconds,
+            },
+        }
+        if use_cache and cacheable:
+            self.result_cache.put(text, response)
+        return response
+
+    def hunt(self, report_text: str, fuzzy_fallback: bool = False) -> dict:
+        """Extract + synthesize + execute an OSCTI report; returns payload.
+
+        Extraction and synthesis run under a lock (the NLP pipeline is not
+        audited for thread safety and hunts are rare next to queries); the
+        synthesized TBQL then goes through the regular concurrent
+        :meth:`query` path, sharing its caches.
+        """
+        self._bump("hunts")
+        with self._hunt_lock:
+            extractor = self._extractor()
+            extraction = extractor.extract(report_text)
+            synthesized = TBQLSynthesizer(SynthesisPlan()).synthesize(
+                extraction.graph)
+        # Copy before annotating: query() may have stored this dict in the
+        # result cache, and later /query hits must not see hunt-only keys.
+        response = dict(self.query(synthesized.text))
+        response["synthesized_tbql"] = synthesized.text
+        if fuzzy_fallback and not response["result"]["rows"]:
+            with self._hunt_lock:
+                fuzzy = FuzzySearcher(self.store).search(synthesized.text)
+            best = fuzzy.best
+            response["fuzzy"] = {
+                "alignments": len(fuzzy.alignments),
+                "best_score": best.score if best else None,
+                "best_nodes": dict(best.node_names) if best else {},
+            }
+        return response
+
+    def stats(self) -> dict:
+        """Service statistics: store counts, cache stats, counters."""
+        with self._counter_lock:
+            counters = dict(self._counters)
+        return {
+            "uptime_seconds": time.time() - self._started_at,
+            "read_only": getattr(self.store, "read_only", False),
+            "store": self.store.statistics(),
+            "counters": counters,
+            "plan_cache": self.plan_cache.stats(),
+            "result_cache": self.result_cache.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _bump(self, counter: str) -> None:
+        with self._counter_lock:
+            self._counters[counter] += 1
+
+    def _check_data_version(self) -> None:
+        """Drop cached results when the store's data was replaced.
+
+        Read-only snapshot stores never change, but the service also
+        accepts a writable store — a reload there must not leave the
+        result cache answering from the replaced data.  (The plan cache
+        survives: compiled plans depend only on the query text.)
+        """
+        version = getattr(self.store, "data_version", None)
+        if version != self._data_version:
+            with self._counter_lock:
+                if version != self._data_version:
+                    self.result_cache.clear()
+                    self._data_version = version
+
+    def _extractor(self) -> Any:
+        # Imported and constructed lazily: the extraction pipeline pulls in
+        # the whole NLP substrate, which pure query serving never needs.
+        if self._extractor_instance is None:
+            from ..extraction.pipeline import ThreatBehaviorExtractor
+            self._extractor_instance = ThreatBehaviorExtractor()
+        return self._extractor_instance
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes the JSON API onto a shared :class:`QueryService`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> QueryService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path == "/healthz":
+            self._send(200, {"status": "ok"})
+        elif self.path == "/stats":
+            self._guarded(self.service.stats)
+        else:
+            self._send(404, {"error": f"unknown path: {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        try:
+            body = self._read_json()
+        except ValueError as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        if self.path == "/query":
+            text = body.get("tbql")
+            if not isinstance(text, str) or not text.strip():
+                self._send(400, {"error": "missing 'tbql' query text"})
+                return
+            self._guarded(self.service.query, text,
+                          use_cache=bool(body.get("use_cache", True)))
+        elif self.path == "/hunt":
+            report = body.get("report")
+            if not isinstance(report, str) or not report.strip():
+                self._send(400, {"error": "missing 'report' text"})
+                return
+            self._guarded(
+                self.service.hunt, report,
+                fuzzy_fallback=bool(body.get("fuzzy_fallback", False)))
+        else:
+            self._send(404, {"error": f"unknown path: {self.path}"})
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _guarded(self, handler: Any, *args: Any, **kwargs: Any) -> None:
+        """Run an endpoint, mapping library errors to 400 and bugs to 500."""
+        try:
+            payload = handler(*args, **kwargs)
+        except ReproError as exc:
+            self.service._bump("errors")
+            self._send(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            self.service._bump("errors")
+            self._send(500, {"error": f"internal error: {exc}"})
+        else:
+            self._send(200, payload)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ValueError("missing request body")
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid JSON body: {exc}") from exc
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        return body
+
+    def _send(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):
+            sys.stderr.write("[repro-serve] %s - %s\n" %
+                             (self.address_string(), format % args))
+
+
+class ThreatHuntingServer(ThreadingHTTPServer):
+    """Threaded HTTP server executing TBQL over one shared store.
+
+    Every request runs in its own thread (stdlib ``ThreadingHTTPServer``);
+    concurrency safety comes from the shared :class:`QueryService` /
+    :class:`~repro.tbql.executor.TBQLExecutor` and the per-thread reader
+    connections of the relational store.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: QueryService,
+                 verbose: bool = False) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+        self.verbose = verbose
+
+
+def serve(store: DualStore, host: str = "127.0.0.1", port: int = 8787,
+          use_scheduler: bool = True,
+          plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+          result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+          verbose: bool = False) -> ThreatHuntingServer:
+    """Build a ready-to-run server (call ``serve_forever()`` on it)."""
+    service = QueryService(store, use_scheduler=use_scheduler,
+                           plan_cache_size=plan_cache_size,
+                           result_cache_size=result_cache_size)
+    return ThreatHuntingServer((host, port), service, verbose=verbose)
+
+
+__all__ = ["QueryService", "ServiceRequestHandler", "ThreatHuntingServer",
+           "serve", "query_is_time_dependent", "result_payload",
+           "DEFAULT_PLAN_CACHE_SIZE", "DEFAULT_RESULT_CACHE_SIZE"]

@@ -18,6 +18,7 @@ equivalence tests compare against.
 from __future__ import annotations
 
 import gc
+import json
 import time
 from collections import deque
 from operator import attrgetter
@@ -27,12 +28,23 @@ from typing import Iterable
 from ..audit.entities import SystemEvent
 from ..audit.reduction import DEFAULT_MERGE_THRESHOLD, ReductionStats, \
     reduce_events
+from ..errors import StorageError
 from .graph import GraphStore
+from .graph.graphdb import PropertyGraph
 from .relational import RelationalStore
 from .relational.database import entity_row
 
 #: Valid ``strategy`` arguments for :meth:`DualStore.load_events`.
 LOAD_STRATEGIES = ("batched", "rowwise")
+
+#: Version of the on-disk dual-store snapshot layout.  Bump when the
+#: directory layout or manifest contract changes; :meth:`DualStore.open`
+#: rejects snapshots written by newer versions.
+SNAPSHOT_FORMAT_VERSION = 1
+#: File names inside a snapshot directory.
+SNAPSHOT_MANIFEST = "manifest.json"
+SNAPSHOT_RELATIONAL = "relational.sqlite"
+SNAPSHOT_GRAPH = "graph.bin"
 
 
 class IngestStats(int):
@@ -254,6 +266,9 @@ class DualStore:
         self.last_reduction: ReductionStats | None = None
         self.last_ingest: IngestStats | None = None
         self._events: list[SystemEvent] = []
+        #: Bumped on every (re)load; executors watch it to drop caches keyed
+        #: by entity id when the stored data is replaced.
+        self.data_version = 0
 
     def load_events(self, events: Iterable[SystemEvent],
                     strategy: str = "batched") -> IngestStats:
@@ -280,10 +295,15 @@ class DualStore:
         if strategy not in LOAD_STRATEGIES:
             raise ValueError(f"unknown load strategy: {strategy!r} "
                              f"(expected one of {LOAD_STRATEGIES})")
+        if self.read_only:
+            raise StorageError(
+                "store is read-only (opened from a snapshot); ingest into "
+                "a writable DualStore and save() a new snapshot instead")
         loader = self._load_batched if strategy == "batched" else \
             self._load_rowwise
         stats = loader(events)
         self.last_ingest = stats
+        self.data_version += 1
         return stats
 
     # ------------------------------------------------------------------
@@ -406,6 +426,109 @@ class DualStore:
         rows_by_id, _statements = self.relational.entity_by_ids(entity_ids)
         return rows_by_id
 
+    # ------------------------------------------------------------------
+    # persistence: snapshot save / restore
+    # ------------------------------------------------------------------
+    @property
+    def read_only(self) -> bool:
+        """True when the store was opened from a snapshot (queries only)."""
+        return self.relational.read_only
+
+    def save(self, path: str | Path) -> dict:
+        """Persist both backends into a snapshot directory; returns the
+        manifest.
+
+        The directory holds the relational database
+        (:data:`SNAPSHOT_RELATIONAL`, SQLite in WAL mode via the backup
+        API), the property graph (:data:`SNAPSHOT_GRAPH`, the versioned
+        binary format of :meth:`PropertyGraph.save`), and a JSON manifest
+        recording the format version and the entity/event counts
+        :meth:`open` verifies on restore.
+        """
+        directory = Path(path)
+        directory.mkdir(parents=True, exist_ok=True)
+        self.relational.save_to(directory / SNAPSHOT_RELATIONAL)
+        self.graph.graph.save(directory / SNAPSHOT_GRAPH)
+        manifest = {
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "created_at": time.time(),
+            "reduce": self.reduce,
+            "merge_threshold": self.merge_threshold,
+            "relational_entities": self.relational.count_entities(),
+            "relational_events": self.relational.count_events(),
+            "graph_nodes": self.graph.num_nodes(),
+            "graph_edges": self.graph.num_edges(),
+        }
+        (directory / SNAPSHOT_MANIFEST).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        return manifest
+
+    @classmethod
+    def open(cls, path: str | Path) -> "DualStore":
+        """Open a snapshot directory as a read-only dual store.
+
+        The relational backend attaches to the snapshot's SQLite file with
+        read-only connections (one per querying thread), the graph backend
+        rebuilds from the binary snapshot, and the stored counts are checked
+        against the manifest.  The returned store serves queries only —
+        :meth:`load_events` raises :class:`StorageError`; note
+        :meth:`events` is empty because raw events are not part of the
+        snapshot (both query backends are).
+
+        Raises:
+            StorageError: when the directory is not a snapshot, was written
+                by a newer format version, or its contents do not match the
+                manifest.
+        """
+        directory = Path(path)
+        manifest_path = directory / SNAPSHOT_MANIFEST
+        if not manifest_path.is_file():
+            raise StorageError(f"not a dual-store snapshot (no "
+                               f"{SNAPSHOT_MANIFEST}): {directory}")
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise StorageError(
+                f"corrupt snapshot manifest: {manifest_path}") from exc
+        version = manifest.get("format_version")
+        if not isinstance(version, int) or version < 1 or \
+                version > SNAPSHOT_FORMAT_VERSION:
+            raise StorageError(
+                f"unsupported snapshot format version {version!r} "
+                f"(this build reads <= {SNAPSHOT_FORMAT_VERSION})")
+        store = cls.__new__(cls)
+        store.relational = RelationalStore(directory / SNAPSHOT_RELATIONAL,
+                                           read_only=True)
+        try:
+            store.graph = GraphStore()
+            store.graph.graph = PropertyGraph.load(
+                directory / SNAPSHOT_GRAPH)
+            store.reduce = bool(manifest.get("reduce", True))
+            store.merge_threshold = float(
+                manifest.get("merge_threshold", DEFAULT_MERGE_THRESHOLD))
+            store.last_reduction = None
+            store.last_ingest = None
+            store._events = []
+            store.data_version = 1
+            for recorded, actual in (
+                    ("relational_entities",
+                     store.relational.count_entities()),
+                    ("relational_events", store.relational.count_events()),
+                    ("graph_nodes", store.graph.num_nodes()),
+                    ("graph_edges", store.graph.num_edges())):
+                expected = manifest.get(recorded)
+                if expected is not None and expected != actual:
+                    raise StorageError(
+                        f"snapshot {directory} is corrupt: {recorded} is "
+                        f"{actual}, manifest says {expected}")
+        except BaseException:
+            # Don't leak the already-opened relational connection when the
+            # graph half of the snapshot fails to restore.
+            store.relational.close()
+            raise
+        return store
+
     def statistics(self) -> dict:
         """Return entity/event counts per backend plus reduction stats."""
         stats = {
@@ -429,4 +552,6 @@ class DualStore:
         self.close()
 
 
-__all__ = ["DualStore", "IngestStats", "LOAD_STRATEGIES"]
+__all__ = ["DualStore", "IngestStats", "LOAD_STRATEGIES",
+           "SNAPSHOT_FORMAT_VERSION", "SNAPSHOT_MANIFEST",
+           "SNAPSHOT_RELATIONAL", "SNAPSHOT_GRAPH"]

@@ -13,6 +13,7 @@ It exposes a thin, explicit API:
 from __future__ import annotations
 
 import sqlite3
+import threading
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
@@ -50,33 +51,148 @@ def entity_row(entity_id: int, entity: SystemEntity) -> tuple:
 
 
 class RelationalStore:
-    """Relational storage backend for system audit logging data."""
+    """Relational storage backend for system audit logging data.
 
-    def __init__(self, path: str | Path | None = None) -> None:
+    Concurrency model: one *primary* connection owns every write (all writes
+    happen under an internal lock), while read queries issued from other
+    threads run on lazily opened per-thread **read-only** connections when
+    the store is file-backed — the arrangement the query service relies on
+    to execute TBQL concurrently over one shared store.  In-memory stores
+    have no file for readers to attach to, so their reads share the primary
+    connection under the same lock.  On-disk stores are created in WAL
+    journal mode so concurrent readers never block (and are never blocked
+    by) the writer.
+    """
+
+    def __init__(self, path: str | Path | None = None,
+                 read_only: bool = False) -> None:
         """Open (or create) the store.
 
         Args:
             path: database file path; ``None`` uses an in-memory database.
+            read_only: open an existing on-disk database for queries only;
+                every mutating method raises :class:`StorageError`.
         """
         self._database = str(path) if path is not None else ":memory:"
-        self._connection = sqlite3.connect(self._database)
+        self._is_memory = path is None
+        self._read_only = read_only
+        self._lock = threading.RLock()
+        self._owner_thread = threading.get_ident()
+        self._thread_local = threading.local()
+        self._reader_connections: list[sqlite3.Connection] = []
+        self._readers_guard = threading.Lock()
+        self._closed = False
+        if read_only:
+            if self._is_memory:
+                raise StorageError(
+                    "read-only mode requires an on-disk database file")
+            try:
+                self._connection = sqlite3.connect(
+                    self._read_only_uri(), uri=True, check_same_thread=False)
+            except sqlite3.Error as exc:
+                raise StorageError(
+                    f"cannot open {self._database} read-only: {exc}") from exc
+        else:
+            self._connection = sqlite3.connect(self._database,
+                                               check_same_thread=False)
         self._connection.row_factory = sqlite3.Row
         self._entity_ids: dict[tuple, int] = {}
         self._next_entity_id = 1
         self._next_event_id = 1
-        self._create_schema()
+        if not read_only:
+            if not self._is_memory:
+                # WAL lets later read-only reader connections proceed
+                # without blocking on (or being blocked by) the writer.
+                self._connection.execute("PRAGMA journal_mode=WAL")
+            self._create_schema()
 
     # ------------------------------------------------------------------
     # schema / lifecycle
     # ------------------------------------------------------------------
+    @property
+    def read_only(self) -> bool:
+        """True when the store was opened for queries only."""
+        return self._read_only
+
+    @property
+    def database_path(self) -> str:
+        """The backing database file path (``":memory:"`` if unbacked)."""
+        return self._database
+
+    def _read_only_uri(self) -> str:
+        return Path(self._database).resolve().as_uri() + "?mode=ro"
+
+    def _assert_writable(self) -> None:
+        if self._read_only:
+            raise StorageError(
+                "store is read-only (opened from a snapshot)")
+
+    def _reader_connection(self) -> sqlite3.Connection | None:
+        """Per-thread read-only connection, or None to use the primary.
+
+        Only file-backed stores can hand out extra connections; reads from
+        the owning thread stay on the primary connection so they observe
+        rows the current load pass has not committed yet.
+        """
+        if self._is_memory:
+            return None
+        connection = getattr(self._thread_local, "connection", None)
+        if connection is not None:
+            return connection
+        if threading.get_ident() == self._owner_thread:
+            return None
+        connection = sqlite3.connect(self._read_only_uri(), uri=True,
+                                     check_same_thread=False)
+        connection.row_factory = sqlite3.Row
+        self._thread_local.connection = connection
+        with self._readers_guard:
+            self._reader_connections.append(connection)
+        return connection
+
     def _create_schema(self) -> None:
-        cursor = self._connection.cursor()
-        for statement in all_ddl():
-            cursor.execute(statement)
-        self._connection.commit()
+        with self._lock:
+            cursor = self._connection.cursor()
+            for statement in all_ddl():
+                cursor.execute(statement)
+            self._connection.commit()
+
+    def save_to(self, path: str | Path) -> None:
+        """Persist the current contents into an on-disk SQLite file.
+
+        Uses the SQLite backup API (a consistent point-in-time copy even of
+        an in-memory database) and leaves the target in WAL journal mode so
+        a later read-only open serves concurrent readers.  Any existing
+        file at ``path`` is replaced.
+        """
+        target_path = Path(path)
+        for stale in (target_path, target_path.with_name(target_path.name +
+                                                         "-wal"),
+                      target_path.with_name(target_path.name + "-shm")):
+            if stale.exists():
+                stale.unlink()
+        target = sqlite3.connect(str(target_path))
+        try:
+            with self._lock:
+                self._connection.commit()
+                self._connection.backup(target)
+            target.execute("PRAGMA journal_mode=WAL")
+            target.commit()
+        except sqlite3.Error as exc:
+            raise StorageError(
+                f"snapshot save to {target_path} failed: {exc}") from exc
+        finally:
+            target.close()
 
     def close(self) -> None:
-        """Close the underlying connection."""
+        """Close the primary and every per-thread reader connection."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._readers_guard:
+            readers = list(self._reader_connections)
+            self._reader_connections.clear()
+        for connection in readers:
+            connection.close()
         self._connection.close()
 
     def __enter__(self) -> "RelationalStore":
@@ -87,10 +203,12 @@ class RelationalStore:
 
     def clear(self) -> None:
         """Remove all stored entities and events."""
-        cursor = self._connection.cursor()
-        cursor.execute("DELETE FROM events")
-        cursor.execute("DELETE FROM entities")
-        self._connection.commit()
+        self._assert_writable()
+        with self._lock:
+            cursor = self._connection.cursor()
+            cursor.execute("DELETE FROM events")
+            cursor.execute("DELETE FROM entities")
+            self._connection.commit()
         self._entity_ids.clear()
         self._next_entity_id = 1
         self._next_event_id = 1
@@ -100,6 +218,7 @@ class RelationalStore:
     # ------------------------------------------------------------------
     def entity_id_for(self, entity: SystemEntity) -> int:
         """Return the stored id for ``entity``, registering it if new."""
+        self._assert_writable()
         key = entity.unique_key
         existing = self._entity_ids.get(key)
         if existing is not None:
@@ -108,10 +227,11 @@ class RelationalStore:
         self._next_entity_id += 1
         self._entity_ids[key] = entity_id
         placeholders = ", ".join("?" for _ in ENTITY_COLUMNS)
-        self._connection.execute(
-            f"INSERT INTO entities ({', '.join(ENTITY_COLUMNS)}) "
-            f"VALUES ({placeholders})",
-            entity_row(entity_id, entity))
+        with self._lock:
+            self._connection.execute(
+                f"INSERT INTO entities ({', '.join(ENTITY_COLUMNS)}) "
+                f"VALUES ({placeholders})",
+                entity_row(entity_id, entity))
         return entity_id
 
     #: Rows per ``executemany`` call on the bulk-load path.  Bounds the
@@ -127,6 +247,7 @@ class RelationalStore:
         entity; see :meth:`load_events_rowwise` for the retained row-at-a-time
         reference path.
         """
+        self._assert_writable()
         entity_ids = self._entity_ids
         entity_rows: list[tuple] = []
         event_rows: list[tuple] = []
@@ -164,20 +285,22 @@ class RelationalStore:
         Each table is written with chunked ``executemany`` and the whole load
         commits once.
         """
+        self._assert_writable()
         batches = 0
         chunk_size = self.INSERT_CHUNK_SIZE
-        for table, columns, rows in (
-                ("entities", ENTITY_COLUMNS, entity_rows),
-                ("events", EVENT_COLUMNS, event_rows)):
-            if not rows:
-                continue
-            statement = (f"INSERT INTO {table} ({', '.join(columns)}) "
-                         f"VALUES ({', '.join('?' for _ in columns)})")
-            for start in range(0, len(rows), chunk_size):
-                self._connection.executemany(
-                    statement, rows[start:start + chunk_size])
-                batches += 1
-        self._connection.commit()
+        with self._lock:
+            for table, columns, rows in (
+                    ("entities", ENTITY_COLUMNS, entity_rows),
+                    ("events", EVENT_COLUMNS, event_rows)):
+                if not rows:
+                    continue
+                statement = (f"INSERT INTO {table} ({', '.join(columns)}) "
+                             f"VALUES ({', '.join('?' for _ in columns)})")
+                for start in range(0, len(rows), chunk_size):
+                    self._connection.executemany(
+                        statement, rows[start:start + chunk_size])
+                    batches += 1
+            self._connection.commit()
         return batches
 
     def reload_rows(self, entity_rows: Sequence[tuple],
@@ -194,19 +317,22 @@ class RelationalStore:
         stepping cost of plain ``executemany``.  Id bookkeeping is *not*
         touched; callers follow up with :meth:`adopt_entity_ids`.
         """
-        cursor = self._connection.cursor()
-        for index_name in INDEX_NAMES:
-            cursor.execute(f"DROP INDEX IF EXISTS {index_name}")
-        cursor.execute("DELETE FROM events")
-        cursor.execute("DELETE FROM entities")
-        batches = 0
-        for table, columns, rows in (
-                ("entities", ENTITY_COLUMNS, entity_rows),
-                ("events", EVENT_COLUMNS, event_rows)):
-            batches += self._insert_multirow(cursor, table, columns, rows)
-        for ddl in INDEX_DDL:
-            cursor.execute(ddl)
-        self._connection.commit()
+        self._assert_writable()
+        with self._lock:
+            cursor = self._connection.cursor()
+            for index_name in INDEX_NAMES:
+                cursor.execute(f"DROP INDEX IF EXISTS {index_name}")
+            cursor.execute("DELETE FROM events")
+            cursor.execute("DELETE FROM entities")
+            batches = 0
+            for table, columns, rows in (
+                    ("entities", ENTITY_COLUMNS, entity_rows),
+                    ("events", EVENT_COLUMNS, event_rows)):
+                batches += self._insert_multirow(cursor, table, columns,
+                                                 rows)
+            for ddl in INDEX_DDL:
+                cursor.execute(ddl)
+            self._connection.commit()
         return batches
 
     #: Rows per multi-row ``VALUES`` statement on the replace-load path;
@@ -247,6 +373,7 @@ class RelationalStore:
         incremental :meth:`load_events` / :meth:`entity_id_for` calls keep
         allocating ids after the adopted ones.
         """
+        self._assert_writable()
         self._entity_ids = entity_ids
         self._next_entity_id = \
             max(entity_ids.values(), default=0) + 1
@@ -259,6 +386,7 @@ class RelationalStore:
         ``INSERT`` statement per new entity via :meth:`entity_id_for`, one
         ``executemany`` for the event rows.
         """
+        self._assert_writable()
         rows = []
         for event in events:
             subject_id = self.entity_id_for(event.subject)
@@ -269,12 +397,13 @@ class RelationalStore:
                          event.operation.value, event.category.value,
                          event.start_time, event.end_time, event.duration,
                          event.data_amount, event.failure_code, event.host))
-        if rows:
-            placeholders = ", ".join("?" for _ in EVENT_COLUMNS)
-            self._connection.executemany(
-                f"INSERT INTO events ({', '.join(EVENT_COLUMNS)}) "
-                f"VALUES ({placeholders})", rows)
-        self._connection.commit()
+        with self._lock:
+            if rows:
+                placeholders = ", ".join("?" for _ in EVENT_COLUMNS)
+                self._connection.executemany(
+                    f"INSERT INTO events ({', '.join(EVENT_COLUMNS)}) "
+                    f"VALUES ({placeholders})", rows)
+            self._connection.commit()
         return len(rows)
 
     # ------------------------------------------------------------------
@@ -283,14 +412,24 @@ class RelationalStore:
     def execute(self, sql: str, params: Sequence[Any] = ()) -> list[dict]:
         """Execute a SQL query and return rows as plain dictionaries.
 
+        Safe to call from any thread: file-backed stores give each reading
+        thread its own read-only connection, in-memory stores serialize on
+        the primary connection's lock.
+
         Raises:
             StorageError: when the SQL statement is invalid.
         """
+        connection = self._reader_connection()
         try:
-            cursor = self._connection.execute(sql, tuple(params))
+            if connection is None:
+                with self._lock:
+                    rows = self._connection.execute(
+                        sql, tuple(params)).fetchall()
+            else:
+                rows = connection.execute(sql, tuple(params)).fetchall()
         except sqlite3.Error as exc:
             raise StorageError(f"SQL execution failed: {exc}\n{sql}") from exc
-        return [dict(row) for row in cursor.fetchall()]
+        return [dict(row) for row in rows]
 
     def explain(self, sql: str, params: Sequence[Any] = ()) -> list[str]:
         """Return the engine's query plan lines (useful for diagnostics)."""

@@ -118,9 +118,9 @@ class EntityDecl:
 
 @dataclass(frozen=True)
 class TimeWindow:
-    """A ``from .. to ..``, ``at|before|after ..``, or ``last N unit`` window."""
+    """A ``from..to``, ``at|before|after ..``, or ``last N unit`` window."""
 
-    kind: str                          # "range", "at", "before", "after", "last"
+    kind: str                      # "range", "at", "before", "after", "last"
     start: Optional[str] = None
     end: Optional[str] = None
     amount: Optional[float] = None

@@ -37,6 +37,7 @@ The seed's backtracking join is retained as a reference implementation
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
@@ -195,6 +196,15 @@ def _display_name(attrs: dict) -> str:
 class TBQLExecutor:
     """Executes TBQL queries against the dual storage backends.
 
+    One executor may serve :meth:`execute` calls from many threads
+    concurrently (the query service shares a single instance across all
+    request handlers): every piece of per-query state — schedule, candidate
+    sets, match lists, plan — lives in locals, and the only cross-query
+    instance state is the hydrated-entity cache, whose entries are immutable
+    once inserted and whose batch updates happen under a lock.  The cache is
+    invalidated automatically when the store's ``data_version`` changes
+    (i.e. the stored data was replaced by a new load).
+
     Args:
         store: the dual relational/graph store to query.
         use_scheduler: order patterns by pruning score (Section III-F)
@@ -212,6 +222,8 @@ class TBQLExecutor:
         self.use_scheduler = use_scheduler
         self.join_strategy = join_strategy
         self._entity_cache: dict[int, dict] = {}
+        self._cache_lock = threading.Lock()
+        self._data_version = getattr(store, "data_version", None)
 
     # ------------------------------------------------------------------
     # public API
@@ -220,6 +232,11 @@ class TBQLExecutor:
                 now: Optional[float] = None) -> QueryResult:
         """Execute TBQL text (or an already resolved query)."""
         start = time.perf_counter()
+        version = getattr(self.store, "data_version", None)
+        if version != self._data_version:
+            with self._cache_lock:
+                self._entity_cache.clear()
+                self._data_version = version
         resolved = self._resolve(query, now)
         steps = schedule(resolved) if self.use_scheduler \
             else naive_schedule(resolved)
@@ -422,6 +439,7 @@ class TBQLExecutor:
         if not missing:
             return 0
         rows_by_id, queries = self.store.relational.entity_by_ids(missing)
+        hydrated: dict[int, dict] = {}
         for entity_id in missing:
             row = rows_by_id.get(entity_id)
             if row is None:
@@ -429,7 +447,11 @@ class TBQLExecutor:
                                      "events table")
             attrs = dict(row)
             attrs["group"] = attrs.pop("grp", None)
-            self._entity_cache[entity_id] = attrs
+            hydrated[entity_id] = attrs
+        # One locked batch update; concurrent hydrations of the same ids
+        # write identical values, so last-writer-wins is safe.
+        with self._cache_lock:
+            self._entity_cache.update(hydrated)
         return queries
 
     def _entity_attrs(self, entity_id: int) -> dict:

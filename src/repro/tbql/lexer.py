@@ -32,7 +32,7 @@ _TOKEN_RE = re.compile(r"""
 
 @dataclass(frozen=True)
 class Token:
-    kind: str          # 'keyword', 'ident', 'number', 'string', 'symbol', 'eof'
+    kind: str      # 'keyword', 'ident', 'number', 'string', 'symbol', 'eof'
     text: str
     line: int
     column: int

@@ -13,7 +13,7 @@ from .fuzzy import ALIGNMENT_SCORE_THRESHOLD, FuzzySearcher
 
 
 class PoirotSearcher(FuzzySearcher):
-    """Poirot-style alignment search: stop at the first acceptable alignment."""
+    """Poirot-style alignment search: stop at the first acceptable one."""
 
     stop_after_first = True
 

@@ -21,11 +21,10 @@ from typing import Optional
 from ..audit.entities import EntityType, default_attribute_for
 from ..errors import TBQLSemanticError
 from .ast import (AttributeComparison, AttributeFilter, AttributeRelation,
-                  BareValueFilter, BooleanFilter, EventPattern, GlobalFilter,
-                  MembershipFilter, NegatedFilter, OperationAtom,
-                  OperationBoolean, OperationExpr, OperationNegation,
-                  OperationPath, ReturnItem, TBQLQuery, TemporalRelation,
-                  TimeWindow)
+                  BareValueFilter, BooleanFilter, MembershipFilter,
+                  NegatedFilter, OperationAtom, OperationBoolean,
+                  OperationExpr, OperationNegation, TBQLQuery,
+                  TemporalRelation, TimeWindow)
 from .parser import OPERATION_NAMES, TIME_UNIT_SECONDS
 
 #: Attributes accepted per entity type (superset of Table II).

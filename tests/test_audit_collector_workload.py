@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.audit.collector import AuditCollector, CollectorConfig
+from repro.audit.collector import AuditCollector
 from repro.audit.entities import EntityType, Operation
 from repro.audit.syscalls import (SYSCALL_TABLE, event_category_of,
                                   is_monitored, lookup_syscall, syscall_for)

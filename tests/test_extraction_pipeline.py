@@ -1,7 +1,5 @@
 """Tests for the threat behavior extraction pipeline (Algorithm 1)."""
 
-import pytest
-
 from repro.extraction import (ClauseOpenIE, PatternOpenIE, PipelineConfig,
                               ThreatBehaviorExtractor,
                               extract_threat_behaviors)

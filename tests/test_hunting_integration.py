@@ -1,7 +1,5 @@
 """End-to-end integration tests for the ThreatRaptor facade."""
 
-import pytest
-
 from repro.audit.logfmt import format_log
 from repro.hunting import ThreatRaptor
 from repro.tbql.synthesis import SynthesisPlan

@@ -1,4 +1,4 @@
-"""Unit and property tests for tokenization, sentences, POS, lemmas, vectors."""
+"""Unit/property tests for tokenization, sentences, POS, lemmas, vectors."""
 
 import pytest
 from hypothesis import given, settings

@@ -70,6 +70,28 @@ class TestDualStore:
             store.load_events(small_events)
         assert path.exists()
 
+    def test_close_is_idempotent(self, small_events):
+        store = DualStore()
+        store.load_events(small_events)
+        store.close()
+        store.close()   # second close must be a no-op, not an error
+
+    def test_context_manager_closes_connection(self, tmp_path,
+                                               small_events):
+        path = tmp_path / "events.db"
+        with DualStore(relational_path=path) as store:
+            store.load_events(small_events)
+        with pytest.raises(errors.StorageError):
+            store.execute_sql("SELECT COUNT(*) AS n FROM events")
+
+    def test_data_version_bumps_on_reload(self, small_events):
+        with DualStore() as store:
+            before = store.data_version
+            store.load_events(small_events)
+            after_first = store.data_version
+            store.load_events(small_events)
+            assert before < after_first < store.data_version
+
 
 class TestErrorHierarchy:
     def test_all_errors_derive_from_repro_error(self):

@@ -1,7 +1,5 @@
 """Tests for the scheduler and the exact execution engine."""
 
-import pytest
-
 from repro.tbql.executor import TBQLExecutor
 from repro.tbql.parser import parse_tbql
 from repro.tbql.scheduler import naive_schedule, pruning_score, schedule

@@ -21,7 +21,9 @@ def roundtrip(text: str) -> str:
 
 class TestFormatter:
     def test_simple_pattern_roundtrip(self):
-        text = 'proc p1["%/bin/tar%"] read file f1["%/etc/passwd%"] as evt1\nreturn distinct p1, f1'
+        text = ('proc p1["%/bin/tar%"] read file '
+                'f1["%/etc/passwd%"] as evt1\n'
+                'return distinct p1, f1')
         assert format_query(parse_tbql(text)) == text
 
     def test_figure2_roundtrip_is_fixed_point(self):

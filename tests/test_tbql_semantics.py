@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.audit.entities import EntityType
 from repro.errors import TBQLSemanticError
 from repro.tbql.ast import AttributeComparison
 from repro.tbql.parser import parse_tbql

@@ -136,7 +136,8 @@ class TestScreeningAndMapping:
             synthesize_tbql(graph_of([], []))
 
     def test_fully_screened_graph_raises(self):
-        graph = graph_of([("http://a", IOCType.URL), ("b.com", IOCType.DOMAIN)],
+        graph = graph_of([("http://a", IOCType.URL),
+                          ("b.com", IOCType.DOMAIN)],
                          [("http://a", "connect", "b.com")])
         with pytest.raises(SynthesisError):
             synthesize_tbql(graph)
