@@ -13,10 +13,15 @@ gate fails when the optimized/reference time ratio regresses by more than
 ``benchmarks/results/baseline_small.json``.  The reference path acts as the
 machine-speed normalizer:
 
-* *ingest*  — ``DualStore.load_events(strategy="batched")`` (the PR 2 fast
-  path) vs ``strategy="rowwise"`` (the retained pre-batching reference);
-* *fuzzy*   — ``FuzzySearcher(strategy="indexed")`` vs
-  ``strategy="bruteforce"`` on the data-leak case store.
+* *ingest*    — ``DualStore.load_events(strategy="batched")`` (the PR 2
+  fast path) vs ``strategy="rowwise"`` (the retained pre-batching
+  reference);
+* *fuzzy*     — ``FuzzySearcher(strategy="indexed")`` vs
+  ``strategy="bruteforce"`` on the data-leak case store;
+* *streaming* — the incremental append path (``DualStore.append_events``
+  in batches + seal) vs the one-shot batched cold load of the same
+  events (the acceptance bar for live ingestion is 2x of the cold load;
+  the gate holds the measured ratio near its committed baseline).
 
 Absolute seconds are recorded in the baseline for information only.
 
@@ -110,9 +115,39 @@ def measure_fuzzy() -> dict:
     }
 
 
+def measure_streaming() -> dict:
+    """K-batch incremental append vs the one-shot batched cold load."""
+    from operator import attrgetter
+    events = generate_benign_noise(SESSIONS, seed=29)
+    events.sort(key=attrgetter("start_time", "event_id"))
+    batch_count = 20
+    size = (len(events) + batch_count - 1) // batch_count
+    batches = [events[index:index + size]
+               for index in range(0, len(events), size)]
+
+    def streamed() -> None:
+        with DualStore() as store:
+            for chunk in batches:
+                store.append_events(chunk)
+            store.flush_appends()
+
+    def one_shot() -> None:
+        with DualStore() as store:
+            store.load_events(events)
+
+    optimized = _best_of(ROUNDS, streamed) * INJECTED_SLOWDOWN
+    reference = _best_of(ROUNDS, one_shot)
+    return {
+        "optimized_seconds": optimized,
+        "reference_seconds": reference,
+        "ratio": optimized / reference,
+    }
+
+
 MEASUREMENTS = {
     "ingest": measure_ingest,
     "fuzzy": measure_fuzzy,
+    "streaming": measure_streaming,
 }
 
 

@@ -1,6 +1,7 @@
 """Command-line interface for the ThreatRaptor reproduction.
 
-Seven subcommands cover the workflows of Figure 1 plus the serving layer:
+Nine subcommands cover the workflows of Figure 1 plus the serving and
+streaming layers:
 
 * ``extract``    — OSCTI report text -> threat behavior graph (printed),
 * ``synthesize`` — OSCTI report text -> TBQL query text,
@@ -11,7 +12,11 @@ Seven subcommands cover the workflows of Figure 1 plus the serving layer:
 * ``snapshot``   — audit log -> persistent on-disk snapshot directory
   (ingest once, query many times),
 * ``serve``      — snapshot (or audit log) -> concurrent HTTP query service
-  (``/query``, ``/hunt``, ``/stats``, ``/healthz``).
+  (``/query``, ``/hunt``, ``/stats``, ``/healthz``; with ``--live`` also
+  ``/ingest``, ``/rules``, ``/alerts``),
+* ``tail``       — follow a growing audit log, append batches to the live
+  store, and evaluate standing TBQL detection rules on every flush,
+* ``rules``      — validate a directory of standing-rule files.
 
 Usage::
 
@@ -20,6 +25,8 @@ Usage::
         --tbql 'proc p read file f["%/etc/shadow%"] return p'
     python -m repro.cli snapshot --log audit.log --out snap/
     python -m repro.cli serve --snapshot snap/ --port 8787
+    python -m repro.cli tail --log audit.log --rules rules/ \\
+        --checkpoint ckpt/ --checkpoint-every 10
 """
 
 from __future__ import annotations
@@ -154,28 +161,82 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
     return 0 if stats.events else 1
 
 
+def _load_rules_into(engine, rules_dir: str, prune: bool = False) -> int:
+    """Register every valid ``*.tbql`` file; returns how many loaded.
+
+    A rule id already known to the engine (restored from a checkpoint) is
+    kept when the text is unchanged — preserving its high-water mark — and
+    replaced when the file's text differs.  With ``prune=True`` the
+    directory is the source of truth: restored rules whose file has been
+    deleted are deregistered (so removing a rule file actually silences
+    the detection across restarts).
+    """
+    from .streaming import load_rules_directory
+
+    loaded = 0
+    seen: set[str] = set()
+    for rule_id, text, rule, error in load_rules_directory(rules_dir):
+        seen.add(rule_id)
+        if error is not None:
+            print(f"[repro] skipping invalid rule {rule_id!r}: {error}",
+                  file=sys.stderr)
+            continue
+        existing = engine.rules.get(rule_id)
+        if existing is not None:
+            if existing.text == text:
+                loaded += 1
+                continue
+            engine.remove_rule(rule_id)
+        engine.rules.add_compiled(rule)
+        loaded += 1
+    if prune:
+        for stale in engine.rules.list():
+            if stale.rule_id not in seen:
+                engine.remove_rule(stale.rule_id)
+                print(f"[repro] dropped rule {stale.rule_id!r} (file "
+                      f"removed from {rules_dir})", file=sys.stderr)
+    return loaded
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from .service import serve
     from .storage import DualStore
 
+    if args.rules and not args.live:
+        print("[repro] error: --rules requires --live (standing rules "
+              "need the detection engine)", file=sys.stderr)
+        return 2
+    engine = None
     if args.snapshot:
-        store = DualStore.open(args.snapshot)
+        store = DualStore.open(args.snapshot, read_only=not args.live)
+        mode = "writable" if args.live else "read-only"
         print(f"[repro] opened snapshot {args.snapshot} "
-              f"({store.relational.count_events()} events, read-only)",
+              f"({store.relational.count_events()} events, {mode})",
               file=sys.stderr)
     else:
         from .audit.parser import parse_audit_log
-        store = DualStore(reduce=not args.no_reduction)
+        store = DualStore(reduce=not args.no_reduction,
+                          retain_events=not args.live)
         count = store.load_events(parse_audit_log(_read_text(args.log)))
         print(f"[repro] ingested {count} events from {args.log}",
               file=sys.stderr)
+    if args.live:
+        from .streaming import DetectionEngine
+        engine = DetectionEngine(store, max_alerts=args.max_alerts)
+        if args.rules:
+            count = _load_rules_into(engine, args.rules)
+            print(f"[repro] {count} standing rule(s) loaded from "
+                  f"{args.rules}", file=sys.stderr)
     server = serve(store, host=args.host, port=args.port,
                    plan_cache_size=args.plan_cache,
                    result_cache_size=args.result_cache,
-                   verbose=args.verbose)
+                   engine=engine, verbose=args.verbose)
     host, port = server.server_address[:2]
-    print(f"[repro] serving on http://{host}:{port} "
-          f"(POST /query, POST /hunt, GET /stats, GET /healthz)",
+    endpoints = "POST /query, POST /hunt, GET /stats, GET /healthz"
+    if engine is not None:
+        endpoints += (", POST /ingest, POST /rules, DELETE /rules/{id}, "
+                      "GET /rules, GET /alerts")
+    print(f"[repro] serving on http://{host}:{port} ({endpoints})",
           file=sys.stderr)
     try:
         server.serve_forever()
@@ -185,6 +246,89 @@ def cmd_serve(args: argparse.Namespace) -> int:
         server.server_close()
         store.close()
     return 0
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    from .storage import DualStore
+    from .streaming import (DetectionEngine, FlushPolicy, LogTailer,
+                            has_checkpoint, resume_engine)
+
+    policy = FlushPolicy(max_events=args.batch_events,
+                         max_seconds=args.flush_interval)
+    if args.checkpoint and has_checkpoint(args.checkpoint):
+        engine = resume_engine(args.checkpoint, policy=policy,
+                               max_alerts=args.max_alerts,
+                               checkpoint_every=args.checkpoint_every)
+        print(f"[repro] resumed checkpoint {args.checkpoint} "
+              f"(batch {engine.batch_seq}, log offset "
+              f"{engine.last_offset}, {len(engine.rules)} rule(s))",
+              file=sys.stderr)
+    else:
+        engine = DetectionEngine(
+            DualStore(reduce=not args.no_reduction, retain_events=False),
+            policy=policy, max_alerts=args.max_alerts,
+            checkpoint_dir=args.checkpoint,
+            checkpoint_every=args.checkpoint_every)
+    if args.rules:
+        count = _load_rules_into(engine, args.rules, prune=True)
+        print(f"[repro] {count} standing rule(s) loaded from {args.rules}",
+              file=sys.stderr)
+
+    def on_flush(report) -> None:
+        if report.stored or report.alerts:
+            print(f"[repro] batch {report.batch_seq}: stored "
+                  f"{report.stored} event(s), {len(report.alerts)} "
+                  f"alert(s)", file=sys.stderr)
+        for alert in report.alerts:
+            print(f"ALERT #{alert.alert_id} rule={alert.rule_id} "
+                  f"new_events={list(alert.new_event_ids)}")
+            for event in alert.matched_events:
+                print(f"    {event['subject']} --{event['operation']}--> "
+                      f"{event['object']}")
+
+    tailer = LogTailer(args.log, offset=engine.last_offset)
+    try:
+        engine.follow(tailer, poll_interval=args.poll_interval,
+                      once=args.once, on_flush=on_flush)
+    except KeyboardInterrupt:   # pragma: no cover - interactive shutdown
+        print("[repro] stopping tail", file=sys.stderr)
+        engine.finalize()
+    finally:
+        engine.store.close()
+    counters = engine.alerts.counters()
+    print(f"[repro] tailed {engine.events_seen} event(s), stored "
+          f"{engine.events_stored}, fired {counters['fired']} alert(s)",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_rules(args: argparse.Namespace) -> int:
+    from .streaming import compile_rule, load_rules_directory
+
+    if args.tbql:
+        try:
+            rule = compile_rule(args.tbql, "cli")
+        except Exception as exc:    # ReproError subclasses
+            print(f"invalid: {exc}")
+            return 1
+        kind = "time-dependent" if rule.time_dependent else "static"
+        print(f"ok ({len(rule.parsed.patterns)} pattern(s), {kind})")
+        return 0
+    entries = load_rules_directory(args.dir)
+    if not entries:
+        print(f"no *.tbql rule files in {args.dir}")
+        return 1
+    failures = 0
+    for rule_id, _text, rule, error in entries:
+        if rule is not None:
+            kind = "time-dependent" if rule.time_dependent else "static"
+            print(f"  {rule_id:<24} ok    "
+                  f"{len(rule.parsed.patterns)} pattern(s), {kind}")
+        else:
+            failures += 1
+            print(f"  {rule_id:<24} ERROR {error}")
+    print(f"{len(entries) - failures}/{len(entries)} rule(s) valid")
+    return 1 if failures else 0
 
 
 def cmd_query(args: argparse.Namespace) -> int:
@@ -292,9 +436,56 @@ def build_parser() -> argparse.ArgumentParser:
                             "text (default: 256; 0 disables)")
     serve.add_argument("--no-reduction", action="store_true",
                        help="with --log: disable data reduction")
+    serve.add_argument("--live", action="store_true",
+                       help="enable live ingestion + standing-query "
+                            "detection (POST /ingest, /rules, /alerts); "
+                            "snapshots reopen writable")
+    serve.add_argument("--rules",
+                       help="with --live: directory of *.tbql standing "
+                            "rules to preload")
+    serve.add_argument("--max-alerts", type=int, default=1000,
+                       help="with --live: bounded alert-store capacity "
+                            "(default: 1000)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
     serve.set_defaults(func=cmd_serve)
+
+    tail = subparsers.add_parser(
+        "tail", help="follow a growing audit log, ingest it incrementally, "
+                     "and evaluate standing TBQL detections per flush")
+    tail.add_argument("--log", required=True,
+                      help="audit log file to follow (may not exist yet)")
+    tail.add_argument("--rules",
+                      help="directory of *.tbql standing-rule files")
+    tail.add_argument("--checkpoint",
+                      help="checkpoint directory: resumed on start when it "
+                           "holds stream state, written on finalize (and "
+                           "every --checkpoint-every flushes)")
+    tail.add_argument("--checkpoint-every", type=int, default=0,
+                      help="checkpoint after this many stored flushes "
+                           "(0 disables periodic checkpointing)")
+    tail.add_argument("--batch-events", type=int, default=2000,
+                      help="size flush trigger: buffered events that force "
+                           "a flush (default: 2000)")
+    tail.add_argument("--flush-interval", type=float, default=1.0,
+                      help="time flush trigger in seconds (default: 1.0)")
+    tail.add_argument("--poll-interval", type=float, default=0.5,
+                      help="seconds between file polls (default: 0.5)")
+    tail.add_argument("--max-alerts", type=int, default=1000,
+                      help="bounded alert-store capacity (default: 1000)")
+    tail.add_argument("--once", action="store_true",
+                      help="drain the log to its current end, seal, "
+                           "checkpoint, and exit (batch catch-up mode)")
+    tail.add_argument("--no-reduction", action="store_true",
+                      help="disable data reduction at ingestion time")
+    tail.set_defaults(func=cmd_tail)
+
+    rules = subparsers.add_parser(
+        "rules", help="validate standing-rule files (TBQL compile check)")
+    group = rules.add_mutually_exclusive_group(required=True)
+    group.add_argument("--dir", help="directory of *.tbql rule files")
+    group.add_argument("--tbql", help="validate a single rule text")
+    rules.set_defaults(func=cmd_rules)
 
     query = subparsers.add_parser(
         "query", help="run a hand-written TBQL query against an audit log")

@@ -73,6 +73,19 @@ class BenchmarkError(ReproError):
     """Raised by the evaluation benchmark when a case is misconfigured."""
 
 
+class StreamingError(ReproError):
+    """Raised by the live streaming ingestion / standing-query subsystem.
+
+    Attributes:
+        status: optional HTTP status the query service should answer with
+            when the error crosses the service boundary (default 400).
+    """
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
 class ServiceError(ReproError):
     """Raised by the HTTP query-service client on transport or API errors.
 

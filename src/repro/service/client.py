@@ -13,6 +13,7 @@ import json
 from typing import Any
 from urllib import error as urllib_error
 from urllib import request as urllib_request
+from urllib.parse import quote
 
 from ..errors import ServiceError
 
@@ -50,10 +51,48 @@ class ServiceClient:
                                     "fuzzy_fallback": fuzzy_fallback})
 
     # ------------------------------------------------------------------
+    # live streaming endpoints (server must run with an engine attached)
+    # ------------------------------------------------------------------
+    def ingest(self, log_text: str, seal: bool = True) -> dict:
+        """Append audit record lines to the served store (one batch).
+
+        Returns the flush report: stored count, new watermark, and the
+        alerts this batch fired.  ``seal=False`` lets event merge runs
+        stay open across requests (contiguous chunks of one log).
+        """
+        return self._post("/ingest", {"log": log_text, "seal": seal})
+
+    def add_rule(self, tbql: str, rule_id: str | None = None) -> dict:
+        """Register a standing TBQL detection rule."""
+        payload: dict = {"tbql": tbql}
+        if rule_id is not None:
+            payload["id"] = rule_id
+        return self._post("/rules", payload)
+
+    def delete_rule(self, rule_id: str) -> dict:
+        """Deregister a standing rule by id."""
+        return self._delete(f"/rules/{quote(rule_id, safe='')}")
+
+    def rules(self) -> dict:
+        """List the registered standing rules."""
+        return self._get("/rules")
+
+    def alerts(self, since_id: int = 0, limit: int | None = None) -> dict:
+        """Fetch alerts newer than ``since_id`` (cursor-style polling)."""
+        path = f"/alerts?since_id={int(since_id)}"
+        if limit is not None:
+            path += f"&limit={int(limit)}"
+        return self._get(path)
+
+    # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
     def _get(self, path: str) -> dict:
         return self._send(urllib_request.Request(self.base_url + path))
+
+    def _delete(self, path: str) -> dict:
+        return self._send(urllib_request.Request(self.base_url + path,
+                                                 method="DELETE"))
 
     def _post(self, path: str, payload: dict) -> dict:
         data = json.dumps(payload).encode("utf-8")

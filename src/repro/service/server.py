@@ -14,6 +14,15 @@ then many clients hunt against the same provenance data concurrently.
   the JSON API: ``POST /query``, ``POST /hunt``, ``GET /stats``,
   ``GET /healthz``.
 
+When a :class:`~repro.streaming.engine.DetectionEngine` is attached
+(``repro serve --live``) the service additionally exposes the live
+endpoints — ``POST /ingest`` (append audit records to the served store),
+``POST /rules`` / ``DELETE /rules/{id}`` / ``GET /rules`` (standing TBQL
+detections), and ``GET /alerts`` — and every query executes under the
+shared single-writer/multi-reader lock so reads never observe a
+half-applied ingest batch.  Without an engine those endpoints answer
+``409 Conflict``.
+
 Response payloads separate the deterministic query outcome (``result``:
 rows, matched events, per-step plan without timings) from the per-request
 volatile data (``timing``, ``cached``), so two executions of the same query
@@ -27,16 +36,21 @@ import json
 import sys
 import threading
 import time
+from contextlib import nullcontext
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import TYPE_CHECKING, Any, Optional
+from urllib.parse import parse_qs, unquote, urlsplit
 
-from ..errors import ReproError
+from ..errors import ReproError, StreamingError
 from ..storage.dualstore import DualStore
-from ..tbql.ast import TBQLQuery
+
+if TYPE_CHECKING:   # pragma: no cover - typing only
+    from ..streaming.engine import DetectionEngine
 from ..tbql.executor import QueryResult, TBQLExecutor
 from ..tbql.fuzzy import FuzzySearcher
 from ..tbql.parser import parse_tbql
-from ..tbql.semantics import ResolvedQuery, resolve_query
+from ..tbql.semantics import (ResolvedQuery, query_is_time_dependent,
+                              resolve_query)
 from ..tbql.synthesis import SynthesisPlan, TBQLSynthesizer
 from .cache import LRUCache
 
@@ -44,24 +58,6 @@ from .cache import LRUCache
 #: --result-cache``; zero disables the cache).
 DEFAULT_PLAN_CACHE_SIZE = 128
 DEFAULT_RESULT_CACHE_SIZE = 256
-
-
-def query_is_time_dependent(query: TBQLQuery) -> bool:
-    """True when resolving the query reads the wall clock.
-
-    A ``last N unit`` window resolves relative to *now*, so both its
-    resolved plan and its results go stale; such queries are re-resolved on
-    every request and excluded from the result cache.
-    """
-    for pattern in query.patterns:
-        window = getattr(pattern, "window", None)
-        if window is not None and window.kind == "last":
-            return True
-    for global_filter in query.global_filters:
-        window = global_filter.window
-        if window is not None and window.kind == "last":
-            return True
-    return False
 
 
 #: Per-step plan fields that depend on *when* a query ran rather than on the
@@ -92,19 +88,33 @@ class QueryService:
         use_scheduler: forwarded to the shared executor.
         plan_cache_size: LRU entries for compiled plans (0 disables).
         result_cache_size: LRU entries for query results (0 disables).
+        engine: optional live detection engine over the same store; when
+            set, the ingest/rules/alerts endpoints come alive, the engine's
+            rule evaluation shares this service's executor caches, and all
+            query execution takes the engine's reader lock.
     """
 
     def __init__(self, store: DualStore, use_scheduler: bool = True,
                  plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
-                 result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE) -> None:
+                 result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+                 engine: "Optional[DetectionEngine]" = None) -> None:
         self.store = store
         self.executor = TBQLExecutor(store, use_scheduler=use_scheduler)
         self.plan_cache = LRUCache(plan_cache_size)
         self.result_cache = LRUCache(result_cache_size)
+        self.engine = engine
+        if engine is not None:
+            # Rule evaluation reuses the shared executor (and its hydrated-
+            # entity cache); queries take the engine's reader lock so an
+            # in-flight append is never observed half-applied.
+            engine.executor = self.executor
+            self._read_guard: Any = engine.lock.read_lock
+        else:
+            self._read_guard = nullcontext
         self._hunt_lock = threading.Lock()
         self._counter_lock = threading.Lock()
         self._counters = {"queries": 0, "query_cache_hits": 0, "hunts": 0,
-                          "errors": 0}
+                          "ingests": 0, "errors": 0}
         self._started_at = time.time()
         self._extractor_instance: Any = None
         self._data_version = getattr(store, "data_version", None)
@@ -141,19 +151,33 @@ class QueryService:
     # endpoints
     # ------------------------------------------------------------------
     def query(self, text: str, use_cache: bool = True) -> dict:
-        """Execute TBQL text; returns the JSON-ready response payload."""
+        """Execute TBQL text; returns the JSON-ready response payload.
+
+        Result-cache entries are tagged with the ``data_version`` they
+        were computed against and validated on every hit, so a query
+        racing a live ingest can never serve pre-ingest rows — the
+        wholesale clear in :meth:`_check_data_version` is housekeeping,
+        the version tag is the correctness guarantee.
+        """
         self._bump("queries")
         self._check_data_version()
         if use_cache:
-            cached = self.result_cache.get(text)
-            if cached is not None:
-                self._bump("query_cache_hits")
-                response = dict(cached)
-                response["cached"] = True
-                return response
+            entry = self.result_cache.get(text)
+            if entry is not None:
+                cached_version, cached = entry
+                if cached_version == getattr(self.store, "data_version",
+                                             None):
+                    self._bump("query_cache_hits")
+                    response = dict(cached)
+                    response["cached"] = True
+                    return response
         resolved, cacheable = self._compile(text)
         start = time.perf_counter()
-        result = self.executor.execute(resolved)
+        with self._read_guard():
+            # Read the version inside the guard: writers are excluded, so
+            # the result is computed against exactly this version.
+            executed_version = getattr(self.store, "data_version", None)
+            result = self.executor.execute(resolved)
         elapsed = time.perf_counter() - start
         response = {
             "query": text,
@@ -165,7 +189,7 @@ class QueryService:
             },
         }
         if use_cache and cacheable:
-            self.result_cache.put(text, response)
+            self.result_cache.put(text, (executed_version, response))
         return response
 
     def hunt(self, report_text: str, fuzzy_fallback: bool = False) -> dict:
@@ -187,7 +211,7 @@ class QueryService:
         response = dict(self.query(synthesized.text))
         response["synthesized_tbql"] = synthesized.text
         if fuzzy_fallback and not response["result"]["rows"]:
-            with self._hunt_lock:
+            with self._hunt_lock, self._read_guard():
                 fuzzy = FuzzySearcher(self.store).search(synthesized.text)
             best = fuzzy.best
             response["fuzzy"] = {
@@ -198,16 +222,90 @@ class QueryService:
         return response
 
     def stats(self) -> dict:
-        """Service statistics: store counts, cache stats, counters."""
+        """Service statistics: store counts, cache stats, counters.
+
+        ``plan_cache`` / ``result_cache`` expose hit/miss/eviction counters
+        and ``data_version`` the store's current version, so cache
+        invalidation under live ingest is observable from the outside.
+        """
         with self._counter_lock:
             counters = dict(self._counters)
-        return {
+        with self._read_guard():
+            store_stats = self.store.statistics()
+        payload = {
             "uptime_seconds": time.time() - self._started_at,
             "read_only": getattr(self.store, "read_only", False),
-            "store": self.store.statistics(),
+            "data_version": getattr(self.store, "data_version", None),
+            "store": store_stats,
             "counters": counters,
             "plan_cache": self.plan_cache.stats(),
             "result_cache": self.result_cache.stats(),
+        }
+        if self.engine is not None:
+            payload["streaming"] = self.engine.stats()
+        return payload
+
+    # ------------------------------------------------------------------
+    # live streaming endpoints (active when an engine is attached)
+    # ------------------------------------------------------------------
+    def _require_engine(self) -> "DetectionEngine":
+        if self.engine is None:
+            raise StreamingError(
+                "live ingestion is disabled on this server (start it with "
+                "repro serve --live)", status=409)
+        return self.engine
+
+    def ingest(self, log_text: str, seal: bool = True) -> dict:
+        """Append audit record lines to the served store; returns a report.
+
+        The batch is stored and every standing rule is evaluated against
+        the delta before the response is built, so the payload carries the
+        alerts this ingest triggered.  By default each request is *sealed*
+        — its open merge runs flush so all of its events are immediately
+        queryable; pass ``seal=False`` when posting contiguous chunks of
+        one log and cross-request event merging should continue.
+
+        Parsing is tolerant (malformed records are skipped, like the log
+        tailer), but never silent: the payload reports ``lines``,
+        ``malformed``, and the first few parse errors, so a client posting
+        garbage can tell it apart from a validly empty batch.
+        """
+        engine = self._require_engine()
+        self._bump("ingests")
+        report, parse_report = engine.ingest_log_text(log_text, seal=seal)
+        payload = report.as_dict()
+        payload["lines"] = parse_report.total_lines
+        payload["malformed"] = parse_report.malformed_lines
+        payload["parse_errors"] = parse_report.errors[:5]
+        payload["data_version"] = getattr(self.store, "data_version", None)
+        return payload
+
+    def add_rule(self, tbql: str, rule_id: str | None = None) -> dict:
+        """Register a standing rule; returns its JSON view."""
+        engine = self._require_engine()
+        rule = engine.add_rule(tbql, rule_id=rule_id)
+        return {"rule": rule.as_dict()}
+
+    def delete_rule(self, rule_id: str) -> dict:
+        """Deregister a standing rule by id."""
+        engine = self._require_engine()
+        removed = engine.remove_rule(rule_id)
+        return {"removed": removed.as_dict()}
+
+    def rules(self) -> dict:
+        """List the registered standing rules."""
+        engine = self._require_engine()
+        return {"rules": [rule.as_dict() for rule in engine.rules.list()]}
+
+    def alerts(self, since_id: int = 0, limit: int | None = None) -> dict:
+        """Alerts newer than ``since_id`` plus the ring counters."""
+        engine = self._require_engine()
+        selected = engine.alerts.list(since_id=since_id, limit=limit)
+        return {
+            "alerts": [alert.as_dict() for alert in selected],
+            "next_since_id": selected[-1].alert_id if selected
+            else since_id,
+            "counters": engine.alerts.counters(),
         }
 
     # ------------------------------------------------------------------
@@ -255,10 +353,24 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # routing
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        if self.path == "/healthz":
+        parts = urlsplit(self.path)
+        if parts.path == "/healthz":
             self._send(200, {"status": "ok"})
-        elif self.path == "/stats":
+        elif parts.path == "/stats":
             self._guarded(self.service.stats)
+        elif parts.path == "/rules":
+            self._guarded(self.service.rules)
+        elif parts.path == "/alerts":
+            query = parse_qs(parts.query)
+            try:
+                since_id = int(query.get("since_id", ["0"])[0])
+                limit_raw = query.get("limit", [None])[0]
+                limit = int(limit_raw) if limit_raw is not None else None
+            except ValueError:
+                self._send(400, {"error": "since_id/limit must be integers"})
+                return
+            self._guarded(self.service.alerts, since_id=since_id,
+                          limit=limit)
         else:
             self._send(404, {"error": f"unknown path: {self.path}"})
 
@@ -268,14 +380,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         except ValueError as exc:
             self._send(400, {"error": str(exc)})
             return
-        if self.path == "/query":
+        path = urlsplit(self.path).path
+        if path == "/query":
             text = body.get("tbql")
             if not isinstance(text, str) or not text.strip():
                 self._send(400, {"error": "missing 'tbql' query text"})
                 return
             self._guarded(self.service.query, text,
                           use_cache=bool(body.get("use_cache", True)))
-        elif self.path == "/hunt":
+        elif path == "/hunt":
             report = body.get("report")
             if not isinstance(report, str) or not report.strip():
                 self._send(400, {"error": "missing 'report' text"})
@@ -283,6 +396,32 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._guarded(
                 self.service.hunt, report,
                 fuzzy_fallback=bool(body.get("fuzzy_fallback", False)))
+        elif path == "/ingest":
+            log_text = body.get("log")
+            if not isinstance(log_text, str) or not log_text.strip():
+                self._send(400, {"error": "missing 'log' record text"})
+                return
+            self._guarded(self.service.ingest, log_text,
+                          seal=bool(body.get("seal", True)))
+        elif path == "/rules":
+            tbql = body.get("tbql")
+            if not isinstance(tbql, str) or not tbql.strip():
+                self._send(400, {"error": "missing 'tbql' rule text"})
+                return
+            rule_id = body.get("id")
+            if rule_id is not None and not isinstance(rule_id, str):
+                self._send(400, {"error": "'id' must be a string"})
+                return
+            self._guarded(self.service.add_rule, tbql, rule_id=rule_id)
+        else:
+            self._send(404, {"error": f"unknown path: {self.path}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        prefix = "/rules/"
+        path = urlsplit(self.path).path
+        if path.startswith(prefix) and len(path) > len(prefix):
+            self._guarded(self.service.delete_rule,
+                          unquote(path[len(prefix):]))
         else:
             self._send(404, {"error": f"unknown path: {self.path}"})
 
@@ -290,12 +429,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # helpers
     # ------------------------------------------------------------------
     def _guarded(self, handler: Any, *args: Any, **kwargs: Any) -> None:
-        """Run an endpoint, mapping library errors to 400 and bugs to 500."""
+        """Run an endpoint, mapping library errors to 4xx and bugs to 500."""
         try:
             payload = handler(*args, **kwargs)
         except ReproError as exc:
             self.service._bump("errors")
-            self._send(400, {"error": str(exc)})
+            status = getattr(exc, "status", None)
+            self._send(status if isinstance(status, int) else 400,
+                       {"error": str(exc)})
         except Exception as exc:  # pragma: no cover - defensive
             self.service._bump("errors")
             self._send(500, {"error": f"internal error: {exc}"})
@@ -351,11 +492,13 @@ def serve(store: DualStore, host: str = "127.0.0.1", port: int = 8787,
           use_scheduler: bool = True,
           plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
           result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+          engine: "Optional[DetectionEngine]" = None,
           verbose: bool = False) -> ThreatHuntingServer:
     """Build a ready-to-run server (call ``serve_forever()`` on it)."""
     service = QueryService(store, use_scheduler=use_scheduler,
                            plan_cache_size=plan_cache_size,
-                           result_cache_size=result_cache_size)
+                           result_cache_size=result_cache_size,
+                           engine=engine)
     return ThreatHuntingServer((host, port), service, verbose=verbose)
 
 

@@ -128,17 +128,74 @@ class _BuildBatches:
     Entity and event ids are assigned in first-appearance order from 1,
     matching both the rowwise loader's assignment and the node ids
     ``add_nodes_bulk`` hands out on a fresh graph.
+
+    The pass also powers *incremental* loading: the merge-run state and the
+    id assignment survive across :meth:`consume_reducing` calls, so a log
+    appended batch-by-batch builds exactly the rows one big call would have
+    built (runs that span a batch boundary keep merging).  Constructor
+    arguments seed the continuation — an existing ``unique_key -> id`` map
+    and the next free entity/event ids — and :meth:`drain` hands the rows
+    accumulated since the last drain to the caller while the interning and
+    run state stay live.  :meth:`flush_runs` closes the still-open runs
+    (end of stream or an explicit seal).
     """
 
-    def __init__(self, merge_threshold: float) -> None:
+    def __init__(self, merge_threshold: float,
+                 entity_ids: dict[tuple, int] | None = None,
+                 next_entity_id: int = 1, next_event_id: int = 1) -> None:
         self.merge_threshold = merge_threshold
-        self.entity_ids: dict[tuple, int] = {}
+        self.entity_ids: dict[tuple, int] = \
+            entity_ids if entity_ids is not None else {}
         self._ids_by_object: dict[int, int] = {}
         self.entity_rows: list[tuple] = []
         self.event_rows: list[tuple] = []
         self.nodes: list[tuple[str, dict]] = []
         self.edges: list[tuple[int, int, str, dict]] = []
         self.reduced: list[SystemEvent] = []
+        self.next_entity_id = next_entity_id
+        self.next_event_id = next_event_id
+        # Merge-run continuation state (persists across consume calls).
+        self._open_runs: dict[tuple, list] = {}
+        self._run_queue: deque[tuple[tuple, list]] = deque()
+        self.input_events = 0
+        self.output_events = 0
+        self.merged_events = 0
+
+    @property
+    def open_runs(self) -> int:
+        """Merge runs still buffered (not yet emitted as rows)."""
+        return len(self._run_queue)
+
+    @property
+    def reduction_stats(self) -> ReductionStats:
+        """Cumulative reduction statistics (open runs counted as output)."""
+        return ReductionStats(input_events=self.input_events,
+                              output_events=self.output_events +
+                              len(self._run_queue),
+                              merged_events=self.merged_events)
+
+    def drain(self) -> tuple[list[tuple], list[tuple],
+                             list[tuple[str, dict]],
+                             list[tuple[int, int, str, dict]],
+                             list[SystemEvent]]:
+        """Hand over the rows built since the last drain, keeping state.
+
+        Returns ``(entity_rows, event_rows, nodes, edges, reduced)``.  The
+        interning map, id counters, and open merge runs stay live so the
+        next batch continues exactly where this one left off.  The
+        object-identity fast path is reset: between batches an entity
+        object may be garbage collected and its address reused, so only
+        the unique-key map may carry over.
+        """
+        drained = (self.entity_rows, self.event_rows, self.nodes,
+                   self.edges, self.reduced)
+        self.entity_rows = []
+        self.event_rows = []
+        self.nodes = []
+        self.edges = []
+        self.reduced = []
+        self._ids_by_object = {}
+        return drained
 
     def _intern(self, entity) -> int:
         # Object-identity fast path: collectors reuse entity instances
@@ -149,7 +206,8 @@ class _BuildBatches:
             key = entity.unique_key
             entity_id = self.entity_ids.get(key)
             if entity_id is None:
-                entity_id = len(self.entity_rows) + 1
+                entity_id = self.next_entity_id
+                self.next_entity_id = entity_id + 1
                 self.entity_ids[key] = entity_id
                 self.entity_rows.append(entity_row(entity_id, entity))
                 self.nodes.append((entity.entity_type.value,
@@ -163,13 +221,16 @@ class _BuildBatches:
         # graph never mutates edge properties and SystemEvent.attributes()
         # is documented read-only, so the two views may share one dict.
         attrs = event.attributes()
+        event_id = self.next_event_id
+        self.next_event_id = event_id + 1
         self.event_rows.append(
-            (len(self.event_rows) + 1, subject_id, object_id,
+            (event_id, subject_id, object_id,
              attrs["operation"], attrs["category"], event.start_time,
              event.end_time, attrs["duration"], event.data_amount,
              event.failure_code, event.host))
         self.edges.append((subject_id, object_id, "EVENT", attrs))
         self.reduced.append(event)
+        self.output_events += 1
 
     def _emit_run(self, cell: list) -> None:
         first = cell[0]
@@ -189,12 +250,19 @@ class _BuildBatches:
     def consume(self, event_list: list[SystemEvent]) -> None:
         """Build batches without reduction (events in given order)."""
         intern = self._intern
+        self.input_events += len(event_list)
         for event in event_list:
             self._emit(event, intern(event.subject), intern(event.obj))
 
-    def consume_reducing(self, event_list: list[SystemEvent]
-                         ) -> ReductionStats:
-        """Build batches with streaming reduction (events must be sorted)."""
+    def consume_reducing(self, event_list: list[SystemEvent]) -> None:
+        """Build batches with streaming reduction (events must be sorted).
+
+        Runs that are still open when the list ends stay buffered; the
+        next call keeps merging into them, and :meth:`flush_runs` closes
+        them at end of stream.  An event older than an open run's window
+        simply opens a new run (out-of-order input degrades reduction,
+        never correctness).
+        """
         # Run cells: [first_event, end_time, data_amount, merge_count,
         # closed, subject_id, object_id]; evicted in first-appearance order,
         # exactly like StreamingReducer/reduce_events.  The merge key uses
@@ -203,9 +271,9 @@ class _BuildBatches:
         threshold = self.merge_threshold
         identity_ids = self._ids_by_object
         intern = self._intern
-        open_runs: dict[tuple, list] = {}
-        run_queue: deque[tuple[tuple, list]] = deque()
-        merged_count = 0
+        open_runs = self._open_runs
+        run_queue = self._run_queue
+        self.input_events += len(event_list)
         for event in event_list:
             subject = event.subject
             subject_id = identity_ids.get(id(subject))
@@ -223,7 +291,7 @@ class _BuildBatches:
                 cell[1] = event.end_time
                 cell[2] += event.data_amount
                 cell[3] += 1
-                merged_count += 1
+                self.merged_events += 1
             else:
                 if cell is not None:
                     cell[4] = True
@@ -239,11 +307,17 @@ class _BuildBatches:
                 if open_runs.get(head_key) is head:
                     del open_runs[head_key]
                 self._emit_run(head)
+
+    def flush_runs(self) -> int:
+        """Close and emit every still-open merge run; returns the count."""
+        run_queue = self._run_queue
+        self._run_queue = deque()
+        self._open_runs = {}
+        count = 0
         for _key, cell in run_queue:
             self._emit_run(cell)
-        return ReductionStats(input_events=len(event_list),
-                              output_events=len(self.reduced),
-                              merged_events=merged_count)
+            count += 1
+        return count
 
 
 class DualStore:
@@ -251,24 +325,34 @@ class DualStore:
 
     def __init__(self, relational_path: str | Path | None = None,
                  reduce: bool = True,
-                 merge_threshold: float = DEFAULT_MERGE_THRESHOLD) -> None:
+                 merge_threshold: float = DEFAULT_MERGE_THRESHOLD,
+                 retain_events: bool = True) -> None:
         """Create the dual store.
 
         Args:
             relational_path: optional on-disk path for the relational store.
             reduce: apply the Section III-B data reduction before storing.
             merge_threshold: merge-gap threshold in seconds.
+            retain_events: keep the (reduced) :class:`SystemEvent` objects
+                in memory for :meth:`events`.  Turn off for long-running
+                streaming stores — both query backends hold the data, and
+                retaining a third in-memory copy grows without bound under
+                continuous :meth:`append_events`.
         """
         self.relational = RelationalStore(relational_path)
         self.graph = GraphStore()
         self.reduce = reduce
         self.merge_threshold = merge_threshold
+        self.retain_events = retain_events
         self.last_reduction: ReductionStats | None = None
         self.last_ingest: IngestStats | None = None
         self._events: list[SystemEvent] = []
-        #: Bumped on every (re)load; executors watch it to drop caches keyed
-        #: by entity id when the stored data is replaced.
+        #: Bumped on every (re)load and on every stored append batch;
+        #: executors watch it to drop caches keyed by entity id when the
+        #: stored data changes.
         self.data_version = 0
+        #: Continuation state of the incremental append path (lazy).
+        self._stream: _BuildBatches | None = None
 
     def load_events(self, events: Iterable[SystemEvent],
                     strategy: str = "batched") -> IngestStats:
@@ -301,9 +385,134 @@ class DualStore:
                 "a writable DualStore and save() a new snapshot instead")
         loader = self._load_batched if strategy == "batched" else \
             self._load_rowwise
+        self._stream = None     # a reload invalidates append continuation
         stats = loader(events)
         self.last_ingest = stats
         self.data_version += 1
+        return stats
+
+    # ------------------------------------------------------------------
+    # incremental append path (live streaming ingestion)
+    # ------------------------------------------------------------------
+    def append_events(self, events: Iterable[SystemEvent]) -> IngestStats:
+        """Append a batch of events to both backends without a rebuild.
+
+        The same fused reduction/interning/row-building pass as the batched
+        loader runs on the delta only: new entities get the next free ids
+        (relational row id == graph node id stays invariant), event rows are
+        appended with multi-row inserts under incremental index maintenance,
+        and the graph grows via the bulk node/edge appends.  Merge runs that
+        are still open when the batch ends stay buffered so a run spanning
+        two appends merges exactly as a one-shot load would; they are stored
+        when a later event closes them or when :meth:`flush_appends` seals
+        the stream.  ``data_version`` is bumped once per batch that stores
+        anything, so executor/plan/result caches invalidate correctly.
+
+        The batch is sorted internally; events that arrive older than
+        already-appended data are stored correctly but cannot merge into
+        runs that earlier batches closed (late data degrades reduction,
+        never correctness).
+
+        Returns per-batch :class:`IngestStats` whose count is the number of
+        events *stored* by this call (buffered open runs are excluded).
+        """
+        if self.read_only:
+            raise StorageError(
+                "store is read-only (opened from a snapshot); reopen with "
+                "DualStore.open(path, read_only=False) to append")
+        stream = self._ensure_stream()
+        reduce_start = time.perf_counter()
+        event_list = list(events)
+        input_count = len(event_list)
+        if self.reduce:
+            event_list.sort(key=attrgetter("start_time", "event_id"))
+        reduce_seconds = time.perf_counter() - reduce_start
+
+        build_start = time.perf_counter()
+        if self.reduce:
+            stream.consume_reducing(event_list)
+        else:
+            stream.consume(event_list)
+        build_seconds = time.perf_counter() - build_start
+        return self._store_stream_delta(
+            stream, input_count,
+            {"reduce": reduce_seconds, "build": build_seconds})
+
+    def flush_appends(self) -> IngestStats:
+        """Seal the append stream: store every still-open merge run.
+
+        Call at end of stream (or before a checkpoint snapshot) so events
+        buffered in open merge runs become queryable.  A no-op when nothing
+        is buffered.
+        """
+        stream = self._stream
+        if stream is None:
+            return IngestStats(0, input_events=0, entities=0,
+                               relational_batches=0, seconds={},
+                               strategy="append")
+        build_start = time.perf_counter()
+        stream.flush_runs()
+        build_seconds = time.perf_counter() - build_start
+        return self._store_stream_delta(
+            stream, 0, {"reduce": 0.0, "build": build_seconds})
+
+    @property
+    def pending_appends(self) -> int:
+        """Events buffered in open merge runs (not yet queryable)."""
+        return self._stream.open_runs if self._stream is not None else 0
+
+    @property
+    def max_event_id(self) -> int:
+        """Highest event id stored so far (0 on an empty store)."""
+        return self.relational.id_state()[2] - 1
+
+    def _ensure_stream(self) -> _BuildBatches:
+        if self._stream is None:
+            entity_ids, next_entity_id, next_event_id = \
+                self.relational.id_state()
+            graph_next = self.graph.graph.next_node_id
+            if graph_next != next_entity_id:
+                raise StorageError(
+                    f"backend id spaces diverged: relational expects next "
+                    f"entity id {next_entity_id}, graph expects "
+                    f"{graph_next}; cannot append")
+            self._stream = _BuildBatches(
+                self.merge_threshold, entity_ids=entity_ids,
+                next_entity_id=next_entity_id, next_event_id=next_event_id)
+        return self._stream
+
+    def _store_stream_delta(self, stream: _BuildBatches, input_count: int,
+                            seconds: dict[str, float]) -> IngestStats:
+        entity_rows, event_rows, nodes, edges, reduced = stream.drain()
+
+        relational_start = time.perf_counter()
+        statements = 0
+        if entity_rows or event_rows:
+            statements = self.relational.append_rows(entity_rows, event_rows)
+        self.relational.adopt_entity_ids(
+            stream.entity_ids, stream.next_event_id,
+            next_entity_id=stream.next_entity_id)
+        relational_seconds = time.perf_counter() - relational_start
+
+        graph_start = time.perf_counter()
+        if nodes or edges:
+            self.graph.append_prepared(nodes, edges)
+        graph_seconds = time.perf_counter() - graph_start
+
+        if self.retain_events:
+            self._events.extend(reduced)
+        if entity_rows or event_rows:
+            self.data_version += 1
+        if self.reduce:
+            self.last_reduction = stream.reduction_stats
+        seconds = dict(seconds)
+        seconds["relational"] = relational_seconds
+        seconds["graph"] = graph_seconds
+        stats = IngestStats(
+            len(event_rows), input_events=input_count,
+            entities=len(entity_rows), relational_batches=statements,
+            seconds=seconds, strategy="append")
+        self.last_ingest = stats
         return stats
 
     # ------------------------------------------------------------------
@@ -338,8 +547,9 @@ class DualStore:
             build_start = time.perf_counter()
             batches = _BuildBatches(self.merge_threshold)
             if do_reduce:
-                reduction = batches.consume_reducing(event_list)
-                self.last_reduction = reduction
+                batches.consume_reducing(event_list)
+                batches.flush_runs()
+                self.last_reduction = batches.reduction_stats
             else:
                 batches.consume(event_list)
             build_seconds = time.perf_counter() - build_start
@@ -347,8 +557,9 @@ class DualStore:
             relational_start = time.perf_counter()
             statements = self.relational.reload_rows(batches.entity_rows,
                                                      batches.event_rows)
-            self.relational.adopt_entity_ids(batches.entity_ids,
-                                             len(batches.event_rows) + 1)
+            self.relational.adopt_entity_ids(
+                batches.entity_ids, batches.next_event_id,
+                next_entity_id=batches.next_entity_id)
             relational_seconds = time.perf_counter() - relational_start
 
             graph_start = time.perf_counter()
@@ -358,7 +569,7 @@ class DualStore:
             if gc_was_enabled:
                 gc.enable()
 
-        self._events = batches.reduced
+        self._events = batches.reduced if self.retain_events else []
         return IngestStats(
             len(batches.reduced), input_events=input_count,
             entities=len(batches.entity_rows),
@@ -390,7 +601,7 @@ class DualStore:
         self.graph.load_events(event_list, itemwise=True)
         graph_seconds = time.perf_counter() - graph_start
 
-        self._events = event_list
+        self._events = event_list if self.retain_events else []
         entities = self.relational.count_entities()
         # One INSERT per entity plus one executemany for the events.
         statements = entities + (1 if event_list else 0)
@@ -403,7 +614,11 @@ class DualStore:
             strategy="rowwise")
 
     def events(self) -> list[SystemEvent]:
-        """Return the (reduced) events currently stored."""
+        """Return the (reduced) events currently stored.
+
+        Empty when the store was built with ``retain_events=False`` or
+        opened from a snapshot (the query backends still hold the data).
+        """
         return list(self._events)
 
     def execute_sql(self, sql: str, params=()) -> list[dict]:
@@ -444,7 +659,13 @@ class DualStore:
         binary format of :meth:`PropertyGraph.save`), and a JSON manifest
         recording the format version and the entity/event counts
         :meth:`open` verifies on restore.
+
+        On a writable store the append stream is sealed first
+        (:meth:`flush_appends`), so events buffered in open merge runs are
+        part of the snapshot.
         """
+        if not self.read_only:
+            self.flush_appends()
         directory = Path(path)
         directory.mkdir(parents=True, exist_ok=True)
         self.relational.save_to(directory / SNAPSHOT_RELATIONAL)
@@ -454,6 +675,7 @@ class DualStore:
             "created_at": time.time(),
             "reduce": self.reduce,
             "merge_threshold": self.merge_threshold,
+            "data_version": self.data_version,
             "relational_entities": self.relational.count_entities(),
             "relational_events": self.relational.count_events(),
             "graph_nodes": self.graph.num_nodes(),
@@ -465,14 +687,26 @@ class DualStore:
         return manifest
 
     @classmethod
-    def open(cls, path: str | Path) -> "DualStore":
-        """Open a snapshot directory as a read-only dual store.
+    def open(cls, path: str | Path, read_only: bool = True,
+             relational_path: str | Path | None = None) -> "DualStore":
+        """Open a snapshot directory as a dual store.
 
-        The relational backend attaches to the snapshot's SQLite file with
-        read-only connections (one per querying thread), the graph backend
-        rebuilds from the binary snapshot, and the stored counts are checked
-        against the manifest.  The returned store serves queries only —
-        :meth:`load_events` raises :class:`StorageError`; note
+        With ``read_only=True`` (the default) the relational backend
+        attaches to the snapshot's SQLite file with read-only connections
+        (one per querying thread); the returned store serves queries only —
+        :meth:`load_events` raises :class:`StorageError`.  With
+        ``read_only=False`` the relational contents are restored into a
+        fresh *writable* store (at ``relational_path``, or in memory) via
+        the SQLite backup API and the entity/event id bookkeeping is rebuilt
+        from the stored rows, so :meth:`append_events` continues exactly
+        where the snapshot left off — the checkpoint-resume path of the
+        streaming subsystem.  The snapshot directory itself is never
+        mutated by a writable reopen.
+
+        In both modes the graph backend rebuilds from the binary snapshot,
+        the stored counts are checked against the manifest, and
+        ``data_version`` resumes from the value recorded at save time (1
+        for snapshots written before the field existed).  Note
         :meth:`events` is empty because raw events are not part of the
         snapshot (both query backends are).
 
@@ -498,8 +732,12 @@ class DualStore:
                 f"unsupported snapshot format version {version!r} "
                 f"(this build reads <= {SNAPSHOT_FORMAT_VERSION})")
         store = cls.__new__(cls)
-        store.relational = RelationalStore(directory / SNAPSHOT_RELATIONAL,
-                                           read_only=True)
+        if read_only:
+            store.relational = RelationalStore(
+                directory / SNAPSHOT_RELATIONAL, read_only=True)
+        else:
+            store.relational = RelationalStore.from_snapshot(
+                directory / SNAPSHOT_RELATIONAL, relational_path)
         try:
             store.graph = GraphStore()
             store.graph.graph = PropertyGraph.load(
@@ -509,8 +747,14 @@ class DualStore:
                 manifest.get("merge_threshold", DEFAULT_MERGE_THRESHOLD))
             store.last_reduction = None
             store.last_ingest = None
+            # Raw events are not part of a snapshot; appends to a writable
+            # reopen must not start accumulating a partial copy either.
+            store.retain_events = False
             store._events = []
-            store.data_version = 1
+            store._stream = None
+            data_version = manifest.get("data_version")
+            store.data_version = data_version \
+                if isinstance(data_version, int) and data_version > 0 else 1
             for recorded, actual in (
                     ("relational_entities",
                      store.relational.count_entities()),

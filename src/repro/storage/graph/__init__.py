@@ -40,6 +40,19 @@ class GraphStore:
         self.graph = graph
         return graph.num_edges()
 
+    def append_prepared(self, nodes, edges) -> int:
+        """Append pre-flattened node/edge batches to the *existing* graph.
+
+        The incremental counterpart of :meth:`load_prepared`: nodes get the
+        next free ids (continuing the stored id space) and edge endpoints
+        are absolute node ids, so a delta built against the store's current
+        id assignment lands without a rebuild.  Returns the appended edge
+        count.
+        """
+        self.graph.add_nodes_bulk(nodes)
+        self.graph.add_edges_bulk(edges)
+        return len(edges)
+
     def execute(self, cypher: str) -> list[dict]:
         """Parse and evaluate a mini-Cypher query, returning result rows."""
         query = parse_cypher(cypher)

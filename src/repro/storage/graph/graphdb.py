@@ -242,6 +242,11 @@ class PropertyGraph:
     # ------------------------------------------------------------------
     # basic accessors
     # ------------------------------------------------------------------
+    @property
+    def next_node_id(self) -> int:
+        """Id the next added node will receive (id-space continuation)."""
+        return self._next_node_id
+
     def node(self, node_id: int) -> GraphNode:
         try:
             return self._nodes[node_id]

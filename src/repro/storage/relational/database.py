@@ -364,19 +364,123 @@ class RelationalStore:
             batches += 1
         return batches
 
+    def append_rows(self, entity_rows: Sequence[tuple],
+                    event_rows: Sequence[tuple]) -> int:
+        """Append pre-flattened rows to the live tables; returns batches.
+
+        The incremental-ingestion write path: unlike :meth:`reload_rows`
+        nothing is deleted and the secondary indexes stay in place — the
+        engine maintains them incrementally as the multi-row ``VALUES``
+        statements land, which is the right trade-off for deltas that are
+        small next to the stored tables.  Rows must carry ids continuing
+        the store's id spaces (callers register them via
+        :meth:`adopt_entity_ids`).  The whole batch commits once.
+        """
+        self._assert_writable()
+        with self._lock:
+            cursor = self._connection.cursor()
+            batches = 0
+            for table, columns, rows in (
+                    ("entities", ENTITY_COLUMNS, entity_rows),
+                    ("events", EVENT_COLUMNS, event_rows)):
+                batches += self._insert_multirow(cursor, table, columns,
+                                                 rows)
+            self._connection.commit()
+        return batches
+
+    def id_state(self) -> tuple[dict[tuple, int], int, int]:
+        """Current id bookkeeping: (unique_key map, next entity/event id).
+
+        The mapping is the live dictionary (not a copy); the dual store's
+        append path shares it so both sides assign consistent ids.
+        """
+        return self._entity_ids, self._next_entity_id, self._next_event_id
+
+    def rebuild_id_state(self) -> None:
+        """Reconstruct the id bookkeeping from the stored rows.
+
+        Needed when a store is (re)attached to an existing database — a
+        writable snapshot reopen — where the in-memory ``unique_key -> id``
+        map was never built.  Unique keys follow Section III-A exactly as
+        :func:`entity_row` flattened them.
+        """
+        self._assert_writable()
+        mapping: dict[tuple, int] = {}
+        max_entity_id = 0
+        for row in self.execute("SELECT * FROM entities"):
+            kind = row["type"]
+            if kind == "file":
+                key: tuple = (EntityType.FILE, row["path"])
+            elif kind == "proc":
+                key = (EntityType.PROCESS, row["exename"], row["pid"])
+            elif kind == "ip":
+                key = (EntityType.NETWORK, row["srcip"], row["srcport"],
+                       row["dstip"], row["dstport"], row["protocol"])
+            else:
+                raise StorageError(f"unknown entity type in store: {kind!r}")
+            mapping[key] = row["id"]
+            if row["id"] > max_entity_id:
+                max_entity_id = row["id"]
+        self._entity_ids = mapping
+        self._next_entity_id = max_entity_id + 1
+        max_event = self.execute(
+            "SELECT MAX(id) AS n FROM events")[0]["n"]
+        self._next_event_id = (max_event or 0) + 1
+
+    @classmethod
+    def from_snapshot(cls, snapshot_path: str | Path,
+                      path: str | Path | None = None) -> "RelationalStore":
+        """Restore a snapshot database into a fresh *writable* store.
+
+        The snapshot file is copied via the SQLite backup API into a new
+        store at ``path`` (in memory when ``None``), so the snapshot itself
+        is never written to; the id bookkeeping is rebuilt from the copied
+        rows so incremental loads continue where the snapshot left off.
+        """
+        source_path = Path(snapshot_path)
+        store = cls(path)
+        try:
+            source = sqlite3.connect(
+                source_path.resolve().as_uri() + "?mode=ro", uri=True)
+        except sqlite3.Error as exc:
+            raise StorageError(
+                f"cannot open snapshot {source_path}: {exc}") from exc
+        try:
+            with store._lock:
+                source.backup(store._connection)
+        except sqlite3.Error as exc:
+            store.close()
+            raise StorageError(
+                f"snapshot restore from {source_path} failed: "
+                f"{exc}") from exc
+        finally:
+            source.close()
+        if not store._is_memory:
+            # The backup copies the source's journal mode; re-assert WAL so
+            # later reader connections never block the writer.
+            store._connection.execute("PRAGMA journal_mode=WAL")
+            store._connection.commit()
+        store.rebuild_id_state()
+        return store
+
     def adopt_entity_ids(self, entity_ids: dict[tuple, int],
-                         next_event_id: int) -> None:
+                         next_event_id: int,
+                         next_entity_id: int | None = None) -> None:
         """Adopt an externally-built ``unique_key -> id`` assignment.
 
-        Used by the dual store's single-pass loader, which dedups entities
-        once for both backends and hands the resulting mapping over so later
+        Used by the dual store's loaders, which dedup entities once for
+        both backends and hand the resulting mapping over so later
         incremental :meth:`load_events` / :meth:`entity_id_for` calls keep
-        allocating ids after the adopted ones.
+        allocating ids after the adopted ones.  Callers that already track
+        the next free entity id pass it via ``next_entity_id`` — the
+        streaming append path adopts once per flush, and rescanning the
+        whole (ever-growing) mapping there would be O(total entities) per
+        batch.
         """
         self._assert_writable()
         self._entity_ids = entity_ids
-        self._next_entity_id = \
-            max(entity_ids.values(), default=0) + 1
+        self._next_entity_id = next_entity_id if next_entity_id is not None \
+            else max(entity_ids.values(), default=0) + 1
         self._next_event_id = next_event_id
 
     def load_events_rowwise(self, events: Iterable[SystemEvent]) -> int:

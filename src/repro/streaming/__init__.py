@@ -1,0 +1,49 @@
+"""Live streaming ingestion and standing-query detection.
+
+This subsystem turns the batch hunting pipeline into a continuous one:
+
+* :class:`LogTailer` follows a growing audit log file;
+* :class:`StreamBatcher` + :class:`FlushPolicy` batch the stream with
+  time/size flush triggers;
+* :meth:`~repro.storage.DualStore.append_events` lands each flush in both
+  storage backends incrementally (no rebuild);
+* :class:`DetectionEngine` evaluates registered :class:`StandingRule` TBQL
+  hunts against every delta — with event-time watermarks for ``last N``
+  windows — and emits deduplicated :class:`Alert` records into a bounded
+  :class:`AlertStore`;
+* :mod:`~repro.streaming.checkpoint` persists snapshot + stream state so a
+  restarted service resumes from the last checkpoint and log offset.
+"""
+
+from .alerts import DEFAULT_ALERT_CAPACITY, Alert, AlertStore
+from .batcher import FlushPolicy, StreamBatcher
+from .checkpoint import (STREAM_STATE_FILE, has_checkpoint,
+                         read_stream_state, resume_engine,
+                         write_stream_state)
+from .engine import DetectionEngine, FlushReport
+from .locks import ReadWriteLock
+from .rules import (RULE_FILE_SUFFIX, RuleRegistry, StandingRule,
+                    compile_rule, load_rules_directory)
+from .tailer import LogTailer
+
+__all__ = [
+    "Alert",
+    "AlertStore",
+    "DEFAULT_ALERT_CAPACITY",
+    "FlushPolicy",
+    "StreamBatcher",
+    "STREAM_STATE_FILE",
+    "has_checkpoint",
+    "read_stream_state",
+    "resume_engine",
+    "write_stream_state",
+    "DetectionEngine",
+    "FlushReport",
+    "ReadWriteLock",
+    "RULE_FILE_SUFFIX",
+    "RuleRegistry",
+    "StandingRule",
+    "compile_rule",
+    "load_rules_directory",
+    "LogTailer",
+]

@@ -1,0 +1,150 @@
+"""Structured alerts and the bounded alert store.
+
+When a standing rule matches newly stored events, the engine emits one
+:class:`Alert` per (rule, flush) carrying the full provenance of the match:
+the result rows, every matched event (including historical events a
+multi-pattern rule joined against), and the ids of the events that are
+*new* in this delta — the ones that caused the rule to fire.
+
+The :class:`AlertStore` is a bounded ring: old alerts are dropped (and
+counted) once ``capacity`` is exceeded, so an unattended service cannot
+grow without bound.  A bounded signature set deduplicates re-fired alerts
+as a backstop behind the per-rule high-water marks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Default alert ring capacity.
+DEFAULT_ALERT_CAPACITY = 1000
+#: Signatures remembered for deduplication (a backstop; exactly-once is
+#: primarily guaranteed by the per-rule high-water marks).
+DEDUP_CAPACITY = 65536
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One standing-rule detection with full match provenance."""
+
+    alert_id: int
+    rule_id: str
+    query: str
+    #: Flush sequence number and store version when the rule fired.
+    batch_seq: int
+    data_version: int
+    #: Event-time watermark at evaluation time.
+    watermark: float
+    #: Wall-clock emission time.
+    created_at: float
+    #: Ids of the newly stored events that triggered the alert.
+    new_event_ids: tuple[int, ...]
+    #: Every matched event of the rule (new and historical).
+    matched_events: tuple[dict, ...] = field(repr=False)
+    #: The rule's result rows at fire time.
+    rows: tuple[dict, ...] = field(repr=False)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready view served by ``GET /alerts``."""
+        return {
+            "alert_id": self.alert_id,
+            "rule_id": self.rule_id,
+            "query": self.query,
+            "batch_seq": self.batch_seq,
+            "data_version": self.data_version,
+            "watermark": self.watermark,
+            "created_at": self.created_at,
+            "new_event_ids": list(self.new_event_ids),
+            "matched_events": [dict(event) for event in self.matched_events],
+            "rows": [dict(row) for row in self.rows],
+        }
+
+
+class AlertStore:
+    """Bounded, thread-safe, deduplicating alert ring."""
+
+    def __init__(self, capacity: int = DEFAULT_ALERT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("alert store capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._alerts: deque[Alert] = deque()
+        self._signatures: set[tuple] = set()
+        self._signature_queue: deque[tuple] = deque()
+        self._next_id = 1
+        self.fired = 0
+        self.suppressed = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._alerts)
+
+    def fire(self, rule_id: str, query: str, batch_seq: int,
+             data_version: int, watermark: float,
+             new_event_ids: list[int], matched_events: list[dict],
+             rows: list[dict]) -> Optional[Alert]:
+        """Admit an alert unless its signature already fired.
+
+        The signature is ``(rule id, new event ids)``: the same delta
+        re-offered for the same rule (e.g. after a crash-replay) is
+        suppressed.  Returns the stored alert, or ``None`` when it was
+        deduplicated.
+        """
+        signature = (rule_id, tuple(new_event_ids))
+        with self._lock:
+            if signature in self._signatures:
+                self.suppressed += 1
+                return None
+            self._signatures.add(signature)
+            self._signature_queue.append(signature)
+            while len(self._signature_queue) > DEDUP_CAPACITY:
+                self._signatures.discard(self._signature_queue.popleft())
+            alert = Alert(
+                alert_id=self._next_id, rule_id=rule_id, query=query,
+                batch_seq=batch_seq, data_version=data_version,
+                watermark=watermark, created_at=time.time(),
+                new_event_ids=tuple(new_event_ids),
+                matched_events=tuple(matched_events), rows=tuple(rows))
+            self._next_id += 1
+            self._alerts.append(alert)
+            self.fired += 1
+            while len(self._alerts) > self.capacity:
+                self._alerts.popleft()
+                self.dropped += 1
+            return alert
+
+    def list(self, since_id: int = 0,
+             limit: Optional[int] = None) -> list[Alert]:
+        """Alerts with ``alert_id > since_id``, oldest first."""
+        with self._lock:
+            selected = [alert for alert in self._alerts
+                        if alert.alert_id > since_id]
+        if limit is not None:
+            selected = selected[:max(0, limit)]
+        return selected
+
+    def clear(self) -> int:
+        """Drop the stored alerts (dedup memory is kept); returns count."""
+        with self._lock:
+            count = len(self._alerts)
+            self._alerts.clear()
+        return count
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._alerts),
+                "capacity": self.capacity,
+                "fired": self.fired,
+                "suppressed": self.suppressed,
+                "dropped": self.dropped,
+            }
+
+
+__all__ = ["Alert", "AlertStore", "DEFAULT_ALERT_CAPACITY",
+           "DEDUP_CAPACITY"]

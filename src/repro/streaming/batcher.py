@@ -1,0 +1,90 @@
+"""Batching of a live event stream with time/size flush policies.
+
+Appending to the dual store costs a fixed overhead per batch (statement
+preparation, commit, cache invalidation), so the engine buffers incoming
+events and flushes either when enough have accumulated (*size* policy) or
+when the oldest buffered event has waited long enough (*time* policy) —
+whichever comes first.  Both knobs live in :class:`FlushPolicy`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from operator import attrgetter
+from typing import Callable, Iterable
+
+from ..audit.entities import SystemEvent
+
+#: Buffered events that force a flush (size policy default).
+DEFAULT_MAX_EVENTS = 2000
+#: Seconds the oldest buffered event may wait (time policy default).
+DEFAULT_MAX_SECONDS = 1.0
+
+
+@dataclass(frozen=True)
+class FlushPolicy:
+    """When the batcher hands its buffer to the store.
+
+    ``max_events <= 0`` disables the size trigger; ``max_seconds <= 0``
+    makes every non-empty buffer immediately due (flush per poll).
+    """
+
+    max_events: int = DEFAULT_MAX_EVENTS
+    max_seconds: float = DEFAULT_MAX_SECONDS
+
+
+class StreamBatcher:
+    """Buffers live events until the flush policy says to store them.
+
+    Not thread-safe on its own; the detection engine serializes access
+    through its ingest lock.
+    """
+
+    def __init__(self, policy: FlushPolicy | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.policy = policy or FlushPolicy()
+        self._clock = clock
+        self._buffer: list[SystemEvent] = []
+        self._oldest_at: float | None = None
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def add(self, events: Iterable[SystemEvent]) -> int:
+        """Buffer events; returns the new buffer size."""
+        before = len(self._buffer)
+        self._buffer.extend(events)
+        if self._oldest_at is None and len(self._buffer) > before:
+            self._oldest_at = self._clock()
+        return len(self._buffer)
+
+    @property
+    def should_flush(self) -> bool:
+        """True when either flush trigger has fired."""
+        if not self._buffer:
+            return False
+        policy = self.policy
+        if 0 < policy.max_events <= len(self._buffer):
+            return True
+        if policy.max_seconds <= 0:
+            return True
+        assert self._oldest_at is not None
+        return self._clock() - self._oldest_at >= policy.max_seconds
+
+    def drain(self) -> list[SystemEvent]:
+        """Hand over the buffered events, sorted by event time.
+
+        Sorting here keeps each stored batch in ``(start_time, event_id)``
+        order — the order the store's reduction pass expects — even when
+        polls interleave events from multiple sources.
+        """
+        drained = self._buffer
+        self._buffer = []
+        self._oldest_at = None
+        drained.sort(key=attrgetter("start_time", "event_id"))
+        return drained
+
+
+__all__ = ["FlushPolicy", "StreamBatcher", "DEFAULT_MAX_EVENTS",
+           "DEFAULT_MAX_SECONDS"]

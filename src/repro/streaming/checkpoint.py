@@ -1,0 +1,161 @@
+"""Checkpoint persistence for the streaming detection engine.
+
+A checkpoint directory is a regular dual-store snapshot (see
+:meth:`repro.storage.DualStore.save`) plus one extra file,
+``stream_state.json``, recording where the stream stood when the snapshot
+was taken:
+
+* the **log byte offset** the tailer had fully consumed — resuming a
+  tailer there replays nothing and loses nothing;
+* the **event-time watermark** and **flush sequence number**;
+* every standing rule's text and **high-water event id**, so a resumed
+  engine keeps firing exactly once (history below the mark predates the
+  checkpoint and has already been evaluated).
+
+Alerts themselves are *not* checkpointed: the alert ring is bounded,
+observable state, and the high-water marks alone guarantee a resumed
+engine does not re-fire for pre-checkpoint events.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from ..errors import StreamingError
+from ..storage.dualstore import DualStore
+
+if TYPE_CHECKING:    # pragma: no cover - import cycle guard
+    from .engine import DetectionEngine
+
+#: Stream-state file name inside a checkpoint directory.
+STREAM_STATE_FILE = "stream_state.json"
+#: Version of the stream-state schema.
+STREAM_STATE_VERSION = 1
+
+
+def write_stream_state(directory: str | Path,
+                       engine: "DetectionEngine") -> dict[str, Any]:
+    """Write ``stream_state.json`` for ``engine``; returns the state."""
+    target = Path(directory)
+    state: dict[str, Any] = {
+        "format_version": STREAM_STATE_VERSION,
+        "log_offset": engine.last_offset,
+        "batch_seq": engine.batch_seq,
+        "watermark": engine.watermark,
+        "max_start_time": engine.max_start_time,
+        "events_seen": engine.events_seen,
+        "events_stored": engine.events_stored,
+        "rules": [
+            {
+                "id": rule.rule_id,
+                "tbql": rule.text,
+                "high_water_event_id": rule.high_water_event_id,
+            }
+            for rule in engine.rules.list()
+        ],
+    }
+    (target / STREAM_STATE_FILE).write_text(
+        json.dumps(state, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    return state
+
+
+def read_stream_state(directory: str | Path) -> dict[str, Any]:
+    """Load and validate ``stream_state.json`` from a checkpoint.
+
+    Raises:
+        StreamingError: when the file is missing, corrupt, or written by a
+            newer schema version.
+    """
+    state_path = Path(directory) / STREAM_STATE_FILE
+    if not state_path.is_file():
+        raise StreamingError(
+            f"not a streaming checkpoint (no {STREAM_STATE_FILE}): "
+            f"{Path(directory)}")
+    try:
+        state = json.loads(state_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise StreamingError(
+            f"corrupt stream state: {state_path}") from exc
+    version = state.get("format_version")
+    if not isinstance(version, int) or version < 1 or \
+            version > STREAM_STATE_VERSION:
+        raise StreamingError(
+            f"unsupported stream-state version {version!r} "
+            f"(this build reads <= {STREAM_STATE_VERSION})")
+    return state
+
+
+def _recover_interrupted_swap(directory: Path) -> None:
+    """Finish a checkpoint swap a crash interrupted.
+
+    The engine writes checkpoints atomically: build in ``<dir>.tmp``, park
+    the previous checkpoint at ``<dir>.old``, rename the new one into
+    place.  A crash between the two renames leaves no ``<dir>`` — recover
+    the *newest* complete checkpoint: ``<dir>.tmp`` if its build finished
+    (its stream state is written last, so a readable state file means the
+    staging dir is whole — resuming there avoids re-ingesting and
+    re-alerting the last inter-checkpoint window), else ``<dir>.old``.
+    """
+    if directory.exists():
+        return
+    staging = directory.with_name(directory.name + ".tmp")
+    parked = directory.with_name(directory.name + ".old")
+    for candidate in (staging, parked):
+        if (candidate / STREAM_STATE_FILE).is_file():
+            os.replace(candidate, directory)
+            return
+
+
+def has_checkpoint(directory: str | Path) -> bool:
+    """True when ``directory`` holds a resumable streaming checkpoint.
+
+    Also completes a crash-interrupted checkpoint swap (restoring the
+    parked previous checkpoint) before answering.
+    """
+    target = Path(directory)
+    _recover_interrupted_swap(target)
+    return (target / STREAM_STATE_FILE).is_file()
+
+
+def resume_engine(directory: str | Path,
+                  relational_path: str | Path | None = None,
+                  **engine_kwargs: Any) -> "DetectionEngine":
+    """Rebuild a :class:`DetectionEngine` from a checkpoint directory.
+
+    The dual store reopens *writable* (the snapshot directory itself stays
+    untouched; see ``DualStore.open(..., read_only=False)``), the rules are
+    re-registered with their saved high-water marks, and the engine's
+    offset/watermark/sequence counters resume.  Extra keyword arguments are
+    forwarded to the engine constructor; ``checkpoint_dir`` defaults to the
+    checkpoint being resumed.
+    """
+    from .engine import DetectionEngine
+    _recover_interrupted_swap(Path(directory))
+    state = read_stream_state(directory)
+    store = DualStore.open(directory, read_only=False,
+                           relational_path=relational_path)
+    engine_kwargs.setdefault("checkpoint_dir", directory)
+    engine = DetectionEngine(store, **engine_kwargs)
+    engine.last_offset = int(state.get("log_offset", 0))
+    engine.batch_seq = int(state.get("batch_seq", 0))
+    engine.events_seen = int(state.get("events_seen", 0))
+    engine.events_stored = int(state.get("events_stored", 0))
+    watermark = state.get("watermark")
+    engine.watermark = float(watermark) if watermark is not None else None
+    max_start = state.get("max_start_time")
+    engine.max_start_time = float(max_start) if max_start is not None \
+        else None
+    for entry in state.get("rules", []):
+        engine.rules.add(entry["tbql"], rule_id=entry["id"],
+                         high_water_event_id=int(
+                             entry.get("high_water_event_id", 0)))
+    return engine
+
+
+__all__ = ["STREAM_STATE_FILE", "STREAM_STATE_VERSION",
+           "write_stream_state", "read_stream_state", "has_checkpoint",
+           "resume_engine"]

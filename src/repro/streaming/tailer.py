@@ -1,0 +1,107 @@
+"""Following a growing audit log file (``tail -f`` for record lines).
+
+The :class:`LogTailer` reads whatever complete record lines have been
+appended to an audit log since the last poll and parses them into system
+events with the tolerant :class:`~repro.audit.parser.AuditLogParser`.  Its
+byte ``offset`` only ever advances past *complete* lines (a partial line
+still being written is left for the next poll), which makes the offset a
+safe resume point for checkpointing: restart the tailer at the recorded
+offset and no record is lost or read twice.
+
+Rotation/truncation is handled the way classic tailers do: when the file
+shrinks below the current offset, reading restarts from the beginning of
+the (new) file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..audit.entities import SystemEvent
+from ..audit.parser import AuditLogParser, ParseReport
+
+#: Bytes read per poll.  Bounds memory when catching up on a large
+#: backlog: one poll hands back at most roughly this much data and the
+#: next poll continues from the new offset (the follow loop polls again
+#: immediately while data keeps coming).
+DEFAULT_MAX_POLL_BYTES = 4 * 1024 * 1024
+
+
+class LogTailer:
+    """Incrementally reads an audit log file that may still be growing.
+
+    Args:
+        path: the log file to follow; it may not exist yet (polls return
+            nothing until it does).
+        offset: byte offset to resume from (e.g. from a checkpoint).
+        strict: raise on malformed records instead of skipping them.
+        max_poll_bytes: backlog bytes consumed per poll (memory bound).
+    """
+
+    def __init__(self, path: str | Path, offset: int = 0,
+                 strict: bool = False,
+                 max_poll_bytes: int = DEFAULT_MAX_POLL_BYTES) -> None:
+        if max_poll_bytes <= 0:
+            raise ValueError("max_poll_bytes must be positive")
+        self.path = Path(path)
+        self.offset = int(offset)
+        self.max_poll_bytes = max_poll_bytes
+        self._parser = AuditLogParser(strict=strict)
+        self.truncations = 0
+
+    @property
+    def last_report(self) -> ParseReport:
+        """Parse statistics of the most recent :meth:`poll_events` call."""
+        return self._parser.last_report
+
+    def poll_lines(self) -> list[str]:
+        """Return (up to ~``max_poll_bytes`` of) newly appended lines.
+
+        A poll never consumes a partial trailing line, and never reads
+        much more than the configured bound — callers drain a large
+        backlog with repeated polls instead of one unbounded read.
+        """
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return []
+        if size < self.offset:
+            # The file was truncated or rotated in place; start over.
+            self.offset = 0
+            self.truncations += 1
+        if size == self.offset:
+            return []
+        blocks: list[bytes] = []
+        with open(self.path, "rb") as handle:
+            handle.seek(self.offset)
+            # Read one bounded block; keep reading only while no line
+            # terminator has appeared yet (a single record longer than the
+            # bound — pathological for audit logs — must not stall).
+            while True:
+                block = handle.read(self.max_poll_bytes)
+                if not block:
+                    break
+                blocks.append(block)
+                if b"\n" in block:
+                    break
+        data = b"".join(blocks)
+        cut = data.rfind(b"\n")
+        if cut < 0:
+            return []       # only a partial line so far; wait for more
+        chunk = data[:cut + 1]
+        self.offset += len(chunk)
+        return chunk.decode("utf-8", errors="replace").splitlines()
+
+    def poll_events(self) -> list[SystemEvent]:
+        """Parse the newly appended lines into system events.
+
+        Malformed records are counted in :attr:`last_report` and skipped
+        (unless the tailer was built ``strict=True``).
+        """
+        lines = self.poll_lines()
+        if not lines:
+            return []
+        return list(self._parser.iter_events(lines))
+
+
+__all__ = ["LogTailer", "DEFAULT_MAX_POLL_BYTES"]

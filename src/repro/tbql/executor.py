@@ -145,6 +145,12 @@ class QueryResult:
 
     rows: list[dict[str, Any]] = field(default_factory=list)
     matched_events: list[dict[str, Any]] = field(default_factory=list)
+    #: Events that participate in at least one *complete* join assignment
+    #: (``matched_events`` counts per-pattern matches even when the join
+    #: produced nothing — the paper's per-event recall view).  Standing
+    #: detections key their firing on this list: a rule has truly matched
+    #: only when every pattern joined.
+    joined_events: list[dict[str, Any]] = field(default_factory=list)
     #: Structured per-step execution report; each element is a
     #: :class:`PlanStep` whose string value is the pattern id.
     plan: list[PlanStep] = field(default_factory=list)
@@ -253,7 +259,7 @@ class TBQLExecutor:
                                     candidate_ids)
             plan.append(plan_step)
         join_start = time.perf_counter()
-        rows, _joined_events = self._join(resolved, matches_by_pattern)
+        rows, joined_events = self._join(resolved, matches_by_pattern)
         join_seconds = time.perf_counter() - join_start
         # Matched events are counted per pattern (after candidate-constraint
         # propagation), mirroring the paper's per-event precision/recall in
@@ -261,7 +267,8 @@ class TBQLExecutor:
         # the other patterns found.
         matched_events = self._collect_events(matches_by_pattern)
         result = QueryResult(
-            rows=rows, matched_events=matched_events, plan=plan,
+            rows=rows, matched_events=matched_events,
+            joined_events=joined_events, plan=plan,
             per_pattern_matches={pid: len(matches) for pid, matches
                                  in matches_by_pattern.items()},
             elapsed_seconds=time.perf_counter() - start,

@@ -245,6 +245,26 @@ def resolve_window(window: Optional[TimeWindow],
 # ---------------------------------------------------------------------------
 
 
+def query_is_time_dependent(query: TBQLQuery) -> bool:
+    """True when resolving the query reads the wall clock.
+
+    A ``last N unit`` window resolves relative to *now*, so both its
+    resolved plan and its results go stale; the query service re-resolves
+    such queries per request (and never result-caches them), and the
+    standing-query engine re-resolves them per flush against the event-time
+    watermark.
+    """
+    for pattern in query.patterns:
+        window = getattr(pattern, "window", None)
+        if window is not None and window.kind == "last":
+            return True
+    for global_filter in query.global_filters:
+        window = global_filter.window
+        if window is not None and window.kind == "last":
+            return True
+    return False
+
+
 def resolve_query(query: TBQLQuery, now: Optional[float] = None
                   ) -> ResolvedQuery:
     """Expand sugar and validate a parsed query."""
@@ -377,6 +397,7 @@ __all__ = [
     "evaluate_operation_expr",
     "expand_default_attributes",
     "parse_datetime",
+    "query_is_time_dependent",
     "resolve_window",
     "resolve_query",
 ]
