@@ -1,16 +1,20 @@
 """Command-line interface for the ThreatRaptor reproduction.
 
-Nine subcommands cover the workflows of Figure 1 plus the serving and
-streaming layers:
+Eleven subcommands cover the workflows of Figure 1 plus the serving,
+streaming, and partitioned-storage layers:
 
 * ``extract``    — OSCTI report text -> threat behavior graph (printed),
 * ``synthesize`` — OSCTI report text -> TBQL query text,
 * ``hunt``       — OSCTI report + audit log -> matched malicious events,
-* ``query``      — hand-written TBQL + audit log -> query results,
+* ``query``      — hand-written TBQL + audit log (or snapshot, with
+  ``--workers`` for parallel segment scans) -> query results,
 * ``ingest``     — audit log -> dual-store load report (``--stats`` breaks
   the load down per stage: reduce, build, relational, graph),
 * ``snapshot``   — audit log -> persistent on-disk snapshot directory
-  (ingest once, query many times),
+  (ingest once, query many times; ``--layout segmented`` seals the
+  history into time-bounded segments),
+* ``segments``   — list a snapshot's segment manifests,
+* ``compact``    — merge a snapshot's undersized segments,
 * ``serve``      — snapshot (or audit log) -> concurrent HTTP query service
   (``/query``, ``/hunt``, ``/stats``, ``/healthz``; with ``--live`` also
   ``/ingest``, ``/rules``, ``/alerts``),
@@ -44,9 +48,11 @@ def _read_text(path: str) -> str:
     return Path(path).read_text(encoding="utf-8")
 
 
-def _load_raptor(log_path: str, no_reduction: bool) -> ThreatRaptor:
+def _load_raptor(log_path: str, no_reduction: bool,
+                 workers: int = 1) -> ThreatRaptor:
     from .storage import DualStore
-    raptor = ThreatRaptor(store=DualStore(reduce=not no_reduction))
+    raptor = ThreatRaptor(store=DualStore(reduce=not no_reduction),
+                          workers=workers)
     count = raptor.ingest_log_text(_read_text(log_path))
     print(f"[repro] ingested {count} events from {log_path}",
           file=sys.stderr)
@@ -72,9 +78,13 @@ def _print_plan(result) -> None:
                 candidates.append(f"{side}={count}{suffix}")
         candidate_text = ", ".join(candidates) if candidates else "none"
         millis = sum(step.seconds.values()) * 1000.0
+        segment_text = ""
+        if step.segments_scanned is not None:
+            segment_text = (f"segments {step.segments_scanned} scanned/"
+                            f"{step.segments_pruned} pruned ")
         print(f"  {position}. {step.pattern_id} [{step.backend}] "
               f"score={step.score:.2f} candidates({candidate_text}) "
-              f"rows {step.rows_in} -> {step.rows_out} "
+              f"rows {step.rows_in} -> {step.rows_out} {segment_text}"
               f"hydration_queries={step.hydration_queries} "
               f"{millis:.2f}ms")
     print(f"  join: {result.join_seconds * 1000.0:.2f}ms, "
@@ -123,6 +133,14 @@ def cmd_ingest(args: argparse.Namespace) -> int:
     from .storage import DualStore
 
     events = parse_audit_log(_read_text(args.log))
+    if not events:
+        # An empty (or whitespace-only / all-malformed) log is a valid,
+        # boring input, not an error: report it plainly — without the
+        # per-stage breakdown, whose rates and ratios are meaningless at
+        # zero events — and exit 0.
+        print(f"ingested 0 events (log {args.log} contained no parseable "
+              f"audit records)")
+        return 0
     store = DualStore(reduce=not args.no_reduction)
     stats = store.load_events(events, strategy=args.strategy)
     print(f"ingested {stats.events} events "
@@ -147,18 +165,82 @@ def cmd_ingest(args: argparse.Namespace) -> int:
 
 
 def cmd_snapshot(args: argparse.Namespace) -> int:
+    from operator import attrgetter
+
     from .audit.parser import parse_audit_log
     from .storage import DualStore
 
     events = parse_audit_log(_read_text(args.log))
-    with DualStore(reduce=not args.no_reduction) as store:
-        stats = store.load_events(events, strategy=args.strategy)
-        manifest = store.save(args.out)
+    with DualStore(reduce=not args.no_reduction,
+                   layout=args.layout) as store:
+        if args.layout == "segmented":
+            # Feed the time-ordered stream through the append path and
+            # seal every --segment-events, so the snapshot carries a
+            # prunable multi-segment history instead of one big segment.
+            events.sort(key=attrgetter("start_time", "event_id"))
+            step = max(1, args.segment_events)
+            stored = 0
+            for index in range(0, len(events), step):
+                stored += int(store.append_events(
+                    events[index:index + step]))
+                stored += int(store.flush_appends())
+            manifest = store.save(args.out)
+            segment_count = len(manifest.get("segments", []))
+            print(f"sealed {segment_count} segment(s)", file=sys.stderr)
+        else:
+            stored = int(store.load_events(events,
+                                           strategy=args.strategy))
+            manifest = store.save(args.out)
     print(f"snapshot written to {args.out}: "
           f"{manifest['relational_events']} events, "
           f"{manifest['relational_entities']} entities "
-          f"(format v{manifest['format_version']})")
-    return 0 if stats.events else 1
+          f"(format v{manifest['format_version']}, "
+          f"layout {manifest['layout']})")
+    return 0 if stored else 1
+
+
+def cmd_segments(args: argparse.Namespace) -> int:
+    from .storage import DualStore
+
+    with DualStore.open(args.snapshot) as store:
+        stats = store.segment_stats()
+        print(f"layout: {stats['layout']}  sealed segments: "
+              f"{stats['sealed_segments']}  sealed events: "
+              f"{stats['sealed_events']}")
+        if not stats["segments"]:
+            print("(monolithic snapshot: the whole history is one "
+                  "relational database + one graph)")
+            return 0
+        header = (f"{'name':<12} {'events':>8} {'event ids':>17} "
+                  f"{'entities':>8} {'start range':>23} {'end range':>23}")
+        print(header)
+        print("-" * len(header))
+        for entry in stats["segments"]:
+            print(f"{entry['name']:<12} {entry['event_count']:>8} "
+                  f"{entry['first_event_id']:>8}-"
+                  f"{entry['last_event_id']:<8} "
+                  f"{entry['new_entity_count']:>8} "
+                  f"{entry['min_start_time']:>11.2f}-"
+                  f"{entry['max_start_time']:<11.2f} "
+                  f"{entry['min_end_time']:>11.2f}-"
+                  f"{entry['max_end_time']:<11.2f}")
+    return 0
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    from .storage import DualStore
+
+    # Snapshots are immutable: compaction opens a writable copy, merges
+    # the undersized segments there, and saves a fresh snapshot (to
+    # --out, or back over the source directory when omitted).
+    out = args.out if args.out else args.snapshot
+    with DualStore.open(args.snapshot, read_only=False) as store:
+        report = store.compact(min_events=args.min_events)
+        store.save(out)
+    print(f"compacted {args.snapshot}: {report['segments_before']} -> "
+          f"{report['segments_after']} segment(s) "
+          f"({report['merged_runs']} merge run(s)) -> {out}")
+    return 0
 
 
 def _load_rules_into(engine, rules_dir: str, prune: bool = False) -> int:
@@ -216,13 +298,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     else:
         from .audit.parser import parse_audit_log
         store = DualStore(reduce=not args.no_reduction,
-                          retain_events=not args.live)
+                          retain_events=not args.live,
+                          layout=args.layout)
         count = store.load_events(parse_audit_log(_read_text(args.log)))
         print(f"[repro] ingested {count} events from {args.log}",
               file=sys.stderr)
     if args.live:
         from .streaming import DetectionEngine
-        engine = DetectionEngine(store, max_alerts=args.max_alerts)
+        engine = DetectionEngine(store, max_alerts=args.max_alerts,
+                                 seal_every=args.seal_every)
         if args.rules:
             count = _load_rules_into(engine, args.rules)
             print(f"[repro] {count} standing rule(s) loaded from "
@@ -230,7 +314,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     server = serve(store, host=args.host, port=args.port,
                    plan_cache_size=args.plan_cache,
                    result_cache_size=args.result_cache,
-                   engine=engine, verbose=args.verbose)
+                   engine=engine, workers=args.workers,
+                   verbose=args.verbose)
     host, port = server.server_address[:2]
     endpoints = "POST /query, POST /hunt, GET /stats, GET /healthz"
     if engine is not None:
@@ -258,17 +343,20 @@ def cmd_tail(args: argparse.Namespace) -> int:
     if args.checkpoint and has_checkpoint(args.checkpoint):
         engine = resume_engine(args.checkpoint, policy=policy,
                                max_alerts=args.max_alerts,
-                               checkpoint_every=args.checkpoint_every)
+                               checkpoint_every=args.checkpoint_every,
+                               seal_every=args.seal_every)
         print(f"[repro] resumed checkpoint {args.checkpoint} "
               f"(batch {engine.batch_seq}, log offset "
               f"{engine.last_offset}, {len(engine.rules)} rule(s))",
               file=sys.stderr)
     else:
         engine = DetectionEngine(
-            DualStore(reduce=not args.no_reduction, retain_events=False),
+            DualStore(reduce=not args.no_reduction, retain_events=False,
+                      layout=args.layout),
             policy=policy, max_alerts=args.max_alerts,
             checkpoint_dir=args.checkpoint,
-            checkpoint_every=args.checkpoint_every)
+            checkpoint_every=args.checkpoint_every,
+            seal_every=args.seal_every)
     if args.rules:
         count = _load_rules_into(engine, args.rules, prune=True)
         print(f"[repro] {count} standing rule(s) loaded from {args.rules}",
@@ -332,7 +420,15 @@ def cmd_rules(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    raptor = _load_raptor(args.log, args.no_reduction)
+    if args.snapshot:
+        raptor = ThreatRaptor.open_snapshot(args.snapshot,
+                                            workers=args.workers)
+        print(f"[repro] opened snapshot {args.snapshot} "
+              f"({raptor.store.relational.count_events()} events)",
+              file=sys.stderr)
+    else:
+        raptor = _load_raptor(args.log, args.no_reduction,
+                              workers=args.workers)
     tbql = args.tbql if args.tbql else _read_text(args.query_file)
     result = raptor.execute_tbql(tbql)
     print(f"=== {len(result.rows)} result row(s) ===")
@@ -408,9 +504,39 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot.add_argument("--strategy", choices=["batched", "rowwise"],
                           default="batched",
                           help="ingestion load path (see 'ingest')")
+    snapshot.add_argument("--layout", choices=["monolithic", "segmented"],
+                          default="monolithic",
+                          help="store layout: 'segmented' seals the "
+                               "history into immutable time-bounded "
+                               "segments the executor can prune and scan "
+                               "in parallel (default: monolithic)")
+    snapshot.add_argument("--segment-events", type=int, default=25000,
+                          help="with --layout segmented: seal a segment "
+                               "every N stored events (default: 25000)")
     snapshot.add_argument("--no-reduction", action="store_true",
                           help="disable data reduction at ingestion time")
     snapshot.set_defaults(func=cmd_snapshot)
+
+    segments = subparsers.add_parser(
+        "segments", help="list the segment manifests of a snapshot "
+                         "(event-id ranges, time bounds, entity counts)")
+    segments.add_argument("--snapshot", required=True,
+                          help="snapshot directory written by 'repro "
+                               "snapshot'")
+    segments.set_defaults(func=cmd_segments)
+
+    compact = subparsers.add_parser(
+        "compact", help="merge a segmented snapshot's undersized "
+                        "segments into bigger ones")
+    compact.add_argument("--snapshot", required=True,
+                         help="segmented snapshot directory to compact")
+    compact.add_argument("--out",
+                         help="write the compacted snapshot here "
+                              "(default: back over --snapshot)")
+    compact.add_argument("--min-events", type=int, default=5000,
+                         help="merge adjacent segments smaller than this "
+                              "many events (default: 5000)")
+    compact.set_defaults(func=cmd_compact)
 
     serve = subparsers.add_parser(
         "serve", help="serve TBQL queries and OSCTI hunts concurrently "
@@ -436,6 +562,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "text (default: 256; 0 disables)")
     serve.add_argument("--no-reduction", action="store_true",
                        help="with --log: disable data reduction")
+    serve.add_argument("--layout", choices=["monolithic", "segmented"],
+                       default="monolithic",
+                       help="with --log: store layout for the ingested "
+                            "data (snapshots carry their own layout)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes for parallel segment scans "
+                            "over a segmented store (default: 1 = serial)")
+    serve.add_argument("--seal-every", type=int, default=0,
+                       help="with --live: seal the active segment after "
+                            "this many stored flushes (0 = only at "
+                            "checkpoints; segmented stores only)")
     serve.add_argument("--live", action="store_true",
                        help="enable live ingestion + standing-query "
                             "detection (POST /ingest, /rules, /alerts); "
@@ -478,6 +615,14 @@ def build_parser() -> argparse.ArgumentParser:
                            "checkpoint, and exit (batch catch-up mode)")
     tail.add_argument("--no-reduction", action="store_true",
                       help="disable data reduction at ingestion time")
+    tail.add_argument("--layout", choices=["monolithic", "segmented"],
+                      default="monolithic",
+                      help="store layout for the live store (checkpoints "
+                           "of a segmented store carry their segments)")
+    tail.add_argument("--seal-every", type=int, default=0,
+                      help="seal the active segment after this many "
+                           "stored flushes (0 = only at checkpoints; "
+                           "segmented stores only)")
     tail.set_defaults(func=cmd_tail)
 
     rules = subparsers.add_parser(
@@ -488,11 +633,20 @@ def build_parser() -> argparse.ArgumentParser:
     rules.set_defaults(func=cmd_rules)
 
     query = subparsers.add_parser(
-        "query", help="run a hand-written TBQL query against an audit log")
-    query.add_argument("--log", required=True)
+        "query", help="run a hand-written TBQL query against an audit "
+                      "log or a snapshot")
+    source = query.add_mutually_exclusive_group(required=True)
+    source.add_argument("--log", help="audit log to ingest and query")
+    source.add_argument("--snapshot",
+                        help="snapshot directory to query (opened "
+                             "read-only; segmented snapshots support "
+                             "--workers)")
     group = query.add_mutually_exclusive_group(required=True)
     group.add_argument("--tbql", help="TBQL query text")
     group.add_argument("--query-file", help="path to a file with TBQL text")
+    query.add_argument("--workers", type=int, default=1,
+                       help="worker processes for parallel segment scans "
+                            "(default: 1 = serial)")
     query.add_argument("--no-reduction", action="store_true")
     query.add_argument("--explain", action="store_true",
                        help="print the structured per-step execution plan "

@@ -92,14 +92,19 @@ class QueryService:
             set, the ingest/rules/alerts endpoints come alive, the engine's
             rule evaluation shares this service's executor caches, and all
             query execution takes the engine's reader lock.
+        workers: worker processes for scatter-gather pattern scans over
+            a segmented store's sealed segments (``repro serve
+            --workers``); 1 scans serially.
     """
 
     def __init__(self, store: DualStore, use_scheduler: bool = True,
                  plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
                  result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
-                 engine: "Optional[DetectionEngine]" = None) -> None:
+                 engine: "Optional[DetectionEngine]" = None,
+                 workers: int = 1) -> None:
         self.store = store
-        self.executor = TBQLExecutor(store, use_scheduler=use_scheduler)
+        self.executor = TBQLExecutor(store, use_scheduler=use_scheduler,
+                                     workers=workers)
         self.plan_cache = LRUCache(plan_cache_size)
         self.result_cache = LRUCache(result_cache_size)
         self.engine = engine
@@ -226,12 +231,16 @@ class QueryService:
 
         ``plan_cache`` / ``result_cache`` expose hit/miss/eviction counters
         and ``data_version`` the store's current version, so cache
-        invalidation under live ingest is observable from the outside.
+        invalidation under live ingest is observable from the outside;
+        ``segments`` describes the store partitioning (layout, sealed
+        segment manifests, active tail) plus the executor's worker count.
         """
         with self._counter_lock:
             counters = dict(self._counters)
         with self._read_guard():
             store_stats = self.store.statistics()
+            segment_stats = self.store.segment_stats() \
+                if hasattr(self.store, "segment_stats") else None
         payload = {
             "uptime_seconds": time.time() - self._started_at,
             "read_only": getattr(self.store, "read_only", False),
@@ -241,9 +250,16 @@ class QueryService:
             "plan_cache": self.plan_cache.stats(),
             "result_cache": self.result_cache.stats(),
         }
+        if segment_stats is not None:
+            segment_stats["workers"] = self.executor.workers
+            payload["segments"] = segment_stats
         if self.engine is not None:
             payload["streaming"] = self.engine.stats()
         return payload
+
+    def close(self) -> None:
+        """Release executor resources (the scatter-gather worker pool)."""
+        self.executor.close()
 
     # ------------------------------------------------------------------
     # live streaming endpoints (active when an engine is attached)
@@ -487,18 +503,22 @@ class ThreatHuntingServer(ThreadingHTTPServer):
         self.service = service
         self.verbose = verbose
 
+    def server_close(self) -> None:
+        super().server_close()
+        self.service.close()
+
 
 def serve(store: DualStore, host: str = "127.0.0.1", port: int = 8787,
           use_scheduler: bool = True,
           plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
           result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
           engine: "Optional[DetectionEngine]" = None,
-          verbose: bool = False) -> ThreatHuntingServer:
+          workers: int = 1, verbose: bool = False) -> ThreatHuntingServer:
     """Build a ready-to-run server (call ``serve_forever()`` on it)."""
     service = QueryService(store, use_scheduler=use_scheduler,
                            plan_cache_size=plan_cache_size,
                            result_cache_size=result_cache_size,
-                           engine=engine)
+                           engine=engine, workers=workers)
     return ThreatHuntingServer((host, port), service, verbose=verbose)
 
 

@@ -19,11 +19,13 @@ from __future__ import annotations
 
 import gc
 import json
+import shutil
+import tempfile
 import time
 from collections import deque
 from operator import attrgetter
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Optional, Sequence
 
 from ..audit.entities import SystemEvent
 from ..audit.reduction import DEFAULT_MERGE_THRESHOLD, ReductionStats, \
@@ -33,18 +35,38 @@ from .graph import GraphStore
 from .graph.graphdb import PropertyGraph
 from .relational import RelationalStore
 from .relational.database import entity_row
+from .segments import (SEGMENT_GRAPH, SEGMENT_MANIFEST, SEGMENT_RELATIONAL,
+                       SegmentInfo, SegmentView, merge_infos,
+                       plan_compaction)
 
 #: Valid ``strategy`` arguments for :meth:`DualStore.load_events`.
 LOAD_STRATEGIES = ("batched", "rowwise")
 
+#: Valid ``layout`` arguments for :class:`DualStore`: ``"monolithic"``
+#: keeps the whole history in one relational database + one graph;
+#: ``"segmented"`` additionally seals the history into immutable
+#: time-bounded segments the TBQL executor can prune and scan in
+#: parallel (see :mod:`repro.storage.segments`).
+STORE_LAYOUTS = ("monolithic", "segmented")
+
+#: Default compaction threshold: sealed segments smaller than this are
+#: merged with their neighbours by :meth:`DualStore.compact`.
+DEFAULT_COMPACT_MIN_EVENTS = 5000
+
 #: Version of the on-disk dual-store snapshot layout.  Bump when the
 #: directory layout or manifest contract changes; :meth:`DualStore.open`
-#: rejects snapshots written by newer versions.
-SNAPSHOT_FORMAT_VERSION = 1
+#: rejects snapshots written by newer versions.  Version history:
+#: v1 — single relational.sqlite + graph.bin + manifest;
+#: v2 — adds ``layout`` and the multi-segment manifest (``segments``
+#: entries + a ``segments/<name>/`` directory per sealed segment).
+#: v1 snapshots remain readable; they open as monolithic stores.
+SNAPSHOT_FORMAT_VERSION = 2
 #: File names inside a snapshot directory.
 SNAPSHOT_MANIFEST = "manifest.json"
 SNAPSHOT_RELATIONAL = "relational.sqlite"
 SNAPSHOT_GRAPH = "graph.bin"
+#: Subdirectory of a v2 snapshot holding one directory per segment.
+SNAPSHOT_SEGMENTS_DIR = "segments"
 
 
 class IngestStats(int):
@@ -326,7 +348,9 @@ class DualStore:
     def __init__(self, relational_path: str | Path | None = None,
                  reduce: bool = True,
                  merge_threshold: float = DEFAULT_MERGE_THRESHOLD,
-                 retain_events: bool = True) -> None:
+                 retain_events: bool = True,
+                 layout: str = "monolithic",
+                 segment_dir: str | Path | None = None) -> None:
         """Create the dual store.
 
         Args:
@@ -338,7 +362,17 @@ class DualStore:
                 streaming stores — both query backends hold the data, and
                 retaining a third in-memory copy grows without bound under
                 continuous :meth:`append_events`.
+            layout: ``"monolithic"`` (default) or ``"segmented"``; the
+                segmented layout seals immutable time-bounded segments on
+                :meth:`flush_appends`/:meth:`save`, enabling segment
+                pruning and parallel scatter-gather pattern scans.
+            segment_dir: with ``layout="segmented"``: directory for the
+                sealed segment files; a private temporary directory
+                (removed on :meth:`close`) when omitted.
         """
+        if layout not in STORE_LAYOUTS:
+            raise ValueError(f"unknown store layout: {layout!r} "
+                             f"(expected one of {STORE_LAYOUTS})")
         self.relational = RelationalStore(relational_path)
         self.graph = GraphStore()
         self.reduce = reduce
@@ -353,6 +387,91 @@ class DualStore:
         self.data_version = 0
         #: Continuation state of the incremental append path (lazy).
         self._stream: _BuildBatches | None = None
+        self.layout = layout
+        self._init_segment_state(segmented=(layout == "segmented"),
+                                 segment_dir=segment_dir)
+
+    # ------------------------------------------------------------------
+    # segment bookkeeping (layout="segmented")
+    # ------------------------------------------------------------------
+    def _init_segment_state(self, segmented: bool,
+                            segment_dir: str | Path | None = None) -> None:
+        self._segmented = segmented
+        self._segments: list[SegmentInfo] = []
+        #: Monotonic per-store counter so segment names (and therefore
+        #: file paths) are never reused, even across reloads — read-only
+        #: scanner connections may still be cached on an old path.
+        self._segment_seq = 1
+        self._owns_segment_home = False
+        self._segment_home: Path | None = None
+        if segmented:
+            if segment_dir is None:
+                self._segment_home = Path(
+                    tempfile.mkdtemp(prefix="repro-segments-"))
+                self._owns_segment_home = True
+            else:
+                self._segment_home = Path(segment_dir)
+                self._segment_home.mkdir(parents=True, exist_ok=True)
+        self._reset_active_tracking(first_event_id=1, first_entity_id=1)
+
+    def _reset_active_tracking(self, first_event_id: int,
+                               first_entity_id: int) -> None:
+        self._active_first_event_id = first_event_id
+        self._active_first_entity_id = first_entity_id
+        self._active_events = 0
+        self._active_min_start: Optional[float] = None
+        self._active_max_start: Optional[float] = None
+        self._active_min_end: Optional[float] = None
+        self._active_max_end: Optional[float] = None
+
+    def _track_active_bounds(self, times: Iterable[tuple[float, float]],
+                             count: int) -> None:
+        """Fold stored ``(start_time, end_time)`` pairs into the active
+        segment's manifest-to-be."""
+        if not self._segmented or count == 0:
+            return
+        min_start = self._active_min_start
+        max_start = self._active_max_start
+        min_end = self._active_min_end
+        max_end = self._active_max_end
+        for start, end in times:
+            if min_start is None or start < min_start:
+                min_start = start
+            if max_start is None or start > max_start:
+                max_start = start
+            if min_end is None or end < min_end:
+                min_end = end
+            if max_end is None or end > max_end:
+                max_end = end
+        self._active_min_start = min_start
+        self._active_max_start = max_start
+        self._active_min_end = min_end
+        self._active_max_end = max_end
+        self._active_events += count
+
+    def _track_active_rows(self, event_rows: Sequence[tuple]) -> None:
+        # Event row layout: (id, subject_id, object_id, operation,
+        # category, start_time, end_time, ...).
+        self._track_active_bounds(
+            ((row[5], row[6]) for row in event_rows), len(event_rows))
+
+    def _drop_segments(self) -> None:
+        """Forget every sealed segment (a reload replaces the history)."""
+        for info in self._segments:
+            self._discard_segment_files(info)
+        self._segments = []
+        self._reset_active_tracking(first_event_id=1, first_entity_id=1)
+
+    def _discard_segment_files(self, info: SegmentInfo) -> None:
+        home = self._segment_home
+        if home is None or not self._owns_segment_home:
+            return
+        directory = Path(info.directory)
+        try:
+            if directory.resolve().is_relative_to(home.resolve()):
+                shutil.rmtree(directory, ignore_errors=True)
+        except (OSError, ValueError):  # pragma: no cover - best effort
+            pass
 
     def load_events(self, events: Iterable[SystemEvent],
                     strategy: str = "batched") -> IngestStats:
@@ -386,6 +505,8 @@ class DualStore:
         loader = self._load_batched if strategy == "batched" else \
             self._load_rowwise
         self._stream = None     # a reload invalidates append continuation
+        if self._segmented:
+            self._drop_segments()
         stats = loader(events)
         self.last_ingest = stats
         self.data_version += 1
@@ -438,13 +559,26 @@ class DualStore:
             stream, input_count,
             {"reduce": reduce_seconds, "build": build_seconds})
 
-    def flush_appends(self) -> IngestStats:
+    def flush_appends(self, seal_segment: bool = True) -> IngestStats:
         """Seal the append stream: store every still-open merge run.
 
         Call at end of stream (or before a checkpoint snapshot) so events
         buffered in open merge runs become queryable.  A no-op when nothing
-        is buffered.
+        is buffered.  On a segmented store this also seals the active
+        write segment (when it holds any events), making the stored tail
+        an immutable, independently scannable segment — pass
+        ``seal_segment=False`` to flush the merge runs without cutting a
+        segment (the streaming engine does this for per-request ingest
+        seals, where cutting one tiny segment per HTTP request would
+        drown the store in scatter tasks; its ``seal_every`` policy and
+        checkpoint saves decide when segments actually close).
         """
+        stats = self._flush_stream()
+        if seal_segment and self._segmented and not self.read_only:
+            self._seal_active()
+        return stats
+
+    def _flush_stream(self) -> IngestStats:
         stream = self._stream
         if stream is None:
             return IngestStats(0, input_events=0, entities=0,
@@ -455,6 +589,131 @@ class DualStore:
         build_seconds = time.perf_counter() - build_start
         return self._store_stream_delta(
             stream, 0, {"reduce": 0.0, "build": build_seconds})
+
+    # ------------------------------------------------------------------
+    # segmented layout: sealing, compaction, execution view
+    # ------------------------------------------------------------------
+    def seal_active_segment(self) -> SegmentInfo | None:
+        """Flush open merge runs and seal the active write segment.
+
+        Returns the new segment's manifest, or ``None`` when the active
+        segment held no stored events.  Only valid on a writable store
+        with ``layout="segmented"``.
+        """
+        if not self._segmented:
+            raise StorageError(
+                "this store has no segments (layout='monolithic'); "
+                "construct it with layout='segmented' to seal")
+        if self.read_only:
+            raise StorageError("store is read-only (opened from a "
+                               "snapshot); segments cannot be sealed")
+        self._flush_stream()
+        return self._seal_active()
+
+    def _seal_active(self) -> SegmentInfo | None:
+        if self._active_events == 0:
+            return None
+        assert self._segment_home is not None
+        name = f"seg-{self._segment_seq:06d}"
+        self._segment_seq += 1
+        directory = self._segment_home / name
+        directory.mkdir(parents=True, exist_ok=True)
+        first_event = self._active_first_event_id
+        last_event = first_event + self._active_events - 1
+        first_entity = self._active_first_entity_id
+        last_entity = self.relational.id_state()[1] - 1
+        new_entities = max(0, last_entity - first_entity + 1)
+        info = SegmentInfo(
+            name=name, directory=str(directory),
+            first_event_id=first_event, last_event_id=last_event,
+            event_count=self._active_events,
+            first_new_entity_id=first_entity if new_entities else 0,
+            last_new_entity_id=last_entity if new_entities else -1,
+            new_entity_count=new_entities,
+            min_start_time=float(self._active_min_start or 0.0),
+            max_start_time=float(self._active_max_start or 0.0),
+            min_end_time=float(self._active_min_end or 0.0),
+            max_end_time=float(self._active_max_end or 0.0))
+        self._write_segment_files(info)
+        self._segments.append(info)
+        self._reset_active_tracking(first_event_id=last_event + 1,
+                                    first_entity_id=last_entity + 1)
+        return info
+
+    def _write_segment_files(self, info: SegmentInfo) -> None:
+        self.relational.export_segment(Path(info.sqlite_path),
+                                       info.first_event_id,
+                                       info.last_event_id)
+        self.graph.graph.save_slice(
+            Path(info.graph_path), info.first_event_id,
+            info.last_event_id,
+            info.first_new_entity_id if info.new_entity_count else 0,
+            info.last_new_entity_id if info.new_entity_count else -1)
+        info.write_manifest()
+
+    def compact(self, min_events: int = DEFAULT_COMPACT_MIN_EVENTS) -> dict:
+        """Merge adjacent undersized segments into bigger ones.
+
+        Streaming seals produce many small segments; each one costs a
+        scatter task (and a file handle) per pattern scan.  Compaction
+        re-exports every run of adjacent segments smaller than
+        ``min_events`` as one merged segment — the event-id space stays
+        contiguous, stored data is untouched, and the replaced segment
+        files are deleted when this store owns them.  Returns a report:
+        ``{"merged_runs", "segments_before", "segments_after", "created"}``.
+        """
+        if not self._segmented:
+            raise StorageError(
+                "this store has no segments (layout='monolithic')")
+        if self.read_only:
+            raise StorageError(
+                "store is read-only (opened from a snapshot); reopen "
+                "writable (or 'repro compact' into a new snapshot)")
+        before = len(self._segments)
+        runs = plan_compaction(self._segments, min_events)
+        created: list[str] = []
+        for run in runs:
+            assert self._segment_home is not None
+            name = f"seg-{self._segment_seq:06d}"
+            self._segment_seq += 1
+            directory = self._segment_home / name
+            directory.mkdir(parents=True, exist_ok=True)
+            merged = merge_infos(run, name, directory)
+            self._write_segment_files(merged)
+            index = self._segments.index(run[0])
+            self._segments[index:index + len(run)] = [merged]
+            created.append(name)
+            for old in run:
+                self._discard_segment_files(old)
+        return {"merged_runs": len(runs), "segments_before": before,
+                "segments_after": len(self._segments), "created": created}
+
+    def segment_view(self) -> SegmentView | None:
+        """Execution-time view of the partitioning, or ``None``.
+
+        ``None`` means "no sealed segments" — the executor then runs each
+        pattern as one query against the combined store, exactly the
+        monolithic code path.
+        """
+        if not self._segmented or not self._segments:
+            return None
+        return SegmentView(
+            sealed=tuple(self._segments),
+            active_first_event_id=self._active_first_event_id,
+            active_events=self._active_events)
+
+    def segment_stats(self) -> dict:
+        """Layout + per-segment summary (``GET /stats``, ``repro
+        segments``)."""
+        stats: dict = {"layout": self.layout,
+                       "sealed_segments": len(self._segments),
+                       "sealed_events": sum(info.event_count
+                                            for info in self._segments),
+                       "active_events": self._active_events
+                       if self._segmented else None}
+        stats["segments"] = [info.as_manifest_entry()
+                             for info in self._segments]
+        return stats
 
     @property
     def pending_appends(self) -> int:
@@ -499,6 +758,7 @@ class DualStore:
             self.graph.append_prepared(nodes, edges)
         graph_seconds = time.perf_counter() - graph_start
 
+        self._track_active_rows(event_rows)
         if self.retain_events:
             self._events.extend(reduced)
         if entity_rows or event_rows:
@@ -569,6 +829,7 @@ class DualStore:
             if gc_was_enabled:
                 gc.enable()
 
+        self._track_active_rows(batches.event_rows)
         self._events = batches.reduced if self.retain_events else []
         return IngestStats(
             len(batches.reduced), input_events=input_count,
@@ -601,6 +862,9 @@ class DualStore:
         self.graph.load_events(event_list, itemwise=True)
         graph_seconds = time.perf_counter() - graph_start
 
+        self._track_active_bounds(
+            ((event.start_time, event.end_time) for event in event_list),
+            len(event_list))
         self._events = event_list if self.retain_events else []
         entities = self.relational.count_entities()
         # One INSERT per entity plus one executemany for the events.
@@ -662,7 +926,11 @@ class DualStore:
 
         On a writable store the append stream is sealed first
         (:meth:`flush_appends`), so events buffered in open merge runs are
-        part of the snapshot.
+        part of the snapshot; on a segmented store that seal also closes
+        the active write segment, and every sealed segment is copied into
+        ``segments/<name>/`` with its entry recorded in the manifest (the
+        v2 multi-segment format).  Monolithic stores write the same
+        manifest without a ``segments`` list.
         """
         if not self.read_only:
             self.flush_appends()
@@ -673,6 +941,7 @@ class DualStore:
         manifest = {
             "format_version": SNAPSHOT_FORMAT_VERSION,
             "created_at": time.time(),
+            "layout": self.layout,
             "reduce": self.reduce,
             "merge_threshold": self.merge_threshold,
             "data_version": self.data_version,
@@ -681,10 +950,38 @@ class DualStore:
             "graph_nodes": self.graph.num_nodes(),
             "graph_edges": self.graph.num_edges(),
         }
+        if self._segmented:
+            manifest["segments"] = self._save_segments(directory)
         (directory / SNAPSHOT_MANIFEST).write_text(
             json.dumps(manifest, indent=2, sort_keys=True) + "\n",
             encoding="utf-8")
         return manifest
+
+    def _save_segments(self, directory: Path) -> list[dict]:
+        """Copy every sealed segment into the snapshot; returns entries."""
+        segments_dir = directory / SNAPSHOT_SEGMENTS_DIR
+        segments_dir.mkdir(parents=True, exist_ok=True)
+        keep = {info.name for info in self._segments}
+        for stale in segments_dir.iterdir():
+            # A resave over an existing snapshot must not leave segment
+            # directories the new manifest no longer references.
+            if stale.is_dir() and stale.name not in keep:
+                shutil.rmtree(stale, ignore_errors=True)
+        entries = []
+        for info in self._segments:
+            target = segments_dir / info.name
+            target.mkdir(parents=True, exist_ok=True)
+            for source, filename in ((info.sqlite_path, SEGMENT_RELATIONAL),
+                                     (info.graph_path, SEGMENT_GRAPH)):
+                destination = target / filename
+                if Path(source).resolve() != destination.resolve():
+                    shutil.copyfile(source, destination)
+            entry = info.as_manifest_entry()
+            (target / SEGMENT_MANIFEST).write_text(
+                json.dumps(entry, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8")
+            entries.append(entry)
+        return entries
 
     @classmethod
     def open(cls, path: str | Path, read_only: bool = True,
@@ -766,12 +1063,74 @@ class DualStore:
                     raise StorageError(
                         f"snapshot {directory} is corrupt: {recorded} is "
                         f"{actual}, manifest says {expected}")
+            store._restore_segments(directory, manifest, read_only)
         except BaseException:
             # Don't leak the already-opened relational connection when the
             # graph half of the snapshot fails to restore.
             store.relational.close()
             raise
         return store
+
+    def _restore_segments(self, directory: Path, manifest: dict,
+                          read_only: bool) -> None:
+        """Attach a v2 snapshot's segments to this freshly opened store.
+
+        v1 manifests (no ``segments``, no ``layout``) leave the store
+        monolithic — the backward-compatible path.  Read-only opens
+        reference the snapshot's segment files in place; writable reopens
+        copy them into a private temporary home first, so a later
+        checkpoint swap (which replaces the snapshot directory) can never
+        delete files a live store still scans.
+        """
+        entries = manifest.get("segments") or []
+        segmented = bool(entries) or \
+            manifest.get("layout") == "segmented"
+        self.layout = "segmented" if segmented else "monolithic"
+        self._init_segment_state(segmented=False)
+        if not segmented:
+            return
+        self._segmented = True
+        snapshot_segments = directory / SNAPSHOT_SEGMENTS_DIR
+        if read_only:
+            self._segment_home = snapshot_segments
+        else:
+            self._segment_home = Path(
+                tempfile.mkdtemp(prefix="repro-segments-"))
+            self._owns_segment_home = True
+        infos: list[SegmentInfo] = []
+        for entry in entries:
+            name = entry.get("name")
+            if not isinstance(name, str) or not name:
+                raise StorageError(
+                    f"snapshot {directory} has a segment entry without a "
+                    f"name")
+            source = snapshot_segments / name
+            info = SegmentInfo.from_manifest_entry(entry, source)
+            info.verify_files()
+            if not read_only:
+                assert self._segment_home is not None
+                target = self._segment_home / name
+                shutil.copytree(source, target)
+                info = SegmentInfo.from_manifest_entry(entry, target)
+            infos.append(info)
+            try:
+                sequence = int(name.rsplit("-", 1)[-1])
+            except ValueError:
+                sequence = len(infos)
+            self._segment_seq = max(self._segment_seq, sequence + 1)
+        self._segments = infos
+        covered = sum(info.event_count for info in infos)
+        stored = self.relational.count_events()
+        if covered != stored:
+            raise StorageError(
+                f"snapshot {directory} is corrupt: segments cover "
+                f"{covered} events, store holds {stored}")
+        next_event_id = infos[-1].last_event_id + 1 if infos else 1
+        next_entity_id = max(
+            [info.last_new_entity_id + 1 for info in infos
+             if info.new_entity_count] or [1])
+        self._reset_active_tracking(first_event_id=next_event_id,
+                                    first_entity_id=next_entity_id)
 
     def statistics(self) -> dict:
         """Return entity/event counts per backend plus reduction stats."""
@@ -781,6 +1140,8 @@ class DualStore:
             "graph_nodes": self.graph.num_nodes(),
             "graph_edges": self.graph.num_edges(),
         }
+        if self._segmented:
+            stats["sealed_segments"] = len(self._segments)
         if self.last_reduction is not None:
             stats["reduction_ratio"] = self.last_reduction.reduction_ratio
             stats["events_removed"] = self.last_reduction.events_removed
@@ -788,6 +1149,9 @@ class DualStore:
 
     def close(self) -> None:
         self.relational.close()
+        if self._owns_segment_home and self._segment_home is not None:
+            shutil.rmtree(self._segment_home, ignore_errors=True)
+            self._owns_segment_home = False
 
     def __enter__(self) -> "DualStore":
         return self
@@ -796,6 +1160,7 @@ class DualStore:
         self.close()
 
 
-__all__ = ["DualStore", "IngestStats", "LOAD_STRATEGIES",
-           "SNAPSHOT_FORMAT_VERSION", "SNAPSHOT_MANIFEST",
-           "SNAPSHOT_RELATIONAL", "SNAPSHOT_GRAPH"]
+__all__ = ["DualStore", "IngestStats", "LOAD_STRATEGIES", "STORE_LAYOUTS",
+           "DEFAULT_COMPACT_MIN_EVENTS", "SNAPSHOT_FORMAT_VERSION",
+           "SNAPSHOT_MANIFEST", "SNAPSHOT_RELATIONAL", "SNAPSHOT_GRAPH",
+           "SNAPSHOT_SEGMENTS_DIR"]

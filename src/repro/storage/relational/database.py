@@ -21,7 +21,7 @@ from ...audit.entities import (EntityType, FileEntity, NetworkEntity,
                                ProcessEntity, SystemEntity, SystemEvent)
 from ...errors import StorageError
 from .schema import (ENTITY_COLUMNS, EVENT_COLUMNS, INDEX_DDL, INDEX_NAMES,
-                     all_ddl)
+                     all_ddl, all_ddl_for)
 from .sqlgen import in_list
 
 
@@ -182,6 +182,62 @@ class RelationalStore:
                 f"snapshot save to {target_path} failed: {exc}") from exc
         finally:
             target.close()
+
+    def export_segment(self, path: str | Path, first_event_id: int,
+                       last_event_id: int) -> int:
+        """Materialize an event-id slice into a standalone database file.
+
+        Writes the full schema plus the event rows with ids in
+        ``[first_event_id, last_event_id]`` and exactly the entity rows
+        those events reference (a segment's joins never leave the file)
+        into a fresh SQLite database at ``path``, via ``ATTACH`` on the
+        primary connection — one SQL-level copy, no Python row shuttling.
+        The source tables are untouched; returns the exported event count.
+        """
+        target = Path(path)
+        if target.exists():
+            target.unlink()
+        bounds = (first_event_id, last_event_id)
+        with self._lock:
+            self._connection.commit()
+            cursor = self._connection.cursor()
+            try:
+                cursor.execute("ATTACH DATABASE ? AS segment",
+                               (str(target),))
+            except sqlite3.Error as exc:
+                raise StorageError(
+                    f"cannot create segment database {target}: "
+                    f"{exc}") from exc
+            try:
+                for statement in all_ddl_for("segment"):
+                    cursor.execute(statement)
+                cursor.execute(
+                    "INSERT INTO segment.events "
+                    "SELECT * FROM events WHERE id BETWEEN ? AND ?",
+                    bounds)
+                cursor.execute(
+                    "INSERT INTO segment.entities "
+                    "SELECT * FROM entities WHERE id IN ("
+                    "SELECT subject_id FROM events WHERE id BETWEEN ? AND ? "
+                    "UNION "
+                    "SELECT object_id FROM events WHERE id BETWEEN ? AND ?)",
+                    bounds + bounds)
+                exported = cursor.execute(
+                    "SELECT COUNT(*) FROM segment.events").fetchone()[0]
+                self._connection.commit()
+            except sqlite3.Error as exc:
+                raise StorageError(
+                    f"segment export to {target} failed: {exc}") from exc
+            finally:
+                # A failed statement above leaves an open transaction in
+                # which DETACH would itself fail ("database segment is
+                # locked") — masking the real error and leaving the
+                # schema attached, which would break every later export
+                # on this connection.  Rolling back first is a no-op on
+                # the committed success path.
+                self._connection.rollback()
+                cursor.execute("DETACH DATABASE segment")
+        return int(exported)
 
     def close(self) -> None:
         """Close the primary and every per-thread reader connection."""

@@ -1,0 +1,223 @@
+"""Time-partitioned segment bookkeeping for the dual store.
+
+A *segment* is a sealed, immutable slice of the stored event history:
+
+* ``relational.sqlite`` — the segment's event rows plus exactly the
+  entity rows those events reference, a standalone queryable database
+  (worker processes of the scatter-gather executor open it read-only);
+* ``graph.bin`` — the matching provenance-graph slice (the segment's
+  edges, their endpoint nodes, and the entities first interned in the
+  segment), in the versioned container of :meth:`PropertyGraph.save`;
+* ``segment.json`` — the per-segment manifest: event-id range, newly
+  interned entity-id range, and the ``[min, max]`` start/end time bounds
+  the query planner prunes against.
+
+Segments partition the event-id space contiguously (segment *k+1* starts
+at segment *k*'s ``last_event_id + 1``); everything past the last sealed
+segment is the *active* write segment, which lives only in the combined
+store until :meth:`DualStore.flush_appends` or a snapshot save seals it.
+
+Pruning contract: the SQL compiler renders a resolved TBQL time window
+as ``start_time >= earliest AND end_time <= latest``, so a segment can
+be skipped exactly when no stored event could satisfy that predicate —
+see :meth:`SegmentInfo.overlaps_window`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional
+
+from ..errors import StorageError
+
+#: File names inside a segment directory.
+SEGMENT_MANIFEST = "segment.json"
+SEGMENT_RELATIONAL = "relational.sqlite"
+SEGMENT_GRAPH = "graph.bin"
+
+#: Manifest fields serialized for each segment (order is cosmetic).
+_MANIFEST_FIELDS = ("name", "first_event_id", "last_event_id",
+                    "event_count", "first_new_entity_id",
+                    "last_new_entity_id", "new_entity_count",
+                    "min_start_time", "max_start_time", "min_end_time",
+                    "max_end_time")
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """Manifest of one sealed, immutable store segment."""
+
+    name: str
+    #: Absolute directory holding the segment files (not serialized into
+    #: snapshot manifests — there the location is implied by the name).
+    directory: str
+    first_event_id: int
+    last_event_id: int
+    event_count: int
+    #: Id range of entities first interned while this segment was the
+    #: active one (0/-1 when the segment introduced no new entities).
+    first_new_entity_id: int
+    last_new_entity_id: int
+    new_entity_count: int
+    min_start_time: float
+    max_start_time: float
+    min_end_time: float
+    max_end_time: float
+
+    @property
+    def sqlite_path(self) -> str:
+        return str(Path(self.directory) / SEGMENT_RELATIONAL)
+
+    @property
+    def graph_path(self) -> str:
+        return str(Path(self.directory) / SEGMENT_GRAPH)
+
+    @property
+    def manifest_path(self) -> str:
+        return str(Path(self.directory) / SEGMENT_MANIFEST)
+
+    def overlaps_window(self, window: Optional[tuple[Optional[float],
+                                                     Optional[float]]]
+                        ) -> bool:
+        """Could any event here satisfy the compiled window predicate?
+
+        Mirrors the SQL the compiler emits — ``start_time >= earliest``
+        and ``end_time <= latest`` — so pruning is conservative: a
+        segment is skipped only when *every* stored event provably fails
+        the predicate.  ``None`` bounds are unbounded.
+        """
+        if window is None:
+            return True
+        earliest, latest = window
+        if earliest is not None and self.max_start_time < earliest:
+            return False
+        if latest is not None and self.min_end_time > latest:
+            return False
+        return True
+
+    def as_manifest_entry(self) -> dict[str, Any]:
+        """The JSON view stored in segment/snapshot manifests."""
+        return {field: getattr(self, field) for field in _MANIFEST_FIELDS}
+
+    @classmethod
+    def from_manifest_entry(cls, entry: dict[str, Any],
+                            directory: str | Path) -> "SegmentInfo":
+        try:
+            fields = {field: entry[field] for field in _MANIFEST_FIELDS}
+        except KeyError as exc:
+            raise StorageError(
+                f"segment manifest entry missing field {exc}") from exc
+        return cls(directory=str(directory), **fields)
+
+    def write_manifest(self) -> None:
+        Path(self.manifest_path).write_text(
+            json.dumps(self.as_manifest_entry(), indent=2, sort_keys=True)
+            + "\n", encoding="utf-8")
+
+    def verify_files(self) -> None:
+        """Raise :class:`StorageError` when a segment file is missing."""
+        for path in (self.sqlite_path, self.graph_path):
+            if not Path(path).is_file():
+                raise StorageError(
+                    f"segment {self.name} is missing {path}")
+
+
+@dataclass(frozen=True)
+class SegmentView:
+    """A point-in-time view of the store's partitioning for execution.
+
+    ``sealed`` lists the immutable segments in event-id order; events
+    with ids at or above ``active_first_event_id`` (there are
+    ``active_events`` of them) live only in the combined store and are
+    scanned there.
+    """
+
+    sealed: tuple[SegmentInfo, ...]
+    active_first_event_id: int
+    active_events: int
+
+    @property
+    def sealed_events(self) -> int:
+        return sum(segment.event_count for segment in self.sealed)
+
+
+def prune_segments(segments: tuple[SegmentInfo, ...] | list[SegmentInfo],
+                   window: Optional[tuple[Optional[float],
+                                          Optional[float]]]
+                   ) -> list[SegmentInfo]:
+    """The segments a windowed scan must visit (manifest-level pruning)."""
+    return [segment for segment in segments
+            if segment.overlaps_window(window)]
+
+
+def merge_infos(members: list[SegmentInfo], name: str,
+                directory: str | Path) -> SegmentInfo:
+    """Manifest of a compaction merge of adjacent ``members``.
+
+    Members must be contiguous in event-id order (the caller walks the
+    sealed list in order, so this holds by construction); the merged
+    bounds are pure min/max folds — no data scan needed.
+    """
+    if not members:
+        raise StorageError("cannot merge zero segments")
+    for left, right in zip(members, members[1:]):
+        if right.first_event_id != left.last_event_id + 1:
+            raise StorageError(
+                f"segments {left.name} and {right.name} are not adjacent "
+                f"(event ids {left.last_event_id} .. "
+                f"{right.first_event_id})")
+    with_entities = [m for m in members if m.new_entity_count > 0]
+    return SegmentInfo(
+        name=name, directory=str(directory),
+        first_event_id=members[0].first_event_id,
+        last_event_id=members[-1].last_event_id,
+        event_count=sum(m.event_count for m in members),
+        first_new_entity_id=(min(m.first_new_entity_id
+                                 for m in with_entities)
+                             if with_entities else 0),
+        last_new_entity_id=(max(m.last_new_entity_id
+                                for m in with_entities)
+                            if with_entities else -1),
+        new_entity_count=sum(m.new_entity_count for m in members),
+        min_start_time=min(m.min_start_time for m in members),
+        max_start_time=max(m.max_start_time for m in members),
+        min_end_time=min(m.min_end_time for m in members),
+        max_end_time=max(m.max_end_time for m in members))
+
+
+def plan_compaction(segments: list[SegmentInfo],
+                    min_events: int) -> list[list[SegmentInfo]]:
+    """Group adjacent undersized segments into merge runs.
+
+    Greedy left-to-right: segments smaller than ``min_events`` accumulate
+    into a run until the run reaches ``min_events``; segments already at
+    or above the threshold act as barriers.  Only runs of two or more
+    segments are returned (merging a single segment is a no-op).
+    """
+    runs: list[list[SegmentInfo]] = []
+    current: list[SegmentInfo] = []
+    current_events = 0
+    for segment in segments:
+        if segment.event_count >= min_events:
+            if len(current) > 1:
+                runs.append(current)
+            current = []
+            current_events = 0
+            continue
+        current.append(segment)
+        current_events += segment.event_count
+        if current_events >= min_events:
+            if len(current) > 1:
+                runs.append(current)
+            current = []
+            current_events = 0
+    if len(current) > 1:
+        runs.append(current)
+    return runs
+
+
+__all__ = ["SegmentInfo", "SegmentView", "prune_segments", "merge_infos",
+           "plan_compaction", "SEGMENT_MANIFEST", "SEGMENT_RELATIONAL",
+           "SEGMENT_GRAPH"]

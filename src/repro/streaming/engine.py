@@ -93,6 +93,14 @@ class DetectionEngine:
         checkpoint_dir: directory for periodic snapshot checkpoints.
         checkpoint_every: checkpoint after this many stored flushes
             (0 disables automatic checkpointing).
+        seal_every: on a segmented store: seal the active write segment
+            after this many stored flushes (the flush→seal policy; 0
+            seals only when a checkpoint snapshot is saved).  Per-request
+            ingest seals (``POST /ingest``) flush merge runs but never
+            cut segments.  Sealing closes open merge runs, so a sealed
+            event can no longer merge with later arrivals — pick a
+            cadence coarse enough for your merge threshold.  No effect
+            on monolithic stores.
     """
 
     def __init__(self, store: DualStore,
@@ -100,7 +108,8 @@ class DetectionEngine:
                  policy: Optional[FlushPolicy] = None,
                  max_alerts: int = DEFAULT_ALERT_CAPACITY,
                  checkpoint_dir: str | Path | None = None,
-                 checkpoint_every: int = 0) -> None:
+                 checkpoint_every: int = 0,
+                 seal_every: int = 0) -> None:
         if store.read_only:
             raise StorageError(
                 "the detection engine needs a writable store; reopen the "
@@ -118,7 +127,10 @@ class DetectionEngine:
         self.checkpoint_dir = Path(checkpoint_dir) \
             if checkpoint_dir is not None else None
         self.checkpoint_every = checkpoint_every
+        self.seal_every = seal_every
         self._batches_since_checkpoint = 0
+        self._flushes_since_seal = 0
+        self.seals = 0
         #: Event-time watermark: max end_time accepted so far.
         self.watermark: Optional[float] = None
         #: Max start_time accepted so far — the disorder reference.  (The
@@ -240,8 +252,21 @@ class DetectionEngine:
             with self.lock.write_lock():
                 if events:
                     stored += int(self.store.append_events(events))
-                if seal:
-                    stored += int(self.store.flush_appends())
+                    self._flushes_since_seal += 1
+                # Flush→seal policy: periodically close the active write
+                # segment so segmented stores keep gaining prunable,
+                # parallel-scannable history.  A per-request ``seal``
+                # (POST /ingest) only flushes the open merge runs — it
+                # must NOT cut one tiny segment per HTTP request; actual
+                # segment seals happen here and at checkpoint saves.
+                seal_segment = self.seal_every > 0 and \
+                    self._flushes_since_seal >= self.seal_every
+                if seal or seal_segment:
+                    stored += int(self.store.flush_appends(
+                        seal_segment=seal_segment))
+                    if seal_segment:
+                        self._flushes_since_seal = 0
+                        self.seals += 1
         if self._pending_offset is not None:
             self.last_offset = self._pending_offset
             self._pending_offset = None
@@ -412,6 +437,10 @@ class DetectionEngine:
         return {
             "rules": len(self.rules),
             "alerts": self.alerts.counters(),
+            "seals": self.seals,
+            "seal_every": self.seal_every,
+            "sealed_segments":
+                self.store.segment_stats()["sealed_segments"],
             "batches": self.batch_seq,
             "events_seen": self.events_seen,
             "events_stored": self.events_stored,

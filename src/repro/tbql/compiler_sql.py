@@ -20,7 +20,7 @@ from ..storage.relational.sqlgen import SQLQuery, comparison, in_list
 from .ast import (AttributeComparison, AttributeFilter, BareValueFilter,
                   BooleanFilter, MembershipFilter, NegatedFilter,
                   TemporalRelation)
-from .semantics import ResolvedPattern, ResolvedQuery
+from .semantics import ResolvedPattern, ResolvedQuery, effective_window
 
 _ENTITY_TYPE_VALUE = {EntityType.FILE: "file", EntityType.PROCESS: "proc",
                       EntityType.NETWORK: "ip"}
@@ -100,7 +100,7 @@ def _pattern_clauses(pattern: ResolvedPattern, query: ResolvedQuery,
                                    event_alias, params)
     if pattern_clause:
         clauses.append(pattern_clause)
-    window = pattern.window or query.global_window
+    window = effective_window(pattern, query)
     if window is not None:
         earliest, latest = window
         if earliest is not None:
@@ -114,12 +114,16 @@ def _pattern_clauses(pattern: ResolvedPattern, query: ResolvedQuery,
 
 def compile_pattern_sql(pattern: ResolvedPattern, query: ResolvedQuery,
                         subject_candidates: Sequence[int] | None = None,
-                        object_candidates: Sequence[int] | None = None
-                        ) -> SQLQuery:
+                        object_candidates: Sequence[int] | None = None,
+                        min_event_id: int | None = None) -> SQLQuery:
     """Compile one event pattern into a small SQL data query.
 
     ``subject_candidates`` / ``object_candidates`` are entity-row-id
-    restrictions injected by the scheduler from previously executed patterns.
+    restrictions injected by the scheduler from previously executed
+    patterns.  ``min_event_id`` restricts the scan to events at or above
+    that id — how the scatter-gather executor scans only the *active*
+    (not yet sealed) tail of a segmented store, whose earlier events the
+    per-segment scans already covered.
     """
     params: list[Any] = []
     clauses = _pattern_clauses(pattern, query, "e", "s", "o", params)
@@ -129,6 +133,9 @@ def compile_pattern_sql(pattern: ResolvedPattern, query: ResolvedQuery,
     if object_candidates is not None:
         clauses.append(in_list("o.id", list(object_candidates), False,
                                params))
+    if min_event_id is not None:
+        clauses.append("e.id >= ?")
+        params.append(min_event_id)
     sql = (
         "SELECT e.id AS event_id, e.operation, e.start_time, e.end_time, "
         "e.data_amount, s.id AS subject_id, o.id AS object_id "

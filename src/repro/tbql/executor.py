@@ -44,12 +44,15 @@ from typing import Any, Optional
 
 from ..errors import ExecutionError
 from ..storage.dualstore import DualStore
+from ..storage.segments import SegmentView, prune_segments
 from .ast import TemporalRelation
 from .compiler_cypher import compile_giant_cypher, compile_pattern_cypher
 from .compiler_sql import compile_giant_sql, compile_pattern_sql
 from .parser import TIME_UNIT_SECONDS, parse_tbql
+from .scatter import ScanTask, SegmentScanner
 from .scheduler import ScheduledStep, naive_schedule, schedule
-from .semantics import ResolvedPattern, ResolvedQuery, resolve_query
+from .semantics import (ResolvedPattern, ResolvedQuery, effective_window,
+                        resolve_query)
 
 #: Largest candidate set pushed down into a data query, per side.  Bigger
 #: sets are cheaper to apply as the post-execution key filter than to
@@ -96,6 +99,10 @@ class PlanStep(str):
     rows_in: int
     rows_out: int
     hydration_queries: int
+    #: Sealed segments the pattern scan visited / skipped via manifest
+    #: pruning; ``None`` when the store has no segment view (monolithic).
+    segments_scanned: Optional[int]
+    segments_pruned: Optional[int]
     seconds: dict[str, float]
 
     def __new__(cls, pattern_id: str, **_stats) -> "PlanStep":
@@ -108,6 +115,8 @@ class PlanStep(str):
                  pushed_subject: bool = False, pushed_object: bool = False,
                  rows_in: int = 0, rows_out: int = 0,
                  hydration_queries: int = 0,
+                 segments_scanned: Optional[int] = None,
+                 segments_pruned: Optional[int] = None,
                  seconds: Optional[dict[str, float]] = None) -> None:
         super().__init__()
         self.pattern_id = pattern_id
@@ -120,6 +129,8 @@ class PlanStep(str):
         self.rows_in = rows_in
         self.rows_out = rows_out
         self.hydration_queries = hydration_queries
+        self.segments_scanned = segments_scanned
+        self.segments_pruned = segments_pruned
         self.seconds = seconds or {}
 
     def as_dict(self) -> dict[str, Any]:
@@ -135,6 +146,8 @@ class PlanStep(str):
             "rows_in": self.rows_in,
             "rows_out": self.rows_out,
             "hydration_queries": self.hydration_queries,
+            "segments_scanned": self.segments_scanned,
+            "segments_pruned": self.segments_pruned,
             "seconds": dict(self.seconds),
         }
 
@@ -218,18 +231,27 @@ class TBQLExecutor:
         join_strategy: ``"hash"`` (default) for the pipelined hash join, or
             ``"backtracking"`` for the seed's cross-product enumeration,
             kept as the reference implementation for equivalence tests.
+        workers: worker processes for the scatter-gather stage over a
+            segmented store's sealed segments; ``1`` (default) scans
+            serially in-process.  Irrelevant on monolithic stores.
     """
 
     def __init__(self, store: DualStore, use_scheduler: bool = True,
-                 join_strategy: str = "hash") -> None:
+                 join_strategy: str = "hash", workers: int = 1) -> None:
         if join_strategy not in ("hash", "backtracking"):
             raise ValueError(f"unknown join strategy: {join_strategy!r}")
         self.store = store
         self.use_scheduler = use_scheduler
         self.join_strategy = join_strategy
+        self.workers = max(1, int(workers))
+        self._scanner = SegmentScanner(self.workers)
         self._entity_cache: dict[int, dict] = {}
         self._cache_lock = threading.Lock()
         self._data_version = getattr(store, "data_version", None)
+
+    def close(self) -> None:
+        """Release the scatter-gather worker pool (idempotent)."""
+        self._scanner.close()
 
     # ------------------------------------------------------------------
     # public API
@@ -338,14 +360,17 @@ class TBQLExecutor:
         dead = (subject_allowed == set() or object_allowed == set())
         start = time.perf_counter()
         hydration_queries = 0
+        segments_scanned: Optional[int] = None
+        segments_pruned: Optional[int] = None
         if dead:
             matches: list[PatternMatch] = []
         elif pattern.is_path:
             matches = self._execute_cypher_pattern(pattern, resolved,
                                                    subject_ids, object_ids)
         else:
-            matches, hydration_queries = self._execute_sql_pattern(
-                pattern, resolved, subject_ids, object_ids)
+            matches, hydration_queries, segments_scanned, \
+                segments_pruned = self._execute_sql_pattern(
+                    pattern, resolved, subject_ids, object_ids)
         seconds["execute"] = time.perf_counter() - start
         rows_in = len(matches)
         # Enforce candidate restrictions produced by earlier patterns: the
@@ -369,18 +394,66 @@ class TBQLExecutor:
             pushed_subject=subject_ids is not None,
             pushed_object=object_ids is not None,
             rows_in=rows_in, rows_out=len(filtered),
-            hydration_queries=hydration_queries, seconds=seconds)
+            hydration_queries=hydration_queries,
+            segments_scanned=segments_scanned,
+            segments_pruned=segments_pruned, seconds=seconds)
         return filtered, plan_step
+
+    def _segment_view(self) -> Optional[SegmentView]:
+        view_of = getattr(self.store, "segment_view", None)
+        return view_of() if callable(view_of) else None
+
+    def _scatter_rows(self, pattern: ResolvedPattern,
+                      resolved: ResolvedQuery,
+                      subject_ids: Optional[list[int]],
+                      object_ids: Optional[list[int]],
+                      view: SegmentView) -> tuple[list[dict], int, int]:
+        """Scatter one pattern scan across the store's segments.
+
+        The planner prunes sealed segments whose time bounds cannot
+        intersect the pattern's resolved window (same predicate the SQL
+        renders, so pruning is sound), fans the survivors out through
+        the scanner, scans the active tail — events past the last seal —
+        on the combined store with an id floor, and merges everything
+        back into the single ``(start_time, event_id)`` order a
+        monolithic scan would have produced.  Returns ``(rows, scanned,
+        pruned)``.
+        """
+        compiled = compile_pattern_sql(pattern, resolved,
+                                       subject_candidates=subject_ids,
+                                       object_candidates=object_ids)
+        window = effective_window(pattern, resolved)
+        targets = prune_segments(view.sealed, window)
+        tasks: list[ScanTask] = [
+            (segment.sqlite_path, compiled.sql, tuple(compiled.params))
+            for segment in targets]
+        rows = self._scanner.scan(tasks)
+        if view.active_events:
+            active = compile_pattern_sql(
+                pattern, resolved, subject_candidates=subject_ids,
+                object_candidates=object_ids,
+                min_event_id=view.active_first_event_id)
+            rows.extend(self.store.execute_sql(active.sql, active.params))
+        rows.sort(key=lambda row: (row["start_time"], row["event_id"]))
+        return rows, len(targets), len(view.sealed) - len(targets)
 
     def _execute_sql_pattern(self, pattern: ResolvedPattern,
                              resolved: ResolvedQuery,
                              subject_ids: Optional[list[int]] = None,
                              object_ids: Optional[list[int]] = None
-                             ) -> tuple[list[PatternMatch], int]:
-        compiled = compile_pattern_sql(pattern, resolved,
-                                       subject_candidates=subject_ids,
-                                       object_candidates=object_ids)
-        rows = self.store.execute_sql(compiled.sql, compiled.params)
+                             ) -> tuple[list[PatternMatch], int,
+                                        Optional[int], Optional[int]]:
+        view = self._segment_view()
+        if view is None:
+            compiled = compile_pattern_sql(pattern, resolved,
+                                           subject_candidates=subject_ids,
+                                           object_candidates=object_ids)
+            rows = self.store.execute_sql(compiled.sql, compiled.params)
+            scanned: Optional[int] = None
+            pruned: Optional[int] = None
+        else:
+            rows, scanned, pruned = self._scatter_rows(
+                pattern, resolved, subject_ids, object_ids, view)
         # Hydrate every subject/object entity of this pattern in one batched
         # query instead of one lookup per result row (the seed's N+1).
         needed = {row["subject_id"] for row in rows} | \
@@ -398,7 +471,7 @@ class TBQLExecutor:
                 end_time=row["end_time"],
                 event_ids=(row["event_id"],),
                 subject_id=row["subject_id"], object_id=row["object_id"]))
-        return matches, hydration_queries
+        return matches, hydration_queries, scanned, pruned
 
     def _execute_cypher_pattern(self, pattern: ResolvedPattern,
                                 resolved: ResolvedQuery,

@@ -1,0 +1,151 @@
+"""Scatter-gather scanning of sealed store segments.
+
+The segmented dual store partitions the event history into immutable
+segment files (:mod:`repro.storage.segments`); per-pattern candidate
+retrieval then becomes a scatter-gather stage: the same compiled pattern
+SQL runs against every surviving segment file and the per-segment rows
+are merged (and re-sorted) before the global hash join.
+
+:class:`SegmentScanner` owns the execution strategy:
+
+* ``workers > 1`` — a lazily created :mod:`multiprocessing` pool fans
+  the segment scans out across worker processes, each opening its
+  segment's SQLite file read-only.  Segments are immutable, so workers
+  share nothing with the parent but a file path; this sidesteps the GIL
+  entirely (the ROADMAP's "truly parallel backend work").
+* ``workers == 1`` (or pool creation fails — restricted platforms,
+  missing semaphores) — the scans run serially in-process through the
+  exact same task function, so results are identical by construction.
+
+Worker-side read-only connections are cached per (process, thread,
+path).  Segment paths are never reused by the store (the segment name
+counter is monotonic), so a cached connection can never see stale data.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from ..errors import StorageError
+
+#: One scatter task: ``(segment sqlite path, sql, params)``.
+ScanTask = tuple[str, str, tuple]
+
+#: Cached read-only connections are dropped once the cache grows past
+#: this many distinct segment files (compaction replaces paths, so a
+#: long-lived worker would otherwise accumulate dead handles).
+_CONNECTION_CACHE_LIMIT = 128
+
+_local = threading.local()
+
+
+def _connection_for(path: str) -> sqlite3.Connection:
+    cache = getattr(_local, "connections", None)
+    if cache is None:
+        cache = _local.connections = {}
+    connection = cache.get(path)
+    if connection is None:
+        if len(cache) >= _CONNECTION_CACHE_LIMIT:
+            for stale in cache.values():
+                stale.close()
+            cache.clear()
+        uri = Path(path).resolve().as_uri() + "?mode=ro"
+        try:
+            connection = sqlite3.connect(uri, uri=True)
+        except sqlite3.Error as exc:
+            raise StorageError(
+                f"cannot open segment {path} read-only: {exc}") from exc
+        connection.row_factory = sqlite3.Row
+        cache[path] = connection
+    return connection
+
+
+def scan_segment(task: ScanTask) -> list[dict[str, Any]]:
+    """Run one compiled pattern query against one segment file.
+
+    Module-level (and dependency-light) so it pickles into pool workers
+    under any multiprocessing start method.  Returns plain row dicts —
+    the shape :meth:`RelationalStore.execute` produces — so gathered
+    rows are indistinguishable from a combined-store scan.
+    """
+    path, sql, params = task
+    try:
+        rows = _connection_for(path).execute(sql, tuple(params)).fetchall()
+    except sqlite3.Error as exc:
+        raise StorageError(
+            f"segment scan failed on {path}: {exc}\n{sql}") from exc
+    return [dict(row) for row in rows]
+
+
+class SegmentScanner:
+    """Runs segment-scan tasks, in parallel when workers allow it.
+
+    The process pool is created lazily on the first multi-segment scan
+    and reused for the scanner's lifetime; creation failure downgrades
+    to the serial path permanently (graceful fallback, never an error).
+    ``scan`` preserves task order, so gathered results are deterministic
+    regardless of worker count.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = max(1, int(workers))
+        self._pool: Optional[Any] = None
+        self._pool_failed = False
+        self._lock = threading.Lock()
+
+    @property
+    def parallel(self) -> bool:
+        """Whether scans may actually fan out across processes."""
+        return self.workers > 1 and not self._pool_failed
+
+    def _ensure_pool(self) -> Optional[Any]:
+        with self._lock:
+            if self._pool is None and not self._pool_failed:
+                try:
+                    methods = multiprocessing.get_all_start_methods()
+                    # Fork shares the parent's imports for free; spawn
+                    # works too (scan_segment is importable and light)
+                    # but pays an interpreter start per worker.
+                    method = "fork" if "fork" in methods else None
+                    context = multiprocessing.get_context(method)
+                    self._pool = context.Pool(processes=self.workers)
+                except (OSError, ValueError, ImportError):
+                    self._pool_failed = True
+            return self._pool
+
+    def scan(self, tasks: Sequence[ScanTask]) -> list[dict[str, Any]]:
+        """Execute every task; returns the concatenated rows in task
+        order."""
+        if not tasks:
+            return []
+        if self.workers > 1 and len(tasks) > 1:
+            pool = self._ensure_pool()
+            if pool is not None:
+                per_segment = pool.map(scan_segment, tasks)
+                return [row for rows in per_segment for row in rows]
+        gathered: list[dict[str, Any]] = []
+        for task in tasks:
+            gathered.extend(scan_segment(task))
+        return gathered
+
+    def close(self) -> None:
+        """Tear the worker pool down (idempotent)."""
+        with self._lock:
+            pool = self._pool
+            self._pool = None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+__all__ = ["ScanTask", "SegmentScanner", "scan_segment"]

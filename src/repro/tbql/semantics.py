@@ -245,6 +245,19 @@ def resolve_window(window: Optional[TimeWindow],
 # ---------------------------------------------------------------------------
 
 
+def effective_window(pattern: "ResolvedPattern", query: "ResolvedQuery"
+                     ) -> Optional[tuple[Optional[float], Optional[float]]]:
+    """The time window that actually constrains ``pattern``.
+
+    A pattern-level window overrides the query's global window — the
+    precedence the SQL compiler renders into the ``WHERE`` clause.  The
+    executor's segment pruning consults the same helper, so "which
+    segments can this pattern touch" and "which rows does the compiled
+    predicate keep" can never disagree.
+    """
+    return pattern.window or query.global_window
+
+
 def query_is_time_dependent(query: TBQLQuery) -> bool:
     """True when resolving the query reads the wall clock.
 
@@ -394,6 +407,7 @@ __all__ = [
     "ResolvedPattern",
     "ResolvedQuery",
     "EVENT_ATTRIBUTES",
+    "effective_window",
     "evaluate_operation_expr",
     "expand_default_attributes",
     "parse_datetime",

@@ -187,6 +187,31 @@ class TestLiveEndpoints:
         assert len(final["result"]["rows"]) >= 1
 
 
+class TestAlertsValidation:
+    @pytest.mark.parametrize("query_string", [
+        "since_id=abc", "since_id=1.5", "limit=xyz",
+        "since_id=abc&limit=2",
+    ])
+    def test_non_integer_parameters_answer_400(self, live_server,
+                                               query_string):
+        """Bad ``since_id``/``limit`` must be a 400 with the shared JSON
+        error shape — never an unhandled 500."""
+        import json as json_module
+        from urllib.error import HTTPError
+        from urllib.request import urlopen
+        client, _service, _engine = live_server
+        with pytest.raises(HTTPError) as excinfo:
+            urlopen(f"{client.base_url}/alerts?{query_string}")
+        assert excinfo.value.code == 400
+        body = json_module.loads(excinfo.value.read().decode("utf-8"))
+        assert "error" in body
+        assert "integer" in body["error"]
+
+    def test_valid_parameters_still_answer(self, live_server):
+        client, _service, _engine = live_server
+        assert client.alerts(since_id=0)["alerts"] == []
+
+
 class TestStreamingDisabled:
     def test_endpoints_answer_409_without_engine(self):
         store = DualStore()
