@@ -48,11 +48,11 @@ def _read_text(path: str) -> str:
     return Path(path).read_text(encoding="utf-8")
 
 
-def _load_raptor(log_path: str, no_reduction: bool,
-                 workers: int = 1) -> ThreatRaptor:
+def _load_raptor(log_path: str, no_reduction: bool, workers: int = 1,
+                 scan_strategy: str = "columnar") -> ThreatRaptor:
     from .storage import DualStore
     raptor = ThreatRaptor(store=DualStore(reduce=not no_reduction),
-                          workers=workers)
+                          workers=workers, scan_strategy=scan_strategy)
     count = raptor.ingest_log_text(_read_text(log_path))
     print(f"[repro] ingested {count} events from {log_path}",
           file=sys.stderr)
@@ -82,6 +82,10 @@ def _print_plan(result) -> None:
         if step.segments_scanned is not None:
             segment_text = (f"segments {step.segments_scanned} scanned/"
                             f"{step.segments_pruned} pruned ")
+            if step.scan_strategy is not None:
+                segment_text += f"scan={step.scan_strategy} "
+            if step.pool_fallback:
+                segment_text += "(pool fallback: serial) "
         print(f"  {position}. {step.pattern_id} [{step.backend}] "
               f"score={step.score:.2f} candidates({candidate_text}) "
               f"rows {step.rows_in} -> {step.rows_out} {segment_text}"
@@ -212,10 +216,16 @@ def cmd_segments(args: argparse.Namespace) -> int:
                   "relational database + one graph)")
             return 0
         header = (f"{'name':<12} {'events':>8} {'event ids':>17} "
-                  f"{'entities':>8} {'start range':>23} {'end range':>23}")
+                  f"{'entities':>8} {'start range':>23} "
+                  f"{'end range':>23} {'rel KiB':>9} {'col KiB':>9} "
+                  f"{'graph KiB':>9}")
         print(header)
         print("-" * len(header))
         for entry in stats["segments"]:
+            payload = entry.get("payload_bytes", {})
+            sizes = " ".join(
+                f"{payload.get(kind, 0) / 1024.0:>9.1f}"
+                for kind in ("relational", "columnar", "graph"))
             print(f"{entry['name']:<12} {entry['event_count']:>8} "
                   f"{entry['first_event_id']:>8}-"
                   f"{entry['last_event_id']:<8} "
@@ -223,7 +233,7 @@ def cmd_segments(args: argparse.Namespace) -> int:
                   f"{entry['min_start_time']:>11.2f}-"
                   f"{entry['max_start_time']:<11.2f} "
                   f"{entry['min_end_time']:>11.2f}-"
-                  f"{entry['max_end_time']:<11.2f}")
+                  f"{entry['max_end_time']:<11.2f} {sizes}")
     return 0
 
 
@@ -315,6 +325,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                    plan_cache_size=args.plan_cache,
                    result_cache_size=args.result_cache,
                    engine=engine, workers=args.workers,
+                   scan_strategy=args.scan_strategy,
                    verbose=args.verbose)
     host, port = server.server_address[:2]
     endpoints = "POST /query, POST /hunt, GET /stats, GET /healthz"
@@ -421,14 +432,16 @@ def cmd_rules(args: argparse.Namespace) -> int:
 
 def cmd_query(args: argparse.Namespace) -> int:
     if args.snapshot:
-        raptor = ThreatRaptor.open_snapshot(args.snapshot,
-                                            workers=args.workers)
+        raptor = ThreatRaptor.open_snapshot(
+            args.snapshot, workers=args.workers,
+            scan_strategy=args.scan_strategy)
         print(f"[repro] opened snapshot {args.snapshot} "
               f"({raptor.store.relational.count_events()} events)",
               file=sys.stderr)
     else:
         raptor = _load_raptor(args.log, args.no_reduction,
-                              workers=args.workers)
+                              workers=args.workers,
+                              scan_strategy=args.scan_strategy)
     tbql = args.tbql if args.tbql else _read_text(args.query_file)
     result = raptor.execute_tbql(tbql)
     print(f"=== {len(result.rows)} result row(s) ===")
@@ -569,6 +582,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1,
                        help="worker processes for parallel segment scans "
                             "over a segmented store (default: 1 = serial)")
+    serve.add_argument("--scan-strategy",
+                       choices=["columnar", "sqlite"], default="columnar",
+                       help="segment scan path: 'columnar' reads the "
+                            "memory-mapped events.col payload (default; "
+                            "falls back to SQLite per segment when the "
+                            "payload is absent), 'sqlite' always runs the "
+                            "compiled pattern SQL")
     serve.add_argument("--seal-every", type=int, default=0,
                        help="with --live: seal the active segment after "
                             "this many stored flushes (0 = only at "
@@ -647,6 +667,13 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--workers", type=int, default=1,
                        help="worker processes for parallel segment scans "
                             "(default: 1 = serial)")
+    query.add_argument("--scan-strategy",
+                       choices=["columnar", "sqlite"], default="columnar",
+                       help="segment scan path: 'columnar' reads the "
+                            "memory-mapped events.col payload (default; "
+                            "falls back to SQLite per segment when the "
+                            "payload is absent), 'sqlite' always runs the "
+                            "compiled pattern SQL")
     query.add_argument("--no-reduction", action="store_true")
     query.add_argument("--explain", action="store_true",
                        help="print the structured per-step execution plan "

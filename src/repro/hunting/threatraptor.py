@@ -54,6 +54,9 @@ class ThreatRaptor:
     #: Worker processes for scatter-gather scans over a segmented
     #: store's sealed segments (1 = serial; see ``repro query --workers``).
     workers: int = 1
+    #: Segment scan strategy — "columnar" (memory-mapped events.col,
+    #: the default) or "sqlite" (see ``repro query --scan-strategy``).
+    scan_strategy: str = "columnar"
 
     @classmethod
     def open_snapshot(cls, path: str | Path, **kwargs) -> "ThreatRaptor":
@@ -133,12 +136,14 @@ class ThreatRaptor:
             self.__dict__.get("_cached_executor")
         if executor is None or executor.store is not self.store or \
                 executor.use_scheduler != self.use_scheduler or \
-                executor.workers != max(1, self.workers):
+                executor.workers != self.workers or \
+                executor.scan_strategy != self.scan_strategy:
             if executor is not None:
                 executor.close()
             executor = TBQLExecutor(self.store,
                                     use_scheduler=self.use_scheduler,
-                                    workers=self.workers)
+                                    workers=self.workers,
+                                    scan_strategy=self.scan_strategy)
             self.__dict__["_cached_executor"] = executor
         return executor
 

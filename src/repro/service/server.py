@@ -95,16 +95,21 @@ class QueryService:
         workers: worker processes for scatter-gather pattern scans over
             a segmented store's sealed segments (``repro serve
             --workers``); 1 scans serially.
+        scan_strategy: how scatter workers read sealed segments —
+            ``"columnar"`` (default) or ``"sqlite"`` (``repro serve
+            --scan-strategy``).
     """
 
     def __init__(self, store: DualStore, use_scheduler: bool = True,
                  plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
                  result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
                  engine: "Optional[DetectionEngine]" = None,
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 scan_strategy: str = "columnar") -> None:
         self.store = store
         self.executor = TBQLExecutor(store, use_scheduler=use_scheduler,
-                                     workers=workers)
+                                     workers=workers,
+                                     scan_strategy=scan_strategy)
         self.plan_cache = LRUCache(plan_cache_size)
         self.result_cache = LRUCache(result_cache_size)
         self.engine = engine
@@ -252,6 +257,8 @@ class QueryService:
         }
         if segment_stats is not None:
             segment_stats["workers"] = self.executor.workers
+            segment_stats["scan_strategy"] = self.executor.scan_strategy
+            segment_stats["pool_fallback"] = self.executor.pool_fallback
             payload["segments"] = segment_stats
         if self.engine is not None:
             payload["streaming"] = self.engine.stats()
@@ -513,12 +520,14 @@ def serve(store: DualStore, host: str = "127.0.0.1", port: int = 8787,
           plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
           result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
           engine: "Optional[DetectionEngine]" = None,
-          workers: int = 1, verbose: bool = False) -> ThreatHuntingServer:
+          workers: int = 1, scan_strategy: str = "columnar",
+          verbose: bool = False) -> ThreatHuntingServer:
     """Build a ready-to-run server (call ``serve_forever()`` on it)."""
     service = QueryService(store, use_scheduler=use_scheduler,
                            plan_cache_size=plan_cache_size,
                            result_cache_size=result_cache_size,
-                           engine=engine, workers=workers)
+                           engine=engine, workers=workers,
+                           scan_strategy=scan_strategy)
     return ThreatHuntingServer((host, port), service, verbose=verbose)
 
 

@@ -1,0 +1,417 @@
+"""Struct-packed columnar segment payloads (``events.col``).
+
+Segment format v3 stores, alongside each sealed segment's
+``relational.sqlite``, a column-major copy of the segment's event rows:
+one contiguous machine-typed array per column (int64 ids and numeric
+fields, float64 timestamps, uint32 interned-string codes), the entity
+rows those events join against, and a shared interned string table.
+The file is read back via :mod:`mmap`, so scatter-gather workers share
+the OS page cache instead of each materializing Python row tuples from
+SQLite, and every column is exposed zero-copy through
+:class:`memoryview` casts (or :mod:`numpy` views when numpy is
+importable).
+
+Layout::
+
+    magic "RPRCOL01" | u32 header_len | JSON header | pad to 8 |
+    section payloads (each padded to 8 bytes)
+
+The JSON header records the counts, the writer's byte order, and a
+section table ``name -> [offset, nbytes, typecode]`` whose offsets are
+relative to the start of the 8-aligned data area, so readers never
+depend on the header's own size.
+
+The fast writer is fed by :class:`EventColumns` — the column-major
+output of the fused ingestion pass — so sealing a segment slices
+arrays that already exist instead of re-reading exported rows.
+:func:`write_columnar_from_sqlite` is the fallback writer for payloads
+whose rows exist only in SQLite form (compaction merges, rowwise
+loads).
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import sqlite3
+import struct
+import sys
+from array import array
+from pathlib import Path
+from typing import Any, Iterable, Optional, Sequence
+
+from ..errors import StorageError
+from .relational.schema import ENTITY_COLUMNS, EVENT_COLUMNS
+
+#: File magic of an ``events.col`` payload.
+COLUMNAR_MAGIC = b"RPRCOL01"
+#: Version of the columnar payload layout (independent of the snapshot
+#: format version; bump when sections or typecodes change).
+COLUMNAR_FORMAT_VERSION = 1
+#: Sentinel for NULL in int64 entity columns (pid/srcport/dstport are
+#: nullable INTEGER columns in the relational schema).
+NULL_INT = -(2 ** 63)
+
+#: Entity string columns, interned as uint32 codes (0 == NULL).
+ENTITY_STRING_COLUMNS = ("type", "name", "path", "exename", "user", "grp",
+                         "cmdline", "srcip", "dstip", "protocol")
+#: Entity nullable-integer columns, stored as int64 with NULL_INT.
+ENTITY_INT_COLUMNS = ("pid", "srcport", "dstport")
+#: Event string columns (NOT NULL in the schema, still code 0 == NULL).
+EVENT_STRING_COLUMNS = ("operation", "category", "host")
+
+_ENTITY_INDEX = {name: index for index, name in enumerate(ENTITY_COLUMNS)}
+
+_TYPECODE_SIZE = {"q": 8, "d": 8, "I": 4, "Q": 8}
+
+
+def _align8(offset: int) -> int:
+    return offset + (-offset) % 8
+
+
+class EventColumns:
+    """Column-major event rows: the vectorized row builder's output.
+
+    One Python list per relational event column, appended in id order.
+    :meth:`row_tuples` zips the columns back into
+    ``EVENT_COLUMNS``-ordered tuples for the SQLite insert path; the
+    lists feed :func:`write_columnar` as-is when a segment seals, so
+    the columnar payload costs one array pack per column instead of a
+    second pass over exported rows.
+    """
+
+    __slots__ = ("ids", "subject_ids", "object_ids", "operations",
+                 "categories", "start_times", "end_times", "durations",
+                 "data_amounts", "failure_codes", "hosts")
+
+    def __init__(self) -> None:
+        self.ids: list[int] = []
+        self.subject_ids: list[int] = []
+        self.object_ids: list[int] = []
+        self.operations: list[str] = []
+        self.categories: list[str] = []
+        self.start_times: list[float] = []
+        self.end_times: list[float] = []
+        self.durations: list[float] = []
+        self.data_amounts: list[int] = []
+        self.failure_codes: list[int] = []
+        self.hosts: list[str] = []
+
+    def append(self, event_id: int, subject_id: int, object_id: int,
+               operation: str, category: str, start_time: float,
+               end_time: float, duration: float, data_amount: int,
+               failure_code: int, host: str) -> None:
+        """Append one event row (``EVENT_COLUMNS`` order)."""
+        self.ids.append(event_id)
+        self.subject_ids.append(subject_id)
+        self.object_ids.append(object_id)
+        self.operations.append(operation)
+        self.categories.append(category)
+        self.start_times.append(start_time)
+        self.end_times.append(end_time)
+        self.durations.append(duration)
+        self.data_amounts.append(data_amount)
+        self.failure_codes.append(failure_code)
+        self.hosts.append(host)
+
+    def extend(self, other: "EventColumns") -> None:
+        """Column-wise concatenation (C-speed ``list.extend`` per column)."""
+        self.ids.extend(other.ids)
+        self.subject_ids.extend(other.subject_ids)
+        self.object_ids.extend(other.object_ids)
+        self.operations.extend(other.operations)
+        self.categories.extend(other.categories)
+        self.start_times.extend(other.start_times)
+        self.end_times.extend(other.end_times)
+        self.durations.extend(other.durations)
+        self.data_amounts.extend(other.data_amounts)
+        self.failure_codes.extend(other.failure_codes)
+        self.hosts.extend(other.hosts)
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @property
+    def first_id(self) -> Optional[int]:
+        """Id of the first buffered event (``None`` when empty)."""
+        return self.ids[0] if self.ids else None
+
+    def time_pairs(self) -> Iterable[tuple[float, float]]:
+        """``(start_time, end_time)`` pairs, for bounds tracking."""
+        return zip(self.start_times, self.end_times)
+
+    def row_tuples(self) -> list[tuple]:
+        """Rows as ``EVENT_COLUMNS``-ordered tuples (the insert shape)."""
+        return list(zip(self.ids, self.subject_ids, self.object_ids,
+                        self.operations, self.categories, self.start_times,
+                        self.end_times, self.durations, self.data_amounts,
+                        self.failure_codes, self.hosts))
+
+
+class _StringTable:
+    """Interner assigning codes from 1 (0 is reserved for NULL)."""
+
+    def __init__(self) -> None:
+        self._codes: dict[str, int] = {}
+        self.strings: list[str] = []
+
+    def code(self, value: Optional[str]) -> int:
+        if value is None:
+            return 0
+        code = self._codes.get(value)
+        if code is None:
+            self.strings.append(value)
+            code = self._codes[value] = len(self.strings)
+        return code
+
+
+def write_columnar(path: str | Path, events: EventColumns,
+                   entity_rows: Sequence[tuple]) -> int:
+    """Write an ``events.col`` payload; returns the bytes written.
+
+    ``entity_rows`` are ``ENTITY_COLUMNS``-ordered tuples; they are
+    sorted by id before packing (readers binary-search non-dense id
+    ranges).  A superset of the entities the events reference is fine —
+    events drive the scan, unreferenced entity rows never match.
+    """
+    table = _StringTable()
+    sections: list[tuple[str, str, bytes]] = [
+        ("event.id", "q", array("q", events.ids).tobytes()),
+        ("event.subject_id", "q", array("q", events.subject_ids).tobytes()),
+        ("event.object_id", "q", array("q", events.object_ids).tobytes()),
+        ("event.operation", "I",
+         array("I", map(table.code, events.operations)).tobytes()),
+        ("event.category", "I",
+         array("I", map(table.code, events.categories)).tobytes()),
+        ("event.start_time", "d", array("d", events.start_times).tobytes()),
+        ("event.end_time", "d", array("d", events.end_times).tobytes()),
+        ("event.duration", "d", array("d", events.durations).tobytes()),
+        ("event.data_amount", "q",
+         array("q", events.data_amounts).tobytes()),
+        ("event.failure_code", "q",
+         array("q", events.failure_codes).tobytes()),
+        ("event.host", "I", array("I", map(table.code,
+                                           events.hosts)).tobytes()),
+    ]
+    rows = sorted(entity_rows, key=lambda row: row[0])
+    sections.append(("entity.id", "q",
+                     array("q", (row[0] for row in rows)).tobytes()))
+    for name in ENTITY_STRING_COLUMNS:
+        index = _ENTITY_INDEX[name]
+        sections.append((f"entity.{name}", "I",
+                         array("I", (table.code(row[index])
+                                     for row in rows)).tobytes()))
+    for name in ENTITY_INT_COLUMNS:
+        index = _ENTITY_INDEX[name]
+        sections.append((f"entity.{name}", "q",
+                         array("q", (NULL_INT if row[index] is None
+                                     else row[index]
+                                     for row in rows)).tobytes()))
+    blob = bytearray()
+    offsets = array("Q", [0])
+    for text in table.strings:
+        blob += text.encode("utf-8")
+        offsets.append(len(blob))
+    sections.append(("strings.offsets", "Q", offsets.tobytes()))
+    sections.append(("strings.blob", "", bytes(blob)))
+
+    section_table: dict[str, list] = {}
+    offset = 0
+    for name, typecode, payload in sections:
+        section_table[name] = [offset, len(payload), typecode]
+        offset = _align8(offset + len(payload))
+    header = {
+        "version": COLUMNAR_FORMAT_VERSION,
+        "byteorder": sys.byteorder,
+        "event_count": len(events),
+        "entity_count": len(rows),
+        "string_count": len(table.strings),
+        "sections": section_table,
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    target = Path(path)
+    with open(target, "wb") as handle:
+        handle.write(COLUMNAR_MAGIC)
+        handle.write(struct.pack("<I", len(header_bytes)))
+        handle.write(header_bytes)
+        position = len(COLUMNAR_MAGIC) + 4 + len(header_bytes)
+        handle.write(b"\0" * (_align8(position) - position))
+        for _name, _typecode, payload in sections:
+            handle.write(payload)
+            handle.write(b"\0" * (_align8(len(payload)) - len(payload)))
+    return target.stat().st_size
+
+
+def write_columnar_from_sqlite(sqlite_path: str | Path,
+                               col_path: str | Path) -> int:
+    """Build an ``events.col`` payload from a segment's SQLite file.
+
+    The fallback writer for rows that exist only in SQLite form —
+    compaction merges and rowwise loads, where no column buffer covers
+    the segment's id range.  Reads the exported file just written, so
+    it is always available wherever the fast path is not.
+    """
+    uri = Path(sqlite_path).resolve().as_uri() + "?mode=ro"
+    try:
+        connection = sqlite3.connect(uri, uri=True)
+    except sqlite3.Error as exc:
+        raise StorageError(f"cannot open segment {sqlite_path} "
+                           f"read-only: {exc}") from exc
+    try:
+        connection.row_factory = sqlite3.Row
+        events = EventColumns()
+        event_sql = ("SELECT " + ", ".join(EVENT_COLUMNS) +
+                     " FROM events ORDER BY id")
+        for row in connection.execute(event_sql):
+            events.append(*tuple(row))
+        entity_rows = [tuple(row[name] for name in ENTITY_COLUMNS)
+                       for row in connection.execute(
+                           "SELECT * FROM entities ORDER BY id")]
+    except sqlite3.Error as exc:
+        raise StorageError(f"cannot read segment rows from "
+                           f"{sqlite_path}: {exc}") from exc
+    finally:
+        connection.close()
+    return write_columnar(col_path, events, entity_rows)
+
+
+class ColumnarSegment:
+    """Memory-mapped reader over one ``events.col`` payload.
+
+    Columns are materialized lazily as zero-copy :class:`memoryview`
+    casts over the mapping (:meth:`column`) or numpy views
+    (:meth:`np_column`); the string table is decoded eagerly at open
+    (codes are dense and small).  Instances are immutable and safe to
+    share across reader threads.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = str(path)
+        try:
+            self._file = open(self.path, "rb")
+        except OSError as exc:
+            raise StorageError(f"cannot open columnar payload "
+                               f"{self.path}: {exc}") from exc
+        try:
+            self._mm = mmap.mmap(self._file.fileno(), 0,
+                                 access=mmap.ACCESS_READ)
+        except (OSError, ValueError) as exc:
+            self._file.close()
+            raise StorageError(f"cannot map columnar payload "
+                               f"{self.path}: {exc}") from exc
+        try:
+            self._parse_header()
+        except BaseException:
+            self.close()
+            raise
+
+    def _parse_header(self) -> None:
+        mm = self._mm
+        if bytes(mm[:8]) != COLUMNAR_MAGIC:
+            raise StorageError(f"not a columnar payload: {self.path}")
+        (header_len,) = struct.unpack_from("<I", mm, 8)
+        try:
+            header = json.loads(bytes(mm[12:12 + header_len]
+                                      ).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise StorageError(
+                f"corrupt columnar header: {self.path}") from exc
+        version = header.get("version")
+        if not isinstance(version, int) or version < 1 or \
+                version > COLUMNAR_FORMAT_VERSION:
+            raise StorageError(
+                f"unsupported columnar payload version {version!r} "
+                f"(this build reads <= {COLUMNAR_FORMAT_VERSION})")
+        if header.get("byteorder") != sys.byteorder:
+            raise StorageError(
+                f"columnar payload {self.path} was written on a "
+                f"{header.get('byteorder')}-endian host; this host is "
+                f"{sys.byteorder}-endian")
+        self.event_count = int(header["event_count"])
+        self.entity_count = int(header["entity_count"])
+        self._sections: dict[str, list] = header["sections"]
+        self._data_start = _align8(12 + header_len)
+        self._views: dict[Any, Any] = {}
+        offsets = self.column("strings.offsets")
+        raw = self.column("strings.blob")
+        strings: list[Optional[str]] = [None]
+        for index in range(len(offsets) - 1):
+            strings.append(bytes(raw[offsets[index]:offsets[index + 1]]
+                                 ).decode("utf-8"))
+        #: Interned strings by code; index 0 is the NULL sentinel.
+        self.strings = strings
+        self._codes = {text: code for code, text in enumerate(strings)
+                       if code}
+        ids = self.column("entity.id")
+        #: Entity ids are 1..N in builder-written payloads, letting
+        #: ``entity_index`` subtract instead of hashing.
+        self.dense_entities = self.entity_count == 0 or (
+            ids[0] == 1 and ids[-1] == self.entity_count)
+        self._entity_map: Optional[dict[int, int]] = None
+
+    def _section(self, name: str) -> tuple[int, int, str]:
+        try:
+            offset, nbytes, typecode = self._sections[name]
+        except KeyError as exc:
+            raise StorageError(f"columnar payload {self.path} has no "
+                               f"section {name!r}") from exc
+        return self._data_start + int(offset), int(nbytes), typecode
+
+    def column(self, name: str) -> Any:
+        """Zero-copy view of one section (memoryview, cast per type)."""
+        view = self._views.get(name)
+        if view is None:
+            start, nbytes, typecode = self._section(name)
+            raw = memoryview(self._mm)[start:start + nbytes]
+            view = raw.cast(typecode) if typecode else raw
+            self._views[name] = view
+        return view
+
+    def np_column(self, name: str, np: Any) -> Any:
+        """Zero-copy numpy view of one section (``np`` = numpy module)."""
+        key = ("np", name)
+        view = self._views.get(key)
+        if view is None:
+            start, nbytes, typecode = self._section(name)
+            dtype = np.dtype({"q": np.int64, "d": np.float64,
+                              "I": np.uint32, "Q": np.uint64}[typecode])
+            view = np.frombuffer(self._mm, dtype=dtype,
+                                 count=nbytes // dtype.itemsize,
+                                 offset=start)
+            self._views[key] = view
+        return view
+
+    def code_of(self, value: str) -> Optional[int]:
+        """Interned code of ``value``, or ``None`` when absent."""
+        return self._codes.get(value)
+
+    def entity_index(self, entity_id: int) -> int:
+        """Row index of an entity id (dense fast path, else a map)."""
+        if self.dense_entities:
+            return entity_id - 1
+        mapping = self._entity_map
+        if mapping is None:
+            ids = self.column("entity.id")
+            mapping = self._entity_map = {
+                ids[index]: index for index in range(len(ids))}
+        try:
+            return mapping[entity_id]
+        except KeyError as exc:
+            raise StorageError(
+                f"columnar payload {self.path} has no entity row for "
+                f"id {entity_id}") from exc
+
+    def close(self) -> None:
+        """Release the mapping (idempotent; GC-safe for live views)."""
+        self._views = {}
+        try:
+            self._mm.close()
+        except (BufferError, ValueError):  # pragma: no cover - live views
+            pass
+        self._file.close()
+
+
+__all__ = ["COLUMNAR_FORMAT_VERSION", "COLUMNAR_MAGIC", "NULL_INT",
+           "ENTITY_STRING_COLUMNS", "ENTITY_INT_COLUMNS",
+           "EVENT_STRING_COLUMNS", "EventColumns", "ColumnarSegment",
+           "write_columnar", "write_columnar_from_sqlite"]

@@ -25,19 +25,21 @@ import time
 from collections import deque
 from operator import attrgetter
 from pathlib import Path
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 from ..audit.entities import SystemEvent
 from ..audit.reduction import DEFAULT_MERGE_THRESHOLD, ReductionStats, \
     reduce_events
 from ..errors import StorageError
+from .columnar import EventColumns, write_columnar, write_columnar_from_sqlite
 from .graph import GraphStore
 from .graph.graphdb import PropertyGraph
 from .relational import RelationalStore
 from .relational.database import entity_row
-from .segments import (SEGMENT_GRAPH, SEGMENT_MANIFEST, SEGMENT_RELATIONAL,
-                       SegmentInfo, SegmentView, merge_infos,
-                       plan_compaction)
+from .relational.schema import ENTITY_COLUMNS
+from .segments import (SEGMENT_COLUMNAR, SEGMENT_GRAPH, SEGMENT_MANIFEST,
+                       SEGMENT_RELATIONAL, SegmentInfo, SegmentView,
+                       merge_infos, plan_compaction)
 
 #: Valid ``strategy`` arguments for :meth:`DualStore.load_events`.
 LOAD_STRATEGIES = ("batched", "rowwise")
@@ -58,15 +60,29 @@ DEFAULT_COMPACT_MIN_EVENTS = 5000
 #: rejects snapshots written by newer versions.  Version history:
 #: v1 — single relational.sqlite + graph.bin + manifest;
 #: v2 — adds ``layout`` and the multi-segment manifest (``segments``
-#: entries + a ``segments/<name>/`` directory per sealed segment).
-#: v1 snapshots remain readable; they open as monolithic stores.
-SNAPSHOT_FORMAT_VERSION = 2
+#: entries + a ``segments/<name>/`` directory per sealed segment);
+#: v3 — each sealed segment additionally carries a struct-packed
+#: columnar payload (``events.col``, :mod:`repro.storage.columnar`)
+#: that scatter-gather workers memory-map under
+#: ``scan_strategy="columnar"``.
+#: v1 snapshots remain readable (they open as monolithic stores), and
+#: v2 snapshots open with their columnar payloads simply absent — such
+#: segments scan through SQLite regardless of the requested strategy.
+SNAPSHOT_FORMAT_VERSION = 3
 #: File names inside a snapshot directory.
 SNAPSHOT_MANIFEST = "manifest.json"
 SNAPSHOT_RELATIONAL = "relational.sqlite"
 SNAPSHOT_GRAPH = "graph.bin"
 #: Subdirectory of a v2 snapshot holding one directory per segment.
 SNAPSHOT_SEGMENTS_DIR = "segments"
+
+
+def _file_size(path: str | Path) -> int:
+    """On-disk size in bytes, 0 when the file is absent."""
+    try:
+        return Path(path).stat().st_size
+    except OSError:
+        return 0
 
 
 class IngestStats(int):
@@ -145,7 +161,12 @@ class _BuildBatches:
       object-identity fast path backed by the unique-key map, emitting the
       relational row and graph node on first sight;
     * *row building* — each evicted run materializes its merged event and
-      appends the relational event row and the graph edge.
+      appends its fields *column-wise* into :class:`EventColumns` (plus the
+      graph edge).  Emitting columns instead of row tuples is what makes
+      sealing a segment cheap: the columnar payload (``events.col``) packs
+      each accumulated column into one contiguous array — an O(columns)
+      slice — while the SQLite insert path zips the same columns back into
+      tuples via :meth:`EventColumns.row_tuples`.
 
     Entity and event ids are assigned in first-appearance order from 1,
     matching both the rowwise loader's assignment and the node ids
@@ -170,7 +191,7 @@ class _BuildBatches:
             entity_ids if entity_ids is not None else {}
         self._ids_by_object: dict[int, int] = {}
         self.entity_rows: list[tuple] = []
-        self.event_rows: list[tuple] = []
+        self.event_columns = EventColumns()
         self.nodes: list[tuple[str, dict]] = []
         self.edges: list[tuple[int, int, str, dict]] = []
         self.reduced: list[SystemEvent] = []
@@ -196,23 +217,23 @@ class _BuildBatches:
                               len(self._run_queue),
                               merged_events=self.merged_events)
 
-    def drain(self) -> tuple[list[tuple], list[tuple],
+    def drain(self) -> tuple[list[tuple], EventColumns,
                              list[tuple[str, dict]],
                              list[tuple[int, int, str, dict]],
                              list[SystemEvent]]:
         """Hand over the rows built since the last drain, keeping state.
 
-        Returns ``(entity_rows, event_rows, nodes, edges, reduced)``.  The
-        interning map, id counters, and open merge runs stay live so the
-        next batch continues exactly where this one left off.  The
+        Returns ``(entity_rows, event_columns, nodes, edges, reduced)``.
+        The interning map, id counters, and open merge runs stay live so
+        the next batch continues exactly where this one left off.  The
         object-identity fast path is reset: between batches an entity
         object may be garbage collected and its address reused, so only
         the unique-key map may carry over.
         """
-        drained = (self.entity_rows, self.event_rows, self.nodes,
+        drained = (self.entity_rows, self.event_columns, self.nodes,
                    self.edges, self.reduced)
         self.entity_rows = []
-        self.event_rows = []
+        self.event_columns = EventColumns()
         self.nodes = []
         self.edges = []
         self.reduced = []
@@ -245,11 +266,11 @@ class _BuildBatches:
         attrs = event.attributes()
         event_id = self.next_event_id
         self.next_event_id = event_id + 1
-        self.event_rows.append(
-            (event_id, subject_id, object_id,
-             attrs["operation"], attrs["category"], event.start_time,
-             event.end_time, attrs["duration"], event.data_amount,
-             event.failure_code, event.host))
+        self.event_columns.append(
+            event_id, subject_id, object_id,
+            attrs["operation"], attrs["category"], event.start_time,
+            event.end_time, attrs["duration"], event.data_amount,
+            event.failure_code, event.host)
         self.edges.append((subject_id, object_id, "EVENT", attrs))
         self.reduced.append(event)
         self.output_events += 1
@@ -423,6 +444,13 @@ class DualStore:
         self._active_max_start: Optional[float] = None
         self._active_min_end: Optional[float] = None
         self._active_max_end: Optional[float] = None
+        #: Column-major buffer of the active segment's stored event rows
+        #: — the seal-time fast path packs these lists straight into the
+        #: ``events.col`` payload.  ``None`` when the rows didn't flow
+        #: through the columnar builder (rowwise loads); sealing then
+        #: falls back to re-reading the exported SQLite file.
+        self._active_columns: EventColumns | None = (
+            EventColumns() if self._segmented else None)
 
     def _track_active_bounds(self, times: Iterable[tuple[float, float]],
                              count: int) -> None:
@@ -449,11 +477,12 @@ class DualStore:
         self._active_max_end = max_end
         self._active_events += count
 
-    def _track_active_rows(self, event_rows: Sequence[tuple]) -> None:
-        # Event row layout: (id, subject_id, object_id, operation,
-        # category, start_time, end_time, ...).
-        self._track_active_bounds(
-            ((row[5], row[6]) for row in event_rows), len(event_rows))
+    def _track_active_rows(self, event_columns: EventColumns) -> None:
+        self._track_active_bounds(event_columns.time_pairs(),
+                                  len(event_columns))
+        if self._segmented and self._active_columns is not None and \
+                len(event_columns):
+            self._active_columns.extend(event_columns)
 
     def _drop_segments(self) -> None:
         """Forget every sealed segment (a reload replaces the history)."""
@@ -634,13 +663,19 @@ class DualStore:
             max_start_time=float(self._active_max_start or 0.0),
             min_end_time=float(self._active_min_end or 0.0),
             max_end_time=float(self._active_max_end or 0.0))
-        self._write_segment_files(info)
+        columns = self._active_columns
+        covered = (columns is not None and len(columns) == info.event_count
+                   and columns.first_id == info.first_event_id)
+        self._write_segment_files(info,
+                                  event_columns=columns if covered else None)
         self._segments.append(info)
         self._reset_active_tracking(first_event_id=last_event + 1,
                                     first_entity_id=last_entity + 1)
         return info
 
-    def _write_segment_files(self, info: SegmentInfo) -> None:
+    def _write_segment_files(self, info: SegmentInfo,
+                             event_columns: EventColumns | None = None
+                             ) -> None:
         self.relational.export_segment(Path(info.sqlite_path),
                                        info.first_event_id,
                                        info.last_event_id)
@@ -649,7 +684,23 @@ class DualStore:
             info.last_event_id,
             info.first_new_entity_id if info.new_entity_count else 0,
             info.last_new_entity_id if info.new_entity_count else -1)
+        if event_columns is not None:
+            # Fast path: the active segment's rows are already buffered
+            # column-wise, so packing the payload is an O(columns) slice;
+            # the entity side is one ordered scan of the (small, dense)
+            # entity table, a superset of the referenced rows.
+            write_columnar(Path(info.columnar_path), event_columns,
+                           self._all_entity_rows())
+        else:
+            # Fallback (compaction merges, rowwise loads): rebuild the
+            # payload from the segment's just-exported SQLite file.
+            write_columnar_from_sqlite(info.sqlite_path, info.columnar_path)
         info.write_manifest()
+
+    def _all_entity_rows(self) -> list[tuple]:
+        rows = self.relational.execute("SELECT * FROM entities ORDER BY id")
+        return [tuple(row[column] for column in ENTITY_COLUMNS)
+                for row in rows]
 
     def compact(self, min_events: int = DEFAULT_COMPACT_MIN_EVENTS) -> dict:
         """Merge adjacent undersized segments into bigger ones.
@@ -704,15 +755,28 @@ class DualStore:
 
     def segment_stats(self) -> dict:
         """Layout + per-segment summary (``GET /stats``, ``repro
-        segments``)."""
+        segments``).
+
+        Each segment entry carries a ``payload_bytes`` breakdown of its
+        on-disk files (``relational`` / ``graph`` / ``columnar``; 0 for
+        a missing optional columnar payload).
+        """
         stats: dict = {"layout": self.layout,
                        "sealed_segments": len(self._segments),
                        "sealed_events": sum(info.event_count
                                             for info in self._segments),
                        "active_events": self._active_events
                        if self._segmented else None}
-        stats["segments"] = [info.as_manifest_entry()
-                             for info in self._segments]
+        entries = []
+        for info in self._segments:
+            entry = info.as_manifest_entry()
+            entry["payload_bytes"] = {
+                "relational": _file_size(info.sqlite_path),
+                "graph": _file_size(info.graph_path),
+                "columnar": _file_size(info.columnar_path),
+            }
+            entries.append(entry)
+        stats["segments"] = entries
         return stats
 
     @property
@@ -742,12 +806,14 @@ class DualStore:
 
     def _store_stream_delta(self, stream: _BuildBatches, input_count: int,
                             seconds: dict[str, float]) -> IngestStats:
-        entity_rows, event_rows, nodes, edges, reduced = stream.drain()
+        entity_rows, event_columns, nodes, edges, reduced = stream.drain()
+        stored_events = len(event_columns)
 
         relational_start = time.perf_counter()
         statements = 0
-        if entity_rows or event_rows:
-            statements = self.relational.append_rows(entity_rows, event_rows)
+        if entity_rows or stored_events:
+            statements = self.relational.append_rows(
+                entity_rows, event_columns.row_tuples())
         self.relational.adopt_entity_ids(
             stream.entity_ids, stream.next_event_id,
             next_entity_id=stream.next_entity_id)
@@ -758,10 +824,10 @@ class DualStore:
             self.graph.append_prepared(nodes, edges)
         graph_seconds = time.perf_counter() - graph_start
 
-        self._track_active_rows(event_rows)
+        self._track_active_rows(event_columns)
         if self.retain_events:
             self._events.extend(reduced)
-        if entity_rows or event_rows:
+        if entity_rows or stored_events:
             self.data_version += 1
         if self.reduce:
             self.last_reduction = stream.reduction_stats
@@ -769,7 +835,7 @@ class DualStore:
         seconds["relational"] = relational_seconds
         seconds["graph"] = graph_seconds
         stats = IngestStats(
-            len(event_rows), input_events=input_count,
+            stored_events, input_events=input_count,
             entities=len(entity_rows), relational_batches=statements,
             seconds=seconds, strategy="append")
         self.last_ingest = stats
@@ -815,8 +881,8 @@ class DualStore:
             build_seconds = time.perf_counter() - build_start
 
             relational_start = time.perf_counter()
-            statements = self.relational.reload_rows(batches.entity_rows,
-                                                     batches.event_rows)
+            statements = self.relational.reload_rows(
+                batches.entity_rows, batches.event_columns.row_tuples())
             self.relational.adopt_entity_ids(
                 batches.entity_ids, batches.next_event_id,
                 next_entity_id=batches.next_entity_id)
@@ -829,7 +895,7 @@ class DualStore:
             if gc_was_enabled:
                 gc.enable()
 
-        self._track_active_rows(batches.event_rows)
+        self._track_active_rows(batches.event_columns)
         self._events = batches.reduced if self.retain_events else []
         return IngestStats(
             len(batches.reduced), input_events=input_count,
@@ -865,6 +931,9 @@ class DualStore:
         self._track_active_bounds(
             ((event.start_time, event.end_time) for event in event_list),
             len(event_list))
+        # Rowwise rows never flow through the columnar builder; sealing
+        # this data must fall back to the SQLite-derived payload writer.
+        self._active_columns = None
         self._events = event_list if self.retain_events else []
         entities = self.relational.count_entities()
         # One INSERT per entity plus one executemany for the events.
@@ -971,8 +1040,13 @@ class DualStore:
         for info in self._segments:
             target = segments_dir / info.name
             target.mkdir(parents=True, exist_ok=True)
-            for source, filename in ((info.sqlite_path, SEGMENT_RELATIONAL),
-                                     (info.graph_path, SEGMENT_GRAPH)):
+            files = [(info.sqlite_path, SEGMENT_RELATIONAL),
+                     (info.graph_path, SEGMENT_GRAPH)]
+            if info.has_columnar():
+                # Optional: segments restored from v2 snapshots have no
+                # columnar payload; re-saving them keeps them that way.
+                files.append((info.columnar_path, SEGMENT_COLUMNAR))
+            for source, filename in files:
                 destination = target / filename
                 if Path(source).resolve() != destination.resolve():
                     shutil.copyfile(source, destination)

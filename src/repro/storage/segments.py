@@ -5,6 +5,11 @@ A *segment* is a sealed, immutable slice of the stored event history:
 * ``relational.sqlite`` — the segment's event rows plus exactly the
   entity rows those events reference, a standalone queryable database
   (worker processes of the scatter-gather executor open it read-only);
+* ``events.col`` — the struct-packed columnar payload of the same
+  event rows (:mod:`repro.storage.columnar`), memory-mapped by workers
+  under ``scan_strategy="columnar"``; optional for backwards
+  compatibility with format-v2 snapshots, whose segments never wrote
+  one (such segments scan through SQLite regardless of strategy);
 * ``graph.bin`` — the matching provenance-graph slice (the segment's
   edges, their endpoint nodes, and the entities first interned in the
   segment), in the versioned container of :meth:`PropertyGraph.save`;
@@ -36,6 +41,7 @@ from ..errors import StorageError
 SEGMENT_MANIFEST = "segment.json"
 SEGMENT_RELATIONAL = "relational.sqlite"
 SEGMENT_GRAPH = "graph.bin"
+SEGMENT_COLUMNAR = "events.col"
 
 #: Manifest fields serialized for each segment (order is cosmetic).
 _MANIFEST_FIELDS = ("name", "first_event_id", "last_event_id",
@@ -75,8 +81,16 @@ class SegmentInfo:
         return str(Path(self.directory) / SEGMENT_GRAPH)
 
     @property
+    def columnar_path(self) -> str:
+        return str(Path(self.directory) / SEGMENT_COLUMNAR)
+
+    @property
     def manifest_path(self) -> str:
         return str(Path(self.directory) / SEGMENT_MANIFEST)
+
+    def has_columnar(self) -> bool:
+        """Whether the optional ``events.col`` payload exists on disk."""
+        return Path(self.columnar_path).is_file()
 
     def overlaps_window(self, window: Optional[tuple[Optional[float],
                                                      Optional[float]]]
@@ -117,7 +131,12 @@ class SegmentInfo:
             + "\n", encoding="utf-8")
 
     def verify_files(self) -> None:
-        """Raise :class:`StorageError` when a segment file is missing."""
+        """Raise :class:`StorageError` when a segment file is missing.
+
+        ``events.col`` is deliberately not checked: it is absent from
+        segments restored out of format-v2 snapshots, which must keep
+        opening (they fall back to SQLite scans per segment).
+        """
         for path in (self.sqlite_path, self.graph_path):
             if not Path(path).is_file():
                 raise StorageError(
@@ -220,4 +239,4 @@ def plan_compaction(segments: list[SegmentInfo],
 
 __all__ = ["SegmentInfo", "SegmentView", "prune_segments", "merge_infos",
            "plan_compaction", "SEGMENT_MANIFEST", "SEGMENT_RELATIONAL",
-           "SEGMENT_GRAPH"]
+           "SEGMENT_GRAPH", "SEGMENT_COLUMNAR"]

@@ -1,0 +1,721 @@
+"""Columnar pattern scans: predicate evaluation over ``events.col``.
+
+The scatter-gather workers' alternative to per-segment SQLite queries
+(:mod:`repro.tbql.scatter`): pattern constraints are compiled once into
+a picklable :class:`PatternSpec`, shipped to the workers, and evaluated
+directly against a segment's memory-mapped column arrays
+(:class:`repro.storage.columnar.ColumnarSegment`).  Matches come back
+as one packed tuple of machine-typed byte strings per task — a handful
+of ``array`` buffers instead of thousands of pickled row tuples — and
+are re-inflated into row dicts by :func:`unpack_rows` on the gather
+side.
+
+Equivalence contract: the evaluator reproduces the exact semantics of
+the SQL the sqlite strategy runs (``compile_pattern_sql``) under
+SQLite's comparison rules — three-valued logic with only-TRUE-kept
+WHERE semantics, storage-class ordering (numbers sort before text),
+numeric/text affinity conversions, and the ``LIKE`` mapping of TBQL
+``%`` wildcards (ASCII case-insensitive, ``_`` escaped).  The
+equivalence corpus pins this byte-for-byte against both the monolithic
+and per-segment SQLite paths.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from ..errors import StorageError, TBQLSemanticError
+from ..storage.columnar import ColumnarSegment, NULL_INT
+from ..storage.relational.schema import (ENTITY_ATTRIBUTE_COLUMNS,
+                                         EVENT_ATTRIBUTE_COLUMNS)
+from ..storage.relational.sqlgen import like_escape
+from .ast import (AttributeComparison, AttributeFilter, BareValueFilter,
+                  BooleanFilter, MembershipFilter, NegatedFilter)
+from .compiler_sql import _ENTITY_TYPE_VALUE
+from .semantics import ResolvedPattern, ResolvedQuery, effective_window
+
+try:  # pragma: no cover - exercised via REPRO_COLUMNAR_NUMPY toggle
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - numpy-less environments (CI)
+    _numpy = None  # type: ignore[assignment]
+
+from array import array
+
+#: Relational columns with numeric affinity (everything else is TEXT).
+_NUMERIC_COLUMNS = frozenset({"pid", "srcport", "dstport", "start_time",
+                              "end_time", "duration", "data_amount",
+                              "failure_code"})
+_EVENT_STRING_COLUMNS = frozenset({"operation", "category", "host"})
+
+#: Packed scan result: (row_count, ids, opcodes, op_strings, starts,
+#: ends, amounts, subject_ids, object_ids).  All byte strings are
+#: native-endian ``array`` payloads ('q'/'I'/'d'); opcodes index into
+#: ``op_strings`` (codes remapped to the tuple's order).
+PackedRows = tuple[int, bytes, bytes, tuple[str, ...], bytes, bytes,
+                   bytes, bytes, bytes]
+
+#: Tri-valued predicate over (entity row index, event row index).
+_Predicate = Callable[[int, int], Optional[bool]]
+
+
+def _numpy_module() -> Any:
+    """numpy, unless absent or disabled via ``REPRO_COLUMNAR_NUMPY=0``."""
+    if os.environ.get("REPRO_COLUMNAR_NUMPY", "").strip() == "0":
+        return None
+    return _numpy
+
+
+# ---------------------------------------------------------------------------
+# the shipped pattern constraint set
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PatternSpec:
+    """Picklable constraint set for one pattern's columnar scan.
+
+    Mirrors exactly the clauses ``compile_pattern_sql`` renders (same
+    order of concerns, same effective window, same candidate pushdown),
+    with entity types pre-mapped to their stored string values so no
+    enum crosses the process boundary.
+    """
+
+    subject_type: str
+    object_type: str
+    operations: Optional[tuple[str, ...]]
+    subject_filter: Optional[AttributeFilter]
+    object_filter: Optional[AttributeFilter]
+    pattern_filter: Optional[AttributeFilter]
+    window: Optional[tuple[Optional[float], Optional[float]]]
+    subject_candidates: Optional[tuple[int, ...]]
+    object_candidates: Optional[tuple[int, ...]]
+    min_event_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ColumnarTask:
+    """One scatter task against a segment's ``events.col`` payload."""
+
+    path: str
+    spec: PatternSpec
+
+
+def build_pattern_spec(pattern: ResolvedPattern, query: ResolvedQuery,
+                       subject_candidates: Sequence[int] | None = None,
+                       object_candidates: Sequence[int] | None = None,
+                       min_event_id: int | None = None) -> PatternSpec:
+    """The columnar analogue of :func:`compile_pattern_sql`."""
+    return PatternSpec(
+        subject_type=_ENTITY_TYPE_VALUE[pattern.subject.entity_type],
+        object_type=_ENTITY_TYPE_VALUE[pattern.obj.entity_type],
+        operations=(tuple(sorted(pattern.operations))
+                    if pattern.operations is not None else None),
+        subject_filter=pattern.subject.attr_filter,
+        object_filter=pattern.obj.attr_filter,
+        pattern_filter=pattern.pattern_filter,
+        window=effective_window(pattern, query),
+        subject_candidates=(tuple(subject_candidates)
+                            if subject_candidates is not None else None),
+        object_candidates=(tuple(object_candidates)
+                           if object_candidates is not None else None),
+        min_event_id=min_event_id,
+    )
+
+
+# ---------------------------------------------------------------------------
+# SQLite comparison semantics
+# ---------------------------------------------------------------------------
+
+_INT_LITERAL = re.compile(r"[+-]?\d+\Z")
+_REAL_LITERAL = re.compile(r"[+-]?(?:\d+(?:\.\d*)?|\.\d+)(?:[eE][+-]?\d+)?\Z")
+
+
+def _text_to_number(text: str) -> Optional[float | int]:
+    """NUMERIC affinity: a well-formed literal converts, else ``None``."""
+    stripped = text.strip()
+    if _INT_LITERAL.match(stripped):
+        return int(stripped)
+    if _REAL_LITERAL.match(stripped):
+        return float(stripped)
+    return None
+
+
+def _sql_text(value: Any) -> str:
+    """TEXT affinity: how SQLite renders a number as text (%!.15g)."""
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return f"{value:.1f}"
+        return format(value, ".15g")
+    return str(value)
+
+
+def _sql_compare(cell: Any, value: Any, numeric: bool) -> Optional[int]:
+    """Storage-class-aware comparison; ``None`` when NULL is involved.
+
+    ``numeric`` tells whether the *column* has numeric affinity, which
+    decides the direction of affinity conversion exactly as SQLite does
+    for ``column <op> literal``.
+    """
+    if cell is None:
+        return None
+    if isinstance(value, bool):
+        value = int(value)
+    if numeric:
+        if isinstance(value, str):
+            converted = _text_to_number(value)
+            if converted is None:
+                return -1          # numbers order before text
+            value = converted
+        if isinstance(cell, str):  # pragma: no cover - schema keeps these
+            return 1               # numeric columns hold numbers here
+        return (cell > value) - (cell < value)
+    if isinstance(value, (int, float)):
+        value = _sql_text(value)   # TEXT affinity converts the literal
+    if isinstance(cell, (int, float)):  # pragma: no cover - defensive
+        cell = _sql_text(cell)
+    return (cell > value) - (cell < value)
+
+
+_LIKE_CACHE: dict[str, re.Pattern[str]] = {}
+
+
+def _like_regex(value: str) -> re.Pattern[str]:
+    """Regex equivalent of ``LIKE like_escape(value) ESCAPE '\\'``."""
+    regex = _LIKE_CACHE.get(value)
+    if regex is None:
+        pattern = like_escape(value)
+        parts: list[str] = []
+        index = 0
+        while index < len(pattern):
+            char = pattern[index]
+            if char == "\\" and index + 1 < len(pattern):
+                parts.append(re.escape(pattern[index + 1]))
+                index += 2
+                continue
+            parts.append(".*" if char == "%" else re.escape(char))
+            index += 1
+        regex = re.compile("".join(parts),
+                           re.IGNORECASE | re.ASCII | re.DOTALL)
+        if len(_LIKE_CACHE) < 1024:
+            _LIKE_CACHE[value] = regex
+    return regex
+
+
+def _eval_comparison(cell: Any, operator: str, value: Any,
+                     numeric: bool) -> Optional[bool]:
+    if operator in ("=", "!=") and isinstance(value, str) and "%" in value:
+        if cell is None:
+            return None
+        text = cell if isinstance(cell, str) else _sql_text(cell)
+        matched = _like_regex(value).fullmatch(text) is not None
+        return matched if operator == "=" else not matched
+    order = _sql_compare(cell, value, numeric)
+    if order is None:
+        return None
+    if operator == "=":
+        return order == 0
+    if operator == "!=":
+        return order != 0
+    if operator == "<":
+        return order < 0
+    if operator == "<=":
+        return order <= 0
+    if operator == ">":
+        return order > 0
+    if operator == ">=":
+        return order >= 0
+    raise TBQLSemanticError(f"unsupported comparison operator: {operator!r}")
+
+
+def _eval_membership(cell: Any, values: tuple, negated: bool,
+                     numeric: bool) -> Optional[bool]:
+    if cell is None:
+        return None
+    hit = any(_sql_compare(cell, value, numeric) == 0 for value in values)
+    return (not hit) if negated else hit
+
+
+# ---------------------------------------------------------------------------
+# filter compilation against one segment
+# ---------------------------------------------------------------------------
+
+
+def _entity_getter(segment: ColumnarSegment,
+                   column: str) -> Callable[[int], Any]:
+    values = segment.column(f"entity.{column}")
+    if column in _NUMERIC_COLUMNS:
+        def get_int(index: int) -> Any:
+            value = values[index]
+            return None if value == NULL_INT else value
+        return get_int
+    strings = segment.strings
+
+    def get_str(index: int) -> Any:
+        return strings[values[index]]
+    return get_str
+
+
+def _event_getter(segment: ColumnarSegment,
+                  column: str) -> Callable[[int], Any]:
+    values = segment.column(f"event.{column}")
+    if column in _EVENT_STRING_COLUMNS:
+        strings = segment.strings
+
+        def get_str(index: int) -> Any:
+            return strings[values[index]]
+        return get_str
+
+    def get_num(index: int) -> Any:
+        return values[index]
+    return get_num
+
+
+def _accessor(segment: ColumnarSegment, attribute: str
+              ) -> tuple[Callable[[int], Any], bool, bool]:
+    """Resolve an attribute exactly as ``render_filter`` does.
+
+    Returns ``(getter, numeric_affinity, is_event_column)``; event
+    attributes shadow entity attributes, matching the SQL renderer.
+    """
+    name = attribute.split(".")[-1]
+    if name in EVENT_ATTRIBUTE_COLUMNS:
+        column = EVENT_ATTRIBUTE_COLUMNS[name]
+        return (_event_getter(segment, column),
+                column in _NUMERIC_COLUMNS, True)
+    if name in ENTITY_ATTRIBUTE_COLUMNS:
+        column = ENTITY_ATTRIBUTE_COLUMNS[name]
+        return (_entity_getter(segment, column),
+                column in _NUMERIC_COLUMNS, False)
+    raise TBQLSemanticError(f"attribute {attribute!r} has no relational "
+                            "column")
+
+
+def _compile_filter(filt: AttributeFilter,
+                    segment: ColumnarSegment) -> _Predicate:
+    """Compile a filter into a tri-valued closure (Kleene logic)."""
+    if isinstance(filt, AttributeComparison):
+        get, numeric, on_event = _accessor(segment, filt.attribute)
+        operator, value = filt.operator, filt.value
+        if on_event:
+            def cmp_event(entity_index: int,
+                          event_index: int) -> Optional[bool]:
+                return _eval_comparison(get(event_index), operator, value,
+                                        numeric)
+            return cmp_event
+
+        def cmp_entity(entity_index: int,
+                       event_index: int) -> Optional[bool]:
+            return _eval_comparison(get(entity_index), operator, value,
+                                    numeric)
+        return cmp_entity
+    if isinstance(filt, MembershipFilter):
+        get, numeric, on_event = _accessor(segment, filt.attribute)
+        values, negated = filt.values, filt.negated
+        if on_event:
+            def in_event(entity_index: int,
+                         event_index: int) -> Optional[bool]:
+                return _eval_membership(get(event_index), values, negated,
+                                        numeric)
+            return in_event
+
+        def in_entity(entity_index: int,
+                      event_index: int) -> Optional[bool]:
+            return _eval_membership(get(entity_index), values, negated,
+                                    numeric)
+        return in_entity
+    if isinstance(filt, NegatedFilter):
+        inner = _compile_filter(filt.operand, segment)
+
+        def negate(entity_index: int, event_index: int) -> Optional[bool]:
+            value = inner(entity_index, event_index)
+            return None if value is None else not value
+        return negate
+    if isinstance(filt, BooleanFilter):
+        operands = [_compile_filter(operand, segment)
+                    for operand in filt.operands]
+        if filt.operator == "&&":
+            def conjoin(entity_index: int,
+                        event_index: int) -> Optional[bool]:
+                unknown = False
+                for operand in operands:
+                    value = operand(entity_index, event_index)
+                    if value is False:
+                        return False
+                    if value is None:
+                        unknown = True
+                return None if unknown else True
+            return conjoin
+
+        def disjoin(entity_index: int, event_index: int) -> Optional[bool]:
+            unknown = False
+            for operand in operands:
+                value = operand(entity_index, event_index)
+                if value is True:
+                    return True
+                if value is None:
+                    unknown = True
+            return None if unknown else False
+        return disjoin
+    if isinstance(filt, BareValueFilter):
+        raise TBQLSemanticError("bare value filters must be expanded before "
+                                "compilation")
+    raise TBQLSemanticError(f"unknown attribute filter: {filt!r}")
+
+
+def _uses_event_columns(filt: Optional[AttributeFilter]) -> bool:
+    if filt is None:
+        return False
+    if isinstance(filt, (AttributeComparison, MembershipFilter)):
+        return filt.attribute.split(".")[-1] in EVENT_ATTRIBUTE_COLUMNS
+    if isinstance(filt, NegatedFilter):
+        return _uses_event_columns(filt.operand)
+    if isinstance(filt, BooleanFilter):
+        return any(_uses_event_columns(operand)
+                   for operand in filt.operands)
+    return False
+
+
+def _filter_forms(segment: ColumnarSegment,
+                  filt: Optional[AttributeFilter]
+                  ) -> tuple[Optional[list[bool]], Optional[_Predicate]]:
+    """``(per_entity_pass, residual)`` — at most one is non-``None``.
+
+    Entity-only filters collapse to a per-entity "evaluates to TRUE"
+    table computed once (WHERE keeps TRUE only, so NULL folds to
+    False); filters touching event columns stay per-row closures.
+    """
+    if filt is None:
+        return None, None
+    predicate = _compile_filter(filt, segment)
+    if _uses_event_columns(filt):
+        return None, predicate
+    return [predicate(index, 0) is True
+            for index in range(segment.entity_count)], None
+
+
+# ---------------------------------------------------------------------------
+# scanning
+# ---------------------------------------------------------------------------
+
+
+def _operation_codes(segment: ColumnarSegment,
+                     spec: PatternSpec) -> Optional[frozenset[int]]:
+    """Interned codes of the allowed operations (``None`` = any).
+
+    Raises nothing on unknown operations — an operation absent from the
+    segment's string table simply cannot match (empty set short-cuts to
+    an empty result upstream).
+    """
+    if spec.operations is None:
+        return None
+    codes = {segment.code_of(operation) for operation in spec.operations}
+    codes.discard(None)
+    return frozenset(code for code in codes if code is not None)
+
+
+def _select_python(segment: ColumnarSegment,
+                   spec: PatternSpec) -> list[int]:
+    """Pure-python row selection (the portable reference path)."""
+    count = segment.event_count
+    if count == 0:
+        return []
+    subject_code = segment.code_of(spec.subject_type)
+    object_code = segment.code_of(spec.object_type)
+    if subject_code is None or object_code is None:
+        return []
+    operation_codes = _operation_codes(segment, spec)
+    if operation_codes is not None and not operation_codes:
+        return []
+    type_codes = segment.column("entity.type")
+    subject_type_ok = [code == subject_code for code in type_codes]
+    object_type_ok = (subject_type_ok if object_code == subject_code
+                      else [code == object_code for code in type_codes])
+    subject_pass, subject_residual = _filter_forms(segment,
+                                                   spec.subject_filter)
+    object_pass, object_residual = _filter_forms(segment,
+                                                 spec.object_filter)
+    pattern_pass, pattern_residual = _filter_forms(segment,
+                                                   spec.pattern_filter)
+    ids = segment.column("event.id")
+    subjects = segment.column("event.subject_id")
+    objects = segment.column("event.object_id")
+    operations = segment.column("event.operation")
+    starts = segment.column("event.start_time")
+    ends = segment.column("event.end_time")
+    earliest = latest = None
+    if spec.window is not None:
+        earliest, latest = spec.window
+    min_id = spec.min_event_id
+    subject_set = (frozenset(spec.subject_candidates)
+                   if spec.subject_candidates is not None else None)
+    object_set = (frozenset(spec.object_candidates)
+                  if spec.object_candidates is not None else None)
+    index_of = segment.entity_index
+    selected: list[int] = []
+    for row in range(count):
+        if min_id is not None and ids[row] < min_id:
+            continue
+        if operation_codes is not None and \
+                operations[row] not in operation_codes:
+            continue
+        if earliest is not None and starts[row] < earliest:
+            continue
+        if latest is not None and ends[row] > latest:
+            continue
+        subject_id = subjects[row]
+        object_id = objects[row]
+        if subject_set is not None and subject_id not in subject_set:
+            continue
+        if object_set is not None and object_id not in object_set:
+            continue
+        subject_index = index_of(subject_id)
+        object_index = index_of(object_id)
+        if not subject_type_ok[subject_index] or \
+                not object_type_ok[object_index]:
+            continue
+        if subject_pass is not None:
+            if not subject_pass[subject_index]:
+                continue
+        elif subject_residual is not None and \
+                subject_residual(subject_index, row) is not True:
+            continue
+        if object_pass is not None:
+            if not object_pass[object_index]:
+                continue
+        elif object_residual is not None and \
+                object_residual(object_index, row) is not True:
+            continue
+        if pattern_pass is not None:
+            if not pattern_pass[object_index]:
+                continue
+        elif pattern_residual is not None and \
+                pattern_residual(object_index, row) is not True:
+            continue
+        selected.append(row)
+    return selected
+
+
+def _entity_indices_np(segment: ColumnarSegment, ids: Any, np: Any) -> Any:
+    if segment.dense_entities:
+        return ids - 1
+    entity_ids = segment.np_column("entity.id", np)
+    indices = np.searchsorted(entity_ids, ids)
+    indices = np.minimum(indices, max(len(entity_ids) - 1, 0))
+    if not np.all(entity_ids[indices] == ids):
+        raise StorageError(f"columnar payload {segment.path} has events "
+                           "referencing missing entity rows")
+    return indices
+
+
+def _select_numpy(segment: ColumnarSegment, spec: PatternSpec,
+                  np: Any) -> Any:
+    """Vectorized row selection; same semantics as `_select_python`."""
+    empty = np.empty(0, dtype=np.int64)
+    count = segment.event_count
+    if count == 0:
+        return empty
+    subject_code = segment.code_of(spec.subject_type)
+    object_code = segment.code_of(spec.object_type)
+    if subject_code is None or object_code is None:
+        return empty
+    operation_codes = _operation_codes(segment, spec)
+    if operation_codes is not None and not operation_codes:
+        return empty
+    mask = np.ones(count, dtype=bool)
+    if spec.min_event_id is not None:
+        mask &= segment.np_column("event.id", np) >= spec.min_event_id
+    if spec.window is not None:
+        earliest, latest = spec.window
+        if earliest is not None:
+            mask &= segment.np_column("event.start_time", np) >= earliest
+        if latest is not None:
+            mask &= segment.np_column("event.end_time", np) <= latest
+    if operation_codes is not None:
+        operations = segment.np_column("event.operation", np)
+        if len(operation_codes) == 1:
+            mask &= operations == next(iter(operation_codes))
+        else:
+            mask &= np.isin(operations,
+                            np.array(sorted(operation_codes),
+                                     dtype=np.int64))
+    subjects = segment.np_column("event.subject_id", np)
+    objects = segment.np_column("event.object_id", np)
+    if spec.subject_candidates is not None:
+        mask &= np.isin(subjects, np.array(spec.subject_candidates,
+                                           dtype=np.int64))
+    if spec.object_candidates is not None:
+        mask &= np.isin(objects, np.array(spec.object_candidates,
+                                          dtype=np.int64))
+    subject_rows = _entity_indices_np(segment, subjects, np)
+    object_rows = _entity_indices_np(segment, objects, np)
+    type_codes = segment.np_column("entity.type", np)
+    subject_pass, subject_residual = _filter_forms(segment,
+                                                   spec.subject_filter)
+    object_pass, object_residual = _filter_forms(segment,
+                                                 spec.object_filter)
+    pattern_pass, pattern_residual = _filter_forms(segment,
+                                                   spec.pattern_filter)
+    subject_ok = type_codes == subject_code
+    if subject_pass is not None:
+        subject_ok = subject_ok & np.asarray(subject_pass, dtype=bool)
+    mask &= subject_ok[subject_rows]
+    object_ok = type_codes == object_code
+    if object_pass is not None:
+        object_ok = object_ok & np.asarray(object_pass, dtype=bool)
+    if pattern_pass is not None:
+        object_ok = object_ok & np.asarray(pattern_pass, dtype=bool)
+    mask &= object_ok[object_rows]
+    for residual, entity_rows in ((subject_residual, subject_rows),
+                                  (object_residual, object_rows),
+                                  (pattern_residual, object_rows)):
+        if residual is None:
+            continue
+        survivors = np.nonzero(mask)[0]
+        if survivors.size == 0:
+            break
+        rejected = [residual(int(entity_rows[row]), int(row)) is not True
+                    for row in survivors]
+        mask[survivors[np.asarray(rejected, dtype=bool)]] = False
+    return np.nonzero(mask)[0]
+
+
+def _pack_python(segment: ColumnarSegment,
+                 selected: list[int]) -> PackedRows:
+    ids = segment.column("event.id")
+    operations = segment.column("event.operation")
+    starts = segment.column("event.start_time")
+    ends = segment.column("event.end_time")
+    amounts = segment.column("event.data_amount")
+    subjects = segment.column("event.subject_id")
+    objects = segment.column("event.object_id")
+    out_ids = array("q")
+    out_ops = array("I")
+    out_starts = array("d")
+    out_ends = array("d")
+    out_amounts = array("q")
+    out_subjects = array("q")
+    out_objects = array("q")
+    remap: dict[int, int] = {}
+    strings: list[str] = []
+    segment_strings = segment.strings
+    for row in selected:
+        out_ids.append(ids[row])
+        code = operations[row]
+        slot = remap.get(code)
+        if slot is None:
+            slot = remap[code] = len(strings)
+            text = segment_strings[code]
+            assert text is not None  # operation is NOT NULL
+            strings.append(text)
+        out_ops.append(slot)
+        out_starts.append(starts[row])
+        out_ends.append(ends[row])
+        out_amounts.append(amounts[row])
+        out_subjects.append(subjects[row])
+        out_objects.append(objects[row])
+    return (len(selected), out_ids.tobytes(), out_ops.tobytes(),
+            tuple(strings), out_starts.tobytes(), out_ends.tobytes(),
+            out_amounts.tobytes(), out_subjects.tobytes(),
+            out_objects.tobytes())
+
+
+def _pack_numpy(segment: ColumnarSegment, selected: Any,
+                np: Any) -> PackedRows:
+    operations = segment.np_column("event.operation", np)[selected]
+    codes, inverse = np.unique(operations, return_inverse=True)
+    strings = []
+    for code in codes:
+        text = segment.strings[int(code)]
+        assert text is not None  # operation is NOT NULL
+        strings.append(text)
+    return (int(selected.size),
+            segment.np_column("event.id", np)[selected].tobytes(),
+            inverse.astype(np.uint32).tobytes(),
+            tuple(strings),
+            segment.np_column("event.start_time", np)[selected].tobytes(),
+            segment.np_column("event.end_time", np)[selected].tobytes(),
+            segment.np_column("event.data_amount", np)[selected].tobytes(),
+            segment.np_column("event.subject_id", np)[selected].tobytes(),
+            segment.np_column("event.object_id", np)[selected].tobytes())
+
+
+def scan_columnar(segment: ColumnarSegment,
+                  spec: PatternSpec) -> PackedRows:
+    """Evaluate one pattern against a mapped segment; packed result."""
+    np = _numpy_module()
+    if np is not None:
+        return _pack_numpy(segment, _select_numpy(segment, spec, np), np)
+    return _pack_python(segment, _select_python(segment, spec))
+
+
+def unpack_rows(packed: PackedRows) -> list[dict[str, Any]]:
+    """Re-inflate a packed scan result into SQL-shaped row dicts."""
+    (count, id_bytes, op_bytes, op_strings, start_bytes, end_bytes,
+     amount_bytes, subject_bytes, object_bytes) = packed
+    if not count:
+        return []
+    ids = array("q")
+    ids.frombytes(id_bytes)
+    operations = array("I")
+    operations.frombytes(op_bytes)
+    starts = array("d")
+    starts.frombytes(start_bytes)
+    ends = array("d")
+    ends.frombytes(end_bytes)
+    amounts = array("q")
+    amounts.frombytes(amount_bytes)
+    subjects = array("q")
+    subjects.frombytes(subject_bytes)
+    objects = array("q")
+    objects.frombytes(object_bytes)
+    return [{"event_id": ids[row],
+             "operation": op_strings[operations[row]],
+             "start_time": starts[row],
+             "end_time": ends[row],
+             "data_amount": amounts[row],
+             "subject_id": subjects[row],
+             "object_id": objects[row]}
+            for row in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# per-worker segment cache
+# ---------------------------------------------------------------------------
+
+_SEGMENT_CACHE: dict[str, ColumnarSegment] = {}
+_SEGMENT_CACHE_LIMIT = 128
+_SEGMENT_CACHE_LOCK = threading.Lock()
+
+
+def _segment_for(path: str) -> ColumnarSegment:
+    """Shared mmap readers per payload path (process-wide, bounded).
+
+    Unlike the SQLite connection cache this is not thread-local —
+    :class:`ColumnarSegment` is immutable after open.  Evicted entries
+    are released by GC once in-flight scans drop them; closing them
+    eagerly could yank the mapping from under a concurrent reader.
+    """
+    with _SEGMENT_CACHE_LOCK:
+        segment = _SEGMENT_CACHE.get(path)
+        if segment is None:
+            if len(_SEGMENT_CACHE) >= _SEGMENT_CACHE_LIMIT:
+                _SEGMENT_CACHE.clear()
+            segment = ColumnarSegment(path)
+            _SEGMENT_CACHE[path] = segment
+    return segment
+
+
+def scan_segment_columnar(task: ColumnarTask) -> PackedRows:
+    """Worker entry point: scan one segment's columnar payload."""
+    return scan_columnar(_segment_for(task.path), task.spec)
+
+
+__all__ = ["PatternSpec", "ColumnarTask", "PackedRows",
+           "build_pattern_spec", "scan_columnar", "scan_segment_columnar",
+           "unpack_rows"]

@@ -46,6 +46,7 @@ from ..errors import ExecutionError
 from ..storage.dualstore import DualStore
 from ..storage.segments import SegmentView, prune_segments
 from .ast import TemporalRelation
+from .colscan import ColumnarTask, build_pattern_spec
 from .compiler_cypher import compile_giant_cypher, compile_pattern_cypher
 from .compiler_sql import compile_giant_sql, compile_pattern_sql
 from .parser import TIME_UNIT_SECONDS, parse_tbql
@@ -61,6 +62,15 @@ from .semantics import (ResolvedPattern, ResolvedQuery, effective_window,
 #: own parameters) under the 999 bound-variable limit of older SQLite
 #: builds.
 MAX_CANDIDATE_PUSHDOWN = 450
+
+#: Valid ``scan_strategy`` arguments: how scatter-gather workers read a
+#: sealed segment.  ``"columnar"`` (default) evaluates the pattern
+#: directly against the segment's memory-mapped ``events.col`` columns
+#: and falls back to SQLite per segment when that payload is absent
+#: (format-v2 snapshots); ``"sqlite"`` always runs the compiled pattern
+#: SQL against the segment's database file.  Results are identical by
+#: construction — the equivalence corpus pins both paths.
+SCAN_STRATEGIES = ("columnar", "sqlite")
 
 
 @dataclass(frozen=True)
@@ -103,6 +113,12 @@ class PlanStep(str):
     #: pruning; ``None`` when the store has no segment view (monolithic).
     segments_scanned: Optional[int]
     segments_pruned: Optional[int]
+    #: Segment scan strategy used ("columnar"/"sqlite"); ``None`` on the
+    #: monolithic path, which runs one combined-store query.
+    scan_strategy: Optional[str]
+    #: True when the scatter pool could not be created and the segment
+    #: scans ran serially in-process; ``None`` on the monolithic path.
+    pool_fallback: Optional[bool]
     seconds: dict[str, float]
 
     def __new__(cls, pattern_id: str, **_stats) -> "PlanStep":
@@ -117,6 +133,8 @@ class PlanStep(str):
                  hydration_queries: int = 0,
                  segments_scanned: Optional[int] = None,
                  segments_pruned: Optional[int] = None,
+                 scan_strategy: Optional[str] = None,
+                 pool_fallback: Optional[bool] = None,
                  seconds: Optional[dict[str, float]] = None) -> None:
         super().__init__()
         self.pattern_id = pattern_id
@@ -131,6 +149,8 @@ class PlanStep(str):
         self.hydration_queries = hydration_queries
         self.segments_scanned = segments_scanned
         self.segments_pruned = segments_pruned
+        self.scan_strategy = scan_strategy
+        self.pool_fallback = pool_fallback
         self.seconds = seconds or {}
 
     def as_dict(self) -> dict[str, Any]:
@@ -148,6 +168,8 @@ class PlanStep(str):
             "hydration_queries": self.hydration_queries,
             "segments_scanned": self.segments_scanned,
             "segments_pruned": self.segments_pruned,
+            "scan_strategy": self.scan_strategy,
+            "pool_fallback": self.pool_fallback,
             "seconds": dict(self.seconds),
         }
 
@@ -233,21 +255,44 @@ class TBQLExecutor:
             kept as the reference implementation for equivalence tests.
         workers: worker processes for the scatter-gather stage over a
             segmented store's sealed segments; ``1`` (default) scans
-            serially in-process.  Irrelevant on monolithic stores.
+            serially in-process.  Must be a positive integer.
+            Irrelevant on monolithic stores.
+        scan_strategy: how scatter workers read sealed segments — one of
+            :data:`SCAN_STRATEGIES`.  ``"columnar"`` (default) evaluates
+            patterns against each segment's memory-mapped ``events.col``
+            payload, falling back to SQLite for segments without one
+            (format-v2 snapshots); ``"sqlite"`` always runs the compiled
+            pattern SQL.  Irrelevant on monolithic stores.
     """
 
     def __init__(self, store: DualStore, use_scheduler: bool = True,
-                 join_strategy: str = "hash", workers: int = 1) -> None:
+                 join_strategy: str = "hash", workers: int = 1,
+                 scan_strategy: str = "columnar") -> None:
         if join_strategy not in ("hash", "backtracking"):
             raise ValueError(f"unknown join strategy: {join_strategy!r}")
+        if scan_strategy not in SCAN_STRATEGIES:
+            raise ValueError(
+                f"unknown scan strategy: {scan_strategy!r} "
+                f"(expected one of {', '.join(SCAN_STRATEGIES)})")
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(
+                f"workers must be a positive integer, got {workers}")
         self.store = store
         self.use_scheduler = use_scheduler
         self.join_strategy = join_strategy
-        self.workers = max(1, int(workers))
+        self.workers = workers
+        self.scan_strategy = scan_strategy
         self._scanner = SegmentScanner(self.workers)
         self._entity_cache: dict[int, dict] = {}
         self._cache_lock = threading.Lock()
         self._data_version = getattr(store, "data_version", None)
+
+    @property
+    def pool_fallback(self) -> bool:
+        """True once scatter pool creation failed and scans run
+        serially."""
+        return self._scanner.pool_fallback
 
     def close(self) -> None:
         """Release the scatter-gather worker pool (idempotent)."""
@@ -396,7 +441,12 @@ class TBQLExecutor:
             rows_in=rows_in, rows_out=len(filtered),
             hydration_queries=hydration_queries,
             segments_scanned=segments_scanned,
-            segments_pruned=segments_pruned, seconds=seconds)
+            segments_pruned=segments_pruned,
+            scan_strategy=(self.scan_strategy
+                           if segments_scanned is not None else None),
+            pool_fallback=(self._scanner.pool_fallback
+                           if segments_scanned is not None else None),
+            seconds=seconds)
         return filtered, plan_step
 
     def _segment_view(self) -> Optional[SegmentView]:
@@ -424,9 +474,20 @@ class TBQLExecutor:
                                        object_candidates=object_ids)
         window = effective_window(pattern, resolved)
         targets = prune_segments(view.sealed, window)
-        tasks: list[ScanTask] = [
-            (segment.sqlite_path, compiled.sql, tuple(compiled.params))
-            for segment in targets]
+        spec = (build_pattern_spec(pattern, resolved,
+                                   subject_candidates=subject_ids,
+                                   object_candidates=object_ids)
+                if self.scan_strategy == "columnar" else None)
+        tasks: list[ScanTask] = []
+        for segment in targets:
+            # Per-segment fallback: format-v2 snapshots restored into a
+            # v3 store have no events.col, so those segments scan
+            # through SQLite regardless of strategy.
+            if spec is not None and segment.has_columnar():
+                tasks.append(ColumnarTask(segment.columnar_path, spec))
+            else:
+                tasks.append((segment.sqlite_path, compiled.sql,
+                              tuple(compiled.params)))
         rows = self._scanner.scan(tasks)
         if view.active_events:
             active = compile_pattern_sql(
@@ -849,4 +910,4 @@ class TBQLExecutor:
 
 
 __all__ = ["PatternMatch", "PlanStep", "QueryResult", "TBQLExecutor",
-           "MAX_CANDIDATE_PUSHDOWN"]
+           "MAX_CANDIDATE_PUSHDOWN", "SCAN_STRATEGIES"]

@@ -2,38 +2,63 @@
 
 The segmented dual store partitions the event history into immutable
 segment files (:mod:`repro.storage.segments`); per-pattern candidate
-retrieval then becomes a scatter-gather stage: the same compiled pattern
-SQL runs against every surviving segment file and the per-segment rows
-are merged (and re-sorted) before the global hash join.
+retrieval then becomes a scatter-gather stage: one scan task per
+surviving segment, with the per-segment rows merged (and re-sorted)
+before the global hash join.
+
+Two task shapes flow through the same scanner:
+
+* :data:`SqlScanTask` — ``(segment sqlite path, sql, params)``; the
+  worker runs the compiled pattern SQL against its segment's SQLite
+  file and returns pickled row dicts (``scan_strategy="sqlite"``).
+* :class:`~repro.tbql.colscan.ColumnarTask` — a
+  :class:`~repro.tbql.colscan.PatternSpec` evaluated directly against
+  the segment's memory-mapped ``events.col`` columns
+  (``scan_strategy="columnar"``); the worker returns one packed tuple
+  of machine-typed byte strings, which the gather side re-inflates via
+  :func:`~repro.tbql.colscan.unpack_rows`.  Workers share the payload's
+  read-only pages through the OS page cache instead of materializing
+  and pickling per-row tuples.
 
 :class:`SegmentScanner` owns the execution strategy:
 
 * ``workers > 1`` — a lazily created :mod:`multiprocessing` pool fans
-  the segment scans out across worker processes, each opening its
-  segment's SQLite file read-only.  Segments are immutable, so workers
-  share nothing with the parent but a file path; this sidesteps the GIL
-  entirely (the ROADMAP's "truly parallel backend work").
+  the segment scans out across worker processes.  Segments are
+  immutable, so workers share nothing with the parent but a file path;
+  this sidesteps the GIL entirely (the ROADMAP's "truly parallel
+  backend work").
 * ``workers == 1`` (or pool creation fails — restricted platforms,
   missing semaphores) — the scans run serially in-process through the
   exact same task function, so results are identical by construction.
+  Pool-creation failure is logged as a warning and surfaced via
+  :attr:`SegmentScanner.pool_fallback` (visible in ``GET /stats`` and
+  ``repro query --explain``).
 
-Worker-side read-only connections are cached per (process, thread,
-path).  Segment paths are never reused by the store (the segment name
-counter is monotonic), so a cached connection can never see stale data.
+Worker-side read-only SQLite connections are cached per (process,
+thread, path); columnar segment mappings are cached process-wide.
+Segment paths are never reused by the store (the segment name counter
+is monotonic), so a cached handle can never see stale data.
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import sqlite3
 import threading
 from pathlib import Path
-from typing import Any, Optional, Sequence
+from typing import Any, Optional, Sequence, Union
 
 from ..errors import StorageError
+from .colscan import ColumnarTask, scan_segment_columnar, unpack_rows
 
-#: One scatter task: ``(segment sqlite path, sql, params)``.
-ScanTask = tuple[str, str, tuple]
+logger = logging.getLogger(__name__)
+
+#: One SQLite scatter task: ``(segment sqlite path, sql, params)``.
+SqlScanTask = tuple[str, str, tuple]
+
+#: Any scatter task the scanner accepts.
+ScanTask = Union[SqlScanTask, ColumnarTask]
 
 #: Cached read-only connections are dropped once the cache grows past
 #: this many distinct segment files (compaction replaces paths, so a
@@ -64,7 +89,7 @@ def _connection_for(path: str) -> sqlite3.Connection:
     return connection
 
 
-def scan_segment(task: ScanTask) -> list[dict[str, Any]]:
+def scan_segment(task: SqlScanTask) -> list[dict[str, Any]]:
     """Run one compiled pattern query against one segment file.
 
     Module-level (and dependency-light) so it pickles into pool workers
@@ -81,18 +106,30 @@ def scan_segment(task: ScanTask) -> list[dict[str, Any]]:
     return [dict(row) for row in rows]
 
 
+def run_scan_task(task: ScanTask) -> Any:
+    """Worker entry point dispatching on the task shape."""
+    if isinstance(task, ColumnarTask):
+        return scan_segment_columnar(task)
+    return scan_segment(task)
+
+
 class SegmentScanner:
     """Runs segment-scan tasks, in parallel when workers allow it.
 
     The process pool is created lazily on the first multi-segment scan
     and reused for the scanner's lifetime; creation failure downgrades
-    to the serial path permanently (graceful fallback, never an error).
-    ``scan`` preserves task order, so gathered results are deterministic
+    to the serial path permanently (graceful fallback, never an error,
+    but logged and flagged via :attr:`pool_fallback`).  ``scan``
+    preserves task order, so gathered results are deterministic
     regardless of worker count.
     """
 
     def __init__(self, workers: int = 1) -> None:
-        self.workers = max(1, int(workers))
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(
+                f"workers must be a positive integer, got {workers}")
+        self.workers = workers
         self._pool: Optional[Any] = None
         self._pool_failed = False
         self._lock = threading.Lock()
@@ -102,20 +139,39 @@ class SegmentScanner:
         """Whether scans may actually fan out across processes."""
         return self.workers > 1 and not self._pool_failed
 
+    @property
+    def pool_fallback(self) -> bool:
+        """True once pool creation failed and scans run serially."""
+        return self._pool_failed
+
     def _ensure_pool(self) -> Optional[Any]:
         with self._lock:
             if self._pool is None and not self._pool_failed:
                 try:
                     methods = multiprocessing.get_all_start_methods()
                     # Fork shares the parent's imports for free; spawn
-                    # works too (scan_segment is importable and light)
-                    # but pays an interpreter start per worker.
+                    # works too (the task functions are importable and
+                    # light) but pays an interpreter start per worker.
                     method = "fork" if "fork" in methods else None
                     context = multiprocessing.get_context(method)
                     self._pool = context.Pool(processes=self.workers)
-                except (OSError, ValueError, ImportError):
+                except (OSError, ValueError, ImportError) as exc:
                     self._pool_failed = True
+                    logger.warning(
+                        "scatter-gather pool creation failed (%s: %s); "
+                        "falling back to serial in-process segment scans",
+                        type(exc).__name__, exc)
             return self._pool
+
+    @staticmethod
+    def _gather(results: Sequence[Any]) -> list[dict[str, Any]]:
+        rows: list[dict[str, Any]] = []
+        for result in results:
+            if isinstance(result, list):
+                rows.extend(result)
+            else:
+                rows.extend(unpack_rows(result))
+        return rows
 
     def scan(self, tasks: Sequence[ScanTask]) -> list[dict[str, Any]]:
         """Execute every task; returns the concatenated rows in task
@@ -125,12 +181,8 @@ class SegmentScanner:
         if self.workers > 1 and len(tasks) > 1:
             pool = self._ensure_pool()
             if pool is not None:
-                per_segment = pool.map(scan_segment, tasks)
-                return [row for rows in per_segment for row in rows]
-        gathered: list[dict[str, Any]] = []
-        for task in tasks:
-            gathered.extend(scan_segment(task))
-        return gathered
+                return self._gather(pool.map(run_scan_task, tasks))
+        return self._gather([run_scan_task(task) for task in tasks])
 
     def close(self) -> None:
         """Tear the worker pool down (idempotent)."""
@@ -148,4 +200,5 @@ class SegmentScanner:
             pass
 
 
-__all__ = ["ScanTask", "SegmentScanner", "scan_segment"]
+__all__ = ["ScanTask", "SqlScanTask", "SegmentScanner", "scan_segment",
+           "run_scan_task"]

@@ -1,0 +1,457 @@
+"""Tests for the v3 columnar segment payload and its scan path.
+
+Covers the ``events.col`` container format, the SQLite comparison
+semantics the columnar evaluator reproduces (differentially, against a
+live SQLite connection), numpy/pure-python selection parity, backward
+compatibility with format-v2 snapshots (no columnar payload), the
+scatter pool-failure fallback, and the worker/strategy argument
+validation surfaced through the executor and the CLI.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from operator import attrgetter
+from pathlib import Path
+
+import pytest
+
+from repro.audit import AuditCollector, CollectorConfig
+from repro.errors import StorageError
+from repro.storage import DualStore
+from repro.storage.columnar import (NULL_INT, ColumnarSegment,
+                                    EventColumns, write_columnar,
+                                    write_columnar_from_sqlite)
+from repro.storage.relational.sqlgen import comparison, in_list
+from repro.tbql.ast import (AttributeComparison, BooleanFilter,
+                            MembershipFilter, NegatedFilter)
+from repro.tbql.colscan import (PatternSpec, _eval_comparison,
+                                _eval_membership, scan_columnar,
+                                unpack_rows)
+from repro.tbql.executor import TBQLExecutor
+from repro.tbql.scatter import SegmentScanner
+
+from .conftest import record_data_leak_attack
+from .test_tbql_join_equivalence import EQUIVALENCE_CORPUS
+
+try:
+    import numpy as _numpy
+except ImportError:   # pragma: no cover - numpy-less environments
+    _numpy = None
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _entity(entity_id, etype, **attrs):
+    """ENTITY_COLUMNS-ordered tuple with keyword attribute overrides."""
+    row = {"id": entity_id, "type": etype, "name": None, "path": None,
+           "exename": None, "pid": None, "user": None, "grp": None,
+           "cmdline": None, "srcip": None, "srcport": None, "dstip": None,
+           "dstport": None, "protocol": None}
+    row.update(attrs)
+    return (row["id"], row["type"], row["name"], row["path"],
+            row["exename"], row["pid"], row["user"], row["grp"],
+            row["cmdline"], row["srcip"], row["srcport"], row["dstip"],
+            row["dstport"], row["protocol"])
+
+
+def _sample_payload(tmp_path):
+    """A small hand-built payload with NULLs and wildcard-ish strings."""
+    events = EventColumns()
+    events.append(1, 1, 2, "read", "file", 10.0, 11.0, 1.0, 64, 0, "h0")
+    events.append(2, 1, 3, "write", "file", 12.0, 13.5, 1.5, 128, 0, "h0")
+    events.append(3, 4, 2, "read", "file", 14.0, 15.0, 1.0, 32, 1, "h1")
+    entities = [
+        _entity(1, "proc", exename="/bin/tar", pid=101, user="root"),
+        _entity(2, "file", name="/etc/pass_wd"),
+        _entity(3, "file", name="/tmp/50%.tar"),
+        _entity(4, "proc", exename="/usr/bin/GPG"),
+    ]
+    path = tmp_path / "events.col"
+    size = write_columnar(path, events, entities)
+    assert size == path.stat().st_size > 0
+    return path
+
+
+def _segmented_pair(batches=3):
+    """A (monolithic, segmented) store pair over the attack corpus."""
+    collector = AuditCollector(CollectorConfig(seed=7))
+    record_data_leak_attack(collector)
+    events = sorted(collector.events(),
+                    key=attrgetter("start_time", "event_id"))
+    mono = DualStore()
+    seg = DualStore(layout="segmented")
+    step = len(events) // batches + 1
+    for index in range(0, len(events), step):
+        batch = events[index:index + step]
+        for store in (mono, seg):
+            store.append_events(batch)
+            store.flush_appends()
+    return mono, seg
+
+
+# ---------------------------------------------------------------------------
+# container format
+# ---------------------------------------------------------------------------
+
+
+def test_roundtrip_preserves_columns(tmp_path):
+    path = _sample_payload(tmp_path)
+    segment = ColumnarSegment(path)
+    try:
+        assert segment.event_count == 3
+        assert segment.entity_count == 4
+        assert list(segment.column("event.id")) == [1, 2, 3]
+        assert list(segment.column("event.subject_id")) == [1, 1, 4]
+        assert list(segment.column("event.start_time")) == [10.0, 12.0,
+                                                            14.0]
+        ops = segment.column("event.operation")
+        assert [segment.strings[code] for code in ops] == \
+            ["read", "write", "read"]
+        names = segment.column("entity.name")
+        assert [segment.strings[code] for code in names] == \
+            [None, "/etc/pass_wd", "/tmp/50%.tar", None]
+        pids = segment.column("entity.pid")
+        assert list(pids) == [101, NULL_INT, NULL_INT, NULL_INT]
+        assert segment.dense_entities
+        assert segment.entity_index(3) == 2
+        assert segment.code_of("read") is not None
+        assert segment.code_of("never-stored") is None
+    finally:
+        segment.close()
+
+
+def test_sparse_entity_ids_resolve_via_map(tmp_path):
+    events = EventColumns()
+    events.append(1, 10, 70, "read", "file", 1.0, 2.0, 1.0, 0, 0, "h")
+    entities = [_entity(10, "proc"), _entity(70, "file")]
+    path = tmp_path / "sparse.col"
+    write_columnar(path, events, entities)
+    segment = ColumnarSegment(path)
+    try:
+        assert not segment.dense_entities
+        assert segment.entity_index(10) == 0
+        assert segment.entity_index(70) == 1
+        with pytest.raises(StorageError):
+            segment.entity_index(99)
+    finally:
+        segment.close()
+
+
+def test_reader_rejects_bad_magic(tmp_path):
+    path = tmp_path / "bad.col"
+    path.write_bytes(b"NOTMAGIC" + b"\0" * 64)
+    with pytest.raises(StorageError, match="not a columnar payload"):
+        ColumnarSegment(path)
+
+
+def test_reader_rejects_future_version(tmp_path):
+    path = _sample_payload(tmp_path)
+    data = path.read_bytes()
+    assert data.count(b'"version": 1') == 1
+    path.write_bytes(data.replace(b'"version": 1', b'"version": 9'))
+    with pytest.raises(StorageError, match="version 9"):
+        ColumnarSegment(path)
+
+
+def test_sqlite_fallback_writer_matches_fast_path(tmp_path):
+    """Sealed segments produce identical payloads from either writer."""
+    _mono, seg = _segmented_pair(batches=2)
+    try:
+        view = seg.segment_view()
+        assert view.sealed
+        info = view.sealed[0]
+        fast = Path(info.columnar_path).read_bytes()
+        rebuilt_path = tmp_path / "rebuilt.col"
+        write_columnar_from_sqlite(info.sqlite_path, rebuilt_path)
+        rebuilt = ColumnarSegment(rebuilt_path)
+        fast_segment = ColumnarSegment(info.columnar_path)
+        try:
+            assert rebuilt.event_count == fast_segment.event_count
+            for name in ("event.id", "event.subject_id",
+                         "event.object_id", "event.start_time",
+                         "event.end_time", "event.data_amount"):
+                assert list(rebuilt.column(name)) == \
+                    list(fast_segment.column(name))
+            assert [rebuilt.strings[c]
+                    for c in rebuilt.column("event.operation")] == \
+                [fast_segment.strings[c]
+                 for c in fast_segment.column("event.operation")]
+        finally:
+            rebuilt.close()
+            fast_segment.close()
+        assert len(fast) > 0
+    finally:
+        _mono.close()
+        seg.close()
+
+
+# ---------------------------------------------------------------------------
+# SQLite comparison semantics (differential)
+# ---------------------------------------------------------------------------
+
+_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+_NUMERIC_CELLS = [None, -3, 0, 1, 10, 10.5]
+_NUMERIC_VALUES = ["10", " 10 ", "abc", 10, 10.0, 10.5, True, "1%", "10%"]
+
+_TEXT_CELLS = [None, "abc", "ABC", "a_b", "aXb", "10", "10.5", "/tmp/x"]
+_TEXT_VALUES = ["abc", "AbC", "a%b", "%b", "a_b", "10", 10, 10.0, True,
+                "/tmp/%"]
+
+
+def _sqlite_verdicts(affinity, cells, values):
+    """SQLite's own answer for every (cell, op, value) combination."""
+    connection = sqlite3.connect(":memory:")
+    connection.execute(f"CREATE TABLE t (cell {affinity})")
+    for index, cell in enumerate(cells):
+        connection.execute("INSERT INTO t (rowid, cell) VALUES (?, ?)",
+                           (index + 1, cell))
+    verdicts = {}
+    for op in _OPS:
+        for value in values:
+            params: list = []
+            clause = comparison("cell", op, value, params)
+            for index, cell in enumerate(cells):
+                row = connection.execute(
+                    f"SELECT {clause} FROM t WHERE rowid = ?",
+                    (*params, index + 1)).fetchone()
+                verdicts[(index, op, repr(value))] = \
+                    None if row[0] is None else bool(row[0])
+    connection.close()
+    return verdicts
+
+
+@pytest.mark.parametrize("affinity,cells,values,numeric", [
+    ("INTEGER", _NUMERIC_CELLS, _NUMERIC_VALUES, True),
+    ("REAL", _NUMERIC_CELLS, _NUMERIC_VALUES, True),
+    ("TEXT", _TEXT_CELLS, _TEXT_VALUES, False),
+])
+def test_comparisons_match_sqlite(affinity, cells, values, numeric):
+    verdicts = _sqlite_verdicts(affinity, cells, values)
+    for index, cell in enumerate(cells):
+        for op in _OPS:
+            for value in values:
+                got = _eval_comparison(cell, op, value, numeric)
+                expected = verdicts[(index, op, repr(value))]
+                assert got == expected, \
+                    f"{cell!r} {op} {value!r} ({affinity}): " \
+                    f"{got} != sqlite {expected}"
+
+
+@pytest.mark.parametrize("affinity,cells,values,numeric", [
+    ("INTEGER", _NUMERIC_CELLS, (10, "10", 3), True),
+    ("TEXT", _TEXT_CELLS, ("abc", "10", "a_b"), False),
+])
+@pytest.mark.parametrize("negated", [False, True])
+def test_membership_matches_sqlite(affinity, cells, values, numeric,
+                                   negated):
+    connection = sqlite3.connect(":memory:")
+    connection.execute(f"CREATE TABLE t (cell {affinity})")
+    for index, cell in enumerate(cells):
+        connection.execute("INSERT INTO t (rowid, cell) VALUES (?, ?)",
+                           (index + 1, cell))
+    params: list = []
+    clause = in_list("cell", list(values), negated, params)
+    for index, cell in enumerate(cells):
+        row = connection.execute(
+            f"SELECT {clause} FROM t WHERE rowid = ?",
+            (*params, index + 1)).fetchone()
+        expected = None if row[0] is None else bool(row[0])
+        got = _eval_membership(cell, tuple(values), negated, numeric)
+        assert got == expected, f"{cell!r} IN {values!r} negated={negated}"
+    connection.close()
+
+
+# ---------------------------------------------------------------------------
+# numpy / pure-python selection parity
+# ---------------------------------------------------------------------------
+
+
+_PARITY_SPECS = [
+    PatternSpec(subject_type="proc", object_type="file", operations=None,
+                subject_filter=None, object_filter=None,
+                pattern_filter=None, window=None, subject_candidates=None,
+                object_candidates=None),
+    PatternSpec(subject_type="proc", object_type="file",
+                operations=("read",),
+                subject_filter=AttributeComparison("exename", "=",
+                                                   "%/bin/tar%"),
+                object_filter=AttributeComparison("name", "=", "%pass%"),
+                pattern_filter=None, window=(10.0, 15.0),
+                subject_candidates=None, object_candidates=None),
+    PatternSpec(subject_type="proc", object_type="file", operations=None,
+                subject_filter=NegatedFilter(
+                    AttributeComparison("user", "=", "root")),
+                object_filter=BooleanFilter("||", (
+                    AttributeComparison("name", "=", "%50\\%"),
+                    MembershipFilter("name", ("/etc/pass_wd",), False))),
+                pattern_filter=AttributeComparison("data_amount", ">=",
+                                                   64),
+                window=None, subject_candidates=(1, 4),
+                object_candidates=None, min_event_id=2),
+]
+
+
+@pytest.mark.skipif(_numpy is None, reason="numpy not installed")
+@pytest.mark.parametrize("spec", _PARITY_SPECS,
+                         ids=["unfiltered", "filtered", "kleene"])
+def test_numpy_matches_python_selection(tmp_path, monkeypatch, spec):
+    path = _sample_payload(tmp_path)
+    segment = ColumnarSegment(path)
+    try:
+        monkeypatch.delenv("REPRO_COLUMNAR_NUMPY", raising=False)
+        vectorized = unpack_rows(scan_columnar(segment, spec))
+        monkeypatch.setenv("REPRO_COLUMNAR_NUMPY", "0")
+        pure = unpack_rows(scan_columnar(segment, spec))
+        assert vectorized == pure
+    finally:
+        segment.close()
+
+
+def test_pure_python_corpus_equivalence(monkeypatch):
+    """The portable path (CI has no numpy) answers the corpus correctly."""
+    monkeypatch.setenv("REPRO_COLUMNAR_NUMPY", "0")
+    mono, seg = _segmented_pair()
+    reference = TBQLExecutor(mono)
+    executor = TBQLExecutor(seg, scan_strategy="columnar")
+    try:
+        for text in EQUIVALENCE_CORPUS[:6]:
+            expected = reference.execute(text)
+            got = executor.execute(text)
+            assert got.rows == expected.rows, text
+            assert got.matched_events == expected.matched_events, text
+    finally:
+        executor.close()
+        reference.close()
+        mono.close()
+        seg.close()
+
+
+# ---------------------------------------------------------------------------
+# backward compatibility: v2 snapshots have no events.col
+# ---------------------------------------------------------------------------
+
+
+def test_v2_snapshot_without_columnar_still_answers(tmp_path):
+    mono, seg = _segmented_pair()
+    snap = tmp_path / "snap"
+    try:
+        seg.save(snap)
+        expected = [TBQLExecutor(mono).execute(text).rows
+                    for text in EQUIVALENCE_CORPUS[:4]]
+    finally:
+        mono.close()
+        seg.close()
+    # Rewrite the snapshot as a format-v2 one: no columnar payloads.
+    for payload in snap.glob("segments/*/events.col"):
+        payload.unlink()
+    manifest_path = snap / "manifest.json"
+    manifest = manifest_path.read_text(encoding="utf-8")
+    assert '"format_version": 3' in manifest
+    manifest_path.write_text(
+        manifest.replace('"format_version": 3', '"format_version": 2'),
+        encoding="utf-8")
+    with DualStore.open(snap) as reopened:
+        view = reopened.segment_view()
+        assert view.sealed and not any(info.has_columnar()
+                                       for info in view.sealed)
+        executor = TBQLExecutor(reopened, scan_strategy="columnar")
+        try:
+            for text, rows in zip(EQUIVALENCE_CORPUS[:4], expected):
+                result = executor.execute(text)
+                assert result.rows == rows, text
+                # The scatter path ran (columnar requested, SQLite
+                # fallback per segment) and reported its strategy.
+                sql_steps = [step for step in result.plan
+                             if step.segments_scanned is not None]
+                assert sql_steps
+                assert all(step.scan_strategy == "columnar"
+                           for step in sql_steps)
+        finally:
+            executor.close()
+
+
+def test_v3_snapshot_reopens_with_columnar(tmp_path):
+    _mono, seg = _segmented_pair()
+    snap = tmp_path / "snap"
+    try:
+        seg.save(snap)
+    finally:
+        _mono.close()
+        seg.close()
+    with DualStore.open(snap) as reopened:
+        view = reopened.segment_view()
+        assert view.sealed
+        assert all(info.has_columnar() for info in view.sealed)
+        stats = reopened.segment_stats()
+        for entry in stats["segments"]:
+            payload = entry["payload_bytes"]
+            assert payload["relational"] > 0
+            assert payload["columnar"] > 0
+            assert payload["graph"] > 0
+
+
+# ---------------------------------------------------------------------------
+# pool-failure fallback and argument validation
+# ---------------------------------------------------------------------------
+
+
+def test_pool_failure_falls_back_serially(monkeypatch, caplog):
+    import repro.tbql.scatter as scatter_module
+
+    def broken_get_context(method=None):
+        raise OSError("no semaphores on this platform")
+
+    monkeypatch.setattr(scatter_module.multiprocessing, "get_context",
+                        broken_get_context)
+    mono, seg = _segmented_pair()
+    reference = TBQLExecutor(mono)
+    executor = TBQLExecutor(seg, workers=4)
+    try:
+        assert executor.pool_fallback is False
+        with caplog.at_level("WARNING", logger="repro.tbql.scatter"):
+            result = executor.execute(EQUIVALENCE_CORPUS[0])
+        assert executor.pool_fallback is True
+        assert any("pool creation failed" in record.message
+                   for record in caplog.records)
+        expected = reference.execute(EQUIVALENCE_CORPUS[0])
+        assert result.rows == expected.rows
+        # The flag is surfaced on the scatter plan steps.
+        assert any(step.pool_fallback for step in result.plan
+                   if step.segments_scanned is not None)
+    finally:
+        executor.close()
+        reference.close()
+        mono.close()
+        seg.close()
+
+
+@pytest.mark.parametrize("workers", [0, -1])
+def test_invalid_worker_counts_are_rejected(workers):
+    with pytest.raises(ValueError, match="positive integer"):
+        SegmentScanner(workers=workers)
+    with DualStore() as store:
+        with pytest.raises(ValueError, match="positive integer"):
+            TBQLExecutor(store, workers=workers)
+
+
+def test_invalid_scan_strategy_is_rejected():
+    with DualStore() as store:
+        with pytest.raises(ValueError, match="unknown scan strategy"):
+            TBQLExecutor(store, scan_strategy="rowwise")
+
+
+def test_cli_rejects_unknown_scan_strategy(tmp_path, capsys):
+    from repro.cli import main
+
+    log = tmp_path / "audit.log"
+    log.write_text("", encoding="utf-8")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["query", "--log", str(log), "--tbql",
+              "proc p read file f return p", "--scan-strategy", "bogus"])
+    assert excinfo.value.code == 2
+    assert "--scan-strategy" in capsys.readouterr().err

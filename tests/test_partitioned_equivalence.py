@@ -6,7 +6,8 @@ identically to a monolithic store fed through the same boundaries (the
 flush points are shared because sealing closes open merge runs — same
 data in, same stored events, only the layout differs).  Checked at
 ``workers=1`` (serial in-process scans) and ``workers=4`` (the
-multiprocessing scatter-gather pool).
+multiprocessing scatter-gather pool), for both segment scan strategies
+(``columnar`` memory-mapped reads and ``sqlite`` per-segment SQL).
 """
 
 from __future__ import annotations
@@ -27,6 +28,9 @@ from .test_tbql_join_equivalence import EQUIVALENCE_CORPUS
 
 #: Worker counts the property holds for (serial + process pool).
 WORKER_COUNTS = (1, 4)
+
+#: Segment scan strategies the property holds for.
+SCAN_STRATEGIES = ("columnar", "sqlite")
 
 
 def _corpus_events():
@@ -58,8 +62,10 @@ def _build_pair(boundaries: list[int]):
 
 def _assert_corpus_identical(mono, seg, corpus) -> None:
     reference = TBQLExecutor(mono)
-    executors = [TBQLExecutor(seg, workers=workers)
-                 for workers in WORKER_COUNTS]
+    executors = [TBQLExecutor(seg, workers=workers,
+                              scan_strategy=strategy)
+                 for workers in WORKER_COUNTS
+                 for strategy in SCAN_STRATEGIES]
     try:
         for text in corpus:
             expected = reference.execute(text)
