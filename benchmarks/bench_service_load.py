@@ -1,0 +1,150 @@
+"""Service load benchmark: asyncio vs threaded front end under fan-in.
+
+Drives hundreds of concurrent *keep-alive* HTTP clients (the asyncio
+load generator in :mod:`repro.service.loadgen`) against the same
+snapshot served by both front ends and records throughput (qps) and
+latency quantiles (p50/p99) per backend into
+``benchmarks/results/service_load.txt``.
+
+The claim under test: at 64+ keep-alive clients the asyncio backend —
+one event loop multiplexing every connection, TBQL running on a small
+bounded executor — must sustain **>= 2x** the queries/sec of the legacy
+thread-per-connection server, whose one-thread-per-client design pays
+GIL convoying and per-request scheduler churn at exactly the fan-in a
+long-lived service sees.  Asserted at full workload scale; the CI smoke
+run (small ``BENCH_SERVICE_LOAD_SESSIONS``) only checks both backends
+answer the full load error-free with identical payloads.
+
+Environment knobs (CI smoke lowers all three):
+
+* ``BENCH_SERVICE_LOAD_SESSIONS`` — workload size (3400 ≈ 100k events);
+* ``BENCH_SERVICE_LOAD_CLIENTS``  — concurrent keep-alive clients (64);
+* ``BENCH_SERVICE_LOAD_REQUESTS`` — requests each client fires (25).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.audit.workload import generate_benign_noise
+from repro.benchmark.evaluation import format_table
+from repro.service import (AsyncThreatHuntingServer, QueryService,
+                           ServiceClient, ThreatHuntingServer, run_load)
+from repro.storage import DualStore
+
+from .conftest import write_result_table
+
+#: Selective hunting-style patterns: threat behaviors are needles in the
+#: benign haystack (the paper's serving regime), so answers are small
+#: and the measured cost is the serving path itself — connection
+#: handling, parsing, dispatch — not megabyte payload serialization,
+#: which is identical GIL-bound work on both backends.
+LOAD_QUERIES = [
+    'proc p["%/usr/bin/ssh%"] connect ip i["10.9.%"] as e1 '
+    'return distinct p, i.dstip',
+    'proc p["%/bin/tar%"] read file f["%/etc/passwd%"] as e1 '
+    'return distinct p',
+    'proc p["%/usr/bin/vim%"] write file f["%/etc/%"] as e1 '
+    'return distinct f',
+    'proc p["%/usr/bin/git%"] read file f["%.ssh%"] as e1 '
+    'return distinct p, f',
+]
+
+BENCH_SERVICE_LOAD_SESSIONS = int(os.environ.get(
+    "BENCH_SERVICE_LOAD_SESSIONS", "3400"))
+BENCH_SERVICE_LOAD_CLIENTS = int(os.environ.get(
+    "BENCH_SERVICE_LOAD_CLIENTS", "64"))
+BENCH_SERVICE_LOAD_REQUESTS = int(os.environ.get(
+    "BENCH_SERVICE_LOAD_REQUESTS", "25"))
+
+#: The ratio the asyncio front end must clear at full workload scale.
+MIN_ASYNCIO_SPEEDUP = 2.0
+
+
+@pytest.fixture(scope="module")
+def snapshot_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bench_service_load") / "snapshot"
+    with DualStore() as store:
+        store.load_events(generate_benign_noise(
+            BENCH_SERVICE_LOAD_SESSIONS, seed=29))
+        store.save(directory)
+    return directory
+
+
+def _start_backend(backend: str, store: DualStore):
+    """One served store per backend; returns (server, thread, base_url)."""
+    service = QueryService(store)
+    if backend == "asyncio":
+        server = AsyncThreatHuntingServer(("127.0.0.1", 0), service)
+    else:
+        server = ThreatHuntingServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    if backend == "asyncio":
+        assert server.wait_ready(10)
+    host, port = server.server_address[:2]
+    return server, thread, host, port
+
+
+def _measure_backend(backend: str, snapshot_dir) -> tuple[dict, dict]:
+    """Load-test one backend; returns (result row, payloads by query)."""
+    store = DualStore.open(snapshot_dir)
+    server, thread, host, port = _start_backend(backend, store)
+    try:
+        # Serial reference pass: primes the result cache (the timed load
+        # measures the serving path, not repeated TBQL execution) and
+        # captures the canonical payload of every query for the
+        # byte-identical comparison across backends.
+        payloads = {}
+        with ServiceClient(f"http://{host}:{port}") as client:
+            for query in LOAD_QUERIES:
+                payloads[query] = json.dumps(
+                    client.query(query)["result"], sort_keys=True)
+        # Warmup at small fan-in, then the timed full-fan-in run.
+        run_load(host, port, LOAD_QUERIES, clients=8,
+                 requests_per_client=2)
+        result = run_load(host, port, LOAD_QUERIES,
+                          clients=BENCH_SERVICE_LOAD_CLIENTS,
+                          requests_per_client=BENCH_SERVICE_LOAD_REQUESTS)
+        row = {"backend": backend, **result.as_row()}
+        return row, payloads
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+        store.close()
+
+
+def test_asyncio_front_end_outscales_threaded(benchmark, snapshot_dir):
+    """qps/p50/p99 at full fan-in, asyncio vs threaded, same snapshot."""
+    threaded_row, threaded_payloads = _measure_backend("threaded",
+                                                       snapshot_dir)
+    asyncio_row, asyncio_payloads = benchmark.pedantic(
+        lambda: _measure_backend("asyncio", snapshot_dir),
+        iterations=1, rounds=1)
+
+    speedup = asyncio_row["qps"] / max(threaded_row["qps"], 1e-9)
+    threaded_row["qps_vs_threaded"] = 1.0
+    asyncio_row["qps_vs_threaded"] = speedup
+    table = format_table(
+        [threaded_row, asyncio_row],
+        ["backend", "clients", "requests", "errors", "seconds", "qps",
+         "p50_ms", "p99_ms", "qps_vs_threaded"], floatfmt="{:.4f}")
+    write_result_table("service_load", table)
+
+    # Both backends answered the whole load, and answered it the same.
+    assert threaded_row["errors"] == 0
+    assert asyncio_row["errors"] == 0
+    assert threaded_payloads == asyncio_payloads
+    if BENCH_SERVICE_LOAD_SESSIONS >= 1000:
+        # Acceptance bar: the event loop must at least double the
+        # thread-per-connection throughput at 64+ keep-alive clients.
+        # Small CI smoke workloads run at reduced fan-in where the two
+        # designs are indistinguishable, so the bar applies at scale.
+        assert speedup >= MIN_ASYNCIO_SPEEDUP, \
+            f"asyncio only {speedup:.2f}x threaded qps " \
+            f"({asyncio_row['qps']:.0f} vs {threaded_row['qps']:.0f})"

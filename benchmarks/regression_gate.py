@@ -31,9 +31,16 @@ machine-speed normalizer:
   ``events.col`` payload vs the same scan through each segment's
   SQLite file.  The columnar side is pinned to the pure-python
   evaluator (``REPRO_COLUMNAR_NUMPY=0``) so the committed ratio is
-  comparable between machines with and without numpy (CI has none).
+  comparable between machines with and without numpy (CI has none);
+* *service_load* — the asyncio HTTP front end vs the legacy threaded
+  server answering the same 32-client keep-alive query load over the
+  same store (the acceptance bar at full fan-in is 2x the threaded
+  qps, i.e. a ratio well below 1; the gate holds the smoke-scale
+  ratio near its committed baseline).
 
 Absolute seconds are recorded in the baseline for information only.
+``--only NAME`` restricts a ``--check`` run to one metric (used by CI
+to verify the gate trips without paying for the whole suite).
 
 To verify the gate actually trips, inject an artificial slowdown into the
 optimized paths and expect a non-zero exit::
@@ -261,17 +268,85 @@ def measure_columnar() -> dict:
     }
 
 
+def measure_service_load() -> dict:
+    """Asyncio HTTP front end vs the threaded reference, keep-alive load.
+
+    Both backends serve the same store to the same 32-client keep-alive
+    query load (result cache primed, so the serving path dominates); the
+    threaded thread-per-connection server is the machine normalizer.
+    """
+    import threading
+
+    from repro.service import (AsyncThreatHuntingServer, QueryService,
+                               ServiceClient, ThreatHuntingServer,
+                               run_load)
+
+    events = generate_benign_noise(SESSIONS, seed=29)
+    queries = [
+        'proc p["%/usr/bin/ssh%"] connect ip i["10.9.%"] as e1 '
+        'return distinct p, i.dstip',
+        'proc p["%/bin/tar%"] read file f["%/etc/passwd%"] as e1 '
+        'return distinct p',
+    ]
+
+    def serve_and_load(backend: str) -> float:
+        store = DualStore()
+        store.load_events(events)
+        service = QueryService(store)
+        if backend == "asyncio":
+            server = AsyncThreatHuntingServer(("127.0.0.1", 0), service)
+        else:
+            server = ThreatHuntingServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        if backend == "asyncio":
+            server.wait_ready(10)
+        host, port = server.server_address[:2]
+        try:
+            with ServiceClient(f"http://{host}:{port}") as client:
+                for query in queries:
+                    client.query(query)   # prime the result cache
+            run_load(host, port, queries, clients=8,
+                     requests_per_client=2)   # warmup
+            best = float("inf")
+            for _ in range(ROUNDS):
+                result = run_load(host, port, queries, clients=32,
+                                  requests_per_client=8)
+                if result.errors:
+                    raise RuntimeError(
+                        f"{backend} load run had {result.errors} "
+                        f"error(s): {result.statuses}")
+                best = min(best, result.seconds)
+            return best
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+            store.close()
+
+    optimized = serve_and_load("asyncio") * INJECTED_SLOWDOWN
+    reference = serve_and_load("threaded")
+    return {
+        "optimized_seconds": optimized,
+        "reference_seconds": reference,
+        "ratio": optimized / reference,
+    }
+
+
 MEASUREMENTS = {
     "ingest": measure_ingest,
     "fuzzy": measure_fuzzy,
     "streaming": measure_streaming,
     "partitioned": measure_partitioned,
     "columnar": measure_columnar,
+    "service_load": measure_service_load,
 }
 
 
-def collect() -> dict:
-    metrics = {name: measure() for name, measure in MEASUREMENTS.items()}
+def collect(only: str | None = None) -> dict:
+    selected = MEASUREMENTS if only is None else {only: MEASUREMENTS[only]}
+    metrics = {name: measure() for name, measure in selected.items()}
     return {
         "sessions": SESSIONS,
         "rounds": ROUNDS,
@@ -292,13 +367,13 @@ def write_baseline() -> int:
     return 0
 
 
-def check() -> int:
+def check(only: str | None = None) -> int:
     if not BASELINE_PATH.is_file():
         print(f"ERROR: no baseline at {BASELINE_PATH}; run "
               f"--write-baseline first", file=sys.stderr)
         return 2
     baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
-    current = collect()
+    current = collect(only=only)
     failures = []
     print(f"benchmark regression gate (sessions={SESSIONS}, "
           f"tolerance={TOLERANCE:.0%}"
@@ -333,10 +408,17 @@ def main(argv: list[str] | None = None) -> int:
                             "(default)")
     group.add_argument("--write-baseline", action="store_true",
                        help="measure and (re)write the committed baseline")
+    parser.add_argument("--only", choices=sorted(MEASUREMENTS),
+                        help="measure a single metric (check mode only; "
+                             "other baseline entries are left unchecked)")
     args = parser.parse_args(argv)
     if args.write_baseline:
+        if args.only:
+            parser.error("--only cannot be combined with "
+                         "--write-baseline (the baseline is written "
+                         "whole)")
         return write_baseline()
-    return check()
+    return check(only=args.only)
 
 
 if __name__ == "__main__":

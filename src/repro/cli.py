@@ -291,12 +291,16 @@ def _load_rules_into(engine, rules_dir: str, prune: bool = False) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from .service import serve
+    from .service import DEFAULT_MAX_BODY_BYTES, serve
     from .storage import DualStore
 
     if args.rules and not args.live:
         print("[repro] error: --rules requires --live (standing rules "
               "need the detection engine)", file=sys.stderr)
+        return 2
+    if args.checkpoint and not args.live:
+        print("[repro] error: --checkpoint requires --live (only the "
+              "detection engine checkpoints)", file=sys.stderr)
         return 2
     engine = None
     if args.snapshot:
@@ -316,7 +320,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.live:
         from .streaming import DetectionEngine
         engine = DetectionEngine(store, max_alerts=args.max_alerts,
-                                 seal_every=args.seal_every)
+                                 seal_every=args.seal_every,
+                                 checkpoint_dir=args.checkpoint)
         if args.rules:
             count = _load_rules_into(engine, args.rules)
             print(f"[repro] {count} standing rule(s) loaded from "
@@ -326,20 +331,46 @@ def cmd_serve(args: argparse.Namespace) -> int:
                    result_cache_size=args.result_cache,
                    engine=engine, workers=args.workers,
                    scan_strategy=args.scan_strategy,
+                   backend=args.server_backend,
+                   exec_threads=args.exec_threads or None,
+                   queue_limit=args.queue_limit,
+                   max_body_bytes=(args.max_body_bytes
+                                   if args.max_body_bytes is not None
+                                   else DEFAULT_MAX_BODY_BYTES),
+                   read_timeout=args.read_timeout,
                    verbose=args.verbose)
     host, port = server.server_address[:2]
     endpoints = "POST /query, POST /hunt, GET /stats, GET /healthz"
     if engine is not None:
         endpoints += (", POST /ingest, POST /rules, DELETE /rules/{id}, "
                       "GET /rules, GET /alerts")
-    print(f"[repro] serving on http://{host}:{port} ({endpoints})",
-          file=sys.stderr)
+    print(f"[repro] serving on http://{host}:{port} "
+          f"[{args.server_backend}] ({endpoints})", file=sys.stderr)
+    if args.server_backend == "threaded":
+        # The asyncio backend installs its own loop signal handlers; the
+        # threaded one needs SIGTERM translated into the same clean exit
+        # path SIGINT already takes.
+        import signal
+
+        def _sigterm(signum, frame):   # pragma: no cover - signal path
+            raise KeyboardInterrupt
+
+        try:
+            signal.signal(signal.SIGTERM, _sigterm)
+        except ValueError:   # pragma: no cover - not the main thread
+            pass
     try:
         server.serve_forever()
     except KeyboardInterrupt:   # pragma: no cover - interactive shutdown
         print("[repro] shutting down", file=sys.stderr)
     finally:
+        # Drain in-flight requests, then release sockets and executor
+        # pools before sealing the live store so a checkpoint (when
+        # --live --checkpoint) captures a quiesced engine.
+        server.shutdown_gracefully()
         server.server_close()
+        if engine is not None:
+            engine.finalize()
         store.close()
     return 0
 
@@ -589,6 +620,32 @@ def build_parser() -> argparse.ArgumentParser:
                             "falls back to SQLite per segment when the "
                             "payload is absent), 'sqlite' always runs the "
                             "compiled pattern SQL")
+    serve.add_argument("--server-backend",
+                       choices=["asyncio", "threaded"], default="asyncio",
+                       help="HTTP front end: asyncio event loop with "
+                            "keep-alive connections, a bounded executor "
+                            "pool and admission-queue backpressure "
+                            "(default), or the legacy thread-per-"
+                            "connection server")
+    serve.add_argument("--exec-threads", type=int, default=0,
+                       help="asyncio backend: executor threads running "
+                            "TBQL off the event loop (0 = auto-size "
+                            "from the CPU count)")
+    serve.add_argument("--queue-limit", type=int, default=None,
+                       help="asyncio backend: admission-queue depth per "
+                            "lane before requests are answered 429 "
+                            "(default 64)")
+    serve.add_argument("--max-body-bytes", type=int, default=None,
+                       help="reject POST bodies larger than this with "
+                            "413 (default 8 MiB; both backends)")
+    serve.add_argument("--read-timeout", type=float, default=None,
+                       help="asyncio backend: close keep-alive "
+                            "connections idle or stalled longer than "
+                            "this many seconds (default 30)")
+    serve.add_argument("--checkpoint",
+                       help="with --live: checkpoint the detection "
+                            "engine into this directory on graceful "
+                            "shutdown")
     serve.add_argument("--seal-every", type=int, default=0,
                        help="with --live: seal the active segment after "
                             "this many stored flushes (0 = only at "

@@ -92,8 +92,12 @@ class ServiceError(ReproError):
     Attributes:
         status: the HTTP status code when the server answered with an error
             response, ``None`` for transport-level failures.
+        retry_after: seconds suggested by a ``Retry-After`` header (a 429
+            backpressure answer), ``None`` when the server sent none.
     """
 
-    def __init__(self, message: str, status: int | None = None) -> None:
+    def __init__(self, message: str, status: int | None = None,
+                 retry_after: float | None = None) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after

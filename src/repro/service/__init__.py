@@ -2,14 +2,25 @@
 
 ``repro snapshot`` persists an ingested dual store once;
 ``repro serve`` then answers many TBQL hunts against the shared read-only
-store — the always-on arrangement the paper's system is built for.
+store — the always-on arrangement the paper's system is built for.  Two
+HTTP front ends share one transport-agnostic :class:`QueryService` and
+one routing table (:func:`route`): the default asyncio backend
+(:class:`AsyncThreatHuntingServer` — keep-alive connections, a bounded
+executor pool, admission-queue backpressure) and the legacy
+thread-per-connection :class:`ThreatHuntingServer`.
 """
 
+from .aserver import (DEFAULT_EXEC_THREADS, DEFAULT_QUEUE_LIMIT,
+                      DEFAULT_READ_TIMEOUT, RETRY_AFTER_SECONDS,
+                      AsyncThreatHuntingServer)
 from .cache import LRUCache
 from .client import ServiceClient
-from .server import (DEFAULT_PLAN_CACHE_SIZE, DEFAULT_RESULT_CACHE_SIZE,
-                     QueryService, ServiceRequestHandler, ThreatHuntingServer,
-                     query_is_time_dependent, result_payload, serve)
+from .loadgen import LoadResult, run_load
+from .server import (DEFAULT_MAX_BODY_BYTES, DEFAULT_PLAN_CACHE_SIZE,
+                     DEFAULT_RESULT_CACHE_SIZE, QueryService,
+                     ServiceRequestHandler, ThreatHuntingServer,
+                     parse_json_body, query_is_time_dependent,
+                     result_payload, route, serve)
 
 __all__ = [
     "LRUCache",
@@ -17,9 +28,19 @@ __all__ = [
     "QueryService",
     "ServiceRequestHandler",
     "ThreatHuntingServer",
+    "AsyncThreatHuntingServer",
+    "LoadResult",
+    "run_load",
     "serve",
+    "route",
+    "parse_json_body",
     "query_is_time_dependent",
     "result_payload",
     "DEFAULT_PLAN_CACHE_SIZE",
     "DEFAULT_RESULT_CACHE_SIZE",
+    "DEFAULT_MAX_BODY_BYTES",
+    "DEFAULT_EXEC_THREADS",
+    "DEFAULT_QUEUE_LIMIT",
+    "DEFAULT_READ_TIMEOUT",
+    "RETRY_AFTER_SECONDS",
 ]

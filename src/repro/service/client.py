@@ -1,25 +1,47 @@
 """Stdlib HTTP client for the ``repro serve`` JSON API.
 
-A thin convenience wrapper over :mod:`urllib.request` — no sessions, no
-retries — matching the four endpoints of
-:class:`~repro.service.server.ThreatHuntingServer`.  Server-side errors
-(HTTP 4xx/5xx with a JSON ``{"error": ...}`` body) and transport failures
-both surface as :class:`~repro.errors.ServiceError`.
+A thin wrapper over :mod:`http.client` matching the endpoints of the
+query service.  Each thread using a client instance holds **one
+persistent keep-alive connection** (the connection object lives in
+thread-local storage), so a request train pays one TCP handshake instead
+of one per request; a connection the server has since closed (idle
+timeout, restart) is re-established transparently and the request is
+retried once — but only when the failure happened on a *reused* socket,
+so a genuinely unreachable server still fails fast and a request is
+never silently issued twice against a live one.
+
+Server-side errors (HTTP 4xx/5xx with a JSON ``{"error": ...}`` body)
+and transport failures both surface as
+:class:`~repro.errors.ServiceError`; a 429 backpressure answer carries
+the server's ``Retry-After`` hint on ``ServiceError.retry_after``.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
-from typing import Any
-from urllib import error as urllib_error
-from urllib import request as urllib_request
-from urllib.parse import quote
+import socket
+import threading
+from typing import Any, Optional
+from urllib.parse import quote, urlsplit
 
 from ..errors import ServiceError
+
+#: Transport failures that mean "the keep-alive socket went stale":
+#: safe to retry once on a fresh connection.
+_STALE_CONNECTION_ERRORS = (http.client.RemoteDisconnected,
+                            http.client.BadStatusLine,
+                            ConnectionResetError, BrokenPipeError,
+                            ConnectionAbortedError)
 
 
 class ServiceClient:
     """Client for a running threat-hunting query service.
+
+    Thread-safe: every thread gets its own keep-alive connection.  Call
+    :meth:`close` (or use the instance as a context manager) to release
+    the calling thread's connection; connections of other threads close
+    with their threads (or at GC).
 
     Args:
         base_url: e.g. ``"http://127.0.0.1:8787"``.
@@ -29,6 +51,14 @@ class ServiceClient:
     def __init__(self, base_url: str, timeout: float = 60.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        parts = urlsplit(self.base_url)
+        if parts.scheme not in ("http", "https") or not parts.hostname:
+            raise ValueError(f"invalid service URL: {base_url!r}")
+        self._scheme = parts.scheme
+        self._host = parts.hostname
+        self._port = parts.port or (443 if parts.scheme == "https"
+                                    else 80)
+        self._local = threading.local()
 
     # ------------------------------------------------------------------
     # endpoints
@@ -85,43 +115,106 @@ class ServiceClient:
         return self._get(path)
 
     # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the calling thread's keep-alive connection (if any)."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            self._local.connection = None
+            connection.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _connection(self) -> tuple[http.client.HTTPConnection, bool]:
+        """This thread's connection; second element: was it reused?"""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            return connection, True
+        if self._scheme == "https":   # pragma: no cover - no TLS in tests
+            connection = http.client.HTTPSConnection(
+                self._host, self._port, timeout=self.timeout)
+        else:
+            connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout)
+        self._local.connection = connection
+        return connection, False
+
+    # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
     def _get(self, path: str) -> dict:
-        return self._send(urllib_request.Request(self.base_url + path))
+        return self._send("GET", path)
 
     def _delete(self, path: str) -> dict:
-        return self._send(urllib_request.Request(self.base_url + path,
-                                                 method="DELETE"))
+        return self._send("DELETE", path)
 
     def _post(self, path: str, payload: dict) -> dict:
-        data = json.dumps(payload).encode("utf-8")
-        request = urllib_request.Request(
-            self.base_url + path, data=data,
-            headers={"Content-Type": "application/json"}, method="POST")
-        return self._send(request)
+        return self._send("POST", path,
+                          body=json.dumps(payload).encode("utf-8"))
 
-    def _send(self, request: urllib_request.Request) -> Any:
+    def _send(self, method: str, path: str,
+              body: Optional[bytes] = None) -> Any:
+        headers = {"Content-Type": "application/json"} \
+            if body is not None else {}
+        for attempt in (0, 1):
+            connection, reused = self._connection()
+            try:
+                connection.request(method, path, body=body,
+                                   headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except _STALE_CONNECTION_ERRORS as exc:
+                # The server closed our idle keep-alive socket (read
+                # timeout, restart).  Reconnect and retry exactly once —
+                # and only when the socket had served before, so a dead
+                # server is not hammered and a request that *might* have
+                # reached a live one is not replayed.
+                self.close()
+                if reused and attempt == 0:
+                    continue
+                raise ServiceError(
+                    f"service unreachable at {self.base_url}: "
+                    f"{exc}") from exc
+            except (http.client.HTTPException, socket.timeout,
+                    OSError) as exc:
+                self.close()
+                raise ServiceError(
+                    f"service unreachable at {self.base_url}: "
+                    f"{exc}") from exc
+            if response.will_close:
+                self.close()
+            return self._decode(response, raw)
+        raise AssertionError("unreachable")   # pragma: no cover
+
+    def _decode(self, response: http.client.HTTPResponse,
+                raw: bytes) -> Any:
+        if response.status >= 400:
+            try:
+                body = json.loads(raw.decode("utf-8"))
+                detail = str(body.get("error", body))
+            except (ValueError, UnicodeDecodeError):
+                detail = response.reason or "unknown error"
+            retry_after: float | None = None
+            header = response.getheader("Retry-After")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    retry_after = None
+            raise ServiceError(f"HTTP {response.status}: {detail}",
+                               status=response.status,
+                               retry_after=retry_after)
         try:
-            with urllib_request.urlopen(request,
-                                        timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib_error.HTTPError as exc:
-            detail = self._error_detail(exc)
-            raise ServiceError(f"HTTP {exc.code}: {detail}",
-                               status=exc.code) from exc
-        except urllib_error.URLError as exc:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
             raise ServiceError(
-                f"service unreachable at {self.base_url}: "
-                f"{exc.reason}") from exc
-
-    @staticmethod
-    def _error_detail(exc: urllib_error.HTTPError) -> str:
-        try:
-            body = json.loads(exc.read().decode("utf-8"))
-            return str(body.get("error", body))
-        except (ValueError, OSError):
-            return exc.reason or "unknown error"
+                f"invalid JSON response from {self.base_url}: "
+                f"{exc}") from exc
 
 
 __all__ = ["ServiceClient"]

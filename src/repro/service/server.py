@@ -10,9 +10,17 @@ then many clients hunt against the same provenance data concurrently.
   lexer/parser/semantic passes on repeat queries) and a bounded *result
   cache* keyed by query text (time-dependent queries — ``last N`` windows —
   are compiled per request and never result-cached).
+* :func:`route` maps one ``(method, path, body)`` triple onto the service
+  and returns the ``(status, payload)`` pair — the single routing table
+  shared by both HTTP front ends, which is what keeps their JSON
+  ``result`` payloads byte-identical.
 * :class:`ThreatHuntingServer` is a stdlib ``ThreadingHTTPServer`` exposing
   the JSON API: ``POST /query``, ``POST /hunt``, ``GET /stats``,
-  ``GET /healthz``.
+  ``GET /healthz`` — one thread per connection
+  (``repro serve --server-backend threaded``).
+* :class:`~repro.service.aserver.AsyncThreatHuntingServer` (the default
+  backend) serves the same API from an asyncio event loop with keep-alive
+  connections, a bounded executor pool, and admission-queue backpressure.
 
 When a :class:`~repro.streaming.engine.DetectionEngine` is attached
 (``repro serve --live``) the service additionally exposes the live
@@ -58,6 +66,11 @@ from .cache import LRUCache
 #: --result-cache``; zero disables the cache).
 DEFAULT_PLAN_CACHE_SIZE = 128
 DEFAULT_RESULT_CACHE_SIZE = 256
+
+#: Largest request body either HTTP front end accepts; beyond it the
+#: server answers ``413`` without reading the payload
+#: (``repro serve --max-body-bytes``).
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
 
 
 #: Per-step plan fields that depend on *when* a query ran rather than on the
@@ -123,6 +136,8 @@ class QueryService:
             self._read_guard = nullcontext
         self._hunt_lock = threading.Lock()
         self._counter_lock = threading.Lock()
+        self._idle = threading.Condition()
+        self._inflight = 0
         self._counters = {"queries": 0, "query_cache_hits": 0, "hunts": 0,
                           "ingests": 0, "errors": 0}
         self._started_at = time.time()
@@ -200,6 +215,29 @@ class QueryService:
         }
         if use_cache and cacheable:
             self.result_cache.put(text, (executed_version, response))
+        return response
+
+    def try_cached_query(self, text: str) -> Optional[dict]:
+        """Answer a query from the result cache alone; ``None`` on miss.
+
+        The hit path is a version-validated dict lookup — no parsing, no
+        store access, nothing that can block — so an event-loop front
+        end can serve hot queries inline without paying an executor
+        handoff; a miss falls back to the full :meth:`query` path (which
+        counts the request), leaving the counters identical to the
+        always-slow path.
+        """
+        self._check_data_version()
+        entry = self.result_cache.get(text)
+        if entry is None:
+            return None
+        cached_version, cached = entry
+        if cached_version != getattr(self.store, "data_version", None):
+            return None
+        self._bump("queries")
+        self._bump("query_cache_hits")
+        response = dict(cached)
+        response["cached"] = True
         return response
 
     def hunt(self, report_text: str, fuzzy_fallback: bool = False) -> dict:
@@ -338,6 +376,43 @@ class QueryService:
         with self._counter_lock:
             self._counters[counter] += 1
 
+    # ------------------------------------------------------------------
+    # in-flight request tracking (graceful-shutdown drain)
+    # ------------------------------------------------------------------
+    def _enter_request(self) -> None:
+        with self._idle:
+            self._inflight += 1
+
+    def _exit_request(self) -> None:
+        with self._idle:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._idle.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently being routed (any front end)."""
+        with self._idle:
+            return self._inflight
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no request is in flight; False on timeout.
+
+        Both HTTP front ends route every request through :func:`route`,
+        which tracks entry/exit here — so a server that has stopped
+        accepting work can drain what is already executing before
+        tearing the executor and the store down.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._inflight > 0:
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+            return True
+
     def _check_data_version(self) -> None:
         """Drop cached results when the store's data was replaced.
 
@@ -362,6 +437,113 @@ class QueryService:
         return self._extractor_instance
 
 
+def parse_json_body(raw: bytes) -> dict:
+    """Decode a request body into a JSON object; ``ValueError`` if not one.
+
+    The shared validation for every POST endpoint: a missing body, broken
+    JSON, and a non-object top level are all rejected with a structured
+    message the front ends answer as a 400.
+    """
+    if not raw:
+        raise ValueError("missing request body")
+    try:
+        body = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"invalid JSON body: {exc}") from exc
+    if not isinstance(body, dict):
+        raise ValueError("request body must be a JSON object")
+    return body
+
+
+def _route_get(service: QueryService, path: str,
+               query_string: str) -> tuple[int, Any]:
+    if path == "/healthz":
+        return 200, {"status": "ok"}
+    if path == "/stats":
+        return 200, service.stats()
+    if path == "/rules":
+        return 200, service.rules()
+    if path == "/alerts":
+        query = parse_qs(query_string)
+        try:
+            since_id = int(query.get("since_id", ["0"])[0])
+            limit_raw = query.get("limit", [None])[0]
+            limit = int(limit_raw) if limit_raw is not None else None
+        except ValueError:
+            return 400, {"error": "since_id/limit must be integers"}
+        return 200, service.alerts(since_id=since_id, limit=limit)
+    return 404, {"error": f"unknown path: {path}"}
+
+
+def _route_post(service: QueryService, path: str,
+                body: dict) -> tuple[int, Any]:
+    if path == "/query":
+        text = body.get("tbql")
+        if not isinstance(text, str) or not text.strip():
+            return 400, {"error": "missing 'tbql' query text"}
+        return 200, service.query(
+            text, use_cache=bool(body.get("use_cache", True)))
+    if path == "/hunt":
+        report = body.get("report")
+        if not isinstance(report, str) or not report.strip():
+            return 400, {"error": "missing 'report' text"}
+        return 200, service.hunt(
+            report, fuzzy_fallback=bool(body.get("fuzzy_fallback", False)))
+    if path == "/ingest":
+        log_text = body.get("log")
+        if not isinstance(log_text, str) or not log_text.strip():
+            return 400, {"error": "missing 'log' record text"}
+        return 200, service.ingest(log_text,
+                                   seal=bool(body.get("seal", True)))
+    if path == "/rules":
+        tbql = body.get("tbql")
+        if not isinstance(tbql, str) or not tbql.strip():
+            return 400, {"error": "missing 'tbql' rule text"}
+        rule_id = body.get("id")
+        if rule_id is not None and not isinstance(rule_id, str):
+            return 400, {"error": "'id' must be a string"}
+        return 200, service.add_rule(tbql, rule_id=rule_id)
+    return 404, {"error": f"unknown path: {path}"}
+
+
+def route(service: QueryService, method: str, target: str,
+          body: dict | None) -> tuple[int, dict]:
+    """Dispatch one request onto the service; returns (status, payload).
+
+    The single routing table shared by the threaded and asyncio front
+    ends: ``target`` is the raw request target (path plus optional query
+    string), ``body`` the parsed JSON object for POST requests (``None``
+    otherwise).  Library errors map to their 4xx status, anything else to
+    a 500 — a request can never take a connection down.  Entry/exit is
+    recorded on the service so graceful shutdown can drain in-flight
+    requests (:meth:`QueryService.wait_idle`).
+    """
+    parts = urlsplit(target)
+    path = parts.path
+    service._enter_request()
+    try:
+        if method == "GET":
+            return _route_get(service, path, parts.query)
+        if method == "POST":
+            return _route_post(service, path, body or {})
+        if method == "DELETE":
+            prefix = "/rules/"
+            if path.startswith(prefix) and len(path) > len(prefix):
+                return 200, service.delete_rule(unquote(path[len(prefix):]))
+            return 404, {"error": f"unknown path: {target}"}
+        return 404, {"error": f"unsupported method: {method}"}
+    except ReproError as exc:
+        service._bump("errors")
+        status = getattr(exc, "status", None)
+        return (status if isinstance(status, int) else 400,
+                {"error": str(exc)})
+    except Exception as exc:   # pragma: no cover - defensive
+        service._bump("errors")
+        return 500, {"error": f"internal error: {exc}"}
+    finally:
+        service._exit_request()
+
+
 class ServiceRequestHandler(BaseHTTPRequestHandler):
     """Routes the JSON API onto a shared :class:`QueryService`."""
 
@@ -376,108 +558,33 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # routing
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        parts = urlsplit(self.path)
-        if parts.path == "/healthz":
-            self._send(200, {"status": "ok"})
-        elif parts.path == "/stats":
-            self._guarded(self.service.stats)
-        elif parts.path == "/rules":
-            self._guarded(self.service.rules)
-        elif parts.path == "/alerts":
-            query = parse_qs(parts.query)
-            try:
-                since_id = int(query.get("since_id", ["0"])[0])
-                limit_raw = query.get("limit", [None])[0]
-                limit = int(limit_raw) if limit_raw is not None else None
-            except ValueError:
-                self._send(400, {"error": "since_id/limit must be integers"})
-                return
-            self._guarded(self.service.alerts, since_id=since_id,
-                          limit=limit)
-        else:
-            self._send(404, {"error": f"unknown path: {self.path}"})
+        self._send(*route(self.service, "GET", self.path, None))
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         try:
-            body = self._read_json()
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self._send(400, {"error": "invalid Content-Length header"})
+            return
+        limit = getattr(self.server, "max_body_bytes",
+                        DEFAULT_MAX_BODY_BYTES)
+        if length > limit:
+            # The payload is rejected *unread*: answer 413 and drop the
+            # connection instead of swallowing an arbitrarily large body.
+            self.close_connection = True
+            self._send(413, {"error": f"request body of {length} bytes "
+                                      f"exceeds the {limit}-byte limit"})
+            return
+        try:
+            body = parse_json_body(self.rfile.read(length)
+                                   if length > 0 else b"")
         except ValueError as exc:
             self._send(400, {"error": str(exc)})
             return
-        path = urlsplit(self.path).path
-        if path == "/query":
-            text = body.get("tbql")
-            if not isinstance(text, str) or not text.strip():
-                self._send(400, {"error": "missing 'tbql' query text"})
-                return
-            self._guarded(self.service.query, text,
-                          use_cache=bool(body.get("use_cache", True)))
-        elif path == "/hunt":
-            report = body.get("report")
-            if not isinstance(report, str) or not report.strip():
-                self._send(400, {"error": "missing 'report' text"})
-                return
-            self._guarded(
-                self.service.hunt, report,
-                fuzzy_fallback=bool(body.get("fuzzy_fallback", False)))
-        elif path == "/ingest":
-            log_text = body.get("log")
-            if not isinstance(log_text, str) or not log_text.strip():
-                self._send(400, {"error": "missing 'log' record text"})
-                return
-            self._guarded(self.service.ingest, log_text,
-                          seal=bool(body.get("seal", True)))
-        elif path == "/rules":
-            tbql = body.get("tbql")
-            if not isinstance(tbql, str) or not tbql.strip():
-                self._send(400, {"error": "missing 'tbql' rule text"})
-                return
-            rule_id = body.get("id")
-            if rule_id is not None and not isinstance(rule_id, str):
-                self._send(400, {"error": "'id' must be a string"})
-                return
-            self._guarded(self.service.add_rule, tbql, rule_id=rule_id)
-        else:
-            self._send(404, {"error": f"unknown path: {self.path}"})
+        self._send(*route(self.service, "POST", self.path, body))
 
     def do_DELETE(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        prefix = "/rules/"
-        path = urlsplit(self.path).path
-        if path.startswith(prefix) and len(path) > len(prefix):
-            self._guarded(self.service.delete_rule,
-                          unquote(path[len(prefix):]))
-        else:
-            self._send(404, {"error": f"unknown path: {self.path}"})
-
-    # ------------------------------------------------------------------
-    # helpers
-    # ------------------------------------------------------------------
-    def _guarded(self, handler: Any, *args: Any, **kwargs: Any) -> None:
-        """Run an endpoint, mapping library errors to 4xx and bugs to 500."""
-        try:
-            payload = handler(*args, **kwargs)
-        except ReproError as exc:
-            self.service._bump("errors")
-            status = getattr(exc, "status", None)
-            self._send(status if isinstance(status, int) else 400,
-                       {"error": str(exc)})
-        except Exception as exc:  # pragma: no cover - defensive
-            self.service._bump("errors")
-            self._send(500, {"error": f"internal error: {exc}"})
-        else:
-            self._send(200, payload)
-
-    def _read_json(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
-        if length <= 0:
-            raise ValueError("missing request body")
-        raw = self.rfile.read(length)
-        try:
-            body = json.loads(raw)
-        except json.JSONDecodeError as exc:
-            raise ValueError(f"invalid JSON body: {exc}") from exc
-        if not isinstance(body, dict):
-            raise ValueError("request body must be a JSON object")
-        return body
+        self._send(*route(self.service, "DELETE", self.path, None))
 
     def _send(self, status: int, payload: dict) -> None:
         data = json.dumps(payload).encode("utf-8")
@@ -503,12 +610,27 @@ class ThreatHuntingServer(ThreadingHTTPServer):
     """
 
     daemon_threads = True
+    #: Hold enough pending TCP connects for a load spike: a client burst
+    #: beyond the default backlog of 5 would otherwise sit in SYN retries.
+    request_queue_size = 256
 
     def __init__(self, address: tuple[str, int], service: QueryService,
-                 verbose: bool = False) -> None:
+                 verbose: bool = False,
+                 max_body_bytes: int = DEFAULT_MAX_BODY_BYTES) -> None:
         super().__init__(address, ServiceRequestHandler)
         self.service = service
         self.verbose = verbose
+        self.max_body_bytes = max_body_bytes
+
+    def shutdown_gracefully(self, drain_timeout: float = 30.0) -> bool:
+        """Stop accepting connections and drain in-flight requests.
+
+        Returns False when requests were still running at the timeout.
+        Safe to call after ``serve_forever`` already returned (SIGTERM
+        raised through the serving thread).
+        """
+        self.shutdown()
+        return self.service.wait_idle(drain_timeout)
 
     def server_close(self) -> None:
         super().server_close()
@@ -521,16 +643,44 @@ def serve(store: DualStore, host: str = "127.0.0.1", port: int = 8787,
           result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
           engine: "Optional[DetectionEngine]" = None,
           workers: int = 1, scan_strategy: str = "columnar",
-          verbose: bool = False) -> ThreatHuntingServer:
-    """Build a ready-to-run server (call ``serve_forever()`` on it)."""
+          backend: str = "asyncio", exec_threads: int | None = None,
+          queue_limit: int | None = None,
+          max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+          read_timeout: float | None = None,
+          verbose: bool = False) -> Any:
+    """Build a ready-to-run server (call ``serve_forever()`` on it).
+
+    ``backend`` picks the HTTP front end: ``"asyncio"`` (default — event
+    loop, keep-alive connections, bounded executor + admission-queue
+    backpressure) or ``"threaded"`` (the legacy thread-per-connection
+    stdlib server).  ``exec_threads`` / ``queue_limit`` / ``read_timeout``
+    only apply to the asyncio backend; ``max_body_bytes`` caps POST
+    bodies on both.
+    """
+    if backend not in ("asyncio", "threaded"):
+        raise ValueError(f"unknown server backend: {backend!r} "
+                         f"(expected 'asyncio' or 'threaded')")
     service = QueryService(store, use_scheduler=use_scheduler,
                            plan_cache_size=plan_cache_size,
                            result_cache_size=result_cache_size,
                            engine=engine, workers=workers,
                            scan_strategy=scan_strategy)
-    return ThreatHuntingServer((host, port), service, verbose=verbose)
+    if backend == "threaded":
+        return ThreatHuntingServer((host, port), service, verbose=verbose,
+                                   max_body_bytes=max_body_bytes)
+    from .aserver import AsyncThreatHuntingServer
+    kwargs: dict[str, Any] = {"verbose": verbose,
+                              "max_body_bytes": max_body_bytes}
+    if exec_threads is not None:
+        kwargs["exec_threads"] = exec_threads
+    if queue_limit is not None:
+        kwargs["queue_limit"] = queue_limit
+    if read_timeout is not None:
+        kwargs["read_timeout"] = read_timeout
+    return AsyncThreatHuntingServer((host, port), service, **kwargs)
 
 
 __all__ = ["QueryService", "ServiceRequestHandler", "ThreatHuntingServer",
-           "serve", "query_is_time_dependent", "result_payload",
-           "DEFAULT_PLAN_CACHE_SIZE", "DEFAULT_RESULT_CACHE_SIZE"]
+           "serve", "route", "parse_json_body", "query_is_time_dependent",
+           "result_payload", "DEFAULT_PLAN_CACHE_SIZE",
+           "DEFAULT_RESULT_CACHE_SIZE", "DEFAULT_MAX_BODY_BYTES"]

@@ -41,6 +41,40 @@ DATA_LEAK_EDGES = [
 ]
 
 
+#: The HTTP front ends the service tests run against.
+SERVER_BACKENDS = ["threaded", "asyncio"]
+
+
+def start_backend_server(service, backend, **kwargs):
+    """Start a server of the given backend on a daemon thread.
+
+    Returns ``(server, thread)``; stop with :func:`stop_backend_server`.
+    Both backends bind an ephemeral port in their constructor, so
+    ``server.server_address`` is valid immediately.
+    """
+    import threading
+
+    from repro.service import AsyncThreatHuntingServer, ThreatHuntingServer
+
+    if backend == "asyncio":
+        server = AsyncThreatHuntingServer(("127.0.0.1", 0), service,
+                                          **kwargs)
+    else:
+        server = ThreatHuntingServer(("127.0.0.1", 0), service, **kwargs)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    if backend == "asyncio":
+        assert server.wait_ready(10)
+    return server, thread
+
+
+def stop_backend_server(server, thread) -> None:
+    """Shut a test server down and release its resources."""
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
 def record_data_leak_attack(collector: AuditCollector) -> None:
     """Replay the data-leak attack steps through a collector."""
     tar = collector.spawn_process("/bin/tar")

@@ -9,20 +9,19 @@ from a snapshot.  Also covers the compiled-plan and result caches, the
 from __future__ import annotations
 
 import json
-import threading
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
 from repro.errors import ServiceError
 from repro.service import (LRUCache, QueryService, ServiceClient,
-                           ThreatHuntingServer, query_is_time_dependent,
-                           result_payload)
+                           query_is_time_dependent, result_payload)
 from repro.storage import DualStore
 from repro.tbql.executor import TBQLExecutor
 from repro.tbql.parser import parse_tbql
 
-from .conftest import DATA_LEAK_EDGES, DATA_LEAK_TEXT
+from .conftest import (DATA_LEAK_EDGES, DATA_LEAK_TEXT, SERVER_BACKENDS,
+                       start_backend_server, stop_backend_server)
 from .test_tbql_join_equivalence import EQUIVALENCE_CORPUS
 
 #: A query whose resolution depends on the wall clock ("last N" window).
@@ -42,21 +41,16 @@ def served_store(data_leak_events, tmp_path_factory):
     reopened.close()
 
 
-@pytest.fixture(scope="module")
-def service(served_store):
-    return QueryService(served_store)
-
-
-@pytest.fixture(scope="module")
-def client(service):
-    server = ThreatHuntingServer(("127.0.0.1", 0), service)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
+@pytest.fixture(scope="module", params=SERVER_BACKENDS)
+def client(request, served_store):
+    """A client against each HTTP front end — the whole endpoint and
+    correctness suite runs once per backend."""
+    service = QueryService(served_store)
+    server, thread = start_backend_server(service, request.param)
     host, port = server.server_address[:2]
-    yield ServiceClient(f"http://{host}:{port}")
-    server.shutdown()
-    server.server_close()
-    thread.join(timeout=5)
+    with ServiceClient(f"http://{host}:{port}") as client:
+        yield client
+    stop_backend_server(server, thread)
 
 
 class TestEndpoints:

@@ -10,7 +10,6 @@ multi-reader lock.
 
 from __future__ import annotations
 
-import threading
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -18,9 +17,12 @@ import pytest
 from repro.audit import AuditCollector, CollectorConfig
 from repro.audit.logfmt import format_log
 from repro.errors import ServiceError
-from repro.service import QueryService, ServiceClient, ThreatHuntingServer
+from repro.service import QueryService, ServiceClient
 from repro.storage import DualStore
 from repro.streaming import DetectionEngine, FlushPolicy
+
+from .conftest import (SERVER_BACKENDS, start_backend_server,
+                       stop_backend_server)
 
 EXFIL_RULE = ('proc p["%/bin/tar%"] read file f["%/etc/passwd%"] as e1 '
               'proc q["%/usr/bin/curl%"] connect ip i as e2 '
@@ -41,22 +43,18 @@ def _attack_log_parts() -> tuple[str, str]:
     return format_log(first), format_log(second)
 
 
-@pytest.fixture()
-def live_server():
+@pytest.fixture(params=SERVER_BACKENDS)
+def live_server(request):
     store = DualStore()
     engine = DetectionEngine(store,
                              policy=FlushPolicy(max_events=1,
                                                 max_seconds=0))
     service = QueryService(store, engine=engine)
-    server = ThreatHuntingServer(("127.0.0.1", 0), service)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
+    server, thread = start_backend_server(service, request.param)
     host, port = server.server_address[:2]
-    client = ServiceClient(f"http://{host}:{port}")
-    yield client, service, engine
-    server.shutdown()
-    server.server_close()
-    thread.join(timeout=5)
+    with ServiceClient(f"http://{host}:{port}") as client:
+        yield client, service, engine
+    stop_backend_server(server, thread)
     store.close()
 
 
@@ -213,12 +211,11 @@ class TestAlertsValidation:
 
 
 class TestStreamingDisabled:
-    def test_endpoints_answer_409_without_engine(self):
+    @pytest.mark.parametrize("backend", SERVER_BACKENDS)
+    def test_endpoints_answer_409_without_engine(self, backend):
         store = DualStore()
         service = QueryService(store)
-        server = ThreatHuntingServer(("127.0.0.1", 0), service)
-        thread = threading.Thread(target=server.serve_forever, daemon=True)
-        thread.start()
+        server, thread = start_backend_server(service, backend)
         host, port = server.server_address[:2]
         client = ServiceClient(f"http://{host}:{port}")
         try:
