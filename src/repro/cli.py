@@ -440,6 +440,7 @@ def cmd_rules(args: argparse.Namespace) -> int:
             rule = compile_rule(args.tbql, "cli")
         except Exception as exc:    # ReproError subclasses
             print(f"invalid: {exc}")
+            _print_diagnostic(exc)
             return 1
         kind = "time-dependent" if rule.time_dependent else "static"
         print(f"ok ({len(rule.parsed.patterns)} pattern(s), {kind})")
@@ -457,8 +458,18 @@ def cmd_rules(args: argparse.Namespace) -> int:
         else:
             failures += 1
             print(f"  {rule_id:<24} ERROR {error}")
+            _print_diagnostic(error, indent=" " * 28)
     print(f"{len(entries) - failures}/{len(entries)} rule(s) valid")
     return 1 if failures else 0
+
+
+def _print_diagnostic(error: object, indent: str = "  ") -> None:
+    """Print a parse error's source-context line and caret, if present."""
+    diagnostic = getattr(error, "diagnostic", None)
+    if diagnostic is None or not diagnostic.context:
+        return
+    print(f"{indent}{diagnostic.context}")
+    print(f"{indent}{diagnostic.caret_line()}")
 
 
 def cmd_query(args: argparse.Namespace) -> int:
@@ -474,7 +485,16 @@ def cmd_query(args: argparse.Namespace) -> int:
                               workers=args.workers,
                               scan_strategy=args.scan_strategy)
     tbql = args.tbql if args.tbql else _read_text(args.query_file)
-    result = raptor.execute_tbql(tbql)
+    from .errors import TBQLError
+    try:
+        result = raptor.execute_tbql(tbql)
+    except TBQLError as exc:
+        print(f"invalid TBQL: {exc}", file=sys.stderr)
+        diagnostic = getattr(exc, "diagnostic", None)
+        if diagnostic is not None:
+            print(diagnostic.render(), file=sys.stderr)
+        raptor.store.close()
+        return 2
     print(f"=== {len(result.rows)} result row(s) ===")
     for row in result.rows:
         print(" ", row)
@@ -501,7 +521,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     synthesize = subparsers.add_parser(
         "synthesize", help="synthesize a TBQL query from OSCTI text")
-    synthesize.add_argument("--report", required=True)
+    synthesize.add_argument("--report", required=True,
+                            help="path to the OSCTI report text file")
     synthesize.add_argument("--path-patterns", action="store_true",
                             help="synthesize variable-length path patterns")
     synthesize.add_argument("--length1", action="store_true",
@@ -510,7 +531,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     hunt = subparsers.add_parser(
         "hunt", help="extract, synthesize, and execute against an audit log")
-    hunt.add_argument("--report", required=True)
+    hunt.add_argument("--report", required=True,
+                      help="path to the OSCTI report text file")
     hunt.add_argument("--log", required=True,
                       help="path to an auditd-style log file")
     hunt.add_argument("--fuzzy-fallback", action="store_true",
@@ -731,7 +753,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "falls back to SQLite per segment when the "
                             "payload is absent), 'sqlite' always runs the "
                             "compiled pattern SQL")
-    query.add_argument("--no-reduction", action="store_true")
+    query.add_argument("--no-reduction", action="store_true",
+                       help="disable data reduction at ingestion time")
     query.add_argument("--explain", action="store_true",
                        help="print the structured per-step execution plan "
                             "(backend, pruning score, candidate pushdown, "

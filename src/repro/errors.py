@@ -45,16 +45,21 @@ class TBQLSyntaxError(TBQLError):
     Attributes:
         line: 1-based line of the offending token (when known).
         column: 1-based column of the offending token (when known).
+        diagnostic: the structured
+            :class:`~repro.tbql.diagnostics.ParseDiagnostic` (message,
+            line, column, source-context line) when the raiser had the
+            source text at hand, else ``None``.
     """
 
     def __init__(self, message: str, line: int | None = None,
-                 column: int | None = None) -> None:
+                 column: int | None = None, diagnostic=None) -> None:
         location = ""
         if line is not None:
             location = f" (line {line}, column {column})"
         super().__init__(message + location)
         self.line = line
         self.column = column
+        self.diagnostic = diagnostic
 
 
 class TBQLSemanticError(TBQLError):
@@ -94,10 +99,14 @@ class ServiceError(ReproError):
             response, ``None`` for transport-level failures.
         retry_after: seconds suggested by a ``Retry-After`` header (a 429
             backpressure answer), ``None`` when the server sent none.
+        diagnostic: the structured parse-error dict (message, line,
+            column, context) from a 400 payload, ``None`` otherwise.
     """
 
     def __init__(self, message: str, status: int | None = None,
-                 retry_after: float | None = None) -> None:
+                 retry_after: float | None = None,
+                 diagnostic: dict | None = None) -> None:
         super().__init__(message)
         self.status = status
         self.retry_after = retry_after
+        self.diagnostic = diagnostic

@@ -194,9 +194,13 @@ class ServiceClient:
     def _decode(self, response: http.client.HTTPResponse,
                 raw: bytes) -> Any:
         if response.status >= 400:
+            diagnostic: dict | None = None
             try:
                 body = json.loads(raw.decode("utf-8"))
                 detail = str(body.get("error", body))
+                if isinstance(body, dict) and \
+                        isinstance(body.get("diagnostic"), dict):
+                    diagnostic = body["diagnostic"]
             except (ValueError, UnicodeDecodeError):
                 detail = response.reason or "unknown error"
             retry_after: float | None = None
@@ -208,7 +212,8 @@ class ServiceClient:
                     retry_after = None
             raise ServiceError(f"HTTP {response.status}: {detail}",
                                status=response.status,
-                               retry_after=retry_after)
+                               retry_after=retry_after,
+                               diagnostic=diagnostic)
         try:
             return json.loads(raw.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:

@@ -535,8 +535,11 @@ def route(service: QueryService, method: str, target: str,
     except ReproError as exc:
         service._bump("errors")
         status = getattr(exc, "status", None)
-        return (status if isinstance(status, int) else 400,
-                {"error": str(exc)})
+        payload: dict = {"error": str(exc)}
+        diagnostic = getattr(exc, "diagnostic", None)
+        if diagnostic is not None:
+            payload["diagnostic"] = diagnostic.as_dict()
+        return (status if isinstance(status, int) else 400, payload)
     except Exception as exc:   # pragma: no cover - defensive
         service._bump("errors")
         return 500, {"error": f"internal error: {exc}"}

@@ -5,15 +5,18 @@ graphs, compilation to SQL / Cypher data queries, pruning-score scheduling,
 the exact execution engine, and the fuzzy (Poirot-extended) search mode.
 """
 
+from .aggregate import AGGREGATION_STRATEGIES, apply_aggregation
 from .ast import (AttributeComparison, AttributeRelation, BareValueFilter,
                   BooleanFilter, EntityDecl, EventPattern, MembershipFilter,
                   OperationAtom, OperationPath, ReturnClause, ReturnItem,
-                  TBQLQuery, TemporalRelation, TimeWindow)
+                  SequenceLink, TBQLQuery, TemporalRelation, TimeWindow)
 from .compiler_cypher import compile_giant_cypher, compile_pattern_cypher
 from .compiler_sql import compile_giant_sql, compile_pattern_sql
 from .conciseness import (ConcisenessMetrics, compare_conciseness,
                           measure_conciseness)
-from .executor import PatternMatch, QueryResult, TBQLExecutor
+from .diagnostics import ParseDiagnostic, make_diagnostic
+from .executor import (NEGATION_STRATEGIES, PatternMatch, QueryResult,
+                       TBQLExecutor)
 from .formatter import format_pattern, format_query
 from .fuzzy import (Alignment, FuzzySearcher, FuzzySearchResult,
                     levenshtein_distance, string_similarity)
@@ -21,12 +24,14 @@ from .lexer import tokenize
 from .parser import OPERATION_NAMES, TBQLParser, parse_tbql
 from .poirot import PoirotSearcher
 from .scheduler import ScheduledStep, naive_schedule, pruning_score, schedule
-from .semantics import (ResolvedPattern, ResolvedQuery, resolve_query,
-                        parse_datetime)
+from .semantics import (ResolvedAggregation, ResolvedPattern, ResolvedQuery,
+                        resolve_query, parse_datetime)
 from .synthesis import (SynthesisPlan, SynthesizedQuery, TBQLSynthesizer,
                         synthesize_tbql)
 
 __all__ = [
+    "AGGREGATION_STRATEGIES",
+    "apply_aggregation",
     "AttributeComparison",
     "AttributeRelation",
     "BareValueFilter",
@@ -38,6 +43,7 @@ __all__ = [
     "OperationPath",
     "ReturnClause",
     "ReturnItem",
+    "SequenceLink",
     "TBQLQuery",
     "TemporalRelation",
     "TimeWindow",
@@ -48,6 +54,9 @@ __all__ = [
     "ConcisenessMetrics",
     "compare_conciseness",
     "measure_conciseness",
+    "NEGATION_STRATEGIES",
+    "ParseDiagnostic",
+    "make_diagnostic",
     "PatternMatch",
     "QueryResult",
     "TBQLExecutor",
@@ -67,6 +76,7 @@ __all__ = [
     "naive_schedule",
     "pruning_score",
     "schedule",
+    "ResolvedAggregation",
     "ResolvedPattern",
     "ResolvedQuery",
     "resolve_query",

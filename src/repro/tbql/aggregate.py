@@ -1,0 +1,109 @@
+"""Post-join aggregation for TBQL v2 (``count()`` / ``group by`` / ``top``).
+
+Aggregation runs over the *joined* result rows, after the scatter-gather
+stage has merged per-segment partial results back into the monolithic
+``(start_time, event_id)`` order and the join has enumerated assignments
+in its canonical order.  Every partial contribution a segment scan made is
+therefore re-combined here exactly once, which is what keeps aggregated
+results byte-identical across storage layouts, worker counts, and scan
+strategies — the partitioned equivalence corpus pins this.
+
+Two accumulation strategies are kept behind a flag, mirroring the join's
+hash/backtracking pair:
+
+* ``"hash"`` (default): one dict keyed by the group tuple, O(rows);
+* ``"scan"``: the naive reference — a linear list lookup per row,
+  O(rows x groups), retained for the differential equivalence corpus.
+
+Both accumulate in row order (first-seen group order), so even sort-key
+ties between distinct groups order identically under either strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .semantics import ResolvedAggregation
+
+#: Valid ``aggregation_strategy`` arguments.
+AGGREGATION_STRATEGIES = ("hash", "scan")
+
+#: Name of the aggregate output column.
+COUNT_COLUMN = "count"
+
+
+def _group_key(row: dict[str, Any],
+               group_by: list[tuple[str, str]]) -> tuple:
+    return tuple(row.get(f"{entity_id}.{attribute}")
+                 for entity_id, attribute in group_by)
+
+
+def _order_key(key: tuple) -> tuple:
+    """Deterministic total order over heterogeneous group-key tuples."""
+    return tuple((value is None, str(value), type(value).__name__)
+                 for value in key)
+
+
+def _count_hash(rows: list[dict[str, Any]],
+                group_by: list[tuple[str, str]]) -> dict[tuple, int]:
+    counts: dict[tuple, int] = {}
+    for row in rows:
+        key = _group_key(row, group_by)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def _count_scan(rows: list[dict[str, Any]],
+                group_by: list[tuple[str, str]]) -> dict[tuple, int]:
+    """Naive reference accumulator: linear lookup, no hashing."""
+    keys: list[tuple] = []
+    counts: list[int] = []
+    for row in rows:
+        key = _group_key(row, group_by)
+        for index, existing in enumerate(keys):
+            if existing == key:
+                counts[index] += 1
+                break
+        else:
+            keys.append(key)
+            counts.append(1)
+    return dict(zip(keys, counts))
+
+
+def apply_aggregation(rows: list[dict[str, Any]],
+                      aggregation: Optional[ResolvedAggregation],
+                      strategy: str = "hash") -> list[dict[str, Any]]:
+    """Collapse joined rows into one row per group.
+
+    Output rows follow the declared return-item order (``count()`` where
+    it appeared); groups are ordered by descending count, then ascending
+    group key, and truncated to ``top_n`` when set.
+    """
+    if aggregation is None:
+        return rows
+    if strategy not in AGGREGATION_STRATEGIES:
+        raise ValueError(
+            f"unknown aggregation strategy: {strategy!r} "
+            f"(expected one of {', '.join(AGGREGATION_STRATEGIES)})")
+    accumulate = _count_hash if strategy == "hash" else _count_scan
+    counted = accumulate(rows, aggregation.group_by)
+    groups = sorted(counted.items(),
+                    key=lambda item: (-item[1], _order_key(item[0])))
+    if aggregation.top_n is not None:
+        groups = groups[:aggregation.top_n]
+    position = {pair: index
+                for index, pair in enumerate(aggregation.group_by)}
+    out_rows: list[dict[str, Any]] = []
+    for key, count in groups:
+        row: dict[str, Any] = {}
+        for pair in aggregation.output:
+            if pair is None:
+                row[COUNT_COLUMN] = count
+            else:
+                entity_id, attribute = pair
+                row[f"{entity_id}.{attribute}"] = key[position[pair]]
+        out_rows.append(row)
+    return out_rows
+
+
+__all__ = ["AGGREGATION_STRATEGIES", "COUNT_COLUMN", "apply_aggregation"]

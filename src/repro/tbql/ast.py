@@ -129,7 +129,12 @@ class TimeWindow:
 
 @dataclass(frozen=True)
 class EventPattern:
-    """One TBQL pattern: subject entity, operation (or path), object entity."""
+    """One TBQL pattern: subject entity, operation (or path), object entity.
+
+    ``negated`` marks an absence pattern (``and not <pattern>``): the query
+    matches only when no event satisfies the pattern alongside the positive
+    bindings (an anti-join against the candidate set).
+    """
 
     subject: EntityDecl
     obj: EntityDecl
@@ -138,10 +143,28 @@ class EventPattern:
     pattern_id: Optional[str] = None
     pattern_filter: Optional[AttributeFilter] = None
     window: Optional[TimeWindow] = None
+    negated: bool = False
 
     @property
     def is_path_pattern(self) -> bool:
         return self.path is not None
+
+
+@dataclass(frozen=True)
+class SequenceLink:
+    """``<pattern> then[30 sec] <pattern>`` — a temporal sequence edge.
+
+    Recorded by pattern *index* at parse time (pattern ids may still be
+    auto-assigned); semantic resolution rewrites it into a ``then``
+    :class:`TemporalRelation` between the resolved pattern ids.  ``max_gap``
+    (in ``unit``) bounds the gap between the left pattern's end and the
+    right pattern's start; ``None`` means ordered with no gap bound.
+    """
+
+    left_index: int
+    right_index: int
+    max_gap: Optional[float] = None
+    unit: Optional[str] = None
 
 
 # --------------------------------------------------------------------------
@@ -151,10 +174,15 @@ class EventPattern:
 
 @dataclass(frozen=True)
 class TemporalRelation:
-    """``with evt1 before[0-5 min] evt2`` style temporal constraint."""
+    """``with evt1 before[0-5 min] evt2`` style temporal constraint.
+
+    ``kind == "then"`` is the resolved form of a :class:`SequenceLink`:
+    strict ordering (left ends no later than right starts) with an
+    optional ``max_gap`` bound — strictly stronger than a shared window.
+    """
 
     left: str
-    kind: str                          # "before", "after", "within"
+    kind: str                          # "before", "after", "within", "then"
     right: str
     min_gap: Optional[float] = None
     max_gap: Optional[float] = None
@@ -175,20 +203,36 @@ PatternRelation = Union[TemporalRelation, AttributeRelation]
 
 @dataclass(frozen=True)
 class ReturnItem:
-    """A return item: ``p1`` (default attribute) or ``p1.exename``."""
+    """A return item: ``p1``, ``p1.exename``, or the aggregate ``count()``.
 
-    entity_id: str
+    ``aggregate == "count"`` marks a ``count()`` item; its ``entity_id``
+    is ``None``.
+    """
+
+    entity_id: Optional[str]
     attribute: Optional[str] = None
+    aggregate: Optional[str] = None
 
     def dotted(self) -> str:
+        if self.aggregate is not None:
+            return f"{self.aggregate}()"
         return f"{self.entity_id}.{self.attribute}" if self.attribute \
             else self.entity_id
 
 
 @dataclass(frozen=True)
 class ReturnClause:
+    """``return [distinct] items [group by items] [top N]``.
+
+    ``group_by`` names the grouping keys of an aggregating return clause
+    (empty when the clause has no explicit ``group by``); ``top_n`` keeps
+    only the N most frequent groups.
+    """
+
     items: tuple[ReturnItem, ...]
     distinct: bool = False
+    group_by: tuple[ReturnItem, ...] = ()
+    top_n: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -207,6 +251,8 @@ class TBQLQuery:
     relations: list[PatternRelation] = field(default_factory=list)
     return_clause: Optional[ReturnClause] = None
     global_filters: list[GlobalFilter] = field(default_factory=list)
+    #: ``then`` edges between adjacent patterns, by pattern index.
+    sequence_links: list[SequenceLink] = field(default_factory=list)
 
     def pattern_ids(self) -> list[str]:
         return [pattern.pattern_id for pattern in self.patterns
@@ -237,6 +283,7 @@ __all__ = [
     "EntityDecl",
     "TimeWindow",
     "EventPattern",
+    "SequenceLink",
     "TemporalRelation",
     "AttributeRelation",
     "PatternRelation",

@@ -185,7 +185,22 @@ def compile_pattern_cypher(pattern: ResolvedPattern, query: ResolvedQuery,
 
 
 def compile_giant_cypher(query: ResolvedQuery) -> str:
-    """Compile the whole query into one Cypher statement (RQ4 baseline)."""
+    """Compile the whole query into one Cypher statement (RQ4 baseline).
+
+    The mini-Cypher dialect has no ``NOT EXISTS`` subqueries and no
+    aggregation, so ``and not`` absence patterns and ``count()`` queries
+    cannot be expressed as a single statement; both raise.  (Negated
+    *path* patterns still execute on the graph backend through
+    :func:`compile_pattern_cypher` — the executor owns the anti-join.)
+    """
+    if any(pattern.negated for pattern in query.patterns):
+        raise TBQLSemanticError(
+            "the single-statement Cypher baseline cannot express 'and "
+            "not' absence patterns (mini-Cypher has no NOT EXISTS)")
+    if query.aggregation is not None:
+        raise TBQLSemanticError(
+            "the single-statement Cypher baseline cannot express "
+            "count() aggregation (mini-Cypher has no aggregation)")
     matches: list[str] = []
     where: list[str] = []
     declared: set[str] = set()
@@ -216,7 +231,9 @@ def compile_giant_cypher(query: ResolvedQuery) -> str:
 
 def _temporal_cypher(relation: TemporalRelation) -> str:
     from .parser import TIME_UNIT_SECONDS
-    if relation.kind == "before":
+    # "then" (resolved sequence operator) orders like "before"; bounded
+    # gaps degrade identically in this dialect (see below).
+    if relation.kind in ("before", "then"):
         clause = f"{relation.left}.end_time <= {relation.right}.start_time"
         if relation.max_gap is not None:
             scale = TIME_UNIT_SECONDS[relation.unit]

@@ -149,12 +149,19 @@ def compile_pattern_sql(pattern: ResolvedPattern, query: ResolvedQuery,
 
 
 def compile_giant_sql(query: ResolvedQuery) -> SQLQuery:
-    """Compile the whole query into one SQL statement (the RQ4 baseline)."""
+    """Compile the whole query into one SQL statement (the RQ4 baseline).
+
+    ``and not`` absence patterns become correlated ``NOT EXISTS``
+    subqueries; ``count()`` / ``group by`` / ``top`` become
+    ``GROUP BY`` / ``COUNT(*)`` / ``ORDER BY .. LIMIT``.
+    """
     params: list[Any] = []
     from_parts: list[str] = []
     clauses: list[str] = []
     alias_of_entity: dict[str, str] = {}
     for pattern in query.patterns:
+        if pattern.negated:
+            continue
         index = pattern.index + 1
         event_alias, subject_alias, object_alias = (f"e{index}", f"s{index}",
                                                     f"o{index}")
@@ -171,6 +178,10 @@ def compile_giant_sql(query: ResolvedQuery) -> SQLQuery:
                 alias_of_entity[entity.entity_id] = alias
             else:
                 clauses.append(f"{existing}.id = {alias}.id")
+    for pattern in query.patterns:
+        if pattern.negated:
+            clauses.append(_negation_clause(pattern, query, alias_of_entity,
+                                            params))
     clauses.extend(_temporal_clauses(query))
     clauses.extend(_attribute_relation_clauses(query, alias_of_entity))
     select_items = []
@@ -179,11 +190,48 @@ def compile_giant_sql(query: ResolvedQuery) -> SQLQuery:
         select_items.append(
             f"{_column_for(alias, attribute)} AS "
             f"{entity_id}_{attribute}")
+    if query.aggregation is not None:
+        group_cols = ", ".join(
+            _column_for(alias_of_entity[entity_id], attribute)
+            for entity_id, attribute in query.aggregation.group_by)
+        select = select_items + ["COUNT(*) AS count"]
+        sql = ("SELECT " + ", ".join(select) +
+               " FROM " + ", ".join(from_parts) +
+               " WHERE " + " AND ".join(clauses))
+        if group_cols:
+            sql += (f" GROUP BY {group_cols}"
+                    f" ORDER BY count DESC, {group_cols}")
+        if query.aggregation.top_n is not None:
+            sql += f" LIMIT {query.aggregation.top_n}"
+        return SQLQuery(sql=sql, params=params)
     distinct = "DISTINCT " if query.distinct else ""
     sql = (f"SELECT {distinct}" + ", ".join(select_items) +
            " FROM " + ", ".join(from_parts) +
            " WHERE " + " AND ".join(clauses))
     return SQLQuery(sql=sql, params=params)
+
+
+def _negation_clause(pattern: ResolvedPattern, query: ResolvedQuery,
+                     alias_of_entity: dict[str, str],
+                     params: list[Any]) -> str:
+    """Render one ``and not`` pattern as a correlated NOT EXISTS."""
+    index = pattern.index + 1
+    event_alias, subject_alias, object_alias = (f"ne{index}", f"ns{index}",
+                                                f"no{index}")
+    inner = _pattern_clauses(pattern, query, event_alias, subject_alias,
+                             object_alias, params)
+    for entity, alias in ((pattern.subject, subject_alias),
+                          (pattern.obj, object_alias)):
+        outer = alias_of_entity.get(entity.entity_id)
+        if outer is not None:
+            inner.append(f"{alias}.id = {outer}.id")
+    return ("NOT EXISTS (SELECT 1 "
+            f"FROM events {event_alias} "
+            f"JOIN entities {subject_alias} "
+            f"ON {event_alias}.subject_id = {subject_alias}.id "
+            f"JOIN entities {object_alias} "
+            f"ON {event_alias}.object_id = {object_alias}.id "
+            "WHERE " + " AND ".join(inner) + ")")
 
 
 def _temporal_clauses(query: ResolvedQuery) -> list[str]:
@@ -198,7 +246,9 @@ def _temporal_clauses(query: ResolvedQuery) -> list[str]:
 def _temporal_sql(relation: TemporalRelation, left_alias: str,
                   right_alias: str) -> str:
     from .parser import TIME_UNIT_SECONDS
-    if relation.kind == "before":
+    # "then" (resolved sequence operator) evaluates as a gap-bounded
+    # "before": strict ordering plus an optional bound on the gap.
+    if relation.kind in ("before", "then"):
         clause = f"{left_alias}.end_time <= {right_alias}.start_time"
         if relation.max_gap is not None:
             scale = TIME_UNIT_SECONDS[relation.unit]

@@ -1,0 +1,65 @@
+"""Structured parse diagnostics for TBQL.
+
+A failed lex or parse produces a :class:`ParseDiagnostic` — message,
+1-based line/column, and the offending source line with a caret — instead
+of a bare message string.  The diagnostic travels on
+:class:`~repro.errors.TBQLSyntaxError` so every consumer (``repro query``,
+``repro rules``, the ``POST /query`` / ``POST /rules`` 400 payloads)
+renders the same pinpointed error without re-parsing anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ParseDiagnostic:
+    """One structured parse error location.
+
+    Attributes:
+        message: what went wrong, without any location prefix.
+        line: 1-based source line of the offending token.
+        column: 1-based column of the offending token.
+        context: the full text of source line ``line`` (empty when the
+            location points past the end of the source).
+    """
+
+    message: str
+    line: int
+    column: int
+    context: str
+
+    def caret_line(self) -> str:
+        """Whitespace padding plus a ``^`` under column ``column``."""
+        return " " * max(self.column - 1, 0) + "^"
+
+    def render(self) -> str:
+        """Multi-line human rendering: message, context line, caret."""
+        header = f"line {self.line}, column {self.column}: {self.message}"
+        if not self.context:
+            return header
+        return f"{header}\n  {self.context}\n  {self.caret_line()}"
+
+    def as_dict(self) -> dict:
+        """JSON-ready view for service error payloads."""
+        return {"message": self.message, "line": self.line,
+                "column": self.column, "context": self.context}
+
+
+def source_line(source: str, line: int) -> str:
+    """Return 1-based line ``line`` of ``source`` (``""`` out of range)."""
+    lines = source.splitlines()
+    if 1 <= line <= len(lines):
+        return lines[line - 1]
+    return ""
+
+
+def make_diagnostic(source: str, message: str, line: int,
+                    column: int) -> ParseDiagnostic:
+    """Build a diagnostic with the context line extracted from ``source``."""
+    return ParseDiagnostic(message=message, line=line, column=column,
+                           context=source_line(source, line))
+
+
+__all__ = ["ParseDiagnostic", "make_diagnostic", "source_line"]

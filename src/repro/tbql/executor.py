@@ -45,13 +45,15 @@ from typing import Any, Optional
 from ..errors import ExecutionError
 from ..storage.dualstore import DualStore
 from ..storage.segments import SegmentView, prune_segments
+from .aggregate import AGGREGATION_STRATEGIES, apply_aggregation
 from .ast import TemporalRelation
 from .colscan import ColumnarTask, build_pattern_spec
 from .compiler_cypher import compile_giant_cypher, compile_pattern_cypher
 from .compiler_sql import compile_giant_sql, compile_pattern_sql
 from .parser import TIME_UNIT_SECONDS, parse_tbql
 from .scatter import ScanTask, SegmentScanner
-from .scheduler import ScheduledStep, naive_schedule, schedule
+from .scheduler import (ScheduledStep, naive_schedule, pruning_score,
+                        schedule)
 from .semantics import (ResolvedPattern, ResolvedQuery, effective_window,
                         resolve_query)
 
@@ -71,6 +73,13 @@ MAX_CANDIDATE_PUSHDOWN = 450
 #: SQL against the segment's database file.  Results are identical by
 #: construction — the equivalence corpus pins both paths.
 SCAN_STRATEGIES = ("columnar", "sqlite")
+
+#: Valid ``negation_strategy`` arguments: how the anti-join tests a
+#: complete positive assignment against an ``and not`` pattern's match
+#: list.  ``"hash"`` (default) probes a set of shared-entity key tuples;
+#: ``"scan"`` is the naive reference — a linear scan of the match list
+#: per assignment — retained for the differential equivalence corpus.
+NEGATION_STRATEGIES = ("hash", "scan")
 
 
 @dataclass(frozen=True)
@@ -119,6 +128,9 @@ class PlanStep(str):
     #: True when the scatter pool could not be created and the segment
     #: scans ran serially in-process; ``None`` on the monolithic path.
     pool_fallback: Optional[bool]
+    #: True for an ``and not`` absence pattern: scanned after every
+    #: positive step and applied as an anti-join, never joined.
+    negated: bool
     seconds: dict[str, float]
 
     def __new__(cls, pattern_id: str, **_stats) -> "PlanStep":
@@ -135,9 +147,11 @@ class PlanStep(str):
                  segments_pruned: Optional[int] = None,
                  scan_strategy: Optional[str] = None,
                  pool_fallback: Optional[bool] = None,
+                 negated: bool = False,
                  seconds: Optional[dict[str, float]] = None) -> None:
         super().__init__()
         self.pattern_id = pattern_id
+        self.negated = negated
         self.backend = backend
         self.score = score
         self.subject_candidates = subject_candidates
@@ -170,6 +184,7 @@ class PlanStep(str):
             "segments_pruned": self.segments_pruned,
             "scan_strategy": self.scan_strategy,
             "pool_fallback": self.pool_fallback,
+            "negated": self.negated,
             "seconds": dict(self.seconds),
         }
 
@@ -263,17 +278,37 @@ class TBQLExecutor:
             payload, falling back to SQLite for segments without one
             (format-v2 snapshots); ``"sqlite"`` always runs the compiled
             pattern SQL.  Irrelevant on monolithic stores.
+        negation_strategy: how ``and not`` absence patterns are
+            anti-joined — one of :data:`NEGATION_STRATEGIES`.  ``"hash"``
+            (default) probes an index of shared-entity key tuples;
+            ``"scan"`` is the naive per-assignment linear scan kept as
+            the reference implementation for equivalence tests.
+        aggregation_strategy: how ``count()``/``group by`` accumulate —
+            one of
+            :data:`~repro.tbql.aggregate.AGGREGATION_STRATEGIES`.
+            ``"hash"`` (default) uses one dict keyed by the group tuple;
+            ``"scan"`` is the naive linear-lookup reference.
     """
 
     def __init__(self, store: DualStore, use_scheduler: bool = True,
                  join_strategy: str = "hash", workers: int = 1,
-                 scan_strategy: str = "columnar") -> None:
+                 scan_strategy: str = "columnar",
+                 negation_strategy: str = "hash",
+                 aggregation_strategy: str = "hash") -> None:
         if join_strategy not in ("hash", "backtracking"):
             raise ValueError(f"unknown join strategy: {join_strategy!r}")
         if scan_strategy not in SCAN_STRATEGIES:
             raise ValueError(
                 f"unknown scan strategy: {scan_strategy!r} "
                 f"(expected one of {', '.join(SCAN_STRATEGIES)})")
+        if negation_strategy not in NEGATION_STRATEGIES:
+            raise ValueError(
+                f"unknown negation strategy: {negation_strategy!r} "
+                f"(expected one of {', '.join(NEGATION_STRATEGIES)})")
+        if aggregation_strategy not in AGGREGATION_STRATEGIES:
+            raise ValueError(
+                f"unknown aggregation strategy: {aggregation_strategy!r} "
+                f"(expected one of {', '.join(AGGREGATION_STRATEGIES)})")
         workers = int(workers)
         if workers < 1:
             raise ValueError(
@@ -283,6 +318,8 @@ class TBQLExecutor:
         self.join_strategy = join_strategy
         self.workers = workers
         self.scan_strategy = scan_strategy
+        self.negation_strategy = negation_strategy
+        self.aggregation_strategy = aggregation_strategy
         self._scanner = SegmentScanner(self.workers)
         self._entity_cache: dict[int, dict] = {}
         self._cache_lock = threading.Lock()
@@ -325,19 +362,42 @@ class TBQLExecutor:
             self._update_candidates(step.pattern, matches, candidate_keys,
                                     candidate_ids)
             plan.append(plan_step)
+        # Absence patterns scan after every positive step so they receive
+        # the accumulated candidate pushdown (sound: the anti-join only
+        # ever consults matches whose shared-entity keys coincide with a
+        # positive binding).  They never update the candidate sets.
+        negated_matches: dict[str, list[PatternMatch]] = {}
+        for pattern in resolved.patterns:
+            if not pattern.negated:
+                continue
+            step = ScheduledStep(pattern=pattern,
+                                 score=pruning_score(pattern),
+                                 bound_entities=frozenset(candidate_keys))
+            matches, plan_step = self._execute_step(
+                step, resolved, candidate_keys, candidate_ids, negated=True)
+            negated_matches[pattern.pattern_id] = matches
+            plan.append(plan_step)
         join_start = time.perf_counter()
-        rows, joined_events = self._join(resolved, matches_by_pattern)
+        rows, joined_events = self._join(resolved, matches_by_pattern,
+                                         negated_matches)
+        if resolved.aggregation is not None:
+            rows = apply_aggregation(rows, resolved.aggregation,
+                                     strategy=self.aggregation_strategy)
         join_seconds = time.perf_counter() - join_start
         # Matched events are counted per pattern (after candidate-constraint
         # propagation), mirroring the paper's per-event precision/recall in
         # Table VI: a pattern that matched nothing does not erase the events
-        # the other patterns found.
+        # the other patterns found.  Absence-pattern matches are evidence
+        # *against* the hunt and are excluded.
         matched_events = self._collect_events(matches_by_pattern)
+        per_pattern = {pid: len(matches) for pid, matches
+                       in matches_by_pattern.items()}
+        per_pattern.update({pid: len(matches) for pid, matches
+                            in negated_matches.items()})
         result = QueryResult(
             rows=rows, matched_events=matched_events,
             joined_events=joined_events, plan=plan,
-            per_pattern_matches={pid: len(matches) for pid, matches
-                                 in matches_by_pattern.items()},
+            per_pattern_matches=per_pattern,
             elapsed_seconds=time.perf_counter() - start,
             join_seconds=join_seconds)
         return result
@@ -384,7 +444,8 @@ class TBQLExecutor:
 
     def _execute_step(self, step: ScheduledStep, resolved: ResolvedQuery,
                       candidate_keys: dict[str, set[str]],
-                      candidate_ids: dict[str, set[int]]
+                      candidate_ids: dict[str, set[int]],
+                      negated: bool = False
                       ) -> tuple[list[PatternMatch], PlanStep]:
         pattern = step.pattern
         seconds: dict[str, float] = {}
@@ -446,6 +507,7 @@ class TBQLExecutor:
                            if segments_scanned is not None else None),
             pool_fallback=(self._scanner.pool_fallback
                            if segments_scanned is not None else None),
+            negated=negated,
             seconds=seconds)
         return filtered, plan_step
 
@@ -651,23 +713,92 @@ class TBQLExecutor:
     # join
     # ------------------------------------------------------------------
     def _join(self, resolved: ResolvedQuery,
-              matches_by_pattern: dict[str, list[PatternMatch]]
+              matches_by_pattern: dict[str, list[PatternMatch]],
+              negated_matches: Optional[dict[str, list[PatternMatch]]] = None
               ) -> tuple[list[dict], list[dict]]:
+        allows = self._build_negation_checker(resolved, negated_matches or {})
         if self.join_strategy == "backtracking":
-            return self._join_backtracking(resolved, matches_by_pattern)
-        return self._join_hash(resolved, matches_by_pattern)
+            return self._join_backtracking(resolved, matches_by_pattern,
+                                           allows)
+        return self._join_hash(resolved, matches_by_pattern, allows)
+
+    def _build_negation_checker(
+            self, resolved: ResolvedQuery,
+            negated_matches: dict[str, list[PatternMatch]]):
+        """Compile the anti-join test for complete positive assignments.
+
+        For each ``and not`` pattern the test asks: does any of its
+        matches agree with the assignment's entity binding on every
+        *shared* entity (an entity also bound by a positive pattern)?
+        If yes, the assignment is vetoed.  Entities private to the
+        absence pattern are existential — any value witnesses absence
+        violation — and an absence pattern sharing no entity at all
+        vetoes every assignment as soon as it matches anything.
+        """
+        positive_entities = {
+            entity_id for pattern in resolved.patterns if not pattern.negated
+            for entity_id in (pattern.subject.entity_id,
+                              pattern.obj.entity_id)}
+        specs = []
+        for pattern in resolved.patterns:
+            if not pattern.negated:
+                continue
+            matches = negated_matches.get(pattern.pattern_id, [])
+            shared: list[tuple[bool, str]] = []
+            # Both sides are kept even when they name the same entity id:
+            # a self-loop binding then requires subject and object keys to
+            # agree with each other, not just one of them.
+            if pattern.subject.entity_id in positive_entities:
+                shared.append((True, pattern.subject.entity_id))
+            if pattern.obj.entity_id in positive_entities:
+                shared.append((False, pattern.obj.entity_id))
+            if self.negation_strategy == "hash":
+                index = {tuple(match.subject_key if is_subject
+                               else match.object_key
+                               for is_subject, _ in shared)
+                         for match in matches}
+                specs.append(("hash", shared, index, bool(matches)))
+            else:
+                specs.append(("scan", shared, matches, bool(matches)))
+
+        if not specs:
+            return None
+
+        def allows(entity_binding: dict[str, str]) -> bool:
+            for kind, shared, data, has_matches in specs:
+                if not shared:
+                    if has_matches:
+                        return False
+                    continue
+                wanted = tuple(entity_binding[entity_id]
+                               for _, entity_id in shared)
+                if kind == "hash":
+                    if wanted in data:
+                        return False
+                else:
+                    for match in data:
+                        got = tuple(match.subject_key if is_subject
+                                    else match.object_key
+                                    for is_subject, _ in shared)
+                        if got == wanted:
+                            return False
+            return True
+
+        return allows
 
     @staticmethod
     def _join_order(resolved: ResolvedQuery,
                     matches_by_pattern: dict[str, list[PatternMatch]]
                     ) -> list[str]:
         """Join in ascending match-list size for efficiency."""
-        order = [pattern.pattern_id for pattern in resolved.patterns]
+        order = [pattern.pattern_id for pattern in resolved.patterns
+                 if not pattern.negated]
         order.sort(key=lambda pid: len(matches_by_pattern[pid]))
         return order
 
     def _join_hash(self, resolved: ResolvedQuery,
-                   matches_by_pattern: dict[str, list[PatternMatch]]
+                   matches_by_pattern: dict[str, list[PatternMatch]],
+                   negation_allows=None
                    ) -> tuple[list[dict], list[dict]]:
         """Pipelined multi-way hash join over the per-pattern match lists.
 
@@ -733,6 +864,9 @@ class TBQLExecutor:
         def extend(position: int, entity_binding: dict[str, str],
                    assignment: dict[str, PatternMatch]) -> None:
             if position == len(order):
+                if negation_allows is not None and \
+                        not negation_allows(entity_binding):
+                    return
                 self._emit(resolved, assignment, rows, seen_rows,
                            matched_events, seen_events)
                 return
@@ -764,7 +898,8 @@ class TBQLExecutor:
         return rows, matched_events
 
     def _join_backtracking(self, resolved: ResolvedQuery,
-                           matches_by_pattern: dict[str, list[PatternMatch]]
+                           matches_by_pattern: dict[str, list[PatternMatch]],
+                           negation_allows=None
                            ) -> tuple[list[dict], list[dict]]:
         """The seed's cross-product backtracking join (reference only).
 
@@ -782,6 +917,9 @@ class TBQLExecutor:
                       assignment: dict[str, PatternMatch]) -> None:
             if position == len(pattern_order):
                 if not self._relations_hold(resolved, assignment):
+                    return
+                if negation_allows is not None and \
+                        not negation_allows(entity_binding):
                     return
                 self._emit(resolved, assignment, rows, seen_rows,
                            matched_events, seen_events)
@@ -825,7 +963,10 @@ class TBQLExecutor:
         if left is None or right is None:
             return True
         scale = TIME_UNIT_SECONDS.get(relation.unit or "sec", 1.0)
-        if relation.kind == "before":
+        # "then" (the resolved sequence operator) shares the evaluation of
+        # a gap-bounded "before": strict ordering plus an optional bound
+        # on the gap between left's end and right's start.
+        if relation.kind in ("before", "then"):
             if left.end_time > right.start_time:
                 return False
             if relation.max_gap is not None and \
@@ -910,4 +1051,5 @@ class TBQLExecutor:
 
 
 __all__ = ["PatternMatch", "PlanStep", "QueryResult", "TBQLExecutor",
-           "MAX_CANDIDATE_PUSHDOWN", "SCAN_STRATEGIES"]
+           "MAX_CANDIDATE_PUSHDOWN", "SCAN_STRATEGIES",
+           "NEGATION_STRATEGIES"]

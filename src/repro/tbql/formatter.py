@@ -98,7 +98,7 @@ def format_window(window: TimeWindow) -> str:
 
 
 def format_pattern(pattern: EventPattern) -> str:
-    """Render one TBQL pattern."""
+    """Render one TBQL pattern (``and not`` prefix for absence patterns)."""
     if pattern.is_path_pattern:
         middle = format_path(pattern.path)
     else:
@@ -111,6 +111,8 @@ def format_pattern(pattern: EventPattern) -> str:
             text += f"[{format_attribute_filter(pattern.pattern_filter)}]"
     if pattern.window is not None:
         text += f" {format_window(pattern.window)}"
+    if pattern.negated:
+        text = f"and not {text}"
     return text
 
 
@@ -131,10 +133,16 @@ def format_relation(relation: PatternRelation) -> str:
 
 
 def format_return(clause: ReturnClause) -> str:
-    """Render the return clause."""
+    """Render the return clause (plus ``group by`` / ``top`` lines)."""
     distinct = "distinct " if clause.distinct else ""
     items = ", ".join(item.dotted() for item in clause.items)
-    return f"return {distinct}{items}"
+    lines = [f"return {distinct}{items}"]
+    if clause.group_by:
+        keys = ", ".join(item.dotted() for item in clause.group_by)
+        lines.append(f"group by {keys}")
+    if clause.top_n is not None:
+        lines.append(f"top {clause.top_n}")
+    return "\n".join(lines)
 
 
 def format_global_filter(global_filter: GlobalFilter) -> str:
@@ -143,13 +151,26 @@ def format_global_filter(global_filter: GlobalFilter) -> str:
     return format_attribute_filter(global_filter.attr_filter)
 
 
+def _sequence_prefix(link) -> str:
+    """Render the ``then`` connective preceding a sequenced pattern."""
+    if link.max_gap is None:
+        return "then "
+    gap = link.max_gap
+    gap = int(gap) if float(gap).is_integer() else gap
+    return f"then[{gap} {link.unit}] "
+
+
 def format_query(query: TBQLQuery) -> str:
     """Render a whole TBQL query as canonical multi-line text."""
     lines: list[str] = []
     for global_filter in query.global_filters:
         lines.append(format_global_filter(global_filter))
-    for pattern in query.patterns:
-        lines.append(format_pattern(pattern))
+    link_by_right = {link.right_index: link
+                     for link in query.sequence_links}
+    for index, pattern in enumerate(query.patterns):
+        link = link_by_right.get(index)
+        prefix = _sequence_prefix(link) if link is not None else ""
+        lines.append(prefix + format_pattern(pattern))
     if query.relations:
         lines.append("with " + ", ".join(format_relation(relation)
                                          for relation in query.relations))

@@ -11,6 +11,7 @@ import re
 from dataclasses import dataclass
 
 from ..errors import TBQLSyntaxError
+from .diagnostics import make_diagnostic
 
 #: Keywords of the language.  Operation names (read, write, ...) are *not*
 #: keywords: they are ordinary identifiers interpreted by the parser, so new
@@ -18,6 +19,8 @@ from ..errors import TBQLSyntaxError
 KEYWORDS = {
     "proc", "file", "ip", "as", "with", "return", "distinct", "before",
     "after", "within", "from", "to", "at", "last", "not", "in",
+    # v2 operator families: temporal sequence, aggregation.
+    "then", "count", "group", "by", "top",
 }
 
 _TOKEN_RE = re.compile(r"""
@@ -57,8 +60,11 @@ class Lexer:
             match = _TOKEN_RE.match(source, index)
             if match is None:
                 column = index - line_start + 1
+                message = f"unexpected character {source[index]!r}"
                 raise TBQLSyntaxError(
-                    f"unexpected character {source[index]!r}", line, column)
+                    message, line, column,
+                    diagnostic=make_diagnostic(source, message, line,
+                                               column))
             text = match.group()
             column = match.start() - line_start + 1
             group = match.lastgroup

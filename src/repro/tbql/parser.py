@@ -11,8 +11,9 @@ from .ast import (AttributeComparison, AttributeFilter, AttributeRelation,
                   GlobalFilter, MembershipFilter, NegatedFilter,
                   OperationAtom, OperationBoolean, OperationExpr,
                   OperationNegation, OperationPath, PatternRelation,
-                  ReturnClause, ReturnItem, TBQLQuery, TemporalRelation,
-                  TimeWindow)
+                  ReturnClause, ReturnItem, SequenceLink, TBQLQuery,
+                  TemporalRelation, TimeWindow)
+from .diagnostics import make_diagnostic
 from .lexer import Token, tokenize, unescape_string
 
 #: Operation names accepted by the ``<op>`` rule.
@@ -70,28 +71,59 @@ class TBQLParser:
         if token is None:
             actual = self._peek()
             expected = text if text is not None else kind
-            raise TBQLSyntaxError(
-                f"expected {expected!r} but found {actual.text!r}",
-                actual.line, actual.column)
+            raise self._syntax_error(
+                f"expected {expected!r} but found {actual.text!r}", actual)
         return token
 
     def _error(self, message: str) -> TBQLSyntaxError:
-        token = self._peek()
-        return TBQLSyntaxError(message, token.line, token.column)
+        return self._syntax_error(message)
+
+    def _syntax_error(self, message: str,
+                      token: Token | None = None) -> TBQLSyntaxError:
+        """Build a syntax error carrying a structured diagnostic."""
+        token = token if token is not None else self._peek()
+        return TBQLSyntaxError(
+            message, token.line, token.column,
+            diagnostic=make_diagnostic(self.source, message, token.line,
+                                       token.column))
 
     # ------------------------------------------------------------------
     # grammar: query
     # ------------------------------------------------------------------
     def parse(self) -> TBQLQuery:
         query = TBQLQuery()
-        while not self._at_pattern_start() and not self._check(
+        while not self._at_pattern_start() and \
+                not self._at_negation_start() and not self._check(
                 "keyword", "return") and not self._check("eof"):
             query.global_filters.append(self._global_filter())
-        if not self._at_pattern_start():
+        if self._at_negation_start():
+            # Parsed so semantics can reject all-absence queries with a
+            # dedicated message rather than a generic parse error.
+            self._advance()    # 'and'
+            self._advance()    # 'not'
+            if not self._at_pattern_start():
+                raise self._error(
+                    "expected an event pattern after 'and not'")
+            query.patterns.append(self._pattern(negated=True))
+        elif not self._at_pattern_start():
             raise self._error("a TBQL query must declare at least one "
                               "event pattern")
-        while self._at_pattern_start():
+        else:
             query.patterns.append(self._pattern())
+        while True:
+            if self._check("keyword", "then"):
+                query.sequence_links.append(self._sequence_link(query))
+            elif self._at_negation_start():
+                self._advance()    # 'and'
+                self._advance()    # 'not'
+                if not self._at_pattern_start():
+                    raise self._error(
+                        "expected an event pattern after 'and not'")
+                query.patterns.append(self._pattern(negated=True))
+            elif self._at_pattern_start():
+                query.patterns.append(self._pattern())
+            else:
+                break
         while self._accept("keyword", "with"):
             query.relations.append(self._relation())
             while self._accept("symbol", ","):
@@ -104,6 +136,32 @@ class TBQLParser:
     def _at_pattern_start(self) -> bool:
         return self._check("keyword") and self._peek().text in \
             _ENTITY_KEYWORDS
+
+    def _at_negation_start(self) -> bool:
+        # 'and' is deliberately not a keyword; the pair "and not" before a
+        # pattern introduces an absence pattern.
+        return self._check("ident", "and") and \
+            self._check("keyword", "not", offset=1)
+
+    def _sequence_link(self, query: TBQLQuery) -> SequenceLink:
+        """Parse ``then[<gap> <unit>]? <pattern>``; appends the pattern."""
+        self._expect("keyword", "then")
+        max_gap = None
+        unit = None
+        if self._accept("symbol", "["):
+            max_gap = float(self._expect("number").text)
+            unit = self._time_unit()
+            self._expect("symbol", "]")
+        left_index = len(query.patterns) - 1
+        if self._at_negation_start():
+            raise self._error("'then' cannot chain into an 'and not' "
+                              "absence pattern")
+        if not self._at_pattern_start():
+            raise self._error("expected an event pattern after 'then'")
+        query.patterns.append(self._pattern())
+        return SequenceLink(left_index=left_index,
+                            right_index=len(query.patterns) - 1,
+                            max_gap=max_gap, unit=unit)
 
     # ------------------------------------------------------------------
     # global filters and time windows
@@ -152,7 +210,7 @@ class TBQLParser:
     # ------------------------------------------------------------------
     # patterns
     # ------------------------------------------------------------------
-    def _pattern(self) -> EventPattern:
+    def _pattern(self, negated: bool = False) -> EventPattern:
         subject = self._entity()
         operation: OperationExpr | None = None
         path: OperationPath | None = None
@@ -178,7 +236,8 @@ class TBQLParser:
             window = self._window()
         return EventPattern(subject=subject, obj=obj, operation=operation,
                             path=path, pattern_id=pattern_id,
-                            pattern_filter=pattern_filter, window=window)
+                            pattern_filter=pattern_filter, window=window,
+                            negated=negated)
 
     def _is_relation_context(self) -> bool:
         # "before"/"after" directly following a pattern belongs to a window;
@@ -192,9 +251,8 @@ class TBQLParser:
     def _entity(self) -> EntityDecl:
         type_token = self._expect("keyword")
         if type_token.text not in _ENTITY_KEYWORDS:
-            raise TBQLSyntaxError(
-                f"unknown entity type {type_token.text!r}",
-                type_token.line, type_token.column)
+            raise self._syntax_error(
+                f"unknown entity type {type_token.text!r}", type_token)
         entity_type = _ENTITY_KEYWORDS[type_token.text]
         id_token = self._expect("ident")
         attr_filter = None
@@ -236,8 +294,8 @@ class TBQLParser:
         token = self._expect("ident")
         name = token.text.lower()
         if name not in OPERATION_NAMES:
-            raise TBQLSyntaxError(f"unknown operation {token.text!r}",
-                                  token.line, token.column)
+            raise self._syntax_error(f"unknown operation {token.text!r}",
+                                     token)
         return OperationAtom(name)
 
     def _operation_path(self) -> OperationPath:
@@ -341,9 +399,21 @@ class TBQLParser:
         first = self._advance()
         name = first.text
         if self._accept("symbol", "."):
-            second = self._expect("ident")
-            name = f"{name}.{second.text}"
+            name = f"{name}.{self._ident_like().text}"
         return name
+
+    def _ident_like(self) -> Token:
+        """Accept an identifier or a keyword used as an attribute name.
+
+        Attribute names such as ``group`` collide with v2 keywords; after
+        a ``.`` (or wherever only an attribute can appear) the keyword
+        reading never applies, so both token kinds are accepted.
+        """
+        token = self._peek()
+        if token.kind not in ("ident", "keyword"):
+            raise self._error(
+                f"expected an attribute name, found {token.text!r}")
+        return self._advance()
 
     def _value_set(self) -> tuple:
         self._expect("symbol", "{")
@@ -404,13 +474,39 @@ class TBQLParser:
         items = [self._return_item()]
         while self._accept("symbol", ","):
             items.append(self._return_item())
-        return ReturnClause(items=tuple(items), distinct=distinct)
+        group_by: tuple[ReturnItem, ...] = ()
+        if self._accept("keyword", "group"):
+            self._expect("keyword", "by")
+            group_items = [self._entity_return_item()]
+            while self._accept("symbol", ","):
+                group_items.append(self._entity_return_item())
+            group_by = tuple(group_items)
+        top_n = None
+        if self._check("keyword", "top"):
+            top_token = self._advance()
+            number = self._expect("number")
+            value = float(number.text)
+            if not value.is_integer() or value < 1:
+                raise self._syntax_error(
+                    f"'top' expects a positive integer, got {number.text!r}",
+                    top_token)
+            top_n = int(value)
+        return ReturnClause(items=tuple(items), distinct=distinct,
+                            group_by=group_by, top_n=top_n)
 
     def _return_item(self) -> ReturnItem:
+        if self._check("keyword", "count"):
+            self._advance()
+            self._expect("symbol", "(")
+            self._expect("symbol", ")")
+            return ReturnItem(entity_id=None, aggregate="count")
+        return self._entity_return_item()
+
+    def _entity_return_item(self) -> ReturnItem:
         entity_id = self._expect("ident").text
         attribute = None
         if self._accept("symbol", "."):
-            attribute = self._expect("ident").text
+            attribute = self._ident_like().text
         return ReturnItem(entity_id=entity_id, attribute=attribute)
 
 

@@ -57,8 +57,15 @@ def pruning_score(pattern: ResolvedPattern) -> float:
 
 
 def schedule(query: ResolvedQuery) -> list[ScheduledStep]:
-    """Return the ordered execution plan for ``query``."""
-    remaining = list(query.patterns)
+    """Return the ordered execution plan for ``query``.
+
+    Only positive patterns are scheduled: ``and not`` absence patterns
+    never bind candidates or join, so the executor scans them *after*
+    every positive step (receiving the accumulated candidate pushdown)
+    and applies them as an anti-join.
+    """
+    remaining = [pattern for pattern in query.patterns
+                 if not pattern.negated]
     executed: list[ScheduledStep] = []
     bound: set[str] = set()
     while remaining:
@@ -80,11 +87,14 @@ def naive_schedule(query: ResolvedQuery) -> list[ScheduledStep]:
     """Execution plan in declaration order, ignoring pruning scores.
 
     Used by the scheduler ablation benchmark to quantify what the
-    pruning-score ordering contributes.
+    pruning-score ordering contributes.  Absence patterns are excluded
+    exactly as in :func:`schedule`.
     """
     steps: list[ScheduledStep] = []
     bound: set[str] = set()
     for pattern in query.patterns:
+        if pattern.negated:
+            continue
         steps.append(ScheduledStep(pattern=pattern,
                                    score=pruning_score(pattern),
                                    bound_entities=frozenset(bound)))

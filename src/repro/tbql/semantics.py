@@ -56,7 +56,12 @@ class ResolvedEntity:
 
 @dataclass
 class ResolvedPattern:
-    """A pattern with defaults filled in, ready for compilation."""
+    """A pattern with defaults filled in, ready for compilation.
+
+    ``negated`` marks an ``and not`` absence pattern: its matches are an
+    anti-join veto set — they never bind candidates, never join, and never
+    appear in matched/joined events.
+    """
 
     index: int
     pattern_id: str
@@ -69,6 +74,7 @@ class ResolvedPattern:
     max_length: Optional[int] = 1
     pattern_filter: Optional[AttributeFilter] = None
     window: Optional[tuple[Optional[float], Optional[float]]] = None
+    negated: bool = False
 
     @property
     def constraint_count(self) -> int:
@@ -85,8 +91,29 @@ class ResolvedPattern:
 
 
 @dataclass
+class ResolvedAggregation:
+    """Aggregating return clause, resolved.
+
+    ``group_by`` lists the grouping keys as ``(entity id, attribute)``
+    pairs in group order; ``output`` gives the output column order, one
+    entry per declared return item, where ``None`` stands for the
+    ``count`` column; ``top_n`` keeps only the N most frequent groups.
+    """
+
+    group_by: list[tuple[str, str]]
+    output: list[Optional[tuple[str, str]]]
+    top_n: Optional[int] = None
+
+
+@dataclass
 class ResolvedQuery:
-    """The fully resolved form of a TBQL query."""
+    """The fully resolved form of a TBQL query.
+
+    ``temporal_relations`` includes the ``then`` relations rewritten from
+    the query's sequence links; ``aggregation`` is set when the return
+    clause aggregates (``count()`` / ``group by`` / ``top``), in which
+    case ``return_items`` holds the grouping keys.
+    """
 
     patterns: list[ResolvedPattern]
     temporal_relations: list[TemporalRelation]
@@ -96,6 +123,7 @@ class ResolvedQuery:
     global_window: Optional[tuple[Optional[float], Optional[float]]] = None
     global_filters: list[AttributeFilter] = field(default_factory=list)
     entity_types: dict[str, EntityType] = field(default_factory=dict)
+    aggregation: Optional[ResolvedAggregation] = None
 
     def pattern_by_id(self, pattern_id: str) -> ResolvedPattern:
         for pattern in self.patterns:
@@ -266,6 +294,12 @@ def query_is_time_dependent(query: TBQLQuery) -> bool:
     such queries per request (and never result-caches them), and the
     standing-query engine re-resolves them per flush against the event-time
     watermark.
+
+    The v2 operators never read the clock themselves: ``then`` gaps,
+    ``and not`` absence patterns, and ``count``/``group by`` aggregation
+    are all evaluated over stored event times, so only windows matter —
+    including a ``last N`` window on an ``and not`` pattern, which is why
+    the scan below covers every pattern, negated or not.
     """
     for pattern in query.patterns:
         window = getattr(pattern, "window", None)
@@ -315,9 +349,22 @@ def resolve_query(query: TBQLQuery, now: Optional[float] = None
             operations=operations, is_path=is_path, path_fuzzy=path_fuzzy,
             min_length=min_length, max_length=max_length,
             pattern_filter=pattern.pattern_filter,
-            window=resolve_window(pattern.window, now)))
+            window=resolve_window(pattern.window, now),
+            negated=pattern.negated))
+    if all(pattern.negated for pattern in resolved_patterns):
+        raise TBQLSemanticError(
+            "a query cannot consist solely of 'and not' absence patterns")
     temporal, attribute = _split_relations(query, used_ids, entity_types)
-    return_items = _resolve_return(query, entity_types)
+    temporal = temporal + _resolve_sequence_links(query, resolved_patterns)
+    positive_entities = {entity_id
+                         for pattern in resolved_patterns
+                         if not pattern.negated
+                         for entity_id in (pattern.subject.entity_id,
+                                           pattern.obj.entity_id)}
+    _check_negation_references(resolved_patterns, temporal, attribute,
+                               positive_entities)
+    return_items, aggregation = _resolve_return(query, entity_types,
+                                                positive_entities)
     global_window, global_filters = _resolve_globals(query, now)
     return ResolvedQuery(patterns=resolved_patterns,
                          temporal_relations=temporal,
@@ -327,7 +374,8 @@ def resolve_query(query: TBQLQuery, now: Optional[float] = None
                                        query.return_clause.distinct),
                          global_window=global_window,
                          global_filters=global_filters,
-                         entity_types=entity_types)
+                         entity_types=entity_types,
+                         aggregation=aggregation)
 
 
 def _resolve_entity(entity, entity_types: dict[str, EntityType]
@@ -371,23 +419,121 @@ def _split_relations(query: TBQLQuery, pattern_ids: set[str],
     return temporal, attribute
 
 
+def _resolve_sequence_links(query: TBQLQuery,
+                            patterns: list[ResolvedPattern]
+                            ) -> list[TemporalRelation]:
+    """Rewrite parse-time sequence links into ``then`` temporal relations."""
+    relations: list[TemporalRelation] = []
+    for link in query.sequence_links:
+        left = patterns[link.left_index]
+        right = patterns[link.right_index]
+        if left.negated or right.negated:
+            raise TBQLSemanticError(
+                "'then' cannot sequence an 'and not' absence pattern")
+        relations.append(TemporalRelation(
+            left=left.pattern_id, kind="then", right=right.pattern_id,
+            max_gap=link.max_gap, unit=link.unit))
+    return relations
+
+
+def _check_negation_references(patterns: list[ResolvedPattern],
+                               temporal: list[TemporalRelation],
+                               attribute: list[AttributeRelation],
+                               positive_entities: set[str]) -> None:
+    """Reject with-clause references into absence patterns.
+
+    An ``and not`` pattern never joins, so a relation that reads its
+    bindings could only ever evaluate vacuously; failing loudly beats a
+    constraint that silently never constrains.
+    """
+    negated_ids = {pattern.pattern_id for pattern in patterns
+                   if pattern.negated}
+    negation_only_entities = {
+        entity_id for pattern in patterns if pattern.negated
+        for entity_id in (pattern.subject.entity_id,
+                          pattern.obj.entity_id)} - positive_entities
+    for relation in temporal:
+        if relation.kind == "then":
+            continue        # sequence links are validated at rewrite time
+        for side in (relation.left, relation.right):
+            if side in negated_ids:
+                raise TBQLSemanticError(
+                    f"temporal relation references pattern {side!r}, which "
+                    "is an 'and not' absence pattern")
+    for relation in attribute:
+        for side in (relation.left, relation.right):
+            referenced = side.split(".")[0]
+            if referenced in negated_ids:
+                raise TBQLSemanticError(
+                    f"attribute relation references {side!r}, which "
+                    "belongs to an 'and not' absence pattern")
+            if referenced in negation_only_entities:
+                raise TBQLSemanticError(
+                    f"attribute relation references {side!r}, an entity "
+                    "bound only by an 'and not' absence pattern")
+
+
 def _resolve_return(query: TBQLQuery,
-                    entity_types: dict[str, EntityType]
-                    ) -> list[tuple[str, str]]:
+                    entity_types: dict[str, EntityType],
+                    positive_entities: set[str]
+                    ) -> tuple[list[tuple[str, str]],
+                               Optional[ResolvedAggregation]]:
     if query.return_clause is None:
-        # Default: return every entity's default attribute.
+        # Default: every positively-bound entity's default attribute
+        # (absence patterns cannot produce values — they never join).
         return [(entity_id, default_attribute_for(entity_type))
-                for entity_id, entity_type in entity_types.items()]
-    items: list[tuple[str, str]] = []
-    for item in query.return_clause.items:
+                for entity_id, entity_type in entity_types.items()
+                if entity_id in positive_entities], None
+
+    def resolve_item(item) -> tuple[str, str]:
         if item.entity_id not in entity_types:
             raise TBQLSemanticError(
                 f"return clause references unknown entity id "
                 f"{item.entity_id!r}")
+        if item.entity_id not in positive_entities:
+            raise TBQLSemanticError(
+                f"return clause references {item.entity_id!r}, an entity "
+                "bound only by an 'and not' absence pattern")
         attribute = item.attribute or default_attribute_for(
             entity_types[item.entity_id])
-        items.append((item.entity_id, attribute))
-    return items
+        return (item.entity_id, attribute)
+
+    clause = query.return_clause
+    count_items = [item for item in clause.items
+                   if item.aggregate is not None]
+    if not count_items:
+        if clause.group_by:
+            raise TBQLSemanticError(
+                "'group by' requires a count() return item")
+        if clause.top_n is not None:
+            raise TBQLSemanticError("'top' requires a count() return item")
+        return [resolve_item(item) for item in clause.items], None
+    if len(count_items) > 1:
+        raise TBQLSemanticError(
+            "a return clause may hold at most one count() item")
+    if clause.distinct:
+        raise TBQLSemanticError(
+            "'distinct' cannot be combined with count() — counting "
+            "deduplicated rows is ambiguous; group by the row instead")
+    plain = [resolve_item(item) for item in clause.items
+             if item.aggregate is None]
+    if clause.group_by:
+        group_by = list(dict.fromkeys(
+            resolve_item(item) for item in clause.group_by))
+        for pair in plain:
+            if pair not in group_by:
+                raise TBQLSemanticError(
+                    f"return item {pair[0]}.{pair[1]} must appear in the "
+                    "'group by' clause")
+    else:
+        # Implicit grouping: every plain return item is a grouping key.
+        group_by = list(dict.fromkeys(plain))
+    output: list[Optional[tuple[str, str]]] = [
+        None if item.aggregate is not None else resolve_item(item)
+        for item in clause.items]
+    aggregation = ResolvedAggregation(group_by=group_by, output=output,
+                                      top_n=clause.top_n)
+    return list(group_by), aggregation
 
 
 def _resolve_globals(query: TBQLQuery, now: Optional[float]
@@ -403,6 +549,7 @@ def _resolve_globals(query: TBQLQuery, now: Optional[float]
 
 
 __all__ = [
+    "ResolvedAggregation",
     "ResolvedEntity",
     "ResolvedPattern",
     "ResolvedQuery",

@@ -1,0 +1,87 @@
+"""CLI help-surface audit: every subcommand and argument is documented.
+
+Operators discover the tool through ``repro --help`` / ``repro <cmd>
+--help``; an undocumented flag is effectively invisible.  These tests
+walk the real parser tree so a new subcommand or argument cannot land
+without help text, and pin the diagnostic output of the ``query`` and
+``rules`` error paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro.cli import build_parser
+
+
+def _subcommands() -> dict[str, argparse.ArgumentParser]:
+    parser = build_parser()
+    subparsers = next(action for action in parser._actions
+                      if isinstance(action, argparse._SubParsersAction))
+    return dict(subparsers.choices)
+
+
+class TestHelpSurface:
+    def test_parser_has_description(self):
+        assert build_parser().description
+
+    def test_every_subcommand_has_help(self):
+        parser = build_parser()
+        subparsers = next(action for action in parser._actions
+                          if isinstance(action, argparse._SubParsersAction))
+        undocumented = [choice.dest
+                        for choice in subparsers._choices_actions
+                        if not choice.help]
+        assert undocumented == []
+
+    @pytest.mark.parametrize("name", sorted(_subcommands()))
+    def test_every_argument_has_help(self, name):
+        sub = _subcommands()[name]
+        undocumented = [action.dest for action in sub._actions
+                        if not isinstance(action, argparse._HelpAction)
+                        and not action.help]
+        assert undocumented == [], \
+            f"repro {name}: arguments without help text"
+
+    def test_expected_subcommands_present(self):
+        assert set(_subcommands()) == {
+            "extract", "synthesize", "hunt", "query", "ingest",
+            "snapshot", "segments", "compact", "serve", "tail", "rules"}
+
+
+class TestQueryDiagnostics:
+    def test_query_prints_caret_diagnostic(self, tmp_path, capsys):
+        from repro.cli import main
+        log = tmp_path / "audit.log"
+        log.write_text("", encoding="utf-8")
+        exit_code = main(["query", "--log", str(log),
+                          "--tbql", "proc p read fil f return p"])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "invalid TBQL" in err
+        assert "proc p read fil f return p" in err
+        assert err.splitlines()[-1].strip() == "^"
+
+    def test_rules_prints_caret_diagnostic(self, capsys):
+        from repro.cli import main
+        exit_code = main(["rules",
+                          "--tbql", "proc p read fil f return p"])
+        assert exit_code == 1
+        out = capsys.readouterr().out
+        assert "invalid:" in out
+        assert "proc p read fil f return p" in out
+        assert out.splitlines()[-1].strip() == "^"
+
+    def test_rules_directory_lists_diagnostics(self, tmp_path, capsys):
+        from repro.cli import main
+        (tmp_path / "good.tbql").write_text(
+            "proc p read file f return p\n", encoding="utf-8")
+        (tmp_path / "bad.tbql").write_text(
+            "proc p read file f return p,\n", encoding="utf-8")
+        exit_code = main(["rules", "--dir", str(tmp_path)])
+        assert exit_code == 1
+        out = capsys.readouterr().out
+        assert "1/2 rule(s) valid" in out
+        assert "^" in out

@@ -77,6 +77,25 @@ class TestEndpoints:
             client.query("this is ! not tbql")
         assert excinfo.value.status == 400
 
+    def test_parse_error_carries_structured_diagnostic(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.query("proc p read file f\nreturn p,")
+        error = excinfo.value
+        assert error.status == 400
+        assert error.diagnostic is not None
+        assert error.diagnostic["line"] == 2
+        assert error.diagnostic["context"] == "return p,"
+        assert isinstance(error.diagnostic["column"], int)
+        assert error.diagnostic["message"]
+
+    def test_semantic_error_has_no_diagnostic(self, client):
+        # Resolution failures have no source position: the payload keeps
+        # the error string and omits the diagnostic field entirely.
+        with pytest.raises(ServiceError) as excinfo:
+            client.query("proc p read file f return q")
+        assert excinfo.value.status == 400
+        assert excinfo.value.diagnostic is None
+
     def test_missing_body_fields_are_400(self, client):
         with pytest.raises(ServiceError) as excinfo:
             client._post("/query", {})

@@ -32,6 +32,10 @@ EXFIL_RULE = ('proc p["%/bin/tar%"] read file f["%/etc/passwd%"] as e1 '
 READ_RULE = 'proc p["%/bin/tar%"] read file f["%/etc/passwd%"] as e1 ' \
             'return p'
 
+SEQUENCE_RULE = ('proc p["%/bin/tar%"] read file f["%/etc/passwd%"] '
+                 'then proc q["%/usr/bin/curl%"] connect ip i '
+                 'return p, q, i.dstip')
+
 
 def _engine(reduce: bool = True, **kwargs) -> DetectionEngine:
     kwargs.setdefault("policy", FlushPolicy(max_events=1, max_seconds=0))
@@ -71,6 +75,34 @@ class TestStandingRules:
         # Benign follow-up flushes must not re-fire the same match.
         collector = AuditCollector(CollectorConfig(seed=77,
                                                    start_time=1.6e9))
+        shell = collector.spawn_process("/bin/bash")
+        collector.read_file(shell, "/var/log/syslog")
+        engine.process_batch(collector.events())
+        engine.finalize()
+        assert engine.alerts.counters()["fired"] == 1
+
+    def test_sequence_rule_fires_exactly_once_on_last_leg(self):
+        """A 'then' rule fires when its *last* leg arrives, and only then.
+
+        The first delta holds only the read leg — no alert.  The delta
+        carrying the connect leg completes the sequence and fires exactly
+        one alert; later flushes must not re-fire the same match.
+        """
+        _collector, first, second = _attack_batches()
+        engine = _engine()
+        engine.add_rule(SEQUENCE_RULE, rule_id="seq")
+        first_report = engine.process_batch(first)
+        assert first_report.alerts == []
+        second_report = engine.process_batch(second)
+        final = engine.finalize()
+        fired = [alert for report in (second_report, final)
+                 for alert in report.alerts]
+        assert len(fired) == 1
+        assert fired[0].rule_id == "seq"
+        assert fired[0].rows[0]["i.dstip"] == "192.168.29.128"
+        # A benign follow-up flush must not re-fire the sequence.
+        collector = AuditCollector(CollectorConfig(seed=78,
+                                                   start_time=1.7e9))
         shell = collector.spawn_process("/bin/bash")
         collector.read_file(shell, "/var/log/syslog")
         engine.process_batch(collector.events())

@@ -117,6 +117,15 @@ class TestLiveEndpoints:
             client._post("/rules", {})
         assert excinfo.value.status == 400
 
+    def test_invalid_rule_carries_diagnostic(self, live_server):
+        client, _service, _engine = live_server
+        with pytest.raises(ServiceError) as excinfo:
+            client.add_rule("proc p read fil f return p")
+        diagnostic = excinfo.value.diagnostic
+        assert diagnostic is not None
+        assert (diagnostic["line"], diagnostic["column"]) == (1, 13)
+        assert diagnostic["context"] == "proc p read fil f return p"
+
     def test_query_sees_live_data_and_cache_invalidates(self, live_server):
         client, _service, _engine = live_server
         first_log, second_log = _attack_log_parts()

@@ -64,6 +64,27 @@ EQUIVALENCE_CORPUS = [
     # no match at all
     'proc p["%/bin/nonexistent%"] read file f as e1 '
     'proc p write file g as e2 return p, f, g',
+    # --- TBQL v2 operators (appended: earlier [:N] slices stay stable) ---
+    # sequence operator (unbounded gap)
+    'proc p["%/bin/tar%"] read file f["%/etc/passwd%"] '
+    'then proc q["%/usr/bin/curl%"] connect ip i return p, q, i.dstip',
+    # bounded sequence with a tight gap
+    'proc p["%/bin/tar%"] read file f["%/etc/passwd%"] '
+    'then[1 sec] proc q["%/usr/bin/curl%"] connect ip i return p, q',
+    # absence pattern that holds (tar never connects)
+    'proc p["%/bin/tar%"] read file f["%/etc/passwd%"] '
+    'and not proc p connect ip i return p',
+    # absence pattern that vetoes every row (curl does connect)
+    'proc p["%/usr/bin/curl%"] read file f '
+    'and not proc p connect ip i return p, f',
+    # absence expressed as a graph path pattern
+    'proc p["%/bin/tar%"] read file f["%/etc/passwd%"] '
+    'and not proc p ~>(1~2)[connect] ip i return p',
+    # aggregation: top-N noisy processes
+    'proc p read file f return p, count() group by p top 5',
+    # aggregation with implicit grouping and a sequence
+    'proc p read file f then proc p write file g '
+    'return p.exename, count()',
 ]
 
 
