@@ -338,9 +338,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                    if args.max_body_bytes is not None
                                    else DEFAULT_MAX_BODY_BYTES),
                    read_timeout=args.read_timeout,
-                   verbose=args.verbose)
+                   verbose=args.verbose,
+                   slow_query_ms=args.slow_query_ms)
     host, port = server.server_address[:2]
-    endpoints = "POST /query, POST /hunt, GET /stats, GET /healthz"
+    endpoints = ("POST /query, POST /hunt, GET /stats, GET /healthz, "
+                 "GET /metrics")
     if engine is not None:
         endpoints += (", POST /ingest, POST /rules, DELETE /rules/{id}, "
                       "GET /rules, GET /alerts")
@@ -486,8 +488,14 @@ def cmd_query(args: argparse.Namespace) -> int:
                               scan_strategy=args.scan_strategy)
     tbql = args.tbql if args.tbql else _read_text(args.query_file)
     from .errors import TBQLError
+    from .obs.trace import start_trace
     try:
-        result = raptor.execute_tbql(tbql)
+        if args.profile:
+            with start_trace("query") as trace_root:
+                result = raptor.execute_tbql(tbql)
+        else:
+            trace_root = None
+            result = raptor.execute_tbql(tbql)
     except TBQLError as exc:
         print(f"invalid TBQL: {exc}", file=sys.stderr)
         diagnostic = getattr(exc, "diagnostic", None)
@@ -502,6 +510,13 @@ def cmd_query(args: argparse.Namespace) -> int:
     _print_events(result.matched_events)
     if args.explain:
         _print_plan(result)
+    if args.profile:
+        from .obs.trace import render_span_tree
+        print("\n=== profile (span tree) ===")
+        if trace_root is None:
+            print("  (tracing disabled via REPRO_OBS=0)")
+        else:
+            print(render_span_tree(trace_root.as_dict()))
     raptor.store.close()
     return 0 if result.rows else 1
 
@@ -682,6 +697,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-alerts", type=int, default=1000,
                        help="with --live: bounded alert-store capacity "
                             "(default: 1000)")
+    serve.add_argument("--slow-query-ms", type=float, default=None,
+                       help="log a structured JSON slow-query record "
+                            "(with the embedded span-tree profile) to "
+                            "stderr for any query slower than this many "
+                            "milliseconds")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
     serve.set_defaults(func=cmd_serve)
@@ -759,6 +779,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the structured per-step execution plan "
                             "(backend, pruning score, candidate pushdown, "
                             "rows in/out, stage timings)")
+    query.add_argument("--profile", action="store_true",
+                       help="execute under a trace and print the span "
+                            "tree (parse, plan, per-segment scans, join, "
+                            "aggregation, hydration)")
     query.set_defaults(func=cmd_query)
     return parser
 

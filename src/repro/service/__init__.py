@@ -19,10 +19,13 @@ from .loadgen import LoadResult, run_load
 from .server import (DEFAULT_MAX_BODY_BYTES, DEFAULT_PLAN_CACHE_SIZE,
                      DEFAULT_RESULT_CACHE_SIZE, QueryService,
                      ServiceRequestHandler, ThreatHuntingServer,
+                     canonical_endpoint, observe_request,
                      parse_json_body, query_is_time_dependent,
                      result_payload, route, serve)
 
 __all__ = [
+    "canonical_endpoint",
+    "observe_request",
     "LRUCache",
     "ServiceClient",
     "QueryService",

@@ -33,6 +33,7 @@ a slow-loris trickle) is closed.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import os
 import signal
@@ -42,11 +43,12 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from http.client import responses as _STATUS_REASONS
-from typing import Any, Optional
+from typing import Any, Optional, Union
 from urllib.parse import urlsplit
 
-from .server import (DEFAULT_MAX_BODY_BYTES, QueryService, parse_json_body,
-                     route)
+from ..obs.metrics import METRICS_CONTENT_TYPE, get_registry
+from .server import (DEFAULT_MAX_BODY_BYTES, QueryService, observe_request,
+                     parse_json_body, route)
 
 #: Executor threads when ``exec_threads`` is not given: enough to overlap
 #: store reads, few enough that the GIL is not thrashed.
@@ -95,16 +97,29 @@ class _AdmissionLane:
         self.admitted = 0
         self.rejected = 0
         self.semaphore = asyncio.Semaphore(exec_slots)
+        registry = get_registry()
+        self._depth_gauge = registry.gauge(
+            "repro_lane_admitted",
+            "Requests currently admitted (executing plus queued), "
+            "per admission lane.",
+            labels=("lane",)).labels(name)
+        self._rejected_counter = registry.counter(
+            "repro_lane_rejected_total",
+            "Requests answered 429 because the lane was full.",
+            labels=("lane",)).labels(name)
 
     def try_enter(self) -> bool:
         if self.admitted >= self.capacity:
             self.rejected += 1
+            self._rejected_counter.inc()
             return False
         self.admitted += 1
+        self._depth_gauge.set(self.admitted)
         return True
 
     def leave(self) -> None:
         self.admitted -= 1
+        self._depth_gauge.set(self.admitted)
 
 
 class _BadRequest(Exception):
@@ -113,6 +128,16 @@ class _BadRequest(Exception):
     def __init__(self, status: int, message: str) -> None:
         super().__init__(message)
         self.status = status
+
+
+class _RawResponse:
+    """A pre-encoded, non-JSON response body (the /metrics exposition)."""
+
+    __slots__ = ("data", "content_type")
+
+    def __init__(self, data: bytes, content_type: str) -> None:
+        self.data = data
+        self.content_type = content_type
 
 
 class AsyncThreatHuntingServer:
@@ -150,6 +175,7 @@ class AsyncThreatHuntingServer:
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
         self.service = service
+        self.service.server_backend = "asyncio"
         self.exec_threads = exec_threads
         self.queue_limit = queue_limit
         self.max_body_bytes = max_body_bytes
@@ -343,8 +369,11 @@ class AsyncThreatHuntingServer:
                 return
             self._request_started()
             try:
+                start = time.perf_counter()
                 status, payload, extra = await self._dispatch(
                     method, target, body_raw)
+                observe_request("asyncio", method, urlsplit(target).path,
+                                status, time.perf_counter() - start)
                 keep_alive = keep_alive and not self._draining
                 # Count before the write: a client that has read the
                 # response must observe the bumped counter.
@@ -426,11 +455,17 @@ class AsyncThreatHuntingServer:
     # ------------------------------------------------------------------
     async def _dispatch(self, method: str, target: str,
                         body_raw: bytes
-                        ) -> tuple[int, dict, dict[str, str]]:
+                        ) -> tuple[int, Union[dict, _RawResponse],
+                                   dict[str, str]]:
         path = urlsplit(target).path
         if method == "GET" and path == "/healthz":
             # Liveness must answer even with every executor thread busy.
-            return 200, {"status": "ok"}, {}
+            return 200, self.service.healthz(), {}
+        if method == "GET" and path == "/metrics":
+            # Registry rendering never touches the store; answer inline.
+            text = self.service.metrics_text()
+            return 200, _RawResponse(text.encode("utf-8"),
+                                     METRICS_CONTENT_TYPE), {}
         if method == "POST" and path == "/query":
             payload = self._try_inline_cached(body_raw)
             if payload is not None:
@@ -481,7 +516,8 @@ class AsyncThreatHuntingServer:
         except ValueError:
             return None
         text = body.get("tbql")
-        if not isinstance(text, str) or not body.get("use_cache", True):
+        if not isinstance(text, str) or not body.get("use_cache", True) \
+                or body.get("profile"):
             return None
         return self.service.try_cached_query(text)
 
@@ -499,18 +535,29 @@ class AsyncThreatHuntingServer:
                     return 400, {"error": str(exc)}
             return route(self.service, method, target, body)
 
-        return await self._loop.run_in_executor(self._pool, work)
+        # run_in_executor does not carry contextvars into the worker
+        # thread; copy the loop's context (incl. any active trace span)
+        # so instrumentation downstream sees the same request context.
+        ctx = contextvars.copy_context()
+        return await self._loop.run_in_executor(
+            self._pool, lambda: ctx.run(work))
 
     # ------------------------------------------------------------------
     # response writing & bookkeeping
     # ------------------------------------------------------------------
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
-                       payload: dict, keep_alive: bool,
+                       payload: Union[dict, _RawResponse],
+                       keep_alive: bool,
                        extra: Optional[dict[str, str]] = None) -> None:
-        data = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, _RawResponse):
+            data = payload.data
+            content_type = payload.content_type
+        else:
+            data = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         reason = _STATUS_REASONS.get(status, "Unknown")
         headers = [f"HTTP/1.1 {status} {reason}",
-                   "Content-Type: application/json",
+                   f"Content-Type: {content_type}",
                    f"Content-Length: {len(data)}",
                    "Connection: %s" % ("keep-alive" if keep_alive
                                        else "close")]

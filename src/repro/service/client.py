@@ -64,16 +64,28 @@ class ServiceClient:
     # endpoints
     # ------------------------------------------------------------------
     def healthz(self) -> dict:
-        """Liveness probe; returns ``{"status": "ok"}``."""
+        """Liveness probe; returns status, uptime, version and backend."""
         return self._get("/healthz")
+
+    def metrics(self) -> str:
+        """Fetch the Prometheus text exposition from ``GET /metrics``."""
+        return self._send("GET", "/metrics", raw_text=True)
 
     def stats(self) -> dict:
         """Service statistics (store counts, caches, request counters)."""
         return self._get("/stats")
 
-    def query(self, tbql: str, use_cache: bool = True) -> dict:
-        """Execute TBQL text; returns the full response payload."""
-        return self._post("/query", {"tbql": tbql, "use_cache": use_cache})
+    def query(self, tbql: str, use_cache: bool = True,
+              profile: bool = False) -> dict:
+        """Execute TBQL text; returns the full response payload.
+
+        ``profile=True`` asks the server to execute under a trace and
+        include the span tree as a top-level ``profile`` key.
+        """
+        payload: dict = {"tbql": tbql, "use_cache": use_cache}
+        if profile:
+            payload["profile"] = True
+        return self._post("/query", payload)
 
     def hunt(self, report: str, fuzzy_fallback: bool = False) -> dict:
         """Run the OSCTI pipeline server-side against the served store."""
@@ -158,7 +170,8 @@ class ServiceClient:
                           body=json.dumps(payload).encode("utf-8"))
 
     def _send(self, method: str, path: str,
-              body: Optional[bytes] = None) -> Any:
+              body: Optional[bytes] = None,
+              raw_text: bool = False) -> Any:
         headers = {"Content-Type": "application/json"} \
             if body is not None else {}
         for attempt in (0, 1):
@@ -188,11 +201,11 @@ class ServiceClient:
                     f"{exc}") from exc
             if response.will_close:
                 self.close()
-            return self._decode(response, raw)
+            return self._decode(response, raw, raw_text=raw_text)
         raise AssertionError("unreachable")   # pragma: no cover
 
     def _decode(self, response: http.client.HTTPResponse,
-                raw: bytes) -> Any:
+                raw: bytes, raw_text: bool = False) -> Any:
         if response.status >= 400:
             diagnostic: dict | None = None
             try:
@@ -214,6 +227,8 @@ class ServiceClient:
                                status=response.status,
                                retry_after=retry_after,
                                diagnostic=diagnostic)
+        if raw_text:
+            return raw.decode("utf-8")
         try:
             return json.loads(raw.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:

@@ -49,7 +49,10 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any, Optional
 from urllib.parse import parse_qs, unquote, urlsplit
 
+from .. import __version__
 from ..errors import ReproError, StreamingError
+from ..obs.metrics import METRICS_CONTENT_TYPE, get_registry
+from ..obs.trace import start_span, start_trace
 from ..storage.dualstore import DualStore
 
 if TYPE_CHECKING:   # pragma: no cover - typing only
@@ -78,6 +81,37 @@ DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
 #: executor's entity cache is warm).  Excluded from response payloads so two
 #: executions of the same query produce byte-identical ``result`` sections.
 _VOLATILE_PLAN_FIELDS = ("seconds", "hydration_queries")
+
+#: Known endpoint paths, so request metrics stay bounded-cardinality
+#: even when clients probe random URLs.
+_TRACKED_PATHS = frozenset({"/query", "/hunt", "/ingest", "/rules",
+                            "/alerts", "/stats", "/healthz", "/metrics"})
+
+
+def canonical_endpoint(path: str) -> str:
+    """Collapse a request path onto a bounded label set."""
+    if path in _TRACKED_PATHS:
+        return path
+    if path.startswith("/rules/"):
+        return "/rules/{id}"
+    return "other"
+
+
+def observe_request(backend: str, method: str, path: str, status: int,
+                    seconds: float) -> None:
+    """Record one served request into the metrics registry."""
+    registry = get_registry()
+    endpoint = canonical_endpoint(path)
+    registry.counter(
+        "repro_http_requests_total",
+        "HTTP requests served, by backend, method, path and status.",
+        labels=("backend", "method", "path", "status"),
+    ).labels(backend, method, endpoint, str(status)).inc()
+    registry.histogram(
+        "repro_http_request_seconds",
+        "Request latency from routing to response, in seconds.",
+        labels=("backend", "method", "path"),
+    ).labels(backend, method, endpoint).observe(seconds)
 
 
 def result_payload(result: QueryResult) -> dict:
@@ -111,6 +145,9 @@ class QueryService:
         scan_strategy: how scatter workers read sealed segments —
             ``"columnar"`` (default) or ``"sqlite"`` (``repro serve
             --scan-strategy``).
+        slow_query_ms: when set, any query slower than this threshold
+            logs a structured JSON record to stderr with the embedded
+            span-tree profile (``repro serve --slow-query-ms``).
     """
 
     def __init__(self, store: DualStore, use_scheduler: bool = True,
@@ -118,8 +155,13 @@ class QueryService:
                  result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
                  engine: "Optional[DetectionEngine]" = None,
                  workers: int = 1,
-                 scan_strategy: str = "columnar") -> None:
+                 scan_strategy: str = "columnar",
+                 slow_query_ms: float | None = None) -> None:
         self.store = store
+        self.slow_query_ms = slow_query_ms
+        #: Set by the HTTP front end that serves this instance; reported
+        #: by /healthz ("embedded" when no server owns the service).
+        self.server_backend: Optional[str] = None
         self.executor = TBQLExecutor(store, use_scheduler=use_scheduler,
                                      workers=workers,
                                      scan_strategy=scan_strategy)
@@ -162,11 +204,13 @@ class QueryService:
         """
         entry = self.plan_cache.get(text)
         if entry is None:
+            self._cache_event("plan", "miss")
             parsed = parse_tbql(text)
             resolved = None if query_is_time_dependent(parsed) \
                 else resolve_query(parsed)
             self.plan_cache.put(text, (parsed, resolved))
         else:
+            self._cache_event("plan", "hit")
             parsed, resolved = entry
         if resolved is None:
             return resolve_query(parsed), False
@@ -175,7 +219,8 @@ class QueryService:
     # ------------------------------------------------------------------
     # endpoints
     # ------------------------------------------------------------------
-    def query(self, text: str, use_cache: bool = True) -> dict:
+    def query(self, text: str, use_cache: bool = True,
+              profile: bool = False) -> dict:
         """Execute TBQL text; returns the JSON-ready response payload.
 
         Result-cache entries are tagged with the ``data_version`` they
@@ -183,27 +228,41 @@ class QueryService:
         racing a live ingest can never serve pre-ingest rows — the
         wholesale clear in :meth:`_check_data_version` is housekeeping,
         the version tag is the correctness guarantee.
+
+        ``profile=True`` executes under a trace and returns the span
+        tree as a top-level ``profile`` key; the result cache is
+        bypassed in both directions so the profile always describes a
+        real execution (and cached payloads stay byte-identical).
         """
         self._bump("queries")
         self._check_data_version()
-        if use_cache:
+        if use_cache and not profile:
             entry = self.result_cache.get(text)
             if entry is not None:
                 cached_version, cached = entry
                 if cached_version == getattr(self.store, "data_version",
                                              None):
                     self._bump("query_cache_hits")
+                    self._cache_event("result", "hit")
                     response = dict(cached)
                     response["cached"] = True
                     return response
-        resolved, cacheable = self._compile(text)
-        start = time.perf_counter()
-        with self._read_guard():
-            # Read the version inside the guard: writers are excluded, so
-            # the result is computed against exactly this version.
-            executed_version = getattr(self.store, "data_version", None)
-            result = self.executor.execute(resolved)
-        elapsed = time.perf_counter() - start
+            self._cache_event("result", "miss")
+        want_trace = profile or self.slow_query_ms is not None
+        trace_cm = start_trace("query") if want_trace \
+            else nullcontext(None)
+        with trace_cm as root:
+            with start_span("parse"):
+                resolved, cacheable = self._compile(text)
+            start = time.perf_counter()
+            with self._read_guard():
+                # Read the version inside the guard: writers are
+                # excluded, so the result is computed against exactly
+                # this version.
+                executed_version = getattr(self.store, "data_version",
+                                           None)
+                result = self.executor.execute(resolved)
+            elapsed = time.perf_counter() - start
         response = {
             "query": text,
             "cached": False,
@@ -213,9 +272,25 @@ class QueryService:
                 "join_seconds": result.join_seconds,
             },
         }
-        if use_cache and cacheable:
+        if use_cache and cacheable and not profile:
             self.result_cache.put(text, (executed_version, response))
+        if root is not None:
+            tree = root.as_dict()
+            if profile:
+                response["profile"] = tree
+            self._maybe_log_slow_query(text, elapsed, tree)
         return response
+
+    def _maybe_log_slow_query(self, text: str, elapsed: float,
+                              tree: dict) -> None:
+        """Emit a structured JSON slow-query record to stderr."""
+        threshold = self.slow_query_ms
+        if threshold is None or elapsed * 1000.0 < threshold:
+            return
+        record = {"event": "slow_query", "query": text,
+                  "elapsed_ms": round(elapsed * 1000.0, 3),
+                  "threshold_ms": threshold, "profile": tree}
+        sys.stderr.write(json.dumps(record) + "\n")
 
     def try_cached_query(self, text: str) -> Optional[dict]:
         """Answer a query from the result cache alone; ``None`` on miss.
@@ -236,6 +311,7 @@ class QueryService:
             return None
         self._bump("queries")
         self._bump("query_cache_hits")
+        self._cache_event("result", "hit")
         response = dict(cached)
         response["cached"] = True
         return response
@@ -301,6 +377,29 @@ class QueryService:
         if self.engine is not None:
             payload["streaming"] = self.engine.stats()
         return payload
+
+    def healthz(self) -> dict:
+        """Liveness payload: status, uptime, version, server backend."""
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self._started_at,
+            "version": __version__,
+            "backend": self.server_backend or "embedded",
+        }
+
+    def metrics_text(self) -> str:
+        """Render the Prometheus text exposition for ``GET /metrics``."""
+        registry = get_registry()
+        registry.gauge(
+            "repro_uptime_seconds",
+            "Seconds since this service instance started.",
+        ).set(time.time() - self._started_at)
+        registry.gauge(
+            "repro_build_info",
+            "Constant 1, labelled with the package version.",
+            labels=("version",),
+        ).labels(__version__).set(1)
+        return registry.render()
 
     def close(self) -> None:
         """Release executor resources (the scatter-gather worker pool)."""
@@ -375,6 +474,14 @@ class QueryService:
     def _bump(self, counter: str) -> None:
         with self._counter_lock:
             self._counters[counter] += 1
+
+    @staticmethod
+    def _cache_event(cache: str, outcome: str) -> None:
+        get_registry().counter(
+            "repro_cache_requests_total",
+            "Plan/result cache lookups, by cache and outcome.",
+            labels=("cache", "outcome"),
+        ).labels(cache, outcome).inc()
 
     # ------------------------------------------------------------------
     # in-flight request tracking (graceful-shutdown drain)
@@ -458,7 +565,7 @@ def parse_json_body(raw: bytes) -> dict:
 def _route_get(service: QueryService, path: str,
                query_string: str) -> tuple[int, Any]:
     if path == "/healthz":
-        return 200, {"status": "ok"}
+        return 200, service.healthz()
     if path == "/stats":
         return 200, service.stats()
     if path == "/rules":
@@ -482,7 +589,8 @@ def _route_post(service: QueryService, path: str,
         if not isinstance(text, str) or not text.strip():
             return 400, {"error": "missing 'tbql' query text"}
         return 200, service.query(
-            text, use_cache=bool(body.get("use_cache", True)))
+            text, use_cache=bool(body.get("use_cache", True)),
+            profile=bool(body.get("profile", False)))
     if path == "/hunt":
         report = body.get("report")
         if not isinstance(report, str) or not report.strip():
@@ -561,7 +669,16 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # routing
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        self._send(*route(self.service, "GET", self.path, None))
+        if urlsplit(self.path).path == "/metrics":
+            # Render first, observe after: a scrape reports itself on
+            # the *next* scrape, matching the asyncio backend.
+            start = time.perf_counter()
+            data = self.service.metrics_text().encode("utf-8")
+            observe_request("threaded", "GET", "/metrics", 200,
+                            time.perf_counter() - start)
+            self._send_raw(200, data, METRICS_CONTENT_TYPE)
+            return
+        self._routed("GET", None)
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         try:
@@ -584,15 +701,26 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         except ValueError as exc:
             self._send(400, {"error": str(exc)})
             return
-        self._send(*route(self.service, "POST", self.path, body))
+        self._routed("POST", body)
 
     def do_DELETE(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        self._send(*route(self.service, "DELETE", self.path, None))
+        self._routed("DELETE", None)
+
+    def _routed(self, method: str, body: dict | None) -> None:
+        start = time.perf_counter()
+        status, payload = route(self.service, method, self.path, body)
+        observe_request("threaded", method, urlsplit(self.path).path,
+                        status, time.perf_counter() - start)
+        self._send(status, payload)
 
     def _send(self, status: int, payload: dict) -> None:
-        data = json.dumps(payload).encode("utf-8")
+        self._send_raw(status, json.dumps(payload).encode("utf-8"),
+                       "application/json")
+
+    def _send_raw(self, status: int, data: bytes,
+                  content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
@@ -622,6 +750,7 @@ class ThreatHuntingServer(ThreadingHTTPServer):
                  max_body_bytes: int = DEFAULT_MAX_BODY_BYTES) -> None:
         super().__init__(address, ServiceRequestHandler)
         self.service = service
+        self.service.server_backend = "threaded"
         self.verbose = verbose
         self.max_body_bytes = max_body_bytes
 
@@ -650,7 +779,8 @@ def serve(store: DualStore, host: str = "127.0.0.1", port: int = 8787,
           queue_limit: int | None = None,
           max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
           read_timeout: float | None = None,
-          verbose: bool = False) -> Any:
+          verbose: bool = False,
+          slow_query_ms: float | None = None) -> Any:
     """Build a ready-to-run server (call ``serve_forever()`` on it).
 
     ``backend`` picks the HTTP front end: ``"asyncio"`` (default — event
@@ -667,7 +797,8 @@ def serve(store: DualStore, host: str = "127.0.0.1", port: int = 8787,
                            plan_cache_size=plan_cache_size,
                            result_cache_size=result_cache_size,
                            engine=engine, workers=workers,
-                           scan_strategy=scan_strategy)
+                           scan_strategy=scan_strategy,
+                           slow_query_ms=slow_query_ms)
     if backend == "threaded":
         return ThreatHuntingServer((host, port), service, verbose=verbose,
                                    max_body_bytes=max_body_bytes)
@@ -685,5 +816,6 @@ def serve(store: DualStore, host: str = "127.0.0.1", port: int = 8787,
 
 __all__ = ["QueryService", "ServiceRequestHandler", "ThreatHuntingServer",
            "serve", "route", "parse_json_body", "query_is_time_dependent",
-           "result_payload", "DEFAULT_PLAN_CACHE_SIZE",
-           "DEFAULT_RESULT_CACHE_SIZE", "DEFAULT_MAX_BODY_BYTES"]
+           "result_payload", "canonical_endpoint", "observe_request",
+           "DEFAULT_PLAN_CACHE_SIZE", "DEFAULT_RESULT_CACHE_SIZE",
+           "DEFAULT_MAX_BODY_BYTES"]

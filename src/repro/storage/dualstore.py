@@ -31,6 +31,7 @@ from ..audit.entities import SystemEvent
 from ..audit.reduction import DEFAULT_MERGE_THRESHOLD, ReductionStats, \
     reduce_events
 from ..errors import StorageError
+from ..obs.metrics import get_registry
 from .columnar import EventColumns, write_columnar, write_columnar_from_sqlite
 from .graph import GraphStore
 from .graph.graphdb import PropertyGraph
@@ -123,6 +124,21 @@ class IngestStats(int):
     def total_seconds(self) -> float:
         """Sum of the per-stage timings."""
         return sum(self.seconds.values())
+
+    def observe(self) -> "IngestStats":
+        """Record this ingest into the metrics registry; returns self."""
+        registry = get_registry()
+        registry.counter(
+            "repro_ingest_events_total",
+            "Events stored across full loads and streaming appends.",
+        ).inc(self.events)
+        stage_hist = registry.histogram(
+            "repro_ingest_stage_seconds",
+            "Per-stage ingest durations (reduce, build, relational, "
+            "graph), in seconds.", labels=("stage",))
+        for stage, elapsed in self.seconds.items():
+            stage_hist.labels(stage).observe(elapsed)
+        return self
 
     def as_dict(self) -> dict:
         """Plain-dict view for programmatic consumers (logging, JSON)."""
@@ -536,7 +552,7 @@ class DualStore:
         self._stream = None     # a reload invalidates append continuation
         if self._segmented:
             self._drop_segments()
-        stats = loader(events)
+        stats = loader(events).observe()
         self.last_ingest = stats
         self.data_version += 1
         return stats
@@ -837,7 +853,7 @@ class DualStore:
         stats = IngestStats(
             stored_events, input_events=input_count,
             entities=len(entity_rows), relational_batches=statements,
-            seconds=seconds, strategy="append")
+            seconds=seconds, strategy="append").observe()
         self.last_ingest = stats
         return stats
 

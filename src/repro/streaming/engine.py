@@ -43,6 +43,7 @@ from typing import Any, Callable, Iterable, Optional
 from ..audit.entities import SystemEvent
 from ..audit.parser import AuditLogParser, ParseReport
 from ..errors import ReproError, StorageError, StreamingError
+from ..obs.metrics import get_registry
 from ..storage.dualstore import DualStore
 from ..tbql.executor import TBQLExecutor
 from .alerts import DEFAULT_ALERT_CAPACITY, Alert, AlertStore
@@ -248,6 +249,7 @@ class DetectionEngine:
             self.watermark = watermark
             report.watermark = watermark
         stored = 0
+        flush_start = time.perf_counter()
         if events or seal:
             with self.lock.write_lock():
                 if events:
@@ -280,6 +282,19 @@ class DetectionEngine:
             report.alerts = self._evaluate_rules()
             report.eval_seconds = time.perf_counter() - eval_start
             self.eval_seconds_total += report.eval_seconds
+            get_registry().histogram(
+                "repro_flush_seconds",
+                "Flush-cycle duration (store append + rule "
+                "evaluation), in seconds.",
+            ).observe(time.perf_counter() - flush_start)
+        if watermark is not None:
+            # Event-time lag of the detection watermark behind the wall
+            # clock; synthetic replays can legitimately sit far behind.
+            get_registry().gauge(
+                "repro_watermark_lag_seconds",
+                "Wall-clock seconds the event-time watermark trails "
+                "behind now.",
+            ).set(max(0.0, time.time() - watermark))
         self.last_flush = report
         return report
 
@@ -292,6 +307,18 @@ class DetectionEngine:
         watermark = self.watermark
         max_event_id = self.store.max_event_id
         data_version = self.store.data_version
+        registry = get_registry()
+        eval_counter = registry.counter(
+            "repro_rule_evaluations_total",
+            "Standing-rule evaluations, per rule.", labels=("rule",))
+        error_counter = registry.counter(
+            "repro_rule_errors_total",
+            "Standing-rule evaluations that raised, per rule.",
+            labels=("rule",))
+        alert_counter = registry.counter(
+            "repro_rule_alerts_total",
+            "Alerts fired by standing rules, per rule.",
+            labels=("rule",))
         with self.lock.read_lock():
             for rule in rules:
                 try:
@@ -299,9 +326,11 @@ class DetectionEngine:
                 except ReproError as exc:
                     rule.last_error = str(exc)
                     self.rule_errors += 1
+                    error_counter.labels(rule.rule_id).inc()
                     continue
                 rule.last_error = None
                 rule.evaluations += 1
+                eval_counter.labels(rule.rule_id).inc()
                 high_water = rule.high_water_event_id
                 # A standing rule fires only on *complete* matches: an
                 # event satisfying one pattern of a multi-pattern rule is
@@ -324,6 +353,7 @@ class DetectionEngine:
                     rows=result.rows)
                 if alert is not None:
                     rule.alerts_fired += 1
+                    alert_counter.labels(rule.rule_id).inc()
                     fired.append(alert)
         return fired
 

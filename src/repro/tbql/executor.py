@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..errors import ExecutionError
+from ..obs.trace import start_span
 from ..storage.dualstore import DualStore
 from ..storage.segments import SegmentView, prune_segments
 from .aggregate import AGGREGATION_STRATEGIES, apply_aggregation
@@ -347,17 +348,26 @@ class TBQLExecutor:
             with self._cache_lock:
                 self._entity_cache.clear()
                 self._data_version = version
-        resolved = self._resolve(query, now)
-        steps = schedule(resolved) if self.use_scheduler \
-            else naive_schedule(resolved)
+        if isinstance(query, str):
+            with start_span("parse"):
+                resolved = self._resolve(query, now)
+        else:
+            resolved = self._resolve(query, now)
+        with start_span("plan") as plan_span:
+            steps = schedule(resolved) if self.use_scheduler \
+                else naive_schedule(resolved)
+            plan_span.set_attribute("steps", len(steps))
         matches_by_pattern: dict[str, list[PatternMatch]] = {}
         candidate_keys: dict[str, set[str]] = {}
         candidate_ids: dict[str, set[int]] = {}
         plan: list[PlanStep] = []
         for step in steps:
-            matches, plan_step = self._execute_step(step, resolved,
-                                                    candidate_keys,
-                                                    candidate_ids)
+            with start_span("scan",
+                            pattern=step.pattern.pattern_id) as span:
+                matches, plan_step = self._execute_step(step, resolved,
+                                                        candidate_keys,
+                                                        candidate_ids)
+                span.set_attribute("rows", plan_step.rows_out)
             matches_by_pattern[step.pattern.pattern_id] = matches
             self._update_candidates(step.pattern, matches, candidate_keys,
                                     candidate_ids)
@@ -373,16 +383,25 @@ class TBQLExecutor:
             step = ScheduledStep(pattern=pattern,
                                  score=pruning_score(pattern),
                                  bound_entities=frozenset(candidate_keys))
-            matches, plan_step = self._execute_step(
-                step, resolved, candidate_keys, candidate_ids, negated=True)
+            with start_span("scan", pattern=pattern.pattern_id,
+                            negated=True) as span:
+                matches, plan_step = self._execute_step(
+                    step, resolved, candidate_keys, candidate_ids,
+                    negated=True)
+                span.set_attribute("rows", plan_step.rows_out)
             negated_matches[pattern.pattern_id] = matches
             plan.append(plan_step)
         join_start = time.perf_counter()
-        rows, joined_events = self._join(resolved, matches_by_pattern,
-                                         negated_matches)
+        with start_span("join") as span:
+            rows, joined_events = self._join(resolved, matches_by_pattern,
+                                             negated_matches)
+            span.set_attribute("rows", len(rows))
         if resolved.aggregation is not None:
-            rows = apply_aggregation(rows, resolved.aggregation,
-                                     strategy=self.aggregation_strategy)
+            with start_span("aggregate") as span:
+                rows = apply_aggregation(
+                    rows, resolved.aggregation,
+                    strategy=self.aggregation_strategy)
+                span.set_attribute("rows", len(rows))
         join_seconds = time.perf_counter() - join_start
         # Matched events are counted per pattern (after candidate-constraint
         # propagation), mirroring the paper's per-event precision/recall in
@@ -550,14 +569,19 @@ class TBQLExecutor:
             else:
                 tasks.append((segment.sqlite_path, compiled.sql,
                               tuple(compiled.params)))
-        rows = self._scanner.scan(tasks)
-        if view.active_events:
-            active = compile_pattern_sql(
-                pattern, resolved, subject_candidates=subject_ids,
-                object_candidates=object_ids,
-                min_event_id=view.active_first_event_id)
-            rows.extend(self.store.execute_sql(active.sql, active.params))
-        rows.sort(key=lambda row: (row["start_time"], row["event_id"]))
+        with start_span("scatter", segments=len(targets),
+                        pruned=len(view.sealed) - len(targets)) as span:
+            rows = self._scanner.scan(tasks)
+            if view.active_events:
+                active = compile_pattern_sql(
+                    pattern, resolved, subject_candidates=subject_ids,
+                    object_candidates=object_ids,
+                    min_event_id=view.active_first_event_id)
+                rows.extend(self.store.execute_sql(active.sql,
+                                                   active.params))
+            rows.sort(key=lambda row: (row["start_time"],
+                                       row["event_id"]))
+            span.set_attribute("rows", len(rows))
         return rows, len(targets), len(view.sealed) - len(targets)
 
     def _execute_sql_pattern(self, pattern: ResolvedPattern,
@@ -581,7 +605,9 @@ class TBQLExecutor:
         # query instead of one lookup per result row (the seed's N+1).
         needed = {row["subject_id"] for row in rows} | \
             {row["object_id"] for row in rows}
-        hydration_queries = self._hydrate_entities(needed)
+        with start_span("hydrate", entities=len(needed)) as span:
+            hydration_queries = self._hydrate_entities(needed)
+            span.set_attribute("queries", hydration_queries)
         matches = []
         for row in rows:
             subject_attrs = self._entity_attrs(row["subject_id"])

@@ -46,13 +46,20 @@ import logging
 import multiprocessing
 import sqlite3
 import threading
+import time
 from pathlib import Path
 from typing import Any, Optional, Sequence, Union
 
 from ..errors import StorageError
+from ..obs.metrics import get_registry
+from ..obs.trace import current_span
 from .colscan import ColumnarTask, scan_segment_columnar, unpack_rows
 
 logger = logging.getLogger(__name__)
+
+# Pool-creation failure is worth exactly one warning per process — every
+# scanner after the first would otherwise repeat it on every query.
+_pool_warning_emitted = False
 
 #: One SQLite scatter task: ``(segment sqlite path, sql, params)``.
 SqlScanTask = tuple[str, str, tuple]
@@ -113,6 +120,29 @@ def run_scan_task(task: ScanTask) -> Any:
     return scan_segment(task)
 
 
+def run_scan_task_traced(task: ScanTask) -> tuple[Any, dict[str, Any]]:
+    """Worker entry that also times the scan for span attachment.
+
+    Worker processes cannot share the parent's trace context, so the
+    span travels as a plain metadata dict piggybacked on the payload;
+    the gather side grafts it into the live trace tree.  Row results
+    are byte-identical to :func:`run_scan_task`.
+    """
+    start = time.perf_counter()
+    result = run_scan_task(task)
+    duration_ms = (time.perf_counter() - start) * 1000.0
+    if isinstance(task, ColumnarTask):
+        path, strategy, rows = task.path, "columnar", result[0]
+    else:
+        path, strategy, rows = task[0], "sqlite", len(result)
+    # The task path points at the payload file inside the segment
+    # directory (events.col / relational.sqlite); the directory is the
+    # segment's identity.
+    meta = {"segment": Path(path).parent.name, "strategy": strategy,
+            "rows": rows, "duration_ms": duration_ms}
+    return result, meta
+
+
 class SegmentScanner:
     """Runs segment-scan tasks, in parallel when workers allow it.
 
@@ -145,6 +175,7 @@ class SegmentScanner:
         return self._pool_failed
 
     def _ensure_pool(self) -> Optional[Any]:
+        global _pool_warning_emitted
         with self._lock:
             if self._pool is None and not self._pool_failed:
                 try:
@@ -157,10 +188,17 @@ class SegmentScanner:
                     self._pool = context.Pool(processes=self.workers)
                 except (OSError, ValueError, ImportError) as exc:
                     self._pool_failed = True
-                    logger.warning(
-                        "scatter-gather pool creation failed (%s: %s); "
-                        "falling back to serial in-process segment scans",
-                        type(exc).__name__, exc)
+                    get_registry().counter(
+                        "repro_scatter_pool_failures_total",
+                        "Scatter pool creations that failed and "
+                        "downgraded the scanner to serial scans.").inc()
+                    if not _pool_warning_emitted:
+                        _pool_warning_emitted = True
+                        logger.warning(
+                            "scatter-gather pool creation failed "
+                            "(%s: %s); falling back to serial "
+                            "in-process segment scans",
+                            type(exc).__name__, exc)
             return self._pool
 
     @staticmethod
@@ -178,11 +216,33 @@ class SegmentScanner:
         order."""
         if not tasks:
             return []
+        span = current_span()
         if self.workers > 1 and len(tasks) > 1:
             pool = self._ensure_pool()
             if pool is not None:
+                if span is not None:
+                    return self._gather_traced(
+                        pool.map(run_scan_task_traced, tasks), span)
                 return self._gather(pool.map(run_scan_task, tasks))
+            get_registry().counter(
+                "repro_scatter_fallback_scans_total",
+                "Multi-segment scans forced onto the serial path "
+                "because the worker pool is unavailable.").inc()
+        if span is not None:
+            return self._gather_traced(
+                [run_scan_task_traced(task) for task in tasks], span)
         return self._gather([run_scan_task(task) for task in tasks])
+
+    @staticmethod
+    def _gather_traced(results: Sequence[tuple[Any, dict[str, Any]]],
+                       span: Any) -> list[dict[str, Any]]:
+        payloads = []
+        for payload, meta in results:
+            span.attach("segment_scan", meta["duration_ms"],
+                        {key: meta[key]
+                         for key in ("segment", "strategy", "rows")})
+            payloads.append(payload)
+        return SegmentScanner._gather(payloads)
 
     def close(self) -> None:
         """Tear the worker pool down (idempotent)."""
@@ -201,4 +261,4 @@ class SegmentScanner:
 
 
 __all__ = ["ScanTask", "SqlScanTask", "SegmentScanner", "scan_segment",
-           "run_scan_task"]
+           "run_scan_task", "run_scan_task_traced"]

@@ -1,0 +1,188 @@
+"""Minimal Prometheus text-format parser used to validate /metrics.
+
+This is deliberately a *validator*, not a client: every rule it enforces
+is one a real Prometheus scraper relies on, so a regression in the
+exposition renderer fails here before it fails in a deployment.
+Checks: metric/label name charsets, label-value quoting and escape
+sequences, float-parseable sample values, a ``# HELP`` + ``# TYPE``
+pair preceding every family's samples, histogram series completeness
+(``_bucket``/``_sum``/``_count``, a ``+Inf`` bucket, monotone
+cumulative counts).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$")
+
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+class ExpositionError(AssertionError):
+    """A line that a Prometheus scraper would reject (or misread)."""
+
+
+def _parse_label_block(block: str, line: str) -> dict[str, str]:
+    """Parse ``name="value",...`` honouring backslash escapes."""
+    labels: dict[str, str] = {}
+    index = 0
+    while index < len(block):
+        eq = block.find("=", index)
+        if eq < 0:
+            raise ExpositionError(f"malformed label block: {line}")
+        name = block[index:eq]
+        if not LABEL_NAME.match(name):
+            raise ExpositionError(f"invalid label name {name!r}: {line}")
+        if eq + 1 >= len(block) or block[eq + 1] != '"':
+            raise ExpositionError(f"unquoted label value: {line}")
+        value_chars: list[str] = []
+        pos = eq + 2
+        while True:
+            if pos >= len(block):
+                raise ExpositionError(
+                    f"unterminated label value: {line}")
+            char = block[pos]
+            if char == "\\":
+                if pos + 1 >= len(block):
+                    raise ExpositionError(
+                        f"dangling escape in label value: {line}")
+                escape = block[pos + 1]
+                if escape == "n":
+                    value_chars.append("\n")
+                elif escape in ("\\", '"'):
+                    value_chars.append(escape)
+                else:
+                    raise ExpositionError(
+                        f"unknown escape \\{escape}: {line}")
+                pos += 2
+                continue
+            if char == '"':
+                break
+            value_chars.append(char)
+            pos += 1
+        labels[name] = "".join(value_chars)
+        index = pos + 1
+        if index < len(block):
+            if block[index] != ",":
+                raise ExpositionError(
+                    f"expected ',' between labels: {line}")
+            index += 1
+    return labels
+
+
+def _family_of(sample_name: str, types: dict[str, str]) -> str:
+    """Map a sample name to its family (histogram suffix stripping)."""
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[:-len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return sample_name
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict]:
+    """Parse (and validate) an exposition; returns per-family data.
+
+    Returns ``{family: {"help": str, "type": str, "samples":
+    [(sample_name, labels_dict, value), ...]}}``.  Raises
+    :class:`ExpositionError` on any violation.
+    """
+    helps: dict[str, str] = {}
+    types: dict[str, str] = {}
+    families: dict[str, dict] = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):]
+            name, _, help_text = rest.partition(" ")
+            if not METRIC_NAME.match(name):
+                raise ExpositionError(f"invalid HELP name: {line}")
+            if name in helps:
+                raise ExpositionError(f"duplicate HELP for {name}")
+            helps[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE "):]
+            name, _, kind = rest.partition(" ")
+            if not METRIC_NAME.match(name):
+                raise ExpositionError(f"invalid TYPE name: {line}")
+            if kind not in ("counter", "gauge", "histogram",
+                            "summary", "untyped"):
+                raise ExpositionError(f"unknown TYPE: {line}")
+            if name not in helps:
+                raise ExpositionError(
+                    f"TYPE before HELP for {name}")
+            if name in types:
+                raise ExpositionError(f"duplicate TYPE for {name}")
+            types[name] = kind
+            families[name] = {"help": helps[name], "type": kind,
+                              "samples": []}
+            continue
+        if line.startswith("#"):
+            continue           # comment
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ExpositionError(f"malformed sample line: {line}")
+        sample_name = match.group("name")
+        family = _family_of(sample_name, types)
+        if family not in families:
+            raise ExpositionError(
+                f"sample without HELP/TYPE pair: {line}")
+        labels = _parse_label_block(match.group("labels") or "", line)
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value.replace("+Inf", "inf")
+                          .replace("-Inf", "-inf"))
+        except ValueError:
+            raise ExpositionError(
+                f"unparseable sample value: {line}") from None
+        families[family]["samples"].append((sample_name, labels, value))
+    _validate_histograms(families)
+    return families
+
+
+def _validate_histograms(families: dict[str, dict]) -> None:
+    for family, data in families.items():
+        if data["type"] != "histogram":
+            continue
+        series: dict[tuple, dict] = {}
+        for sample_name, labels, value in data["samples"]:
+            key = tuple(sorted((name, val) for name, val
+                               in labels.items() if name != "le"))
+            entry = series.setdefault(
+                key, {"buckets": [], "sum": None, "count": None})
+            if sample_name.endswith("_bucket"):
+                if "le" not in labels:
+                    raise ExpositionError(
+                        f"{family}: bucket sample without le label")
+                bound = float(labels["le"].replace("+Inf", "inf"))
+                entry["buckets"].append((bound, value))
+            elif sample_name.endswith("_sum"):
+                entry["sum"] = value
+            elif sample_name.endswith("_count"):
+                entry["count"] = value
+        for key, entry in series.items():
+            if entry["sum"] is None or entry["count"] is None:
+                raise ExpositionError(
+                    f"{family}{dict(key)}: missing _sum/_count")
+            buckets = sorted(entry["buckets"])
+            if not buckets or buckets[-1][0] != math.inf:
+                raise ExpositionError(
+                    f"{family}{dict(key)}: missing +Inf bucket")
+            counts = [count for _bound, count in buckets]
+            if any(a > b for a, b in zip(counts, counts[1:])):
+                raise ExpositionError(
+                    f"{family}{dict(key)}: bucket counts not "
+                    f"cumulative")
+            if counts[-1] != entry["count"]:
+                raise ExpositionError(
+                    f"{family}{dict(key)}: +Inf bucket != _count")

@@ -56,7 +56,7 @@ class TestKeepAlive:
         try:
             with ServiceClient(f"http://{host}:{port}") as client:
                 for _ in range(8):
-                    assert client.healthz() == {"status": "ok"}
+                    assert client.healthz()["status"] == "ok"
                 client.query(QUERY)
             assert server.connections_accepted == 1
             assert server.requests_served == 9
@@ -71,9 +71,9 @@ class TestKeepAlive:
         host, port = server.server_address[:2]
         try:
             with ServiceClient(f"http://{host}:{port}") as client:
-                assert client.healthz() == {"status": "ok"}
+                assert client.healthz()["status"] == "ok"
                 time.sleep(0.8)   # let the server reap the idle socket
-                assert client.healthz() == {"status": "ok"}
+                assert client.healthz()["status"] == "ok"
             assert server.connections_accepted == 2
         finally:
             stop_backend_server(server, thread)
@@ -100,9 +100,9 @@ class TestBackpressure:
         release = threading.Event()
         original = QueryService.query
 
-        def slow_query(self, text, use_cache=True):
+        def slow_query(self, text, use_cache=True, **kwargs):
             release.wait(10)
-            return original(self, text, use_cache=use_cache)
+            return original(self, text, use_cache=use_cache, **kwargs)
 
         monkeypatch.setattr(QueryService, "query", slow_query)
         server, thread = _start_async(service, exec_threads=1,
@@ -221,7 +221,7 @@ class TestRequestHygiene:
             assert excinfo.value.status == 413
             # The connection was closed by the server; a fresh request
             # still works (transparent reconnect).
-            assert client.healthz() == {"status": "ok"}
+            assert client.healthz()["status"] == "ok"
             client.close()
         finally:
             stop_backend_server(server, thread)
@@ -285,10 +285,10 @@ class TestGracefulShutdown:
         original = QueryService.query
         entered = threading.Event()
 
-        def slow_query(self, text, use_cache=True):
+        def slow_query(self, text, use_cache=True, **kwargs):
             entered.set()
             time.sleep(0.5)
-            return original(self, text, use_cache=use_cache)
+            return original(self, text, use_cache=use_cache, **kwargs)
 
         monkeypatch.setattr(QueryService, "query", slow_query)
         server, thread = _start_async(service)
@@ -320,7 +320,7 @@ class TestGracefulShutdown:
         server, thread = start_backend_server(service, backend)
         host, port = server.server_address[:2]
         with ServiceClient(f"http://{host}:{port}") as client:
-            assert client.healthz() == {"status": "ok"}
+            assert client.healthz()["status"] == "ok"
         assert server.shutdown_gracefully() is True
         server.server_close()
         thread.join(timeout=10)

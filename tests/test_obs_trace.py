@@ -1,0 +1,194 @@
+"""Span-tree tracing: structure, propagation, and scatter grafting.
+
+The propagation tests mirror the two places a trace must survive a
+thread/process hop in production: the asyncio front end's bounded
+``ThreadPoolExecutor`` (contextvars must be copied by hand) and the
+multiprocessing scatter pool (workers return span metadata alongside
+their payloads, grafted back by the gather side) — the latter at both
+``workers=1`` (serial in-process) and ``workers=4`` (real pool).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from operator import attrgetter
+
+import pytest
+
+from repro.audit import AuditCollector, CollectorConfig, \
+    generate_benign_noise
+from repro.obs import trace
+from repro.storage import DualStore
+from repro.tbql.executor import TBQLExecutor
+
+from .conftest import record_data_leak_attack
+
+QUERY = ('proc p["%/usr/bin/scp%"] read file f["%/var/log/auth.log%"] '
+         'as e1 return p, f')
+
+#: Segments to cut the corpus into (enough for a real fan-out).
+SEGMENT_BATCHES = 5
+
+
+def _events():
+    collector = AuditCollector(CollectorConfig(seed=7))
+    record_data_leak_attack(collector)
+    events = collector.events() + generate_benign_noise(num_sessions=6,
+                                                        seed=13)
+    events.sort(key=attrgetter("start_time", "event_id"))
+    return events
+
+
+@pytest.fixture(scope="module")
+def segmented_store():
+    events = _events()
+    store = DualStore(layout="segmented")
+    size = max(1, len(events) // SEGMENT_BATCHES)
+    for start in range(0, len(events), size):
+        store.append_events(events[start:start + size])
+        store.flush_appends()
+    yield store
+    store.close()
+
+
+def _find(node, name):
+    """Depth-first search for every span named ``name``."""
+    found = []
+    if node["name"] == name:
+        found.append(node)
+    for child in node["children"]:
+        found.extend(_find(child, name))
+    return found
+
+
+class TestSpanTree:
+    def test_nested_spans_attach_to_parent(self):
+        with trace.start_trace("root", request="r1") as root:
+            with trace.start_span("outer") as outer:
+                outer.set_attribute("k", "v")
+                with trace.start_span("inner"):
+                    pass
+        tree = root.as_dict()
+        assert tree["name"] == "root"
+        assert tree["attributes"] == {"request": "r1"}
+        assert tree["duration_ms"] >= 0
+        (outer_node,) = tree["children"]
+        assert outer_node["name"] == "outer"
+        assert outer_node["attributes"] == {"k": "v"}
+        assert [child["name"] for child in outer_node["children"]] \
+            == ["inner"]
+
+    def test_span_outside_trace_is_noop(self):
+        with trace.start_span("orphan") as span:
+            span.set_attribute("ignored", 1)
+        assert span is trace.NULL_SPAN
+        assert trace.current_span() is None
+
+    def test_disabled_mode_yields_none_root(self):
+        previous = trace.set_enabled(False)
+        try:
+            with trace.start_trace("root") as root:
+                assert root is None
+                with trace.start_span("child") as span:
+                    assert span is trace.NULL_SPAN
+                assert trace.current_span() is None
+        finally:
+            trace.set_enabled(previous)
+
+    def test_attach_grafts_completed_child(self):
+        with trace.start_trace("root") as root:
+            with trace.start_span("scatter") as span:
+                span.attach("segment_scan", 1.5, {"segment": "s1"})
+        (scatter,) = root.as_dict()["children"]
+        (grafted,) = scatter["children"]
+        assert grafted["name"] == "segment_scan"
+        assert grafted["duration_ms"] == 1.5
+        assert grafted["attributes"] == {"segment": "s1"}
+
+    def test_render_span_tree(self):
+        with trace.start_trace("query") as root:
+            with trace.start_span("scan", pattern="e1"):
+                pass
+        text = trace.render_span_tree(root.as_dict())
+        lines = text.splitlines()
+        assert lines[0].startswith("- query")
+        assert lines[1].strip().startswith("- scan")
+        assert "pattern=e1" in lines[1]
+
+
+class TestExecutorPoolPropagation:
+    def test_wrap_carries_trace_into_worker_thread(self):
+        def work():
+            with trace.start_span("in_pool") as span:
+                span.set_attribute("thread", "worker")
+            return trace.current_span() is not None
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            with trace.start_trace("request") as root:
+                saw_trace = pool.submit(trace.wrap(work)).result()
+            # Without wrap() the worker thread must NOT see the trace.
+            with trace.start_trace("request2") as root2:
+                pool.submit(work).result()
+        assert saw_trace
+        assert [child["name"] for child
+                in root.as_dict()["children"]] == ["in_pool"]
+        assert root2.as_dict()["children"] == []
+
+
+class TestScatterPropagation:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_per_segment_spans_graft_into_scatter(self, segmented_store,
+                                                  workers):
+        executor = TBQLExecutor(segmented_store, workers=workers)
+        try:
+            with trace.start_trace("query") as root:
+                result = executor.execute(QUERY)
+        finally:
+            executor.close()
+        tree = root.as_dict()
+        (scatter,) = _find(tree, "scatter")
+        scanned = scatter["attributes"]["segments"]
+        assert scanned == result.plan[0].segments_scanned
+        segment_spans = [child for child in scatter["children"]
+                        if child["name"] == "segment_scan"]
+        assert len(segment_spans) == scanned > 1
+        for span in segment_spans:
+            assert span["duration_ms"] > 0
+            assert span["attributes"]["strategy"] in ("columnar",
+                                                      "sqlite")
+            assert span["attributes"]["rows"] >= 0
+            assert span["attributes"]["segment"]
+        total_child_ms = sum(span["duration_ms"]
+                             for span in segment_spans)
+        # Serial: children time nests strictly inside the scatter span.
+        # Pooled: the sum is bounded by workers * the scatter wall time.
+        budget = scatter["duration_ms"] * (1 if workers == 1
+                                           else workers)
+        assert total_child_ms <= budget + 1.0
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_rows_identical_with_and_without_tracing(
+            self, segmented_store, workers):
+        executor = TBQLExecutor(segmented_store, workers=workers)
+        try:
+            plain = executor.execute(QUERY)
+            with trace.start_trace("query"):
+                traced = executor.execute(QUERY)
+        finally:
+            executor.close()
+        assert traced.rows == plain.rows
+        assert traced.matched_events == plain.matched_events
+
+    def test_stage_spans_cover_pipeline(self, segmented_store):
+        executor = TBQLExecutor(segmented_store, workers=1)
+        try:
+            with trace.start_trace("query") as root:
+                executor.execute(QUERY)
+        finally:
+            executor.close()
+        tree = root.as_dict()
+        names = {child["name"] for child in tree["children"]}
+        assert {"parse", "plan", "scan", "join"} <= names
+        (scan,) = _find(tree, "scan")
+        nested = {child["name"] for child in scan["children"]}
+        assert {"scatter", "hydrate"} <= nested

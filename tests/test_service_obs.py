@@ -1,0 +1,167 @@
+"""Service-level observability: /metrics, /healthz, profile, slow log.
+
+Everything here runs against both HTTP front ends (the threaded
+``http.server`` backend and the asyncio backend) — the observability
+surface is part of the service contract, not a property of one server.
+Each test gets a fresh default registry so metric assertions never see
+another test's increments.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.service import QueryService, ServiceClient
+from repro.service.server import canonical_endpoint
+from repro.storage import DualStore
+
+from .conftest import (SERVER_BACKENDS, start_backend_server,
+                       stop_backend_server)
+from .promtext import parse_prometheus_text
+
+QUERY = 'proc p["%/bin/tar%"] read file f as e1 return distinct f'
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    previous = set_registry(MetricsRegistry())
+    try:
+        yield
+    finally:
+        set_registry(previous)
+
+
+@pytest.fixture()
+def store(data_leak_events):
+    with DualStore() as store:
+        store.load_events(data_leak_events)
+        yield store
+
+
+@pytest.fixture(params=SERVER_BACKENDS)
+def backend_client(request, store):
+    service = QueryService(store)
+    server, thread = start_backend_server(service, request.param)
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+    try:
+        yield request.param, client
+    finally:
+        client.close()
+        stop_backend_server(server, thread)
+
+
+class TestHealthz:
+    def test_payload_shape_is_pinned(self, backend_client):
+        backend, client = backend_client
+        payload = client.healthz()
+        assert set(payload) == {"status", "uptime_seconds", "version",
+                                "backend"}
+        assert payload["status"] == "ok"
+        assert payload["version"] == repro.__version__
+        assert payload["backend"] == backend
+        assert payload["uptime_seconds"] >= 0
+
+
+class TestMetricsEndpoint:
+    def test_exposition_is_valid_and_covers_requests(
+            self, backend_client):
+        backend, client = backend_client
+        client.query(QUERY)
+        client.query(QUERY)          # second call: result-cache hit
+        client.healthz()
+        families = parse_prometheus_text(client.metrics())
+        requests = families["repro_http_requests_total"]
+        query_hits = [value for name, labels, value
+                      in requests["samples"]
+                      if labels["path"] == "/query"
+                      and labels["status"] == "200"
+                      and labels["backend"] == backend]
+        assert query_hits == [2.0]
+        latency = families["repro_http_request_seconds"]
+        counts = [value for name, labels, value in latency["samples"]
+                  if name.endswith("_count")
+                  and labels["path"] == "/query"]
+        assert counts == [2.0]
+        cache = {(labels["cache"], labels["outcome"]): value
+                 for _name, labels, value
+                 in families["repro_cache_requests_total"]["samples"]}
+        assert cache[("result", "hit")] == 1.0
+        assert cache[("result", "miss")] == 1.0
+        assert families["repro_uptime_seconds"]["samples"][0][2] >= 0
+        ((_n, build_labels, build_value),) = \
+            families["repro_build_info"]["samples"]
+        assert build_labels == {"version": repro.__version__}
+        assert build_value == 1.0
+
+    def test_scrape_does_not_count_itself_before_rendering(
+            self, backend_client):
+        _backend, client = backend_client
+        parse_prometheus_text(client.metrics())   # must parse clean
+        second = parse_prometheus_text(client.metrics())
+        # The second scrape must observe the first one.
+        metric_hits = [value for _name, labels, value
+                       in second["repro_http_requests_total"]["samples"]
+                       if labels["path"] == "/metrics"]
+        assert metric_hits == [1.0]
+
+
+class TestProfile:
+    def test_profile_returns_span_tree(self, backend_client):
+        _backend, client = backend_client
+        response = client.query(QUERY, profile=True)
+        tree = response["profile"]
+        assert tree["name"] == "query"
+        child_names = [child["name"] for child in tree["children"]]
+        assert "parse" in child_names
+        assert tree["duration_ms"] > 0
+        # The result itself is unchanged by profiling.
+        plain = client.query(QUERY, use_cache=False)
+        assert response["result"] == plain["result"]
+        assert "profile" not in plain
+
+    def test_profile_bypasses_result_cache(self, backend_client):
+        _backend, client = backend_client
+        client.query(QUERY)                       # warm the cache
+        profiled = client.query(QUERY, profile=True)
+        assert profiled["cached"] is False
+        assert "profile" in profiled
+        cached = client.query(QUERY)
+        assert cached["cached"] is True
+        assert "profile" not in cached
+
+
+class TestSlowQueryLog:
+    def test_threshold_zero_logs_json_record(self, store, capsys):
+        service = QueryService(store, slow_query_ms=0.0)
+        response = service.query(QUERY)
+        assert "profile" not in response          # log-only tracing
+        record = json.loads(capsys.readouterr().err.strip()
+                            .splitlines()[-1])
+        assert record["event"] == "slow_query"
+        assert record["query"] == QUERY
+        assert record["elapsed_ms"] >= 0
+        assert record["threshold_ms"] == 0.0
+        assert record["profile"]["name"] == "query"
+
+    def test_fast_queries_stay_quiet(self, store, capsys):
+        service = QueryService(store, slow_query_ms=60_000.0)
+        service.query(QUERY)
+        assert capsys.readouterr().err == ""
+
+
+class TestEndpointCanonicalisation:
+    def test_known_paths_pass_through(self):
+        assert canonical_endpoint("/query") == "/query"
+        assert canonical_endpoint("/metrics") == "/metrics"
+
+    def test_rule_ids_collapse(self):
+        assert canonical_endpoint("/rules/abc-123") == "/rules/{id}"
+
+    def test_unknown_paths_collapse_to_other(self):
+        assert canonical_endpoint("/../../etc/passwd") == "other"
+        assert canonical_endpoint("/query/extra") == "other"
