@@ -37,6 +37,18 @@ machine-speed normalizer:
   same store (the acceptance bar at full fan-in is 2x the threaded
   qps, i.e. a ratio well below 1; the gate holds the smoke-scale
   ratio near its committed baseline);
+* *stats_pruning* — a rare-operation hunt (with a prefix-``LIKE``
+  artifact filter) on a segmented store with seal-time statistics and
+  dictionary predicates enabled vs the identical hunt with
+  ``REPRO_TBQL_STATS_PRUNING=0`` and ``REPRO_COLSCAN_DICT=0`` (the
+  retained scan-everything reference; the acceptance bar at full scale
+  is a 2x speedup, i.e. a ratio <= 0.5; the gate holds the smoke-scale
+  ratio near its committed baseline);
+* *agg_pushdown* — a single-pattern ``group by`` hunt with
+  partial-aggregate pushdown (workers return per-segment group-count
+  partials) vs the identical hunt with ``REPRO_TBQL_AGG_PUSHDOWN=0``
+  (the retained row-scatter + post-join aggregation reference; the
+  acceptance bar at full scale is a 1.5x speedup);
 * *obs_overhead* — the same query loop executed under a live trace
   (spans recorded at every pipeline stage) vs with tracing disabled
   (``repro.obs.trace.set_enabled(False)``, the ``REPRO_OBS=0``
@@ -276,6 +288,106 @@ def measure_columnar() -> dict:
     }
 
 
+def _segmented_with_rare_ops() -> DualStore:
+    """Benign noise sealed into 8 segments plus one rare-op tail segment.
+
+    The tail collector starts after the noise ends, so its ``delete``
+    events seal into exactly one final segment — the shape the seal-time
+    distinct-operation sets prune on.
+    """
+    from operator import attrgetter
+
+    from repro.audit import AuditCollector, CollectorConfig
+    from repro.audit.entities import Operation
+
+    events = generate_benign_noise(SESSIONS, seed=29)
+    events.sort(key=attrgetter("start_time", "event_id"))
+    segments = 8
+    step = len(events) // segments + 1
+    store = DualStore(retain_events=False, layout="segmented")
+    for index in range(0, len(events), step):
+        store.append_events(events[index:index + step])
+        store.flush_appends()
+    collector = AuditCollector(CollectorConfig(
+        seed=97, start_time=events[-1].start_time + 10.0))
+    wiper = collector.spawn_process("/usr/bin/shred", user="mallory")
+    for index in range(8):
+        collector.record(wiper, Operation.DELETE,
+                         collector.file(f"/home/mallory/doc-{index}.txt"))
+    store.append_events(collector.events())
+    store.flush_appends()
+    return store
+
+
+def _timed_with_disabled(run, switches: tuple[str, ...]) -> float:
+    """Best-of-N timing of ``run`` with the given optimizers off."""
+    previous = {name: os.environ.get(name) for name in switches}
+    for name in switches:
+        os.environ[name] = "0"
+    try:
+        return _best_of(ROUNDS, run)
+    finally:
+        for name, value in previous.items():
+            if value is None:
+                del os.environ[name]
+            else:
+                os.environ[name] = value
+
+
+def measure_stats_pruning() -> dict:
+    """Stats-pruned rare-operation hunt vs the scan-everything reference."""
+    from repro.tbql.executor import TBQLExecutor
+
+    store = _segmented_with_rare_ops()
+    text = 'proc p delete file f["/home/%"] return p, f'
+    try:
+        executor = TBQLExecutor(store)
+
+        def run_many() -> None:
+            # One smoke-scale execution is sub-millisecond; time a batch
+            # so the measured interval dwarfs the clock jitter.
+            for _ in range(10):
+                executor.execute(text)
+
+        optimized = _best_of(ROUNDS, run_many) * INJECTED_SLOWDOWN
+        reference = _timed_with_disabled(
+            run_many, ("REPRO_TBQL_STATS_PRUNING", "REPRO_COLSCAN_DICT"))
+        executor.close()
+    finally:
+        store.close()
+    return {
+        "optimized_seconds": optimized,
+        "reference_seconds": reference,
+        "ratio": optimized / reference,
+    }
+
+
+def measure_agg_pushdown() -> dict:
+    """Partial-aggregate pushdown vs the row-scatter aggregation path."""
+    from repro.tbql.executor import TBQLExecutor
+
+    store = _segmented_with_rare_ops()
+    text = 'proc p read file f return p, count() group by p top 10'
+    try:
+        executor = TBQLExecutor(store)
+
+        def run_many() -> None:
+            for _ in range(10):
+                executor.execute(text)
+
+        optimized = _best_of(ROUNDS, run_many) * INJECTED_SLOWDOWN
+        reference = _timed_with_disabled(
+            run_many, ("REPRO_TBQL_AGG_PUSHDOWN",))
+        executor.close()
+    finally:
+        store.close()
+    return {
+        "optimized_seconds": optimized,
+        "reference_seconds": reference,
+        "ratio": optimized / reference,
+    }
+
+
 def measure_service_load() -> dict:
     """Asyncio HTTP front end vs the threaded reference, keep-alive load.
 
@@ -416,6 +528,8 @@ MEASUREMENTS = {
     "streaming": measure_streaming,
     "partitioned": measure_partitioned,
     "columnar": measure_columnar,
+    "stats_pruning": measure_stats_pruning,
+    "agg_pushdown": measure_agg_pushdown,
     "service_load": measure_service_load,
     "obs_overhead": measure_obs_overhead,
 }

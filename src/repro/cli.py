@@ -82,8 +82,13 @@ def _print_plan(result) -> None:
         if step.segments_scanned is not None:
             segment_text = (f"segments {step.segments_scanned} scanned/"
                             f"{step.segments_pruned} pruned ")
+            if step.segments_pruned_by_stats is not None:
+                segment_text += (f"({step.segments_pruned_by_stats} "
+                                 "by stats) ")
             if step.scan_strategy is not None:
                 segment_text += f"scan={step.scan_strategy} "
+            if step.aggregate_pushdown:
+                segment_text += "agg-pushdown "
             if step.pool_fallback:
                 segment_text += "(pool fallback: serial) "
         print(f"  {position}. {step.pattern_id} [{step.backend}] "
@@ -234,7 +239,26 @@ def cmd_segments(args: argparse.Namespace) -> int:
                   f"{entry['max_start_time']:<11.2f} "
                   f"{entry['min_end_time']:>11.2f}-"
                   f"{entry['max_end_time']:<11.2f} {sizes}")
+            if args.verbose:
+                _print_segment_stats(entry.get("stats"))
     return 0
+
+
+def _print_segment_stats(stats) -> None:
+    """Render one segment's seal-time statistics block (``--verbose``)."""
+    if not isinstance(stats, dict):
+        print("    stats: (none — sealed before statistics existed; "
+              "never pruned)")
+        return
+    print(f"    stats v{stats.get('version')}:")
+    for column, bounds in sorted((stats.get("numeric") or {}).items()):
+        print(f"      {column:<12} range [{bounds[0]:g}, {bounds[1]:g}]")
+    for column, values in sorted((stats.get("distinct") or {}).items()):
+        print(f"      {column:<12} distinct {{{', '.join(values)}}}")
+    for side in ("subject_types", "object_types"):
+        values = stats.get(side)
+        if values is not None:
+            print(f"      {side:<12} {{{', '.join(values)}}}")
 
 
 def cmd_compact(args: argparse.Namespace) -> int:
@@ -604,6 +628,10 @@ def build_parser() -> argparse.ArgumentParser:
     segments.add_argument("--snapshot", required=True,
                           help="snapshot directory written by 'repro "
                                "snapshot'")
+    segments.add_argument("--verbose", action="store_true",
+                          help="also print each segment's seal-time "
+                               "statistics (zone maps, distinct sets, "
+                               "entity types) used for scan pruning")
     segments.set_defaults(func=cmd_segments)
 
     compact = subparsers.add_parser(

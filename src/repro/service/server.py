@@ -373,6 +373,7 @@ class QueryService:
             segment_stats["workers"] = self.executor.workers
             segment_stats["scan_strategy"] = self.executor.scan_strategy
             segment_stats["pool_fallback"] = self.executor.pool_fallback
+            segment_stats["pruning"] = self.executor.pruning_totals
             payload["segments"] = segment_stats
         if self.engine is not None:
             payload["streaming"] = self.engine.stats()

@@ -37,6 +37,7 @@ import sqlite3
 import struct
 import sys
 from array import array
+from bisect import bisect_left
 from pathlib import Path
 from typing import Any, Iterable, Optional, Sequence
 
@@ -64,9 +65,36 @@ _ENTITY_INDEX = {name: index for index, name in enumerate(ENTITY_COLUMNS)}
 
 _TYPECODE_SIZE = {"q": 8, "d": 8, "I": 4, "Q": 8}
 
+_ASCII_LOWER = str.maketrans("ABCDEFGHIJKLMNOPQRSTUVWXYZ",
+                             "abcdefghijklmnopqrstuvwxyz")
+
+
+def ascii_lower(text: str) -> str:
+    """ASCII-only lowercasing — SQLite's LIKE case-folding rule.
+
+    ``str.lower`` folds the full Unicode range, which would disagree
+    with SQLite (and thus with the row-at-a-time reference scan) on
+    non-ASCII strings; only A-Z may fold.
+    """
+    return text.translate(_ASCII_LOWER)
+
 
 def _align8(offset: int) -> int:
     return offset + (-offset) % 8
+
+
+def _prefix_successor(prefix: str) -> Optional[str]:
+    """Smallest string greater than every string with ``prefix``.
+
+    Increments the last code point, dropping trailing U+10FFFF first;
+    ``None`` means no upper bound exists (empty or all-max prefix).
+    """
+    while prefix:
+        last = ord(prefix[-1])
+        if last < 0x10FFFF:
+            return prefix[:-1] + chr(last + 1)
+        prefix = prefix[:-1]
+    return None
 
 
 class EventColumns:
@@ -164,6 +192,23 @@ class _StringTable:
             code = self._codes[value] = len(self.strings)
         return code
 
+    @classmethod
+    def sorted_from(cls, values: Iterable[Optional[str]]) -> "_StringTable":
+        """Table whose codes follow ``(ascii_lower, raw)`` string order.
+
+        A sorted table lets readers binary-search a contiguous code
+        range for a case-insensitive prefix instead of testing every
+        string.  Code assignment order is private to the payload —
+        readers always dereference codes through the table — so
+        sorting changes no query-visible behavior.
+        """
+        table = cls()
+        present = {value for value in values if value is not None}
+        for value in sorted(present, key=lambda text: (ascii_lower(text),
+                                                       text)):
+            table.code(value)
+        return table
+
 
 def write_columnar(path: str | Path, events: EventColumns,
                    entity_rows: Sequence[tuple]) -> int:
@@ -174,7 +219,15 @@ def write_columnar(path: str | Path, events: EventColumns,
     ranges).  A superset of the entities the events reference is fine —
     events drive the scan, unreferenced entity rows never match.
     """
-    table = _StringTable()
+    rows = sorted(entity_rows, key=lambda row: row[0])
+    values: set = set()
+    values.update(events.operations)
+    values.update(events.categories)
+    values.update(events.hosts)
+    for name in ENTITY_STRING_COLUMNS:
+        index = _ENTITY_INDEX[name]
+        values.update(row[index] for row in rows)
+    table = _StringTable.sorted_from(values)
     sections: list[tuple[str, str, bytes]] = [
         ("event.id", "q", array("q", events.ids).tobytes()),
         ("event.subject_id", "q", array("q", events.subject_ids).tobytes()),
@@ -193,7 +246,6 @@ def write_columnar(path: str | Path, events: EventColumns,
         ("event.host", "I", array("I", map(table.code,
                                            events.hosts)).tobytes()),
     ]
-    rows = sorted(entity_rows, key=lambda row: row[0])
     sections.append(("entity.id", "q",
                      array("q", (row[0] for row in rows)).tobytes()))
     for name in ENTITY_STRING_COLUMNS:
@@ -226,6 +278,9 @@ def write_columnar(path: str | Path, events: EventColumns,
         "event_count": len(events),
         "entity_count": len(rows),
         "string_count": len(table.strings),
+        # Additive key: older readers ignore it, newer readers use it
+        # to enable binary-searched prefix ranges (ascii_lower, raw).
+        "string_order": "ascii_ci",
         "sections": section_table,
     }
     header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
@@ -342,6 +397,11 @@ class ColumnarSegment:
         self.strings = strings
         self._codes = {text: code for code, text in enumerate(strings)
                        if code}
+        #: True when codes follow ``(ascii_lower, raw)`` string order,
+        #: enabling binary-searched prefix code ranges.  Payloads from
+        #: older writers simply lack the key and scan linearly.
+        self.sorted_strings = header.get("string_order") == "ascii_ci"
+        self._sort_keys: Optional[list[str]] = None
         ids = self.column("entity.id")
         #: Entity ids are 1..N in builder-written payloads, letting
         #: ``entity_index`` subtract instead of hashing.
@@ -385,6 +445,28 @@ class ColumnarSegment:
         """Interned code of ``value``, or ``None`` when absent."""
         return self._codes.get(value)
 
+    def prefix_code_range(self, prefix: str) -> Optional[tuple[int, int]]:
+        """Half-open code range ``[lo, hi)`` of strings that start with
+        ``prefix`` (ASCII-case-insensitively), or ``None`` when the
+        payload's table is not sorted.
+
+        Valid because codes follow ``(ascii_lower, raw)`` order: every
+        string whose folded form starts with the folded prefix sorts
+        inside ``[folded, successor(folded))``, a contiguous key range.
+        """
+        if not self.sorted_strings:
+            return None
+        keys = self._sort_keys
+        if keys is None:
+            keys = self._sort_keys = [ascii_lower(text)
+                                      for text in self.strings[1:]]
+        target = ascii_lower(prefix)
+        lo = bisect_left(keys, target)
+        successor = _prefix_successor(target)
+        hi = len(keys) if successor is None else bisect_left(keys, successor)
+        # +1 re-biases list positions (NULL stripped) back to codes.
+        return lo + 1, hi + 1
+
     def entity_index(self, entity_id: int) -> int:
         """Row index of an entity id (dense fast path, else a map)."""
         if self.dense_entities:
@@ -414,4 +496,4 @@ class ColumnarSegment:
 __all__ = ["COLUMNAR_FORMAT_VERSION", "COLUMNAR_MAGIC", "NULL_INT",
            "ENTITY_STRING_COLUMNS", "ENTITY_INT_COLUMNS",
            "EVENT_STRING_COLUMNS", "EventColumns", "ColumnarSegment",
-           "write_columnar", "write_columnar_from_sqlite"]
+           "ascii_lower", "write_columnar", "write_columnar_from_sqlite"]

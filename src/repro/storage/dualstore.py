@@ -17,6 +17,7 @@ equivalence tests compare against.
 
 from __future__ import annotations
 
+import dataclasses
 import gc
 import json
 import shutil
@@ -40,7 +41,7 @@ from .relational.database import entity_row
 from .relational.schema import ENTITY_COLUMNS
 from .segments import (SEGMENT_COLUMNAR, SEGMENT_GRAPH, SEGMENT_MANIFEST,
                        SEGMENT_RELATIONAL, SegmentInfo, SegmentView,
-                       merge_infos, plan_compaction)
+                       collect_segment_stats, merge_infos, plan_compaction)
 
 #: Valid ``strategy`` arguments for :meth:`DualStore.load_events`.
 LOAD_STRATEGIES = ("batched", "rowwise")
@@ -682,8 +683,8 @@ class DualStore:
         columns = self._active_columns
         covered = (columns is not None and len(columns) == info.event_count
                    and columns.first_id == info.first_event_id)
-        self._write_segment_files(info,
-                                  event_columns=columns if covered else None)
+        info = self._write_segment_files(
+            info, event_columns=columns if covered else None)
         self._segments.append(info)
         self._reset_active_tracking(first_event_id=last_event + 1,
                                     first_entity_id=last_entity + 1)
@@ -691,7 +692,7 @@ class DualStore:
 
     def _write_segment_files(self, info: SegmentInfo,
                              event_columns: EventColumns | None = None
-                             ) -> None:
+                             ) -> SegmentInfo:
         self.relational.export_segment(Path(info.sqlite_path),
                                        info.first_event_id,
                                        info.last_event_id)
@@ -711,7 +712,13 @@ class DualStore:
             # Fallback (compaction merges, rowwise loads): rebuild the
             # payload from the segment's just-exported SQLite file.
             write_columnar_from_sqlite(info.sqlite_path, info.columnar_path)
+        # Stats ride along in the manifest; a None result (unreadable
+        # payload) just leaves the segment permanently unpruned.
+        stats = collect_segment_stats(info.columnar_path)
+        if stats is not None:
+            info = dataclasses.replace(info, stats=stats)
         info.write_manifest()
+        return info
 
     def _all_entity_rows(self) -> list[tuple]:
         rows = self.relational.execute("SELECT * FROM entities ORDER BY id")
@@ -746,7 +753,7 @@ class DualStore:
             directory = self._segment_home / name
             directory.mkdir(parents=True, exist_ok=True)
             merged = merge_infos(run, name, directory)
-            self._write_segment_files(merged)
+            merged = self._write_segment_files(merged)
             index = self._segments.index(run[0])
             self._segments[index:index + len(run)] = [merged]
             created.append(name)

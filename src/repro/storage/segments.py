@@ -31,11 +31,12 @@ see :meth:`SegmentInfo.overlaps_window`.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Mapping, Optional
 
 from ..errors import StorageError
+from .columnar import ColumnarSegment
 
 #: File names inside a segment directory.
 SEGMENT_MANIFEST = "segment.json"
@@ -44,11 +45,135 @@ SEGMENT_GRAPH = "graph.bin"
 SEGMENT_COLUMNAR = "events.col"
 
 #: Manifest fields serialized for each segment (order is cosmetic).
+#: ``stats`` is deliberately NOT part of this tuple: it is an optional,
+#: versioned extra key so pre-stats manifests keep loading unchanged.
 _MANIFEST_FIELDS = ("name", "first_event_id", "last_event_id",
                     "event_count", "first_new_entity_id",
                     "last_new_entity_id", "new_entity_count",
                     "min_start_time", "max_start_time", "min_end_time",
                     "max_end_time")
+
+#: Version of the optional per-segment statistics block.
+SEGMENT_STATS_VERSION = 1
+#: Numeric event columns that get min/max zone maps.
+STATS_NUMERIC_COLUMNS = ("start_time", "end_time", "duration",
+                         "data_amount", "failure_code")
+#: Interned-string event columns that get distinct value sets.
+STATS_DISTINCT_COLUMNS = ("operation", "category", "host")
+#: Distinct sets larger than this are dropped (the column is then
+#: unprunable for that segment — high cardinality makes presence checks
+#: both expensive to store and unlikely to prune anything).
+STATS_DISTINCT_CAP = 64
+
+
+@dataclass(frozen=True)
+class SegmentStats:
+    """Seal-time statistics a scan can prune against.
+
+    All fields are *conservative summaries* of the segment's event rows:
+    a value absent from a distinct set provably does not occur in that
+    column, and a numeric column's values all lie inside its zone map.
+    Columns may be missing from either mapping (empty segment, distinct
+    cardinality over the cap, future schema drift) — consumers must
+    treat a missing column as "anything may occur".
+    """
+
+    #: ``column -> (min, max)`` over the segment's event rows.
+    numeric: Mapping[str, tuple[float, float]] = field(default_factory=dict)
+    #: ``column -> sorted tuple of every distinct value`` (NULL omitted).
+    distinct: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+    #: Entity types occurring as event subjects / objects (``None`` when
+    #: unknown — e.g. a stats version that predates the field).
+    subject_types: Optional[tuple[str, ...]] = None
+    object_types: Optional[tuple[str, ...]] = None
+
+    def as_entry(self) -> dict[str, Any]:
+        """JSON view stored under the manifest's ``stats`` key."""
+        return {
+            "version": SEGMENT_STATS_VERSION,
+            "numeric": {column: [low, high]
+                        for column, (low, high) in self.numeric.items()},
+            "distinct": {column: list(values)
+                         for column, values in self.distinct.items()},
+            "subject_types": (None if self.subject_types is None
+                              else list(self.subject_types)),
+            "object_types": (None if self.object_types is None
+                             else list(self.object_types)),
+        }
+
+    @classmethod
+    def from_entry(cls, entry: Any) -> Optional["SegmentStats"]:
+        """Tolerant parse: anything malformed or from the future yields
+        ``None`` (the segment simply never prunes), never an error."""
+        if not isinstance(entry, dict):
+            return None
+        version = entry.get("version")
+        if not isinstance(version, int) or version < 1 or \
+                version > SEGMENT_STATS_VERSION:
+            return None
+        try:
+            numeric = {
+                str(column): (float(bounds[0]), float(bounds[1]))
+                for column, bounds in dict(entry.get("numeric") or {}
+                                           ).items()}
+            distinct = {
+                str(column): tuple(str(value) for value in values)
+                for column, values in dict(entry.get("distinct") or {}
+                                           ).items()}
+            subject_types = entry.get("subject_types")
+            if subject_types is not None:
+                subject_types = tuple(str(value)
+                                      for value in subject_types)
+            object_types = entry.get("object_types")
+            if object_types is not None:
+                object_types = tuple(str(value) for value in object_types)
+        except (TypeError, ValueError, IndexError, KeyError):
+            return None
+        return cls(numeric=numeric, distinct=distinct,
+                   subject_types=subject_types, object_types=object_types)
+
+
+def collect_segment_stats(columnar_path: str | Path
+                          ) -> Optional[SegmentStats]:
+    """Compute seal-time stats from a freshly written ``events.col``.
+
+    Returns ``None`` when the payload is unreadable — sealing must
+    never fail because of the optional stats block.
+    """
+    try:
+        segment = ColumnarSegment(columnar_path)
+    except StorageError:
+        return None
+    try:
+        numeric: dict[str, tuple[float, float]] = {}
+        distinct: dict[str, tuple[str, ...]] = {}
+        if segment.event_count:
+            for column in STATS_NUMERIC_COLUMNS:
+                values = segment.column(f"event.{column}")
+                numeric[column] = (min(values), max(values))
+            strings = segment.strings
+            for column in STATS_DISTINCT_COLUMNS:
+                codes = set(segment.column(f"event.{column}"))
+                codes.discard(0)
+                if len(codes) <= STATS_DISTINCT_CAP:
+                    distinct[column] = tuple(
+                        sorted(strings[code] for code in codes))
+        types = segment.column("entity.type")
+        strings = segment.strings
+
+        def _side_types(column: str) -> tuple[str, ...]:
+            codes = {types[segment.entity_index(entity_id)]
+                     for entity_id in set(segment.column(column))}
+            codes.discard(0)
+            return tuple(sorted(strings[code] for code in codes))
+
+        return SegmentStats(numeric=numeric, distinct=distinct,
+                            subject_types=_side_types("event.subject_id"),
+                            object_types=_side_types("event.object_id"))
+    except (StorageError, ValueError, TypeError):
+        return None
+    finally:
+        segment.close()
 
 
 @dataclass(frozen=True)
@@ -71,6 +196,10 @@ class SegmentInfo:
     max_start_time: float
     min_end_time: float
     max_end_time: float
+    #: Optional seal-time statistics (``None`` for segments sealed by
+    #: pre-stats builds or whose stats block failed to parse — such
+    #: segments are always scanned, never pruned by stats).
+    stats: Optional[SegmentStats] = None
 
     @property
     def sqlite_path(self) -> str:
@@ -113,17 +242,23 @@ class SegmentInfo:
 
     def as_manifest_entry(self) -> dict[str, Any]:
         """The JSON view stored in segment/snapshot manifests."""
-        return {field: getattr(self, field) for field in _MANIFEST_FIELDS}
+        entry: dict[str, Any] = {name: getattr(self, name)
+                                 for name in _MANIFEST_FIELDS}
+        if self.stats is not None:
+            entry["stats"] = self.stats.as_entry()
+        return entry
 
     @classmethod
     def from_manifest_entry(cls, entry: dict[str, Any],
                             directory: str | Path) -> "SegmentInfo":
         try:
-            fields = {field: entry[field] for field in _MANIFEST_FIELDS}
+            fields = {name: entry[name] for name in _MANIFEST_FIELDS}
         except KeyError as exc:
             raise StorageError(
                 f"segment manifest entry missing field {exc}") from exc
-        return cls(directory=str(directory), **fields)
+        return cls(directory=str(directory),
+                   stats=SegmentStats.from_entry(entry.get("stats")),
+                   **fields)
 
     def write_manifest(self) -> None:
         Path(self.manifest_path).write_text(
@@ -237,6 +372,9 @@ def plan_compaction(segments: list[SegmentInfo],
     return runs
 
 
-__all__ = ["SegmentInfo", "SegmentView", "prune_segments", "merge_infos",
+__all__ = ["SegmentInfo", "SegmentStats", "SegmentView",
+           "collect_segment_stats", "prune_segments", "merge_infos",
            "plan_compaction", "SEGMENT_MANIFEST", "SEGMENT_RELATIONAL",
-           "SEGMENT_GRAPH", "SEGMENT_COLUMNAR"]
+           "SEGMENT_GRAPH", "SEGMENT_COLUMNAR", "SEGMENT_STATS_VERSION",
+           "STATS_NUMERIC_COLUMNS", "STATS_DISTINCT_COLUMNS",
+           "STATS_DISTINCT_CAP"]

@@ -86,7 +86,22 @@ def apply_aggregation(rows: list[dict[str, Any]],
             f"unknown aggregation strategy: {strategy!r} "
             f"(expected one of {', '.join(AGGREGATION_STRATEGIES)})")
     accumulate = _count_hash if strategy == "hash" else _count_scan
-    counted = accumulate(rows, aggregation.group_by)
+    return rows_from_counts(accumulate(rows, aggregation.group_by),
+                            aggregation)
+
+
+def rows_from_counts(counted: dict[tuple, int],
+                     aggregation: ResolvedAggregation
+                     ) -> list[dict[str, Any]]:
+    """Render merged group counts as output rows.
+
+    Shared by the post-join accumulators above and the partial-aggregate
+    pushdown path (which merges per-segment ``group key -> count``
+    partials before calling this).  The sort key ``(-count,
+    _order_key(key))`` is a *total* order over primitive group keys —
+    ``_order_key`` is injective on SQLite cell values — so the rendered
+    order is independent of accumulation order.
+    """
     groups = sorted(counted.items(),
                     key=lambda item: (-item[1], _order_key(item[0])))
     if aggregation.top_n is not None:
@@ -106,4 +121,5 @@ def apply_aggregation(rows: list[dict[str, Any]],
     return out_rows
 
 
-__all__ = ["AGGREGATION_STRATEGIES", "COUNT_COLUMN", "apply_aggregation"]
+__all__ = ["AGGREGATION_STRATEGIES", "COUNT_COLUMN", "apply_aggregation",
+           "rows_from_counts"]

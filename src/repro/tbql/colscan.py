@@ -246,6 +246,52 @@ def _eval_membership(cell: Any, values: tuple, negated: bool,
 # ---------------------------------------------------------------------------
 
 
+def _dict_enabled() -> bool:
+    """Dictionary-accelerated string predicates (``REPRO_COLSCAN_DICT=0``
+    falls back to per-row string evaluation, the reference path)."""
+    return os.environ.get("REPRO_COLSCAN_DICT", "").strip() != "0"
+
+
+def _string_code_column(segment: ColumnarSegment, attribute: str
+                        ) -> Optional[tuple[Any, bool]]:
+    """``(code column view, is_event_column)`` for interned-string
+    attributes; ``None`` when the attribute is numeric or unknown
+    (unknown falls through to :func:`_accessor`, which raises)."""
+    name = attribute.split(".")[-1]
+    if name in EVENT_ATTRIBUTE_COLUMNS:
+        column = EVENT_ATTRIBUTE_COLUMNS[name]
+        if column in _EVENT_STRING_COLUMNS:
+            return segment.column(f"event.{column}"), True
+        return None
+    if name in ENTITY_ATTRIBUTE_COLUMNS:
+        column = ENTITY_ATTRIBUTE_COLUMNS[name]
+        if column not in _NUMERIC_COLUMNS:
+            return segment.column(f"entity.{column}"), False
+    return None
+
+
+def _comparison_code_table(segment: ColumnarSegment, operator: str,
+                           value: Any) -> list[Optional[bool]]:
+    """Per-code truth table for a string comparison leaf.
+
+    One evaluation per *distinct* string instead of per row.  A
+    case-insensitive prefix ``LIKE`` (``name["abc%"]``) against a
+    sorted-table payload degenerates to a binary-searched code range —
+    no regex runs at all.  Index 0 (NULL) is always ``None``, matching
+    SQLite's three-valued comparisons.
+    """
+    if operator in ("=", "!=") and isinstance(value, str) and \
+            value.endswith("%") and "%" not in value[:-1]:
+        code_range = segment.prefix_code_range(value[:-1])
+        if code_range is not None:
+            low, high = code_range
+            keep = operator == "="
+            return [None] + [(low <= code < high) == keep
+                             for code in range(1, len(segment.strings))]
+    return [_eval_comparison(text, operator, value, False)
+            for text in segment.strings]
+
+
 def _entity_getter(segment: ColumnarSegment,
                    column: str) -> Callable[[int], Any]:
     values = segment.column(f"entity.{column}")
@@ -299,6 +345,28 @@ def _accessor(segment: ColumnarSegment, attribute: str
 def _compile_filter(filt: AttributeFilter,
                     segment: ColumnarSegment) -> _Predicate:
     """Compile a filter into a tri-valued closure (Kleene logic)."""
+    if isinstance(filt, (AttributeComparison, MembershipFilter)) and \
+            _dict_enabled():
+        coded = _string_code_column(segment, filt.attribute)
+        if coded is not None:
+            codes, on_event = coded
+            if isinstance(filt, AttributeComparison):
+                table = _comparison_code_table(segment, filt.operator,
+                                               filt.value)
+            else:
+                table = [_eval_membership(text, filt.values, filt.negated,
+                                          False)
+                         for text in segment.strings]
+            if on_event:
+                def code_event(entity_index: int,
+                               event_index: int) -> Optional[bool]:
+                    return table[codes[event_index]]
+                return code_event
+
+            def code_entity(entity_index: int,
+                            event_index: int) -> Optional[bool]:
+                return table[codes[entity_index]]
+            return code_entity
     if isinstance(filt, AttributeComparison):
         get, numeric, on_event = _accessor(segment, filt.attribute)
         operator, value = filt.operator, filt.value
@@ -716,6 +784,145 @@ def scan_segment_columnar(task: ColumnarTask) -> PackedRows:
     return scan_columnar(_segment_for(task.path), task.spec)
 
 
-__all__ = ["PatternSpec", "ColumnarTask", "PackedRows",
-           "build_pattern_spec", "scan_columnar", "scan_segment_columnar",
-           "unpack_rows"]
+# ---------------------------------------------------------------------------
+# partial-aggregate pushdown
+# ---------------------------------------------------------------------------
+
+#: Packed partial-aggregate result: (row_count, ids, starts, ends,
+#: opcodes, op_strings, subject_ids, object_ids, group_counts).  Event
+#: arrays carry exactly what the coordinator needs to rebuild
+#: ``matched_events``; entity ids are global, so display names resolve
+#: through the executor's batched entity cache (same source the row
+#: path hydrates from) instead of shipping per-segment string tables.
+#: ``group_counts`` maps group-key tuples to counts.
+PackedAggregate = tuple[int, bytes, bytes, bytes, bytes, tuple[str, ...],
+                        bytes, bytes, dict]
+
+
+@dataclass(frozen=True)
+class AggregateTask:
+    """One pushdown scatter task: scan + per-segment count partials.
+
+    ``group_columns`` lists the resolved ``group by`` attributes as
+    ``(on_subject, entity column)`` pairs; an empty tuple means a
+    global ``count()``.
+    """
+
+    path: str
+    spec: PatternSpec
+    group_columns: tuple[tuple[bool, str], ...]
+
+
+def aggregate_columnar(segment: ColumnarSegment, spec: PatternSpec,
+                       group_columns: tuple[tuple[bool, str], ...]
+                       ) -> PackedAggregate:
+    """Scan one segment and fold matches into per-group count partials.
+
+    Row selection is byte-identical to :func:`scan_columnar` (same
+    ``_select_*`` evaluators); only the *shipped* shape changes — one
+    44-byte packed record per match (event id/times/opcode/entity ids)
+    plus one ``(group key, count)`` dict, instead of the row scatter's
+    52-byte packed rows.  Display names stay behind: the coordinator
+    hydrates them by entity id through its batched cache, the same way
+    the ordinary path hydrates matched events.
+    """
+    np = _numpy_module()
+    selected = (_select_numpy(segment, spec, np) if np is not None
+                else _select_python(segment, spec))
+    ids = segment.column("event.id")
+    starts = segment.column("event.start_time")
+    ends = segment.column("event.end_time")
+    operations = segment.column("event.operation")
+    subjects = segment.column("event.subject_id")
+    objects = segment.column("event.object_id")
+    strings = segment.strings
+    index_of = segment.entity_index
+    getters = [(on_subject, _entity_getter(segment, column))
+               for on_subject, column in group_columns]
+    out_ids = array("q")
+    out_starts = array("d")
+    out_ends = array("d")
+    out_ops = array("I")
+    out_subjects = array("q")
+    out_objects = array("q")
+    op_remap: dict[int, int] = {}
+    op_strings: list[str] = []
+    group_cache: dict[tuple[int, int], tuple] = {}
+    groups: dict[tuple, int] = {}
+    for row in selected:
+        row = int(row)
+        out_ids.append(ids[row])
+        out_starts.append(starts[row])
+        out_ends.append(ends[row])
+        code = operations[row]
+        op_slot = op_remap.get(code)
+        if op_slot is None:
+            op_slot = op_remap[code] = len(op_strings)
+            text = strings[code]
+            assert text is not None  # operation is NOT NULL
+            op_strings.append(text)
+        out_ops.append(op_slot)
+        subject_id = subjects[row]
+        object_id = objects[row]
+        out_subjects.append(subject_id)
+        out_objects.append(object_id)
+        if getters:
+            cache_key = (subject_id, object_id)
+            key = group_cache.get(cache_key)
+            if key is None:
+                subject_index = index_of(subject_id)
+                object_index = index_of(object_id)
+                key = tuple(
+                    getter(subject_index if on_subject else object_index)
+                    for on_subject, getter in getters)
+                group_cache[cache_key] = key
+        else:
+            key = ()
+        groups[key] = groups.get(key, 0) + 1
+    return (len(out_ids), out_ids.tobytes(), out_starts.tobytes(),
+            out_ends.tobytes(), out_ops.tobytes(), tuple(op_strings),
+            out_subjects.tobytes(), out_objects.tobytes(), groups)
+
+
+def unpack_aggregate(packed: PackedAggregate
+                     ) -> tuple[list[tuple], dict]:
+    """Re-inflate one pushdown partial.
+
+    Returns ``(records, group_counts)`` where each record is
+    ``(event_id, start_time, end_time, operation, subject_id,
+    object_id)`` — the fields the coordinator needs to rebuild the
+    matched-event dicts in global ``(start_time, event_id)`` order,
+    with entity display names hydrated by id on the coordinator.
+    """
+    (count, id_bytes, start_bytes, end_bytes, op_bytes, op_strings,
+     subject_bytes, object_bytes, groups) = packed
+    if not count:
+        return [], groups
+    ids = array("q")
+    ids.frombytes(id_bytes)
+    starts = array("d")
+    starts.frombytes(start_bytes)
+    ends = array("d")
+    ends.frombytes(end_bytes)
+    operations = array("I")
+    operations.frombytes(op_bytes)
+    subjects = array("q")
+    subjects.frombytes(subject_bytes)
+    objects = array("q")
+    objects.frombytes(object_bytes)
+    records = [(ids[row], starts[row], ends[row],
+                op_strings[operations[row]], subjects[row], objects[row])
+               for row in range(count)]
+    return records, groups
+
+
+def scan_segment_aggregate(task: AggregateTask) -> PackedAggregate:
+    """Worker entry point: pushdown scan of one segment."""
+    return aggregate_columnar(_segment_for(task.path), task.spec,
+                              task.group_columns)
+
+
+__all__ = ["PatternSpec", "ColumnarTask", "AggregateTask", "PackedRows",
+           "PackedAggregate", "build_pattern_spec", "scan_columnar",
+           "aggregate_columnar", "scan_segment_columnar",
+           "scan_segment_aggregate", "unpack_rows", "unpack_aggregate"]

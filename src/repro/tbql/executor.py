@@ -37,21 +37,27 @@ The seed's backtracking join is retained as a reference implementation
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..errors import ExecutionError
+from ..obs.metrics import get_registry
 from ..obs.trace import start_span
 from ..storage.dualstore import DualStore
+from ..storage.relational.schema import ENTITY_ATTRIBUTE_COLUMNS
 from ..storage.segments import SegmentView, prune_segments
-from .aggregate import AGGREGATION_STRATEGIES, apply_aggregation
+from .aggregate import (AGGREGATION_STRATEGIES, apply_aggregation,
+                        rows_from_counts)
 from .ast import TemporalRelation
-from .colscan import ColumnarTask, build_pattern_spec
+from .colscan import (AggregateTask, ColumnarTask, build_pattern_spec,
+                      unpack_aggregate)
 from .compiler_cypher import compile_giant_cypher, compile_pattern_cypher
 from .compiler_sql import compile_giant_sql, compile_pattern_sql
 from .parser import TIME_UNIT_SECONDS, parse_tbql
+from .pruning import prune_by_stats
 from .scatter import ScanTask, SegmentScanner
 from .scheduler import (ScheduledStep, naive_schedule, pruning_score,
                         schedule)
@@ -123,9 +129,16 @@ class PlanStep(str):
     #: pruning; ``None`` when the store has no segment view (monolithic).
     segments_scanned: Optional[int]
     segments_pruned: Optional[int]
+    #: Sealed segments skipped via seal-time statistics (zone maps and
+    #: distinct sets) after time pruning; ``None`` on the monolithic
+    #: path or when no columnar spec exists (sqlite strategy).
+    segments_pruned_by_stats: Optional[int]
     #: Segment scan strategy used ("columnar"/"sqlite"); ``None`` on the
     #: monolithic path, which runs one combined-store query.
     scan_strategy: Optional[str]
+    #: True when the step ran as a partial-aggregate pushdown: workers
+    #: returned per-segment group counts instead of packed row arrays.
+    aggregate_pushdown: bool
     #: True when the scatter pool could not be created and the segment
     #: scans ran serially in-process; ``None`` on the monolithic path.
     pool_fallback: Optional[bool]
@@ -146,7 +159,9 @@ class PlanStep(str):
                  hydration_queries: int = 0,
                  segments_scanned: Optional[int] = None,
                  segments_pruned: Optional[int] = None,
+                 segments_pruned_by_stats: Optional[int] = None,
                  scan_strategy: Optional[str] = None,
+                 aggregate_pushdown: bool = False,
                  pool_fallback: Optional[bool] = None,
                  negated: bool = False,
                  seconds: Optional[dict[str, float]] = None) -> None:
@@ -164,7 +179,9 @@ class PlanStep(str):
         self.hydration_queries = hydration_queries
         self.segments_scanned = segments_scanned
         self.segments_pruned = segments_pruned
+        self.segments_pruned_by_stats = segments_pruned_by_stats
         self.scan_strategy = scan_strategy
+        self.aggregate_pushdown = aggregate_pushdown
         self.pool_fallback = pool_fallback
         self.seconds = seconds or {}
 
@@ -183,7 +200,9 @@ class PlanStep(str):
             "hydration_queries": self.hydration_queries,
             "segments_scanned": self.segments_scanned,
             "segments_pruned": self.segments_pruned,
+            "segments_pruned_by_stats": self.segments_pruned_by_stats,
             "scan_strategy": self.scan_strategy,
+            "aggregate_pushdown": self.aggregate_pushdown,
             "pool_fallback": self.pool_fallback,
             "negated": self.negated,
             "seconds": dict(self.seconds),
@@ -325,12 +344,45 @@ class TBQLExecutor:
         self._entity_cache: dict[int, dict] = {}
         self._cache_lock = threading.Lock()
         self._data_version = getattr(store, "data_version", None)
+        self._pruning_lock = threading.Lock()
+        self._pruning_counts = {"segments_scanned": 0,
+                                "segments_pruned_by_time": 0,
+                                "segments_pruned_by_stats": 0}
 
     @property
     def pool_fallback(self) -> bool:
         """True once scatter pool creation failed and scans run
         serially."""
         return self._scanner.pool_fallback
+
+    @property
+    def pruning_totals(self) -> dict[str, int]:
+        """Cumulative segment-pruning counters (``GET /stats``)."""
+        with self._pruning_lock:
+            return dict(self._pruning_counts)
+
+    def _record_pruning(self, scanned: int, time_pruned: int,
+                        stats_pruned: int) -> None:
+        with self._pruning_lock:
+            self._pruning_counts["segments_scanned"] += scanned
+            self._pruning_counts["segments_pruned_by_time"] += time_pruned
+            self._pruning_counts["segments_pruned_by_stats"] += stats_pruned
+        registry = get_registry()
+        pruned = registry.counter(
+            "repro_tbql_segments_pruned_total",
+            "Sealed segments skipped before scanning, by reason: "
+            "manifest time bounds ('time') or seal-time statistics "
+            "('stats').", labels=("reason",))
+        pruned.labels("time").inc(time_pruned)
+        pruned.labels("stats").inc(stats_pruned)
+        total = scanned + time_pruned + stats_pruned
+        if total:
+            registry.histogram(
+                "repro_tbql_segments_pruned_fraction",
+                "Fraction of sealed segments pruned (any reason) per "
+                "pattern scan.",
+                buckets=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+            ).observe((time_pruned + stats_pruned) / total)
 
     def close(self) -> None:
         """Release the scatter-gather worker pool (idempotent)."""
@@ -353,6 +405,9 @@ class TBQLExecutor:
                 resolved = self._resolve(query, now)
         else:
             resolved = self._resolve(query, now)
+        pushed = self._try_aggregate_pushdown(resolved, start)
+        if pushed is not None:
+            return pushed
         with start_span("plan") as plan_span:
             steps = schedule(resolved) if self.use_scheduler \
                 else naive_schedule(resolved)
@@ -487,6 +542,7 @@ class TBQLExecutor:
         hydration_queries = 0
         segments_scanned: Optional[int] = None
         segments_pruned: Optional[int] = None
+        stats_pruned: Optional[int] = None
         if dead:
             matches: list[PatternMatch] = []
         elif pattern.is_path:
@@ -494,7 +550,7 @@ class TBQLExecutor:
                                                    subject_ids, object_ids)
         else:
             matches, hydration_queries, segments_scanned, \
-                segments_pruned = self._execute_sql_pattern(
+                segments_pruned, stats_pruned = self._execute_sql_pattern(
                     pattern, resolved, subject_ids, object_ids)
         seconds["execute"] = time.perf_counter() - start
         rows_in = len(matches)
@@ -522,6 +578,7 @@ class TBQLExecutor:
             hydration_queries=hydration_queries,
             segments_scanned=segments_scanned,
             segments_pruned=segments_pruned,
+            segments_pruned_by_stats=stats_pruned,
             scan_strategy=(self.scan_strategy
                            if segments_scanned is not None else None),
             pool_fallback=(self._scanner.pool_fallback
@@ -538,27 +595,36 @@ class TBQLExecutor:
                       resolved: ResolvedQuery,
                       subject_ids: Optional[list[int]],
                       object_ids: Optional[list[int]],
-                      view: SegmentView) -> tuple[list[dict], int, int]:
+                      view: SegmentView
+                      ) -> tuple[list[dict], int, int, Optional[int]]:
         """Scatter one pattern scan across the store's segments.
 
         The planner prunes sealed segments whose time bounds cannot
         intersect the pattern's resolved window (same predicate the SQL
-        renders, so pruning is sound), fans the survivors out through
-        the scanner, scans the active tail — events past the last seal —
-        on the combined store with an id floor, and merges everything
-        back into the single ``(start_time, event_id)`` order a
-        monolithic scan would have produced.  Returns ``(rows, scanned,
-        pruned)``.
+        renders, so pruning is sound), then consults seal-time segment
+        statistics to drop segments no stored row could match (sound by
+        the :mod:`~repro.tbql.pruning` contract; stats-less segments
+        always survive).  Survivors fan out through the scanner, the
+        active tail — events past the last seal — scans the combined
+        store with an id floor, and everything merges back into the
+        single ``(start_time, event_id)`` order a monolithic scan would
+        have produced.  Returns ``(rows, scanned, time_pruned,
+        stats_pruned)``; ``stats_pruned`` is ``None`` under the sqlite
+        strategy, the stats-blind reference path.
         """
         compiled = compile_pattern_sql(pattern, resolved,
                                        subject_candidates=subject_ids,
                                        object_candidates=object_ids)
         window = effective_window(pattern, resolved)
         targets = prune_segments(view.sealed, window)
+        time_pruned = len(view.sealed) - len(targets)
         spec = (build_pattern_spec(pattern, resolved,
                                    subject_candidates=subject_ids,
                                    object_candidates=object_ids)
                 if self.scan_strategy == "columnar" else None)
+        stats_pruned: Optional[int] = None
+        if spec is not None:
+            targets, stats_pruned = prune_by_stats(targets, spec)
         tasks: list[ScanTask] = []
         for segment in targets:
             # Per-segment fallback: format-v2 snapshots restored into a
@@ -582,14 +648,16 @@ class TBQLExecutor:
             rows.sort(key=lambda row: (row["start_time"],
                                        row["event_id"]))
             span.set_attribute("rows", len(rows))
-        return rows, len(targets), len(view.sealed) - len(targets)
+        self._record_pruning(len(targets), time_pruned, stats_pruned or 0)
+        return rows, len(targets), time_pruned, stats_pruned
 
     def _execute_sql_pattern(self, pattern: ResolvedPattern,
                              resolved: ResolvedQuery,
                              subject_ids: Optional[list[int]] = None,
                              object_ids: Optional[list[int]] = None
                              ) -> tuple[list[PatternMatch], int,
-                                        Optional[int], Optional[int]]:
+                                        Optional[int], Optional[int],
+                                        Optional[int]]:
         view = self._segment_view()
         if view is None:
             compiled = compile_pattern_sql(pattern, resolved,
@@ -598,8 +666,9 @@ class TBQLExecutor:
             rows = self.store.execute_sql(compiled.sql, compiled.params)
             scanned: Optional[int] = None
             pruned: Optional[int] = None
+            stats_pruned: Optional[int] = None
         else:
-            rows, scanned, pruned = self._scatter_rows(
+            rows, scanned, pruned, stats_pruned = self._scatter_rows(
                 pattern, resolved, subject_ids, object_ids, view)
         # Hydrate every subject/object entity of this pattern in one batched
         # query instead of one lookup per result row (the seed's N+1).
@@ -620,7 +689,7 @@ class TBQLExecutor:
                 end_time=row["end_time"],
                 event_ids=(row["event_id"],),
                 subject_id=row["subject_id"], object_id=row["object_id"]))
-        return matches, hydration_queries, scanned, pruned
+        return matches, hydration_queries, scanned, pruned, stats_pruned
 
     def _execute_cypher_pattern(self, pattern: ResolvedPattern,
                                 resolved: ResolvedQuery,
@@ -655,6 +724,160 @@ class TBQLExecutor:
                 event_ids=tuple(event_ids),
                 subject_id=row["subject_id"], object_id=row["object_id"]))
         return matches
+
+    def _try_aggregate_pushdown(self, resolved: ResolvedQuery,
+                                started: float) -> Optional[QueryResult]:
+        """Partial-aggregate pushdown for single-pattern count queries.
+
+        When an aggregated query is one positive event pattern with no
+        ``with``-clause relations, per-group counting distributes over
+        segments: each scatter worker counts its segment's matches per
+        group key and the coordinator merges the partial counts before
+        rendering.  Workers then ship one ``(group key, count)`` pair per
+        group plus a compact 44-byte packed record per match (for the
+        matched events list) instead of the row scatter's 52-byte packed
+        rows — display names are hydrated coordinator-side by entity id,
+        through the same batched cache the ordinary path uses.
+
+        Byte-identical to the ordinary scan-join-aggregate path by
+        construction: per-segment row selection is shared with the
+        columnar scan, group keys mirror ``_group_key`` exactly (for
+        aggregated queries the resolver makes ``return_items`` equal
+        ``group by``, so the emitted row values *are* the entity
+        attributes the workers read), and
+        :func:`~repro.tbql.aggregate.rows_from_counts` renders merged
+        counts under a total order independent of accumulation order.
+        Returns ``None`` — the ordinary path runs — whenever any
+        precondition fails; the pushdown never changes results, only the
+        work distribution.
+        """
+        aggregation = resolved.aggregation
+        if aggregation is None:
+            return None
+        if os.environ.get("REPRO_TBQL_AGG_PUSHDOWN", "").strip() == "0":
+            return None
+        if (self.scan_strategy != "columnar"
+                or self.join_strategy != "hash"
+                or self.aggregation_strategy != "hash"):
+            return None  # the reference strategies stay pushdown-free
+        if len(resolved.patterns) != 1:
+            return None
+        pattern = resolved.patterns[0]
+        if pattern.negated or pattern.is_path:
+            return None
+        if resolved.temporal_relations or resolved.attribute_relations:
+            return None
+        view = self._segment_view()
+        if view is None:
+            return None
+        # Map every group-by pair onto (pattern side, entity column).
+        # Subject first: on a self-loop pattern both sides name the same
+        # entity and _relation_value resolves subject-first.
+        group_sides: list[tuple[bool, str]] = []
+        group_columns: list[tuple[bool, str]] = []
+        for entity_id, attribute in aggregation.group_by:
+            column = ENTITY_ATTRIBUTE_COLUMNS.get(attribute)
+            if column is None:
+                return None
+            if entity_id == pattern.subject.entity_id:
+                on_subject = True
+            elif entity_id == pattern.obj.entity_id:
+                on_subject = False
+            else:
+                return None
+            group_sides.append((on_subject, attribute))
+            group_columns.append((on_subject, column))
+        spec = build_pattern_spec(pattern, resolved)
+        window = effective_window(pattern, resolved)
+        targets = prune_segments(view.sealed, window)
+        time_pruned = len(view.sealed) - len(targets)
+        survivors, stats_pruned = prune_by_stats(targets, spec)
+        if any(not segment.has_columnar() for segment in survivors):
+            # Format-v2 segments have no events.col; fall back to the
+            # ordinary path (before recording pruning — it re-prunes).
+            return None
+        hydration_queries = 0
+        scan_start = time.perf_counter()
+        records: list[tuple] = []
+        counts: dict[tuple, int] = {}
+        with start_span("scatter", segments=len(survivors),
+                        pruned=time_pruned + stats_pruned) as span:
+            tasks: list[ScanTask] = [
+                AggregateTask(segment.columnar_path, spec,
+                              tuple(group_columns))
+                for segment in survivors]
+            for packed in self._scanner.scan_results(tasks):
+                part_records, part_counts = unpack_aggregate(packed)
+                records.extend(part_records)
+                for key, count in part_counts.items():
+                    counts[key] = counts.get(key, 0) + count
+            if view.active_events:
+                active = compile_pattern_sql(
+                    pattern, resolved,
+                    min_event_id=view.active_first_event_id)
+                rows = self.store.execute_sql(active.sql, active.params)
+                for row in rows:
+                    records.append((row["event_id"], row["start_time"],
+                                    row["end_time"], row["operation"],
+                                    row["subject_id"], row["object_id"]))
+            # Same global order a monolithic scan produces; matched and
+            # joined events render in this order on the ordinary path.
+            records.sort(key=lambda record: (record[1], record[0]))
+            # One batched hydration covers the active-tail group keys
+            # and every record's display names — workers ship entity
+            # ids, not per-segment string tables.
+            needed = {record[4] for record in records} | \
+                {record[5] for record in records}
+            hydration_queries = self._hydrate_entities(needed)
+            if view.active_events:
+                for row in rows:
+                    subject_attrs = self._entity_attrs(row["subject_id"])
+                    object_attrs = self._entity_attrs(row["object_id"])
+                    key = tuple(
+                        (subject_attrs if on_subject else object_attrs
+                         ).get(attribute)
+                        for on_subject, attribute in group_sides)
+                    counts[key] = counts.get(key, 0) + 1
+            names = {entity_id: _display_name(
+                self._entity_attrs(entity_id)) for entity_id in needed}
+            span.set_attribute("rows", len(records))
+        seconds = {"execute": time.perf_counter() - scan_start}
+        self._record_pruning(len(survivors), time_pruned, stats_pruned)
+        join_start = time.perf_counter()
+        with start_span("aggregate") as span:
+            out_rows = rows_from_counts(counts, aggregation)
+            span.set_attribute("rows", len(out_rows))
+        join_seconds = time.perf_counter() - join_start
+        matched_events = [{
+            "pattern_id": pattern.pattern_id,
+            "subject": names[record[4]],
+            "operation": record[3],
+            "object": names[record[5]],
+            "start_time": record[1],
+            "end_time": record[2],
+            "event_ids": [record[0]],
+        } for record in records]
+        # Every single-pattern match is a complete join assignment, so
+        # the joined list equals the matched list.
+        joined_events = [dict(event) for event in matched_events]
+        plan_step = PlanStep(
+            pattern.pattern_id, backend="sql",
+            score=pruning_score(pattern),
+            rows_in=len(records), rows_out=len(records),
+            hydration_queries=hydration_queries,
+            segments_scanned=len(survivors),
+            segments_pruned=time_pruned,
+            segments_pruned_by_stats=stats_pruned,
+            scan_strategy=self.scan_strategy,
+            aggregate_pushdown=True,
+            pool_fallback=self._scanner.pool_fallback,
+            seconds=seconds)
+        return QueryResult(
+            rows=out_rows, matched_events=matched_events,
+            joined_events=joined_events, plan=[plan_step],
+            per_pattern_matches={pattern.pattern_id: len(records)},
+            elapsed_seconds=time.perf_counter() - started,
+            join_seconds=join_seconds)
 
     def _hydrate_entities(self, entity_ids: set[int]) -> int:
         """Batch-load uncached entity rows; returns the query count.

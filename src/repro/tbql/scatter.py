@@ -53,7 +53,8 @@ from typing import Any, Optional, Sequence, Union
 from ..errors import StorageError
 from ..obs.metrics import get_registry
 from ..obs.trace import current_span
-from .colscan import ColumnarTask, scan_segment_columnar, unpack_rows
+from .colscan import (AggregateTask, ColumnarTask, scan_segment_aggregate,
+                      scan_segment_columnar, unpack_rows)
 
 logger = logging.getLogger(__name__)
 
@@ -64,8 +65,10 @@ _pool_warning_emitted = False
 #: One SQLite scatter task: ``(segment sqlite path, sql, params)``.
 SqlScanTask = tuple[str, str, tuple]
 
-#: Any scatter task the scanner accepts.
-ScanTask = Union[SqlScanTask, ColumnarTask]
+#: Any scatter task the scanner accepts.  :class:`AggregateTask` flows
+#: through :meth:`SegmentScanner.scan_results` only — its payload is
+#: per-segment group counts, not mergeable rows.
+ScanTask = Union[SqlScanTask, ColumnarTask, AggregateTask]
 
 #: Cached read-only connections are dropped once the cache grows past
 #: this many distinct segment files (compaction replaces paths, so a
@@ -117,6 +120,8 @@ def run_scan_task(task: ScanTask) -> Any:
     """Worker entry point dispatching on the task shape."""
     if isinstance(task, ColumnarTask):
         return scan_segment_columnar(task)
+    if isinstance(task, AggregateTask):
+        return scan_segment_aggregate(task)
     return scan_segment(task)
 
 
@@ -133,6 +138,8 @@ def run_scan_task_traced(task: ScanTask) -> tuple[Any, dict[str, Any]]:
     duration_ms = (time.perf_counter() - start) * 1000.0
     if isinstance(task, ColumnarTask):
         path, strategy, rows = task.path, "columnar", result[0]
+    elif isinstance(task, AggregateTask):
+        path, strategy, rows = task.path, "aggregate", result[0]
     else:
         path, strategy, rows = task[0], "sqlite", len(result)
     # The task path points at the payload file inside the segment
@@ -233,16 +240,47 @@ class SegmentScanner:
                 [run_scan_task_traced(task) for task in tasks], span)
         return self._gather([run_scan_task(task) for task in tasks])
 
+    def scan_results(self, tasks: Sequence[ScanTask]) -> list[Any]:
+        """Execute every task; returns the raw per-task payloads in
+        task order (no row gathering — aggregate pushdown merges the
+        per-segment partials itself).  Pool/serial/traced behavior
+        mirrors :meth:`scan` exactly.
+        """
+        if not tasks:
+            return []
+        span = current_span()
+        if self.workers > 1 and len(tasks) > 1:
+            pool = self._ensure_pool()
+            if pool is not None:
+                if span is not None:
+                    return self._payloads_traced(
+                        pool.map(run_scan_task_traced, tasks), span)
+                return pool.map(run_scan_task, tasks)
+            get_registry().counter(
+                "repro_scatter_fallback_scans_total",
+                "Multi-segment scans forced onto the serial path "
+                "because the worker pool is unavailable.").inc()
+        if span is not None:
+            return self._payloads_traced(
+                [run_scan_task_traced(task) for task in tasks], span)
+        return [run_scan_task(task) for task in tasks]
+
     @staticmethod
-    def _gather_traced(results: Sequence[tuple[Any, dict[str, Any]]],
-                       span: Any) -> list[dict[str, Any]]:
+    def _payloads_traced(results: Sequence[tuple[Any, dict[str, Any]]],
+                         span: Any) -> list[Any]:
         payloads = []
         for payload, meta in results:
             span.attach("segment_scan", meta["duration_ms"],
                         {key: meta[key]
                          for key in ("segment", "strategy", "rows")})
             payloads.append(payload)
-        return SegmentScanner._gather(payloads)
+        return payloads
+
+    @staticmethod
+    def _gather_traced(results: Sequence[tuple[Any, dict[str, Any]]],
+                       span: Any) -> list[dict[str, Any]]:
+        return SegmentScanner._gather(
+            SegmentScanner._payloads_traced(results, span))
 
     def close(self) -> None:
         """Tear the worker pool down (idempotent)."""
